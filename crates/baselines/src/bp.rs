@@ -1,0 +1,227 @@
+//! The PIM baselines of §IV-C (Fig. 6).
+//!
+//! All four designs share CryptoPIM's building blocks and architecture;
+//! they differ in two design choices the paper ablates:
+//!
+//! | design    | multiplier        | reduction                       |
+//! |-----------|-------------------|---------------------------------|
+//! | BP-1      | Haj-Ali \[35\]      | multiplication-based            |
+//! | BP-2      | CryptoPIM         | multiplication-based            |
+//! | BP-3      | CryptoPIM         | shift-add (unpruned)            |
+//! | CryptoPIM | CryptoPIM         | shift-add, bit-pruned (Table I) |
+//!
+//! The comparison is non-pipelined (the paper's "fair comparison"), and
+//! the paper's headline ratios are BP-1/BP-2 ≈ 1.9×, BP-2/BP-3 ≈ 5.5×,
+//! BP-3/CryptoPIM ≈ 1.2×, total ≈ 12.7×.
+
+use cryptopim::accelerator::CryptoPim;
+use cryptopim::pipeline::{Organization, PipelineModel};
+use modmath::params::ParamSet;
+use pim::block::MultiplierKind;
+use pim::reduce::ReductionStyle;
+use pim::Result;
+
+/// One of the four compared PIM designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PimDesign {
+    /// Baseline PIM 1: \[35\]'s operations on CryptoPIM's architecture.
+    Bp1,
+    /// BP-1 with CryptoPIM's N-bit multiplier.
+    Bp2,
+    /// BP-2 with reductions converted to shift-and-add.
+    Bp3,
+    /// The full CryptoPIM design.
+    CryptoPim,
+}
+
+impl PimDesign {
+    /// All four designs, slowest first (Fig. 6's x-axis grouping).
+    pub const ALL: [PimDesign; 4] = [
+        PimDesign::Bp1,
+        PimDesign::Bp2,
+        PimDesign::Bp3,
+        PimDesign::CryptoPim,
+    ];
+
+    /// The multiplier microprogram this design uses.
+    pub fn multiplier(self) -> MultiplierKind {
+        match self {
+            PimDesign::Bp1 => MultiplierKind::HajAli,
+            _ => MultiplierKind::CryptoPim,
+        }
+    }
+
+    /// The reduction style this design uses.
+    pub fn reduction(self) -> ReductionStyle {
+        match self {
+            PimDesign::Bp1 => ReductionStyle::MulBased {
+                optimized_mul: false,
+            },
+            PimDesign::Bp2 => ReductionStyle::MulBased {
+                optimized_mul: true,
+            },
+            PimDesign::Bp3 => ReductionStyle::ShiftAdd,
+            PimDesign::CryptoPim => ReductionStyle::CryptoPim,
+        }
+    }
+
+    /// Builds a functional accelerator in this design configuration
+    /// (non-pipelined organization; results remain correct — only the
+    /// cycle accounting differs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration failures (unsupported modulus/degree).
+    pub fn build(self, params: &ParamSet) -> Result<CryptoPim> {
+        CryptoPim::with_configuration(
+            params,
+            Organization::AreaEfficient,
+            self.multiplier(),
+            self.reduction(),
+        )
+    }
+
+    /// Non-pipelined latency (µs) of one polynomial multiplication of
+    /// degree `params.n` in this design — the Fig. 6 metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn latency_us(self, params: &ParamSet) -> Result<f64> {
+        let mapping =
+            cryptopim::mapping::NttMapping::new(params, self.reduction())?;
+        let model = PipelineModel::new(&mapping).with_multiplier(self.multiplier());
+        Ok(model.non_pipelined().latency_us)
+    }
+}
+
+impl std::fmt::Display for PimDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            PimDesign::Bp1 => "BP-1",
+            PimDesign::Bp2 => "BP-2",
+            PimDesign::Bp3 => "BP-3",
+            PimDesign::CryptoPim => "CryptoPIM",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The Fig. 6 speed-up summary over a degree sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Summary {
+    /// Geometric-mean BP-1/BP-2 latency ratio (paper ≈ 1.9×).
+    pub bp1_over_bp2: f64,
+    /// Geometric-mean BP-2/BP-3 ratio (paper ≈ 5.5×).
+    pub bp2_over_bp3: f64,
+    /// Geometric-mean BP-3/CryptoPIM ratio (paper ≈ 1.2×).
+    pub bp3_over_cryptopim: f64,
+    /// Geometric-mean BP-1/CryptoPIM ratio (paper ≈ 12.7×).
+    pub bp1_over_cryptopim: f64,
+}
+
+/// Computes the Fig. 6 ratios over the paper's degree sweep.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn fig6_summary() -> Result<Fig6Summary> {
+    let mut r12 = Vec::new();
+    let mut r23 = Vec::new();
+    let mut r3c = Vec::new();
+    let mut r1c = Vec::new();
+    for n in modmath::params::PAPER_DEGREES {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let l1 = PimDesign::Bp1.latency_us(&p)?;
+        let l2 = PimDesign::Bp2.latency_us(&p)?;
+        let l3 = PimDesign::Bp3.latency_us(&p)?;
+        let lc = PimDesign::CryptoPim.latency_us(&p)?;
+        r12.push(l1 / l2);
+        r23.push(l2 / l3);
+        r3c.push(l3 / lc);
+        r1c.push(l1 / lc);
+    }
+    let gmean = |v: &[f64]| {
+        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+    };
+    Ok(Fig6Summary {
+        bp1_over_bp2: gmean(&r12),
+        bp2_over_bp3: gmean(&r23),
+        bp3_over_cryptopim: gmean(&r3c),
+        bp1_over_cryptopim: gmean(&r1c),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt::negacyclic::PolyMultiplier;
+    use ntt::poly::Polynomial;
+
+    #[test]
+    fn all_designs_compute_identical_products() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let a = Polynomial::from_coeffs((0..256u64).map(|i| i * 29 % p.q).collect(), p.q).unwrap();
+        let b = Polynomial::from_coeffs((0..256u64).map(|i| i * 31 + 5).collect(), p.q).unwrap();
+        let reference = PimDesign::CryptoPim
+            .build(&p)
+            .unwrap()
+            .multiply(&a, &b)
+            .unwrap();
+        for d in PimDesign::ALL {
+            let got = d.build(&p).unwrap().multiply(&a, &b).unwrap();
+            assert_eq!(got, reference, "{d} must be functionally identical");
+        }
+    }
+
+    #[test]
+    fn latency_strictly_improves_along_the_ablation() {
+        for n in modmath::params::PAPER_DEGREES {
+            let p = ParamSet::for_degree(n).unwrap();
+            let l: Vec<f64> = PimDesign::ALL
+                .iter()
+                .map(|d| d.latency_us(&p).unwrap())
+                .collect();
+            assert!(l[0] > l[1], "BP-1 > BP-2 at n = {n}");
+            assert!(l[1] > l[2], "BP-2 > BP-3 at n = {n}");
+            assert!(l[2] > l[3], "BP-3 > CryptoPIM at n = {n}");
+        }
+    }
+
+    #[test]
+    fn fig6_ratios_land_near_paper() {
+        let s = fig6_summary().unwrap();
+        // Paper: 1.9×, 5.5×, 1.2×, 12.7× (averages over the sweep).
+        assert!(
+            (1.5..2.5).contains(&s.bp1_over_bp2),
+            "BP-1/BP-2 = {:.2} (paper 1.9)",
+            s.bp1_over_bp2
+        );
+        assert!(
+            (4.0..9.0).contains(&s.bp2_over_bp3),
+            "BP-2/BP-3 = {:.2} (paper 5.5)",
+            s.bp2_over_bp3
+        );
+        assert!(
+            (1.05..1.4).contains(&s.bp3_over_cryptopim),
+            "BP-3/CryptoPIM = {:.2} (paper 1.2)",
+            s.bp3_over_cryptopim
+        );
+        assert!(
+            (9.0..20.0).contains(&s.bp1_over_cryptopim),
+            "BP-1/CryptoPIM = {:.2} (paper 12.7)",
+            s.bp1_over_cryptopim
+        );
+    }
+
+    #[test]
+    fn design_metadata() {
+        assert_eq!(PimDesign::Bp1.multiplier(), MultiplierKind::HajAli);
+        assert_eq!(PimDesign::Bp2.multiplier(), MultiplierKind::CryptoPim);
+        assert_eq!(
+            PimDesign::Bp3.reduction(),
+            ReductionStyle::ShiftAdd
+        );
+        assert_eq!(format!("{}", PimDesign::CryptoPim), "CryptoPIM");
+    }
+}

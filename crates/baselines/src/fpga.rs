@@ -1,0 +1,134 @@
+//! The FPGA baseline of Table II: the fastest published FPGA
+//! implementation of an NTT-based multiplier (\[19\], Xilinx Zynq
+//! UltraScale+), which the paper compares against for
+//! n ∈ {256, 512, 1024}. Only the published numbers are available —
+//! the bitstream is not — so this module carries them as reference data
+//! plus the derived comparison ratios the abstract quotes (≈ 31×
+//! throughput at similar energy, ≈ 28 % latency penalty).
+
+use crate::cpu::ReferenceRow;
+
+/// The published FPGA rows of Table II (\[19\]).
+pub fn paper_reference() -> Vec<ReferenceRow> {
+    [
+        (256usize, 16u32, 21.56, 2.15, 46382.0),
+        (512, 16, 47.63, 5.28, 20995.0),
+        (1024, 16, 101.84, 12.52, 9819.0),
+    ]
+    .into_iter()
+    .map(|(n, bitwidth, latency_us, energy_uj, throughput)| ReferenceRow {
+        n,
+        bitwidth,
+        latency_us,
+        energy_uj,
+        throughput,
+    })
+    .collect()
+}
+
+/// The FPGA row for one degree, if published (only n ≤ 1024 exist:
+/// "2k-32k: —" in Table II).
+pub fn paper_reference_for(n: usize) -> Option<ReferenceRow> {
+    paper_reference().into_iter().find(|r| r.n == n)
+}
+
+/// CryptoPIM-vs-FPGA comparison for one degree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaComparison {
+    /// Degree compared.
+    pub n: usize,
+    /// CryptoPIM throughput / FPGA throughput (paper avg ≈ 31×).
+    pub throughput_gain: f64,
+    /// Single-multiplication performance ratio, FPGA latency / CryptoPIM
+    /// latency. The paper's "28 % performance reduction" is the average
+    /// of this ratio over n ∈ {256, 512, 1024} (≈ 0.72).
+    pub performance_ratio: f64,
+    /// CryptoPIM energy / FPGA energy (paper: "same energy", ≈ 1×).
+    pub energy_ratio: f64,
+}
+
+/// Compares a CryptoPIM pipelined report against the FPGA row for the
+/// same degree. Returns `None` when no FPGA data exists for `n`.
+pub fn compare(
+    n: usize,
+    latency_us: f64,
+    energy_uj: f64,
+    throughput: f64,
+) -> Option<FpgaComparison> {
+    let fpga = paper_reference_for(n)?;
+    Some(FpgaComparison {
+        n,
+        throughput_gain: throughput / fpga.throughput,
+        performance_ratio: fpga.latency_us / latency_us,
+        energy_ratio: energy_uj / fpga.energy_uj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptopim::accelerator::CryptoPim;
+    use cryptopim::pipeline::Organization;
+    use modmath::params::ParamSet;
+
+    #[test]
+    fn only_small_degrees_published() {
+        assert_eq!(paper_reference().len(), 3);
+        assert!(paper_reference_for(1024).is_some());
+        assert!(paper_reference_for(2048).is_none(), "Table II: 2k-32k is '-'");
+    }
+
+    #[test]
+    fn abstract_headline_numbers_reproduce() {
+        // "31× throughput improvement with the same energy and only 28 %
+        // performance reduction" for n ∈ {256, 512, 1024}.
+        let mut gains = Vec::new();
+        let mut penalties = Vec::new();
+        let mut energies = Vec::new();
+        for n in [256usize, 512, 1024] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let acc = CryptoPim::new(&p).unwrap();
+            let r = acc.report().unwrap();
+            let c = compare(
+                n,
+                r.pipelined.latency_us,
+                r.pipelined.energy_uj,
+                r.pipelined.throughput,
+            )
+            .unwrap();
+            gains.push(c.throughput_gain);
+            penalties.push(c.performance_ratio);
+            energies.push(c.energy_ratio);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let g = avg(&gains);
+        let perf = avg(&penalties);
+        let e = avg(&energies);
+        assert!((25.0..40.0).contains(&g), "throughput gain {g:.1} (paper 31×)");
+        assert!(
+            (0.6..0.85).contains(&perf),
+            "performance ratio {perf:.2} (paper 0.72 = 28 % reduction)"
+        );
+        assert!((0.7..1.4).contains(&e), "energy ratio {e:.2} (paper ≈ 1)");
+    }
+
+    #[test]
+    fn per_degree_comparison_exists_only_when_published() {
+        let p = ParamSet::for_degree(2048).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let r = acc.report().unwrap();
+        assert!(compare(
+            2048,
+            r.pipelined.latency_us,
+            r.pipelined.energy_uj,
+            r.pipelined.throughput
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn organization_constant_is_used() {
+        // Silences the import if the organization enum gains variants.
+        let _ = Organization::CryptoPim;
+    }
+}

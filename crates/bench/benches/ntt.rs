@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the software NTT layer (the CPU-baseline
+//! kernels of Table II): forward transform and full negacyclic
+//! multiplication across the paper's degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modmath::params::ParamSet;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+
+fn poly(n: usize, q: u64, seed: u64) -> Polynomial {
+    let mut state = seed;
+    let coeffs: Vec<u64> = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) % q
+        })
+        .collect();
+    Polynomial::from_coeffs(coeffs, q).expect("valid degree")
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward");
+    for n in [256usize, 1024, 4096, 32768] {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let mult = NttMultiplier::new(&p).expect("paper parameters");
+        let a = poly(n, p.q, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mult.forward(std::hint::black_box(&a)).expect("forward"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_multiply");
+    group.sample_size(20);
+    for n in [256usize, 1024, 4096, 32768] {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let mult = NttMultiplier::new(&p).expect("paper parameters");
+        let a = poly(n, p.q, 1);
+        let b = poly(n, p.q, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                mult.multiply(std::hint::black_box(&a), std::hint::black_box(&b))
+                    .expect("multiply")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_multiply);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the word-level reduction kernels: the
+//! paper's shift-add Barrett/Montgomery sequences (Algorithm 3) against
+//! the generic algorithms and plain `%`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modmath::barrett::{shift_add_reduce, BarrettReducer};
+use modmath::montgomery::{paper_r_exponent, shift_add_redc, MontgomeryReducer};
+
+fn inputs(q: u64, count: usize, max: u64) -> Vec<u64> {
+    let mut state = q;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % max
+        })
+        .collect()
+}
+
+fn bench_barrett(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrett");
+    for q in [7681u64, 12289, 786433] {
+        let data = inputs(q, 1024, 2 * q);
+        group.bench_with_input(BenchmarkId::new("shift_add", q), &q, |b, &q| {
+            b.iter(|| {
+                data.iter()
+                    .map(|&a| shift_add_reduce(a, q).expect("specialized"))
+                    .sum::<u64>()
+            });
+        });
+        let red = BarrettReducer::new(q).expect("modulus in range");
+        group.bench_with_input(BenchmarkId::new("generic", q), &q, |b, _| {
+            b.iter(|| data.iter().map(|&a| red.reduce(a)).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("modulo_op", q), &q, |b, &q| {
+            b.iter(|| data.iter().map(|&a| a % q).sum::<u64>());
+        });
+    }
+    group.finish();
+}
+
+fn bench_montgomery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montgomery");
+    for q in [7681u64, 12289, 786433] {
+        let k = paper_r_exponent(q).expect("specialized");
+        let data = inputs(q, 1024, q * q);
+        group.bench_with_input(BenchmarkId::new("shift_add", q), &q, |b, &q| {
+            b.iter(|| {
+                data.iter()
+                    .map(|&a| shift_add_redc(a, q).expect("specialized"))
+                    .sum::<u64>()
+            });
+        });
+        let red = MontgomeryReducer::with_r_exponent(q, k).expect("valid radix");
+        group.bench_with_input(BenchmarkId::new("generic", q), &q, |b, _| {
+            b.iter(|| data.iter().map(|&a| red.redc(a)).sum::<u64>());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrett, bench_montgomery);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **AB1** — fixed-function switch vs full crossbar (§III-C claim:
+//!   3 logic switches per row, independent of block size).
+//! * **AB2** — CryptoPIM's multiplier vs Haj-Ali et al. \[35\]
+//!   (6.5N² − 11.5N + 3 vs 13N² − 14N + 6 cycles).
+//! * **AB3** — reduction style ladder (mult-based → shift-add → pruned),
+//!   the per-operation view behind Fig. 6.
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin ablation
+//! ```
+
+use cryptopim::area::AreaEstimate;
+use cryptopim::pipeline::{Organization, PipelineModel};
+use cryptopim_bench::{header, times};
+use modmath::params::ParamSet;
+use pim::cost;
+use pim::reduce::{Reducer, ReductionStyle};
+use pim::switch::{CrossbarSwitch, FixedFunctionSwitch};
+
+fn main() {
+    header("AB1 — switch complexity (logic switches per row)");
+    println!("{:>8} {:>16} {:>12} {:>10}", "rows", "fixed-function", "crossbar", "saving");
+    for rows in [64usize, 128, 256, 512] {
+        let ff = FixedFunctionSwitch::new(1, rows);
+        let xb = CrossbarSwitch::new(rows);
+        println!(
+            "{:>8} {:>16} {:>12} {:>10}",
+            rows,
+            ff.switches_per_row(),
+            xb.switches_per_row(),
+            times(xb.switches_per_row() as f64 / ff.switches_per_row() as f64)
+        );
+    }
+    println!(
+        "transfer cost: 3 × bitwidth cycles → 16-bit: {} cycles, 32-bit: {} cycles",
+        cost::switch_transfer_cycles(16),
+        cost::switch_transfer_cycles(32)
+    );
+
+    header("AB2 — multiplier microprogram (cycles per N-bit vector multiply)");
+    println!(
+        "{:>6} {:>14} {:>18} {:>14} {:>10}",
+        "N", "CryptoPIM", "naive (measured)", "Haj-Ali [35]", "speedup"
+    );
+    for n in [8u32, 16, 24, 32, 48, 64] {
+        let fast = cost::mul_cycles(n);
+        let slow = cost::mul_cycles_baseline(n);
+        // Our reconstructed gate-level microprogram, executed literally
+        // (bounded width: the gate engine needs 2N ≤ 64).
+        let naive = if n <= 32 {
+            format!("{}", pim::alu::gate_multiply_cycles(n as usize))
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>6} {:>14} {:>18} {:>14} {:>10}",
+            n,
+            fast,
+            naive,
+            slow,
+            times(slow as f64 / fast as f64)
+        );
+    }
+    println!(
+        "the measured column is our bit-level partial-product microprogram run on\n\
+         the gate engine; it lands between the two closed forms, bracketing the\n\
+         paper's optimization claim."
+    );
+
+    header("AB3 — reduction style ladder (cycles, at each modulus's native width)");
+    println!(
+        "{:<10} {:>18} {:>18} {:>18} | {:>18} {:>18} {:>18}",
+        "q",
+        "Barrett mult",
+        "Barrett shift-add",
+        "Barrett pruned",
+        "Mont mult",
+        "Mont shift-add",
+        "Mont pruned"
+    );
+    for q in [7681u64, 12289, 786433] {
+        let mb = Reducer::new(q, ReductionStyle::MulBased { optimized_mul: true })
+            .expect("specialized modulus");
+        let sa = Reducer::new(q, ReductionStyle::ShiftAdd).expect("specialized modulus");
+        let opt = Reducer::new(q, ReductionStyle::CryptoPim).expect("specialized modulus");
+        println!(
+            "{:<10} {:>18} {:>18} {:>18} | {:>18} {:>18} {:>18}",
+            q,
+            mb.barrett_cycles(),
+            sa.barrett_cycles(),
+            opt.barrett_cycles(),
+            mb.montgomery_cycles(),
+            sa.montgomery_cycles(),
+            opt.montgomery_cycles()
+        );
+    }
+
+    header("AB4 — organization area/throughput Pareto (n = 256)");
+    println!(
+        "{:<16} {:>10} {:>16} {:>14} {:>18}",
+        "organization", "blocks", "cell-equiv", "mult/s", "mult/s per Mcell"
+    );
+    let params = ParamSet::for_degree(256).expect("paper degree");
+    let model = PipelineModel::for_params(&params).expect("paper parameters");
+    for org in [
+        Organization::AreaEfficient,
+        Organization::Naive,
+        Organization::CryptoPim,
+    ] {
+        let est = AreaEstimate::for_config(&model, org).expect("config");
+        let thr = model.pipelined(org).throughput;
+        println!(
+            "{:<16} {:>10} {:>16.2e} {:>14.0} {:>18.0}",
+            format!("{org}"),
+            est.blocks,
+            est.cell_equivalent,
+            thr,
+            est.throughput_density(thr)
+        );
+    }
+    println!(
+        "area-efficient wins density, CryptoPIM wins absolute throughput, and the\n\
+         naive organization is dominated on both axes — hence the paper's choice."
+    );
+}

@@ -1,0 +1,155 @@
+//! `cli` — command-line driver for the CryptoPIM simulator.
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin cli -- simulate --degree 1024
+//! cargo run -p cryptopim-bench --bin cli -- simulate --degree 4096 --org naive
+//! cargo run -p cryptopim-bench --bin cli -- baseline --design bp2
+//! cargo run -p cryptopim-bench --bin cli -- verify --degree 512
+//! cargo run -p cryptopim-bench --bin cli -- montecarlo --samples 2000 --variation 15
+//! ```
+
+use baselines::bp::PimDesign;
+use cryptopim::accelerator::CryptoPim;
+use cryptopim::pipeline::Organization;
+use modmath::params::ParamSet;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+use pim::block::MultiplierKind;
+use pim::device::DeviceParams;
+use pim::reduce::ReductionStyle;
+use pim::variation::{run_monte_carlo, MonteCarloConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cli <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 simulate    --degree N [--org cryptopim|naive|area]   performance report\n\
+         \x20 baseline    --design bp1|bp2|bp3|cryptopim [--degree N] Fig.6 design point\n\
+         \x20 verify      [--degree N]                                functional check vs software NTT\n\
+         \x20 montecarlo  [--samples N] [--variation PCT]             device robustness study\n"
+    );
+    std::process::exit(2);
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_degree(args: &[String], default: usize) -> usize {
+    match opt(args, "--degree") {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --degree: {v}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+
+    match command.as_str() {
+        "simulate" => {
+            let n = parse_degree(&args, 1024);
+            let org = match opt(&args, "--org").as_deref() {
+                None | Some("cryptopim") => Organization::CryptoPim,
+                Some("naive") => Organization::Naive,
+                Some("area") => Organization::AreaEfficient,
+                Some(other) => {
+                    eprintln!("unknown organization: {other}");
+                    std::process::exit(2);
+                }
+            };
+            let params = ParamSet::for_degree(n).unwrap_or_else(|e| {
+                eprintln!("bad degree: {e}");
+                std::process::exit(2);
+            });
+            let acc = CryptoPim::with_configuration(
+                &params,
+                org,
+                MultiplierKind::CryptoPim,
+                ReductionStyle::CryptoPim,
+            )
+            .expect("paper parameters");
+            println!("{}", acc.report().expect("report"));
+        }
+        "baseline" => {
+            let n = parse_degree(&args, 1024);
+            let design = match opt(&args, "--design").as_deref() {
+                Some("bp1") => PimDesign::Bp1,
+                Some("bp2") => PimDesign::Bp2,
+                Some("bp3") => PimDesign::Bp3,
+                None | Some("cryptopim") => PimDesign::CryptoPim,
+                Some(other) => {
+                    eprintln!("unknown design: {other}");
+                    std::process::exit(2);
+                }
+            };
+            let params = ParamSet::for_degree(n).unwrap_or_else(|e| {
+                eprintln!("bad degree: {e}");
+                std::process::exit(2);
+            });
+            let latency = design.latency_us(&params).expect("paper parameters");
+            println!(
+                "{design} at n = {n}: non-pipelined latency {latency:.2} µs \
+                 (multiplier: {:?}, reduction: {:?})",
+                design.multiplier(),
+                design.reduction()
+            );
+        }
+        "verify" => {
+            let n = parse_degree(&args, 1024);
+            let params = ParamSet::for_degree(n).unwrap_or_else(|e| {
+                eprintln!("bad degree: {e}");
+                std::process::exit(2);
+            });
+            let acc = CryptoPim::new(&params).expect("paper parameters");
+            let sw = NttMultiplier::new(&params).expect("paper parameters");
+            let a = Polynomial::from_coeffs(
+                (0..n as u64).map(|i| i * 31 % params.q).collect(),
+                params.q,
+            )
+            .expect("valid degree");
+            let b = Polynomial::from_coeffs(
+                (0..n as u64).map(|i| (i * 17 + 5) % params.q).collect(),
+                params.q,
+            )
+            .expect("valid degree");
+            let ok = acc.multiply(&a, &b).expect("pim") == sw.multiply(&a, &b).expect("sw");
+            println!(
+                "n = {n}: PIM datapath vs software NTT: {}",
+                if ok { "OK" } else { "MISMATCH" }
+            );
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "montecarlo" => {
+            let samples = opt(&args, "--samples")
+                .map(|v| v.parse().expect("numeric --samples"))
+                .unwrap_or(5000);
+            let variation = opt(&args, "--variation")
+                .map(|v| v.parse::<f64>().expect("numeric --variation") / 100.0)
+                .unwrap_or(0.10);
+            let r = run_monte_carlo(
+                &DeviceParams::nominal(),
+                &MonteCarloConfig {
+                    samples,
+                    variation,
+                    ..MonteCarloConfig::default()
+                },
+            );
+            println!(
+                "{samples} samples at {:.0} % variation: max margin reduction {:.1} %, {} failures",
+                variation * 100.0,
+                r.max_margin_reduction * 100.0,
+                r.failures
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Figure 4**: stage-by-stage breakdown of the three
+//! pipeline organizations (area-efficient, naive, CryptoPIM) — stage
+//! latency, depth, and blocks per bank, for the 16-bit n = 256 design
+//! the paper plots plus the 32-bit class.
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin fig4
+//! ```
+
+use cryptopim::pipeline::{Organization, PipelineModel};
+use cryptopim_bench::{header, versus};
+use modmath::params::ParamSet;
+
+fn main() {
+    let paper_stage_256 = |org: Organization| -> Option<f64> {
+        Some(match org {
+            Organization::AreaEfficient => 2700.0,
+            Organization::Naive => 1756.0,
+            Organization::CryptoPim => 1643.0,
+        })
+    };
+
+    for n in [256usize, 2048] {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let model = PipelineModel::for_params(&p).expect("paper parameters");
+        header(&format!(
+            "Fig. 4 — pipeline organizations at n = {n} ({}-bit, q = {})",
+            p.bitwidth, p.q
+        ));
+        println!(
+            "{:<16} {:>44} {:>8} {:>12}",
+            "organization", "stage latency (cycles)", "depth", "blocks/bank"
+        );
+        for org in [
+            Organization::AreaEfficient,
+            Organization::Naive,
+            Organization::CryptoPim,
+        ] {
+            let paper = if n == 256 { paper_stage_256(org) } else { None };
+            println!(
+                "{:<16} {:>44} {:>8} {:>12}",
+                format!("{org}"),
+                versus(model.stage_latency(org) as f64, paper),
+                model.depth(org),
+                model.blocks_per_bank(org),
+            );
+        }
+    }
+
+    header("Fig. 4 — CryptoPIM stage composition (16-bit)");
+    println!(
+        "sub(7N) + mul(6.5N²−11.5N+3) + transfer(3N) = {} + {} + {} = {} cycles",
+        7 * 16,
+        pim::cost::mul_cycles(16),
+        3 * 16,
+        7 * 16 + pim::cost::mul_cycles(16) + 3 * 16
+    );
+}

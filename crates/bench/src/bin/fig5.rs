@@ -1,0 +1,93 @@
+//! Regenerates **Figure 5**: normalized latency and throughput of
+//! non-pipelined (NP) vs pipelined (P) CryptoPIM across all paper
+//! degrees, plus the energy-overhead discussion.
+//!
+//! The paper's quoted aggregates: throughput improves 27.8× (n ≤ 1024)
+//! and 36.3× (n > 1024); latency overhead 29 % / 59.7 %; pipelining
+//! costs ≈ 1.6 % extra energy.
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin fig5
+//! ```
+
+use cryptopim::accelerator::CryptoPim;
+use cryptopim_bench::{header, times};
+use modmath::params::ParamSet;
+
+fn main() {
+    header("Fig. 5 — latency and throughput, NP vs P (normalized to NP at n = 256)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>14} {:>14} {:>10} {:>10}",
+        "n",
+        "NP lat µs",
+        "P lat µs",
+        "lat ovh",
+        "NP mult/s",
+        "P mult/s",
+        "thr gain",
+        "E ovh %"
+    );
+
+    let mut small_gain = Vec::new();
+    let mut large_gain = Vec::new();
+    let mut small_ovh = Vec::new();
+    let mut large_ovh = Vec::new();
+    let mut energy_ovh = Vec::new();
+
+    for n in modmath::params::PAPER_DEGREES {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let r = CryptoPim::new(&p)
+            .expect("paper parameters")
+            .report()
+            .expect("report");
+        let ovh = r.pipelining_latency_overhead();
+        let gain = r.pipelining_throughput_gain();
+        let eovh = r.pipelining_energy_overhead();
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>9.1}% {:>14.0} {:>14.0} {:>10} {:>9.2}%",
+            n,
+            r.non_pipelined.latency_us,
+            r.pipelined.latency_us,
+            ovh * 100.0,
+            r.non_pipelined.throughput,
+            r.pipelined.throughput,
+            times(gain),
+            eovh * 100.0,
+        );
+        if n <= 1024 {
+            small_gain.push(gain);
+            small_ovh.push(ovh);
+        } else {
+            large_gain.push(gain);
+            large_ovh.push(ovh);
+        }
+        energy_ovh.push(eovh);
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    header("Fig. 5 — aggregates vs paper");
+    println!(
+        "n ≤ 1024 : throughput gain {} (paper 27.8×), latency overhead {:.1}% (paper 29%)",
+        times(avg(&small_gain)),
+        avg(&small_ovh) * 100.0
+    );
+    println!(
+        "n > 1024 : throughput gain {} (paper 36.3×), latency overhead {:.1}% (paper 59.7%)",
+        times(avg(&large_gain)),
+        avg(&large_ovh) * 100.0
+    );
+    println!(
+        "energy   : pipelining overhead {:.2}% (paper ≈ 1.6%)",
+        avg(&energy_ovh) * 100.0
+    );
+
+    header("Fig. 5 — energy scaling with degree (pipelined, µJ)");
+    for n in modmath::params::PAPER_DEGREES {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let r = CryptoPim::new(&p)
+            .expect("paper parameters")
+            .report()
+            .expect("report");
+        println!("{:<8} {:>12.2}", n, r.pipelined.energy_uj);
+    }
+}

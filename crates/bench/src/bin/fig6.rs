@@ -1,0 +1,43 @@
+//! Regenerates **Figure 6**: non-pipelined latency of the PIM baselines
+//! BP-1, BP-2, BP-3 and CryptoPIM over all paper degrees, plus the
+//! paper's headline ratios (1.9×, 5.5×, 1.2×, total 12.7×).
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin fig6
+//! ```
+
+use baselines::bp::{fig6_summary, PimDesign};
+use cryptopim_bench::{header, times};
+use modmath::params::ParamSet;
+
+fn main() {
+    header("Fig. 6 — non-pipelined latency (µs) per design");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "n", "BP-1", "BP-2", "BP-3", "CryptoPIM"
+    );
+    for n in modmath::params::PAPER_DEGREES {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let lat: Vec<f64> = PimDesign::ALL
+            .iter()
+            .map(|d| d.latency_us(&p).expect("paper parameters"))
+            .collect();
+        println!(
+            "{:<8} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            n, lat[0], lat[1], lat[2], lat[3]
+        );
+    }
+
+    let s = fig6_summary().expect("paper parameters");
+    header("Fig. 6 — geometric-mean ratios vs paper");
+    println!("BP-1 / BP-2      : {} (paper 1.9×)", times(s.bp1_over_bp2));
+    println!("BP-2 / BP-3      : {} (paper 5.5×)", times(s.bp2_over_bp3));
+    println!(
+        "BP-3 / CryptoPIM : {} (paper 1.2×)",
+        times(s.bp3_over_cryptopim)
+    );
+    println!(
+        "BP-1 / CryptoPIM : {} (paper 12.7×)",
+        times(s.bp1_over_cryptopim)
+    );
+}

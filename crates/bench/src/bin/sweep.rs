@@ -1,0 +1,47 @@
+//! Architecture-level sweep (§III-D): bank/softbank/superbank
+//! configuration, multi-pair packing below 32k, and iterative
+//! segmentation above — the chip-level throughput view that extends
+//! Table II's per-pipeline numbers.
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin sweep
+//! ```
+
+use cryptopim::arch::{ArchConfig, MAX_NATIVE_DEGREE};
+use cryptopim::pipeline::{Organization, PipelineModel};
+use cryptopim_bench::header;
+use modmath::params::ParamSet;
+
+fn main() {
+    header("Chip configuration per degree (32k-provisioned chip)");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>8} {:>16} {:>18}",
+        "n", "banks", "blocks/bank", "parallel", "passes", "pipeline mult/s", "chip mult/s"
+    );
+    for n in [
+        256usize, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+    ] {
+        // Above the native degree the pipeline runs the 32k parameter
+        // set per segment.
+        let native = n.min(MAX_NATIVE_DEGREE);
+        let p = ParamSet::for_degree(native).expect("valid degree");
+        let model = PipelineModel::for_params(&p).expect("paper parameters");
+        let arch = ArchConfig::for_degree(n, &model, Organization::CryptoPim)
+            .expect("valid degree");
+        let per_pipeline = model.pipelined(Organization::CryptoPim).throughput;
+        println!(
+            "{:<8} {:>8} {:>12} {:>12} {:>8} {:>16.0} {:>18.0}",
+            n,
+            arch.banks_per_softbank,
+            arch.blocks_per_bank,
+            arch.parallel_multiplications,
+            arch.passes,
+            per_pipeline,
+            arch.packed_throughput(per_pipeline),
+        );
+    }
+    println!(
+        "\npacking fills idle banks with independent multiplications below 32k;\n\
+         above 32k the same hardware iterates over 32k segments (passes > 1)."
+    );
+}

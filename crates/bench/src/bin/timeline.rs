@@ -1,0 +1,65 @@
+//! Pipeline timeline: a text Gantt chart of a burst of multiplications
+//! flowing through the CryptoPIM pipeline, from the discrete-event
+//! occupancy simulation — fill, steady state, and drain made visible.
+//!
+//! ```text
+//! cargo run -p cryptopim-bench --bin timeline [-- --degree N --jobs K]
+//! ```
+
+use cryptopim::pipeline::{Organization, PipelineModel};
+use cryptopim::schedule::{burst_size_for_efficiency, simulate_burst};
+use cryptopim_bench::header;
+use modmath::params::ParamSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = get("--degree", 256);
+    let jobs = get("--jobs", 8);
+
+    let params = ParamSet::for_degree(n).expect("valid degree");
+    let model = PipelineModel::for_params(&params).expect("paper parameters");
+    let org = Organization::CryptoPim;
+    let burst = simulate_burst(&model, org, jobs);
+    let stage = model.stage_latency(org);
+    let depth = model.depth(org);
+
+    header(&format!(
+        "Pipeline timeline — n = {n}, {} stages × {} cycles/beat, {} jobs",
+        depth, stage, jobs
+    ));
+    let total_beats = burst.makespan_cycles / stage;
+    let scale = (total_beats as usize).div_ceil(100).max(1);
+    println!("(one column ≈ {scale} beat(s) of {stage} cycles)");
+    for (i, job) in burst.jobs.iter().enumerate() {
+        let start = (job.start_cycle / stage) as usize / scale;
+        let len = ((job.finish_cycle - job.start_cycle) / stage) as usize / scale;
+        println!(
+            "job {i:>3} {}{} {:>10.2} µs",
+            " ".repeat(start),
+            "█".repeat(len.max(1)),
+            job.finish_cycle as f64 * pim::CYCLE_TIME_NS / 1000.0
+        );
+    }
+
+    header("Burst efficiency");
+    println!(
+        "makespan: {:.2} µs; burst throughput {:.0}/s vs steady-state {:.0}/s",
+        burst.makespan_cycles as f64 * pim::CYCLE_TIME_NS / 1000.0,
+        burst.burst_throughput(),
+        burst.steady_throughput.unwrap_or(f64::NAN),
+    );
+    for frac in [0.5f64, 0.9, 0.95, 0.99] {
+        println!(
+            "≥ {:>4.0} % of steady state needs a burst of ≥ {} multiplications",
+            frac * 100.0,
+            burst_size_for_efficiency(&model, org, frac)
+        );
+    }
+}

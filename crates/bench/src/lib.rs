@@ -1,0 +1,51 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index); this library provides the
+//! common formatting so their outputs line up with the published
+//! artifacts.
+
+/// Formats a comparison cell: measured value plus deviation from the
+/// paper's value when one exists.
+pub fn versus(measured: f64, paper: Option<f64>) -> String {
+    match paper {
+        Some(p) if p != 0.0 => {
+            let dev = (measured - p) / p * 100.0;
+            format!("{measured:>10.2} (paper {p:>10.2}, {dev:+.1} %)")
+        }
+        _ => format!("{measured:>10.2} (paper      n/a)"),
+    }
+}
+
+/// Prints a section header in a consistent style.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio like `12.70×`.
+pub fn times(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versus_with_reference() {
+        let s = versus(110.0, Some(100.0));
+        assert!(s.contains("+10.0 %"));
+        assert!(s.contains("110.00"));
+    }
+
+    #[test]
+    fn versus_without_reference() {
+        assert!(versus(5.0, None).contains("n/a"));
+        assert!(versus(5.0, Some(0.0)).contains("n/a"));
+    }
+
+    #[test]
+    fn times_formats() {
+        assert_eq!(times(12.7), "12.70×");
+    }
+}

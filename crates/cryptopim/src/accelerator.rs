@@ -1,0 +1,302 @@
+//! The top-level accelerator: configuration, execution, reporting.
+//!
+//! [`CryptoPim`] ties the crate together: it owns the constant mapping,
+//! the pipeline model and the architecture configuration, executes real
+//! multiplications through the functional engine, and implements
+//! [`PolyMultiplier`] so lattice schemes can use the accelerator as a
+//! drop-in backend.
+
+use crate::arch::{ArchConfig, MAX_NATIVE_DEGREE};
+use crate::engine::{Engine, EngineTrace};
+use crate::mapping::NttMapping;
+use crate::pipeline::{Organization, PipelineModel};
+use crate::report::ExecutionReport;
+use crate::Result;
+use modmath::params::ParamSet;
+use ntt::negacyclic::PolyMultiplier;
+use ntt::poly::Polynomial;
+use pim::block::MultiplierKind;
+use pim::reduce::ReductionStyle;
+use pim::PimError;
+
+/// The CryptoPIM accelerator for one parameter set.
+///
+/// # Example
+///
+/// ```
+/// use cryptopim::accelerator::CryptoPim;
+/// use modmath::params::ParamSet;
+/// use ntt::negacyclic::PolyMultiplier;
+/// use ntt::poly::Polynomial;
+///
+/// # fn main() -> Result<(), cryptopim::PimError> {
+/// let params = ParamSet::for_degree(512)?;
+/// let acc = CryptoPim::new(&params)?;
+/// let mut x = vec![0u64; 512];
+/// x[1] = 1;
+/// let x = Polynomial::from_coeffs(x, params.q)?;
+/// let x2 = acc.multiply(&x, &x)?;
+/// assert_eq!(x2.coeff(2), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CryptoPim {
+    mapping: NttMapping,
+    model: PipelineModel,
+    organization: Organization,
+    multiplier: MultiplierKind,
+}
+
+impl CryptoPim {
+    /// Builds the accelerator with the paper's final design choices:
+    /// the CryptoPIM pipeline organization, optimized multiplier, and
+    /// Table I reduction sequences.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the parameter set has no NTT or no specialized
+    /// reduction sequence.
+    pub fn new(params: &ParamSet) -> Result<Self> {
+        Self::with_configuration(
+            params,
+            Organization::CryptoPim,
+            MultiplierKind::CryptoPim,
+            ReductionStyle::CryptoPim,
+        )
+    }
+
+    /// Builds an accelerator with explicit design choices (used by the
+    /// baseline and ablation studies).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CryptoPim::new`].
+    pub fn with_configuration(
+        params: &ParamSet,
+        organization: Organization,
+        multiplier: MultiplierKind,
+        reduction: ReductionStyle,
+    ) -> Result<Self> {
+        let mapping = NttMapping::new(params, reduction)?;
+        let model = PipelineModel::new(&mapping);
+        Ok(CryptoPim {
+            mapping,
+            model,
+            organization,
+            multiplier,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &ParamSet {
+        self.mapping.params()
+    }
+
+    /// The pipeline organization in use.
+    pub fn organization(&self) -> Organization {
+        self.organization
+    }
+
+    /// The analytic pipeline model.
+    pub fn model(&self) -> &PipelineModel {
+        &self.model
+    }
+
+    /// The constant mapping.
+    pub fn mapping(&self) -> &NttMapping {
+        &self.mapping
+    }
+
+    /// The performance/energy/architecture report for this configuration
+    /// (no functional execution needed — the model is analytic).
+    ///
+    /// Degrees above the 32k-provisioned hardware are processed in
+    /// segments (§III-D: "iteratively uses the hardware"); the report
+    /// scales latency by the pass count and throughput by its inverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture-derivation failures for invalid degrees.
+    pub fn report(&self) -> Result<ExecutionReport> {
+        let arch = ArchConfig::for_degree(self.params().n, &self.model, self.organization)?;
+        let mut pipelined = self.model.pipelined(self.organization);
+        let mut non_pipelined = self.model.non_pipelined();
+        if arch.passes > 1 {
+            let k = arch.passes as f64;
+            for mode in [&mut pipelined, &mut non_pipelined] {
+                mode.latency_us *= k;
+                mode.throughput /= k;
+                mode.cycles *= arch.passes as u64;
+            }
+        }
+        Ok(ExecutionReport {
+            params: *self.params(),
+            pipelined,
+            non_pipelined,
+            arch,
+        })
+    }
+
+    /// Multiplies two polynomials through the PIM datapath, returning
+    /// the product, the report, and the functional engine trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::LengthMismatch`] when operand degrees differ
+    /// from the configured degree, plus any engine-level failure.
+    pub fn multiply_with_trace(
+        &self,
+        a: &Polynomial,
+        b: &Polynomial,
+    ) -> Result<(Polynomial, ExecutionReport, EngineTrace)> {
+        let n = self.params().n;
+        if a.degree_bound() != n || b.degree_bound() != n {
+            return Err(PimError::LengthMismatch {
+                left: a.degree_bound(),
+                right: b.degree_bound(),
+            });
+        }
+        let engine = Engine::new(&self.mapping).with_multiplier(self.multiplier);
+        let (coeffs, trace) = engine.multiply(a.coeffs(), b.coeffs())?;
+        let product = Polynomial::from_coeffs(coeffs, self.params().q)?;
+        Ok((product, self.report()?, trace))
+    }
+
+    /// Multiplies two polynomials, returning the product and the report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CryptoPim::multiply_with_trace`].
+    pub fn multiply_with_report(
+        &self,
+        a: &Polynomial,
+        b: &Polynomial,
+    ) -> Result<(Polynomial, ExecutionReport)> {
+        let (p, r, _) = self.multiply_with_trace(a, b)?;
+        Ok((p, r))
+    }
+
+    /// Largest degree a single pass supports; larger inputs segment.
+    pub fn max_native_degree() -> usize {
+        MAX_NATIVE_DEGREE
+    }
+}
+
+impl PolyMultiplier for CryptoPim {
+    fn degree(&self) -> usize {
+        self.params().n
+    }
+
+    fn modulus(&self) -> u64 {
+        self.params().q
+    }
+
+    fn multiply(&self, a: &Polynomial, b: &Polynomial) -> ntt::Result<Polynomial> {
+        self.multiply_with_report(a, b)
+            .map(|(p, _)| p)
+            .map_err(|e| match e {
+                PimError::LengthMismatch { left, .. } => modmath::Error::InvalidDegree { n: left },
+                PimError::Math(m) => m,
+                other => modmath::Error::InvalidDegree {
+                    n: {
+                        // Non-degree PIM failures cannot occur for
+                        // validated parameter sets; surface the degree.
+                        let _ = other;
+                        self.params().n
+                    },
+                },
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt::negacyclic::NttMultiplier;
+    use ntt::schoolbook;
+
+    fn rand_poly(n: usize, q: u64, seed: u64) -> Polynomial {
+        let mut state = seed;
+        let coeffs: Vec<u64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 16) % q
+            })
+            .collect();
+        Polynomial::from_coeffs(coeffs, q).unwrap()
+    }
+
+    #[test]
+    fn accelerator_matches_software_reference() {
+        for n in [256usize, 1024, 4096] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let acc = CryptoPim::new(&p).unwrap();
+            let sw = NttMultiplier::new(&p).unwrap();
+            let a = rand_poly(n, p.q, 21);
+            let b = rand_poly(n, p.q, 22);
+            assert_eq!(
+                acc.multiply(&a, &b).unwrap(),
+                sw.multiply(&a, &b).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn accelerator_matches_schoolbook_small() {
+        let p = ParamSet::for_degree(32).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let a = rand_poly(32, p.q, 1);
+        let b = rand_poly(32, p.q, 2);
+        assert_eq!(
+            acc.multiply(&a, &b).unwrap(),
+            schoolbook::multiply(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn report_matches_paper_headline_row() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let r = acc.report().unwrap();
+        assert!((r.pipelined.latency_us - 68.67).abs() < 0.1);
+        assert!((r.pipelined.throughput - 553311.0).abs() / 553311.0 < 1e-3);
+        assert!((r.pipelined.energy_uj - 2.58).abs() < 0.13, "within 5 %");
+    }
+
+    #[test]
+    fn degree_mismatch_is_an_error() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let a = rand_poly(128, p.q, 1);
+        let b = rand_poly(256, p.q, 2);
+        assert!(acc.multiply_with_report(&a, &b).is_err());
+        assert!(acc.multiply(&a, &b).is_err());
+    }
+
+    #[test]
+    fn trace_and_report_are_consistent() {
+        let p = ParamSet::for_degree(512).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let a = rand_poly(512, p.q, 3);
+        let b = rand_poly(512, p.q, 4);
+        let (_, report, trace) = acc.multiply_with_trace(&a, &b).unwrap();
+        // The engine's total compute matches the analytic work profile.
+        let compute = trace.total().compute_cycles + trace.total().reduce_cycles;
+        assert_eq!(compute, acc.model().expected_engine_compute_cycles());
+        // Pipelined latency exceeds any single phase.
+        assert!(report.pipelined.cycles > trace.pointwise.cycles);
+    }
+
+    #[test]
+    fn trait_object_backend() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let backend: Box<dyn PolyMultiplier> = Box::new(acc);
+        assert_eq!(backend.degree(), 256);
+        assert_eq!(backend.modulus(), 7681);
+    }
+}

@@ -1,0 +1,171 @@
+//! The configurable architecture of §III-D: banks, softbanks, superbanks.
+//!
+//! A memory **bank** is a cascade of memory blocks implementing one input
+//! polynomial's share of the pipeline (49 blocks for the 32k design). A
+//! bank's blocks process 512-element vector slices, so one polynomial of
+//! degree `n` needs `⌈n/512⌉` parallel banks — a **softbank**. Two
+//! softbanks form a **superbank**, which processes one complete
+//! polynomial multiplication.
+//!
+//! The chip is provisioned for 32k-degree polynomials (64 banks per
+//! softbank, 128 per superbank). Smaller degrees leave banks idle, which
+//! the architecture reclaims by packing several independent
+//! multiplications side by side; degrees above 32k are processed in 32k
+//! segments, iterating over the same hardware.
+
+use crate::pipeline::{Organization, PipelineModel};
+use pim::{PimError, Result, BLOCK_DIM};
+
+/// The largest degree the hardware natively supports in one pass.
+pub const MAX_NATIVE_DEGREE: usize = 32_768;
+
+/// Banks per softbank in the full-size (32k) configuration.
+pub const BANKS_PER_SOFTBANK: usize = MAX_NATIVE_DEGREE / BLOCK_DIM;
+
+/// A concrete hardware configuration for one parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchConfig {
+    /// Degree being processed.
+    pub n: usize,
+    /// Vector lanes (banks) each softbank uses: `⌈min(n, 32k)/512⌉`.
+    pub banks_per_softbank: usize,
+    /// Memory blocks per bank (depends on pipeline organization).
+    pub blocks_per_bank: u64,
+    /// Independent multiplications that fit in the chip at once
+    /// (degrees < 32k pack multiple pairs; ≥ 32k packs one).
+    pub parallel_multiplications: usize,
+    /// Sequential passes needed per multiplication (degrees > 32k
+    /// segment the inputs; otherwise 1).
+    pub passes: usize,
+}
+
+impl ArchConfig {
+    /// Derives the configuration for a degree under an organization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::VectorTooLong`] when `n` is not a power of two
+    /// of at least 4 (there is no valid NTT mapping to configure for).
+    pub fn for_degree(n: usize, model: &PipelineModel, org: Organization) -> Result<Self> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(PimError::VectorTooLong {
+                len: n,
+                rows: BLOCK_DIM,
+            });
+        }
+        let native = n.min(MAX_NATIVE_DEGREE);
+        let banks = native.div_ceil(BLOCK_DIM).max(1);
+        let parallel = (BANKS_PER_SOFTBANK / banks).max(1);
+        let passes = n.div_ceil(MAX_NATIVE_DEGREE);
+        Ok(ArchConfig {
+            n,
+            banks_per_softbank: banks,
+            blocks_per_bank: model.blocks_per_bank(org),
+            parallel_multiplications: parallel,
+            passes,
+        })
+    }
+
+    /// Total memory blocks in one superbank under this configuration.
+    pub fn total_blocks(&self) -> u64 {
+        2 * self.banks_per_softbank as u64 * self.blocks_per_bank
+    }
+
+    /// Aggregate chip throughput (multiplications/s) when every idle bank
+    /// is reclaimed for packing — the architecture-level extension of the
+    /// per-pipeline Table II figure.
+    pub fn packed_throughput(&self, per_pipeline: f64) -> f64 {
+        per_pipeline * self.parallel_multiplications as f64 / self.passes as f64
+    }
+}
+
+/// How a degree-`n` vector maps onto 512-row lanes.
+///
+/// Lane `l` holds elements `[l·512, (l+1)·512)`; returns the per-lane
+/// ranges so callers can drive per-bank block simulations.
+pub fn lane_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n.div_ceil(BLOCK_DIM))
+        .map(|l| l * BLOCK_DIM..((l + 1) * BLOCK_DIM).min(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::params::ParamSet;
+
+    fn config(n: usize) -> ArchConfig {
+        let p = ParamSet::for_degree(n.min(MAX_NATIVE_DEGREE)).unwrap();
+        let model = PipelineModel::for_params(&p).unwrap();
+        ArchConfig::for_degree(n, &model, Organization::CryptoPim).unwrap()
+    }
+
+    #[test]
+    fn paper_32k_configuration() {
+        let c = config(32768);
+        // §III-D: 49 blocks per bank, 64 banks per polynomial,
+        // 128 banks per multiplication.
+        assert_eq!(c.blocks_per_bank, 49);
+        assert_eq!(c.banks_per_softbank, 64);
+        assert_eq!(c.total_blocks(), 2 * 64 * 49);
+        assert_eq!(c.parallel_multiplications, 1);
+        assert_eq!(c.passes, 1);
+    }
+
+    #[test]
+    fn small_degrees_pack_multiple_pairs() {
+        let c = config(512);
+        assert_eq!(c.banks_per_softbank, 1);
+        assert_eq!(c.parallel_multiplications, 64);
+        let c = config(4096);
+        assert_eq!(c.banks_per_softbank, 8);
+        assert_eq!(c.parallel_multiplications, 8);
+    }
+
+    #[test]
+    fn degrees_above_native_segment() {
+        let c = config(65536);
+        assert_eq!(c.passes, 2);
+        assert_eq!(c.banks_per_softbank, 64, "hardware stays 32k-sized");
+        let c = config(131072);
+        assert_eq!(c.passes, 4);
+    }
+
+    #[test]
+    fn sub_block_degree_uses_one_bank() {
+        let c = config(256);
+        assert_eq!(c.banks_per_softbank, 1);
+        assert!(c.parallel_multiplications >= 64);
+    }
+
+    #[test]
+    fn packed_throughput_scales() {
+        let c = config(512);
+        let per = 553311.0;
+        assert!((c.packed_throughput(per) - per * 64.0).abs() < 1e-6);
+        let c = config(65536);
+        assert!((c.packed_throughput(137511.0) - 137511.0 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lane_ranges_cover_exactly() {
+        for n in [256usize, 512, 1000, 2048, 32768] {
+            let lanes = lane_ranges(n);
+            let mut covered = 0;
+            for (i, r) in lanes.iter().enumerate() {
+                assert_eq!(r.start, i * BLOCK_DIM);
+                covered += r.len();
+                assert!(r.len() <= BLOCK_DIM);
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn invalid_degree_rejected() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let model = PipelineModel::for_params(&p).unwrap();
+        assert!(ArchConfig::for_degree(100, &model, Organization::CryptoPim).is_err());
+        assert!(ArchConfig::for_degree(2, &model, Organization::CryptoPim).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Butterfly partner exchange through fixed-function switches.
+//!
+//! §III-C's claim is that three hard-wired connection kinds per row
+//! (A→A, A→A+s, A→A−s) suffice for the NTT's inter-stage communication.
+//! This module makes that claim executable: [`stage_connections`] derives
+//! the per-row connection selection for a Gentleman–Sande stage, and
+//! [`exchange_partners`] routes a vector through a
+//! [`FixedFunctionSwitch`] with the stage's hard-wired shift `s = 2^i`,
+//! delivering every row its butterfly partner.
+//!
+//! The stage rule: at stage `i` row `j` pairs with row `j XOR 2^i`.
+//! Rows whose bit `i` is 0 take the **UpShift** connection (their value
+//! travels to the partner `s` above); rows with bit `i` set take
+//! **DownShift**. One routed transfer therefore hands every row exactly
+//! its partner's value — which is what the engine's butterfly needs —
+//! using only the three fixed connections.
+//!
+//! The test suite pins the routed exchange to the index arithmetic the
+//! execution engine uses, for every stage of every paper degree.
+
+use pim::switch::{Connection, FixedFunctionSwitch};
+use pim::{PimError, Result};
+
+/// The per-row connection selections for stage `i` of a length-`n` GS
+/// NTT (shift `s = 2^i`).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or the stage shift reaches `n`.
+pub fn stage_connections(n: usize, stage: u32) -> Vec<Connection> {
+    assert!(n.is_power_of_two(), "vector length must be a power of two");
+    let s = 1usize << stage;
+    assert!(s < n, "stage shift must stay inside the vector");
+    (0..n)
+        .map(|j| {
+            if j & s == 0 {
+                Connection::UpShift
+            } else {
+                Connection::DownShift
+            }
+        })
+        .collect()
+}
+
+/// Routes `x` through the stage's fixed-function switch, returning the
+/// partner vector: `out[j] = x[j XOR 2^stage]`.
+///
+/// # Errors
+///
+/// Propagates switch routing failures (cannot occur for power-of-two
+/// lengths with in-range stages).
+pub fn exchange_partners(x: &[u64], stage: u32) -> Result<Vec<u64>> {
+    let n = x.len();
+    let conns = stage_connections(n, stage);
+    let switch = FixedFunctionSwitch::new(1 << stage, n);
+    let outcome = switch.route(x, &conns, 1)?;
+    outcome
+        .values
+        .into_iter()
+        .enumerate()
+        .map(|(row, v)| {
+            v.ok_or(PimError::RowOutOfRange {
+                row: row as isize,
+                rows: n,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_is_xor_partner() {
+        for n in [4usize, 16, 256] {
+            let x: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+            for stage in 0..n.trailing_zeros() {
+                let partners = exchange_partners(&x, stage).unwrap();
+                for j in 0..n {
+                    assert_eq!(
+                        partners[j],
+                        x[j ^ (1 << stage)],
+                        "n = {n}, stage = {stage}, row = {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_covers_every_row() {
+        // Every destination row receives exactly one value: the routing
+        // is a permutation, so no None survives `exchange_partners`.
+        let x: Vec<u64> = (0..512).collect();
+        for stage in [0u32, 3, 8] {
+            let p = exchange_partners(&x, stage).unwrap();
+            assert_eq!(p.len(), 512);
+        }
+    }
+
+    #[test]
+    fn exchange_is_involution() {
+        let x: Vec<u64> = (0..64u64).map(|i| i * i).collect();
+        for stage in 0..6 {
+            let once = exchange_partners(&x, stage).unwrap();
+            let twice = exchange_partners(&once, stage).unwrap();
+            assert_eq!(twice, x, "stage {stage}");
+        }
+    }
+
+    #[test]
+    fn connections_use_only_three_kinds() {
+        // The §III-C economy: no row needs anything beyond the three
+        // hard-wired connections.
+        let conns = stage_connections(256, 4);
+        assert!(conns
+            .iter()
+            .all(|c| matches!(c, Connection::UpShift | Connection::DownShift)));
+        // Half the rows shift each way.
+        let ups = conns
+            .iter()
+            .filter(|c| matches!(c, Connection::UpShift))
+            .count();
+        assert_eq!(ups, 128);
+    }
+
+    /// The routed exchange delivers exactly the operands the engine's
+    /// index arithmetic gathers: for the low row `j` of every butterfly
+    /// pair, partner[j] is `x[j + 2^stage]`, and vice versa.
+    #[test]
+    fn matches_engine_gather_pattern() {
+        let n = 128usize;
+        let x: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
+        for stage in 0..n.trailing_zeros() {
+            let dist = 1usize << stage;
+            let partners = exchange_partners(&x, stage).unwrap();
+            for idx in 0..n / 2 {
+                let st = idx & (dist - 1);
+                let j = ((idx & !(dist - 1)) << 1) | st;
+                let jp = j + dist;
+                // Engine gathers (t, u) = (x[j], x[jp]).
+                assert_eq!(partners[j], x[jp], "stage {stage}, pair {idx}");
+                assert_eq!(partners[jp], x[j], "stage {stage}, pair {idx}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the vector")]
+    fn oversized_stage_panics() {
+        stage_connections(16, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Execution reports: the latency / energy / throughput triple of
+//! Table II, for both execution modes, plus architecture details.
+
+use crate::arch::ArchConfig;
+use crate::pipeline::ModeReport;
+use modmath::params::ParamSet;
+
+/// Full report for one polynomial multiplication on CryptoPIM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionReport {
+    /// The parameter set executed.
+    pub params: ParamSet,
+    /// Pipelined-mode figures (the headline Table II row).
+    pub pipelined: ModeReport,
+    /// Non-pipelined figures (Fig. 5's NP series).
+    pub non_pipelined: ModeReport,
+    /// The hardware configuration used.
+    pub arch: ArchConfig,
+}
+
+impl ExecutionReport {
+    /// Average power of the pipelined design while streaming at full
+    /// throughput, in watts: energy per multiplication × rate.
+    pub fn pipelined_average_power_w(&self) -> f64 {
+        self.pipelined.energy_uj * 1e-6 * self.pipelined.throughput
+    }
+
+    /// Latency overhead of pipelining (`> 0`; Fig. 5 discussion).
+    pub fn pipelining_latency_overhead(&self) -> f64 {
+        self.pipelined.latency_us / self.non_pipelined.latency_us - 1.0
+    }
+
+    /// Throughput gain of pipelining (Fig. 5: 27.8× / 36.3×).
+    pub fn pipelining_throughput_gain(&self) -> f64 {
+        self.pipelined.throughput / self.non_pipelined.throughput
+    }
+
+    /// Energy overhead of pipelining (Fig. 5: ≈ 1.6 %).
+    pub fn pipelining_energy_overhead(&self) -> f64 {
+        self.pipelined.energy_uj / self.non_pipelined.energy_uj - 1.0
+    }
+}
+
+impl std::fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "CryptoPIM execution report — {}", self.params)?;
+        writeln!(
+            f,
+            "  pipelined:     {:>10.2} µs  {:>12.2} µJ  {:>10.0} mult/s",
+            self.pipelined.latency_us, self.pipelined.energy_uj, self.pipelined.throughput
+        )?;
+        writeln!(
+            f,
+            "  non-pipelined: {:>10.2} µs  {:>12.2} µJ  {:>10.0} mult/s",
+            self.non_pipelined.latency_us,
+            self.non_pipelined.energy_uj,
+            self.non_pipelined.throughput
+        )?;
+        write!(
+            f,
+            "  arch: {} banks/softbank × {} blocks/bank, {} parallel mult(s), {} pass(es)",
+            self.arch.banks_per_softbank,
+            self.arch.blocks_per_bank,
+            self.arch.parallel_multiplications,
+            self.arch.passes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::CryptoPim;
+
+    #[test]
+    fn report_is_printable_and_consistent() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let report = acc.report().unwrap();
+        let text = format!("{report}");
+        assert!(text.contains("pipelined"));
+        assert!(text.contains("banks/softbank"));
+        assert!(report.pipelining_latency_overhead() > 0.0);
+        assert!(report.pipelining_throughput_gain() > 10.0);
+        let e = report.pipelining_energy_overhead();
+        assert!(e > 0.0 && e < 0.05);
+    }
+
+    #[test]
+    fn streaming_power_is_plausible() {
+        // 2.58 µJ × 553k/s ≈ 1.4 W — a sane figure for a memory chip
+        // computing flat out; it should grow with the degree (more
+        // active rows) but stay in the single-digit-watt range the
+        // energy model implies.
+        let mut last = 0.0;
+        for n in [256usize, 1024, 32768] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let r = CryptoPim::new(&p).unwrap().report().unwrap();
+            let watts = r.pipelined_average_power_w();
+            assert!(watts > last, "power grows with degree (n = {n})");
+            assert!(watts < 300.0, "n = {n}: {watts} W");
+            last = watts;
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Discrete-event pipeline occupancy simulation.
+//!
+//! The analytic model ([`crate::pipeline`]) computes latency as
+//! `depth × stage` and throughput as `1/stage`. This module *simulates*
+//! a stream of multiplications flowing through the stage chain —
+//! synchronous pipeline, one advance per stage time — and reports
+//! per-job timing, makespan, and steady-state throughput. The test
+//! suite pins the simulation to the analytic formulas, closing the loop
+//! between the two levels (and catching any future drift between them).
+//!
+//! The simulation also answers questions the closed forms cannot, e.g.
+//! fill/drain overhead for short bursts: a burst of `k` jobs finishes in
+//! `(depth + k − 1) · stage` cycles, so small batches see less than the
+//! steady-state throughput.
+
+use crate::pipeline::{Organization, PipelineModel};
+use pim::CYCLE_TIME_NS;
+
+/// Timing of one job through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Cycle at which the job entered stage 0.
+    pub start_cycle: u64,
+    /// Cycle at which the job left the last stage.
+    pub finish_cycle: u64,
+}
+
+impl JobTiming {
+    /// The job's latency in cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.finish_cycle - self.start_cycle
+    }
+}
+
+/// Result of simulating a burst of jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstReport {
+    /// Per-job timings, in issue order.
+    pub jobs: Vec<JobTiming>,
+    /// Total cycles from first issue to last completion.
+    pub makespan_cycles: u64,
+    /// Steady-state throughput implied by the inter-completion gap
+    /// (multiplications per second), `None` for single-job bursts.
+    pub steady_throughput: Option<f64>,
+}
+
+impl BurstReport {
+    /// Effective throughput of the whole burst (jobs / makespan).
+    pub fn burst_throughput(&self) -> f64 {
+        self.jobs.len() as f64 / (self.makespan_cycles as f64 * CYCLE_TIME_NS / 1e9)
+    }
+}
+
+/// Simulates `jobs` back-to-back multiplications through the pipeline of
+/// `model` under `org`.
+///
+/// The pipeline is synchronous: every stage holds one job and all stages
+/// advance together every `stage_latency` cycles (the hardware's slowest
+/// block sets the beat, exactly as in §III-D). A new job enters as soon
+/// as stage 0 frees up — every beat.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`.
+pub fn simulate_burst(model: &PipelineModel, org: Organization, jobs: usize) -> BurstReport {
+    assert!(jobs > 0, "need at least one job");
+    let stage = model.stage_latency(org);
+    let depth = model.depth(org);
+
+    // Event-driven equivalent of the synchronous pipeline: job i enters
+    // at beat i and exits after traversing `depth` stages.
+    let mut timings = Vec::with_capacity(jobs);
+    for i in 0..jobs as u64 {
+        let start_cycle = i * stage;
+        let finish_cycle = (i + depth) * stage;
+        timings.push(JobTiming {
+            start_cycle,
+            finish_cycle,
+        });
+    }
+    let makespan_cycles = timings.last().expect("jobs > 0").finish_cycle;
+    let steady_throughput = if jobs > 1 {
+        let gap = timings[1].finish_cycle - timings[0].finish_cycle;
+        Some(1e9 / (gap as f64 * CYCLE_TIME_NS))
+    } else {
+        None
+    };
+    BurstReport {
+        jobs: timings,
+        makespan_cycles,
+        steady_throughput,
+    }
+}
+
+/// Burst size needed to reach `fraction` (e.g. 0.95) of the steady-state
+/// throughput: amortizing the `depth − 1` fill beats.
+///
+/// # Panics
+///
+/// Panics unless `0 < fraction < 1`.
+pub fn burst_size_for_efficiency(
+    model: &PipelineModel,
+    org: Organization,
+    fraction: f64,
+) -> usize {
+    assert!(fraction > 0.0 && fraction < 1.0, "fraction in (0, 1)");
+    let depth = model.depth(org) as f64;
+    // k / (depth + k − 1) ≥ fraction  →  k ≥ fraction·(depth − 1)/(1 − fraction)
+    (fraction * (depth - 1.0) / (1.0 - fraction)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::params::ParamSet;
+
+    fn model(n: usize) -> PipelineModel {
+        PipelineModel::for_params(&ParamSet::for_degree(n).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_job_latency_matches_analytic_model() {
+        for n in [256usize, 1024, 32768] {
+            let m = model(n);
+            let burst = simulate_burst(&m, Organization::CryptoPim, 1);
+            assert_eq!(
+                burst.jobs[0].latency_cycles(),
+                m.pipelined(Organization::CryptoPim).cycles,
+                "n = {n}"
+            );
+            assert!(burst.steady_throughput.is_none());
+        }
+    }
+
+    #[test]
+    fn steady_state_throughput_matches_analytic_model() {
+        for n in [256usize, 2048] {
+            let m = model(n);
+            let burst = simulate_burst(&m, Organization::CryptoPim, 100);
+            let simulated = burst.steady_throughput.unwrap();
+            let analytic = m.pipelined(Organization::CryptoPim).throughput;
+            assert!(
+                (simulated - analytic).abs() / analytic < 1e-9,
+                "n = {n}: {simulated} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_is_fill_plus_beats() {
+        let m = model(256);
+        let stage = m.stage_latency(Organization::CryptoPim);
+        let depth = m.depth(Organization::CryptoPim);
+        for k in [1usize, 2, 10, 1000] {
+            let burst = simulate_burst(&m, Organization::CryptoPim, k);
+            assert_eq!(
+                burst.makespan_cycles,
+                (depth + k as u64 - 1) * stage,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_has_identical_latency() {
+        let m = model(512);
+        let burst = simulate_burst(&m, Organization::CryptoPim, 25);
+        let lat = burst.jobs[0].latency_cycles();
+        assert!(burst.jobs.iter().all(|j| j.latency_cycles() == lat));
+        // And issues are monotone.
+        assert!(burst
+            .jobs
+            .windows(2)
+            .all(|w| w[0].start_cycle < w[1].start_cycle));
+    }
+
+    #[test]
+    fn short_bursts_are_inefficient() {
+        let m = model(256);
+        let small = simulate_burst(&m, Organization::CryptoPim, 2);
+        let large = simulate_burst(&m, Organization::CryptoPim, 500);
+        assert!(large.burst_throughput() > 5.0 * small.burst_throughput());
+        // A long burst approaches the analytic throughput.
+        let analytic = m.pipelined(Organization::CryptoPim).throughput;
+        assert!(large.burst_throughput() > 0.9 * analytic);
+        assert!(large.burst_throughput() <= analytic * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn efficiency_burst_size() {
+        let m = model(256);
+        let k = burst_size_for_efficiency(&m, Organization::CryptoPim, 0.95);
+        let burst = simulate_burst(&m, Organization::CryptoPim, k);
+        let analytic = m.pipelined(Organization::CryptoPim).throughput;
+        assert!(burst.burst_throughput() >= 0.95 * analytic, "k = {k}");
+        // One job fewer must miss the target.
+        if k > 1 {
+            let under = simulate_burst(&m, Organization::CryptoPim, k - 1);
+            assert!(under.burst_throughput() < 0.95 * analytic);
+        }
+    }
+
+    #[test]
+    fn organizations_rank_consistently() {
+        // The naive organization has the deepest pipeline → worst
+        // single-job latency despite a faster beat than area-efficient.
+        let m = model(256);
+        let lat = |org| simulate_burst(&m, org, 1).jobs[0].latency_cycles();
+        assert!(lat(Organization::CryptoPim) < lat(Organization::AreaEfficient).max(lat(Organization::Naive)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_panics() {
+        simulate_burst(&model(256), Organization::CryptoPim, 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Barrett reduction: generic and the paper's shift-add specializations.
+//!
+//! The paper (Algorithm 3) replaces the division in Barrett reduction with
+//! fixed shift-and-add sequences for the three NTT moduli, because a fixed
+//! shift is free in a bit-addressable PIM (it is just a column selection).
+//! The sequences are *partial* reductions: applied after an addition
+//! (input `< 2q`) they return a value `< 2q` that is congruent to the input
+//! and at most one conditional subtraction away from canonical. This module
+//! implements:
+//!
+//! * [`BarrettReducer`] — a generic word-level Barrett reducer for any
+//!   modulus, used by the software NTT baselines.
+//! * [`shift_add_reduce`] — the exact shift-add sequences of Algorithm 3,
+//!   plus [`ShiftAddBarrett`] which records the primitive-operation trace
+//!   the PIM simulator uses for cycle accounting.
+//!
+//! # Paper fidelity notes
+//!
+//! For `q = 7681` the paper prints `(u<<13) − (u<<9) − u` = `u·7679` for
+//! the quotient-times-modulus step, which subtracts `u·(q − 2)` and leaves
+//! a result congruent to `a + 2u`, not `a`. The correct constant is
+//! `u·q = u·7681 = (u<<13) − (u<<9) + u`; we implement the corrected
+//! sequence (same shift/add count, so the cycle model is unaffected) and
+//! keep a regression test documenting the erratum. The `q = 12289` and
+//! `q = 786433` Barrett rows are correct as printed.
+
+use crate::Error;
+
+/// The three moduli with specialized shift-add sequences in Algorithm 3.
+pub const SPECIALIZED_MODULI: [u64; 3] = [7681, 12289, 786433];
+
+/// A primitive operation in a shift-add reduction sequence, as the PIM
+/// hardware would execute it. Shifts are free (column selection); adds and
+/// subtracts cost cycles proportional to their operand bit-width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftAddOp {
+    /// In-memory addition of two operands of the given bit-width.
+    Add {
+        /// Bit-width of the addition actually performed.
+        width: u32,
+    },
+    /// In-memory subtraction (2's complement add) of the given bit-width.
+    Sub {
+        /// Bit-width of the subtraction actually performed.
+        width: u32,
+    },
+}
+
+/// Generic word-level Barrett reducer for an arbitrary modulus `q < 2^31`.
+///
+/// Precomputes `m = floor(2^k / q)` with `k = 2·ceil(log2 q)` and reduces
+/// any `a < q^2` with two multiplications and at most two conditional
+/// subtractions.
+///
+/// # Example
+///
+/// ```
+/// use modmath::barrett::BarrettReducer;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let red = BarrettReducer::new(12289)?;
+/// assert_eq!(red.reduce(12289 * 12288 + 17), 17);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrettReducer {
+    q: u64,
+    /// floor(2^k / q)
+    m: u128,
+    k: u32,
+}
+
+impl BarrettReducer {
+    /// Creates a reducer for modulus `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ModulusTooLarge`] when `q >= 2^31` (the reducer is
+    /// specified for inputs up to `q^2`, which must fit in `u64`).
+    pub fn new(q: u64) -> Result<Self, Error> {
+        if q == 0 || q >= 1 << 31 {
+            return Err(Error::ModulusTooLarge { q });
+        }
+        let bits = 64 - q.leading_zeros();
+        let k = 2 * bits;
+        let m = (1u128 << k) / q as u128;
+        Ok(BarrettReducer { q, m, k })
+    }
+
+    /// The modulus this reducer was built for.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Reduces `a` (any value `< q^2`) to its canonical residue.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        debug_assert!(
+            (a as u128) < self.q as u128 * self.q as u128 * 4,
+            "input out of specified range"
+        );
+        let quot = ((a as u128 * self.m) >> self.k) as u64;
+        let mut r = a - quot * self.q;
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Modular multiplication using this reducer.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce(a * b)
+    }
+}
+
+/// Applies the paper's shift-add Barrett sequence for `q`, returning the
+/// *partial* result exactly as the hardware sequence produces it (no final
+/// conditional subtraction).
+///
+/// The sequences are specified for post-addition inputs, `a < 2q`; for that
+/// range the result is congruent to `a (mod q)` and `< 2q`.
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedModulus`] for moduli other than
+/// 7681, 12289, 786433.
+pub fn shift_add_reduce_partial(a: u64, q: u64) -> Result<u64, Error> {
+    let r = match q {
+        12289 => {
+            // u ← ((a<<2) + a) >> 16 ;  u ← (u<<13) + (u<<12) + u ;  a − u
+            let u = ((a << 2) + a) >> 16;
+            let uq = (u << 13) + (u << 12) + u; // u · 12289
+            a - uq
+        }
+        7681 => {
+            // u ← a >> 13 ;  u ← (u<<13) − (u<<9) + u ;  a − u
+            //
+            // Erratum: the paper prints `(u<<13) − (u<<9) − u` = u·7679,
+            // which subtracts u·(q−2) and leaves the result incongruent
+            // (off by 2u). The corrected constant is u·q = u·7681.
+            let u = a >> 13;
+            let uq = (u << 13) - (u << 9) + u; // u · 7681 = u · q
+            a - uq
+        }
+        786433 => {
+            // u ← a >> 20 ;  u ← (u<<19) + (u<<18) + u ;  a − u
+            let u = a >> 20;
+            let uq = (u << 19) + (u << 18) + u; // u · 786433
+            a - uq
+        }
+        _ => return Err(Error::UnsupportedModulus { q }),
+    };
+    Ok(r)
+}
+
+/// Full shift-add Barrett reduction: the paper's sequence followed by
+/// conditional subtractions down to the canonical range.
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), modmath::Error> {
+/// for a in 0..2 * 12289 {
+///     let r = modmath::barrett::shift_add_reduce(a, 12289)?;
+///     assert_eq!(r, a % 12289);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn shift_add_reduce(a: u64, q: u64) -> Result<u64, Error> {
+    let mut r = shift_add_reduce_partial(a, q)?;
+    while r >= q {
+        r -= q;
+    }
+    Ok(r)
+}
+
+/// A shift-add Barrett reducer that also exposes the primitive-operation
+/// trace, so the PIM simulator can account cycles for it.
+///
+/// The trace lists every in-memory add/subtract the sequence performs,
+/// with the bit-width each one actually needs (the paper computes "only
+/// the necessary bit-wise computations").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftAddBarrett {
+    q: u64,
+    trace: Vec<ShiftAddOp>,
+}
+
+impl ShiftAddBarrett {
+    /// Builds the reducer and its operation trace for modulus `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+    pub fn new(q: u64) -> Result<Self, Error> {
+        let trace = match q {
+            12289 => vec![
+                // ((a<<2) + a): a < 2q fits in 15 bits, shifted operand 17 bits.
+                ShiftAddOp::Add { width: 17 },
+                // (u<<13) + (u<<12): u ≤ 1 here, but the vector-wide datapath
+                // is provisioned for the worst case width of u·q ≤ 2q (15 bits).
+                ShiftAddOp::Add { width: 15 },
+                // (..) + u
+                ShiftAddOp::Add { width: 15 },
+                // a − u·q
+                ShiftAddOp::Sub { width: 15 },
+                // conditional canonical subtraction
+                ShiftAddOp::Sub { width: 14 },
+            ],
+            7681 => vec![
+                // (u<<13) − (u<<9)
+                ShiftAddOp::Sub { width: 14 },
+                // (..) − u
+                ShiftAddOp::Sub { width: 14 },
+                // a − u·(q−2)
+                ShiftAddOp::Sub { width: 14 },
+                // conditional canonical subtraction
+                ShiftAddOp::Sub { width: 13 },
+            ],
+            786433 => vec![
+                // (u<<19) + (u<<18)
+                ShiftAddOp::Add { width: 21 },
+                // (..) + u
+                ShiftAddOp::Add { width: 21 },
+                // a − u·q
+                ShiftAddOp::Sub { width: 21 },
+                // conditional canonical subtraction
+                ShiftAddOp::Sub { width: 20 },
+            ],
+            _ => return Err(Error::UnsupportedModulus { q }),
+        };
+        Ok(ShiftAddBarrett { q, trace })
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The primitive-operation trace (for PIM cycle accounting).
+    #[inline]
+    pub fn trace(&self) -> &[ShiftAddOp] {
+        &self.trace
+    }
+
+    /// Reduces `a < 2q` to canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `a >= 2q` (outside the specified input range).
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.q, "shift-add Barrett is specified for a < 2q");
+        shift_add_reduce(a, self.q).expect("modulus validated at construction")
+    }
+}
+
+/// Reference reduction used as the oracle in tests.
+#[inline]
+pub fn naive_reduce(a: u64, q: u64) -> u64 {
+    a % q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generic_barrett_matches_naive_all_moduli() {
+        for q in [3u64, 17, 7681, 12289, 786433, (1 << 30) + 3] {
+            let red = BarrettReducer::new(q).unwrap();
+            // Sweep a sparse grid over [0, q^2).
+            let step = (q * q / 4096).max(1);
+            let mut a = 0u64;
+            while a < q * q {
+                assert_eq!(red.reduce(a), a % q, "q = {q}, a = {a}");
+                a += step;
+            }
+            // Edges.
+            assert_eq!(red.reduce(0), 0);
+            assert_eq!(red.reduce(q - 1), q - 1);
+            assert_eq!(red.reduce(q), 0);
+            assert_eq!(red.reduce(q * q - 1), (q * q - 1) % q);
+        }
+    }
+
+    #[test]
+    fn generic_barrett_rejects_huge_modulus() {
+        assert!(BarrettReducer::new(1 << 31).is_err());
+        assert!(BarrettReducer::new(0).is_err());
+    }
+
+    #[test]
+    fn generic_barrett_mul() {
+        let red = BarrettReducer::new(7681).unwrap();
+        for a in (0..7681).step_by(97) {
+            for b in (0..7681).step_by(89) {
+                assert_eq!(red.mul(a, b), (a * b) % 7681);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_add_exhaustive_post_addition_range() {
+        // The hardware applies this after additions: input < 2q.
+        for q in SPECIALIZED_MODULI {
+            for a in 0..2 * q {
+                let r = shift_add_reduce(a, q).unwrap();
+                assert_eq!(r, a % q, "q = {q}, a = {a}");
+                let partial = shift_add_reduce_partial(a, q).unwrap();
+                assert_eq!(partial % q, a % q, "partial congruence, q = {q}, a = {a}");
+                assert!(partial < 2 * q, "partial bound, q = {q}, a = {a}");
+            }
+        }
+    }
+
+    /// Demonstrates the erratum: the q = 7681 sequence exactly as printed
+    /// (`u·7679`) is not congruent to `a mod q` once the quotient estimate
+    /// is nonzero.
+    #[test]
+    fn printed_7681_sequence_is_incongruent() {
+        let q = 7681u64;
+        let printed = |a: u64| -> u64 {
+            let u = a >> 13;
+            a - ((u << 13) - (u << 9) - u)
+        };
+        // a = 8192: u = 1, printed result 513, true residue 511.
+        assert_eq!(printed(8192) % q, 513);
+        assert_eq!(8192 % q, 511);
+    }
+
+    #[test]
+    fn shift_add_unsupported_modulus() {
+        assert!(matches!(
+            shift_add_reduce(5, 17),
+            Err(Error::UnsupportedModulus { q: 17 })
+        ));
+    }
+
+    #[test]
+    fn shift_add_barrett_reducer_traces_nonempty() {
+        for q in SPECIALIZED_MODULI {
+            let red = ShiftAddBarrett::new(q).unwrap();
+            assert!(!red.trace().is_empty());
+            assert_eq!(red.modulus(), q);
+            assert_eq!(red.reduce(2 * q - 1), (2 * q - 1) % q);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generic_barrett(q in 2u64..(1 << 31), a in any::<u64>()) {
+            let red = BarrettReducer::new(q).unwrap();
+            let a = a % (q * q);
+            prop_assert_eq!(red.reduce(a), a % q);
+        }
+
+        #[test]
+        fn prop_shift_add_congruent(idx in 0usize..3, a in any::<u64>()) {
+            let q = SPECIALIZED_MODULI[idx];
+            let a = a % (2 * q);
+            prop_assert_eq!(shift_add_reduce(a, q).unwrap(), a % q);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Bit-reversal permutation helpers.
+//!
+//! The Gentleman–Sande NTT consumes its input in bit-reversed order and
+//! produces output in normal order; Algorithm 1 therefore bit-reverses
+//! `A`, `B` and the pointwise product `C̄`. In CryptoPIM the permutation is
+//! free: it is applied by *writing* each value to a permuted row of the
+//! memory block (Section III-B). This module provides the index
+//! permutation both layers share.
+
+/// Reverses the low `bits` bits of `x`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(modmath::bitrev::reverse_bits(0b0001, 4), 0b1000);
+/// assert_eq!(modmath::bitrev::reverse_bits(0b0110, 4), 0b0110);
+/// ```
+#[inline]
+pub fn reverse_bits(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Returns `log2(n)` for a power-of-two `n`, or `None` otherwise.
+#[inline]
+pub fn log2_exact(n: usize) -> Option<u32> {
+    if n.is_power_of_two() {
+        Some(n.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Applies the bit-reversal permutation to `data` in place.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn permute_in_place<T>(data: &mut [T]) {
+    let n = data.len();
+    let bits = log2_exact(n).expect("length must be a power of two");
+    for i in 0..n {
+        let j = reverse_bits(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Returns the bit-reversal permutation table for length `n`:
+/// `table[i] = reverse_bits(i, log2 n)`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn permutation_table(n: usize) -> Vec<usize> {
+    let bits = log2_exact(n).expect("length must be a power of two");
+    (0..n).map(|i| reverse_bits(i, bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reverse_known_values() {
+        assert_eq!(reverse_bits(0, 3), 0);
+        assert_eq!(reverse_bits(1, 3), 4);
+        assert_eq!(reverse_bits(3, 3), 6);
+        assert_eq!(reverse_bits(5, 3), 5);
+        assert_eq!(reverse_bits(0b1011, 4), 0b1101);
+        assert_eq!(reverse_bits(7, 0), 0);
+    }
+
+    #[test]
+    fn log2_exact_cases() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(1024), Some(10));
+        assert_eq!(log2_exact(3), None);
+        assert_eq!(log2_exact(0), None);
+    }
+
+    #[test]
+    fn permute_is_involution() {
+        let n = 64;
+        let orig: Vec<usize> = (0..n).collect();
+        let mut data = orig.clone();
+        permute_in_place(&mut data);
+        assert_ne!(data, orig);
+        permute_in_place(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn table_is_a_permutation() {
+        for n in [1usize, 2, 8, 256, 1024] {
+            let t = permutation_table(n);
+            let mut seen = vec![false; n];
+            for &j in &t {
+                assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_in_place() {
+        let n = 128;
+        let t = permutation_table(n);
+        let mut data: Vec<usize> = (0..n).collect();
+        permute_in_place(&mut data);
+        for i in 0..n {
+            assert_eq!(data[i], t[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn permute_rejects_non_power_of_two() {
+        let mut data = vec![0u64; 12];
+        permute_in_place(&mut data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reverse_involution(x in any::<usize>(), bits in 1u32..63) {
+            let x = x & ((1usize << bits) - 1);
+            prop_assert_eq!(reverse_bits(reverse_bits(x, bits), bits), x);
+        }
+    }
+}

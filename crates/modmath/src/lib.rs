@@ -1,0 +1,49 @@
+//! Modular arithmetic substrate for the CryptoPIM reproduction.
+//!
+//! This crate provides everything the NTT layer and the PIM simulator need
+//! to do arithmetic in `Z_q`:
+//!
+//! * [`zq`] — word-level modular add/sub/mul/pow/inverse for moduli up to
+//!   2^62, plus the [`zq::Zq`] element type.
+//! * [`barrett`] — generic Barrett reduction and the shift-add Barrett
+//!   sequences of the paper's Algorithm 3 for q ∈ {7681, 12289, 786433}.
+//! * [`montgomery`] — generic Montgomery (REDC) reduction and the paper's
+//!   shift-add REDC sequences (with two sign typos in the published
+//!   algorithm corrected; see module docs).
+//! * [`primes`] — Miller–Rabin primality testing and NTT-friendly prime
+//!   search (q ≡ 1 mod 2n).
+//! * [`roots`] — primitive roots of unity and twiddle-factor tables.
+//! * [`bitrev`] — bit-reversal permutation helpers.
+//! * [`params`] — the named parameter sets used throughout the paper
+//!   (Kyber q = 7681, NewHope q = 12289, SEAL q = 786433).
+//!
+//! # Example
+//!
+//! ```
+//! use modmath::params::ParamSet;
+//! use modmath::roots::NttTables;
+//!
+//! # fn main() -> Result<(), modmath::Error> {
+//! let params = ParamSet::for_degree(1024)?; // NewHope: q = 12289
+//! let tables = NttTables::new(&params)?;
+//! assert_eq!(params.q, 12289);
+//! assert_eq!(tables.omega_powers().len(), 512);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod barrett;
+pub mod bitrev;
+pub mod crt;
+pub mod montgomery;
+pub mod params;
+pub mod primes;
+pub mod roots;
+pub mod zq;
+
+mod error;
+
+pub use error::Error;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,429 @@
+//! Montgomery (REDC) reduction: generic and the paper's shift-add forms.
+//!
+//! Montgomery reduction computes `REDC(a) = a · R⁻¹ mod q` for `R = 2^k`,
+//! replacing division by `q` with a multiplication modulo `R` (a truncation)
+//! and an exact division by `R` (a shift). The paper specializes REDC to
+//! its three NTT moduli with shift-add sequences (Algorithm 3), applied
+//! after every in-memory multiplication.
+//!
+//! # Erratum in the published Algorithm 3
+//!
+//! REDC needs `m = a · q' mod R` with `q · q' ≡ −1 (mod R)` and then
+//! `t = (a + m·q) / R`. The valid constants are:
+//!
+//! | q      | R    | q' (= first multiplier) | second multiplier |
+//! |--------|------|-------------------------|-------------------|
+//! | 12289  | 2^18 | 12287 = (a<<13)+(a<<12)−a | 12289 = (u<<13)+(u<<12)+u |
+//! | 7681   | 2^18 | 7679  = (a<<13)−(a<<9)−a  | 7681  = (u<<13)−(u<<9)+u  |
+//! | 786433 | 2^32 | 786431 = (a<<19)+(a<<18)−a | 786433 = (u<<19)+(u<<18)+u |
+//!
+//! The q = 12289 row is printed correctly in the paper. For q = 7681 and
+//! q = 786433 the printed sequences swap the `±1`/`∓1` constants between
+//! the two steps (e.g. `a·7681` then `u·7679`), which makes the exact
+//! division still work — the product constant is the same — but leaves the
+//! result off by a multiple-of-`floor(aq'/R)` term modulo `q`. We implement
+//! the corrected order above; a regression test
+//! (`printed_7681_sequence_is_incongruent`) demonstrates the erratum.
+
+use crate::barrett::ShiftAddOp;
+use crate::{zq, Error};
+
+/// Generic word-level Montgomery reducer for an odd modulus `q < 2^31`.
+///
+/// # Example
+///
+/// ```
+/// use modmath::montgomery::MontgomeryReducer;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let red = MontgomeryReducer::new(12289)?;
+/// let a = 1234u64;
+/// let b = 5678u64;
+/// // Multiply in Montgomery form:
+/// let am = red.to_mont(a);
+/// let bm = red.to_mont(b);
+/// let cm = red.mont_mul(am, bm);
+/// assert_eq!(red.from_mont(cm), a * b % 12289);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontgomeryReducer {
+    q: u64,
+    /// R = 2^k
+    k: u32,
+    /// −q⁻¹ mod R
+    q_prime: u64,
+    /// R² mod q, used by `to_mont`.
+    r2: u64,
+}
+
+impl MontgomeryReducer {
+    /// Creates a reducer with `R = 2^k`, `k = 2·ceil(log2 q)` (so that any
+    /// product of canonical residues is a valid REDC input).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ModulusTooLarge`] when `q >= 2^31`.
+    /// * [`Error::NotInvertible`] when `q` is even (no inverse mod `2^k`).
+    pub fn new(q: u64) -> Result<Self, Error> {
+        Self::with_r_exponent(q, 2 * (64 - q.leading_zeros()))
+    }
+
+    /// Creates a reducer with an explicit `R = 2^k`. The paper uses
+    /// `k = 18` for q ∈ {7681, 12289} and `k = 32` for q = 786433.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MontgomeryReducer::new`], plus [`Error::ModulusTooLarge`]
+    /// if `R <= q`.
+    pub fn with_r_exponent(q: u64, k: u32) -> Result<Self, Error> {
+        if q == 0 || q >= 1 << 31 || k >= 63 || (1u64 << k) <= q {
+            return Err(Error::ModulusTooLarge { q });
+        }
+        if q & 1 == 0 {
+            return Err(Error::NotInvertible { value: q, q: 1 << k });
+        }
+        let r = 1u64 << k;
+        // q⁻¹ mod 2^k by Newton / Hensel lifting.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        let q_inv = inv & (r - 1);
+        debug_assert_eq!((q.wrapping_mul(q_inv)) & (r - 1), 1);
+        let q_prime = (r - q_inv) & (r - 1);
+        let r_mod_q = r % q;
+        let r2 = zq::mul(r_mod_q, r_mod_q, q);
+        Ok(MontgomeryReducer { q, k, q_prime, r2 })
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The exponent `k` of `R = 2^k`.
+    #[inline]
+    pub fn r_exponent(&self) -> u32 {
+        self.k
+    }
+
+    /// REDC: computes `a · R⁻¹ mod q` for `a < q·R`.
+    #[inline]
+    pub fn redc(&self, a: u64) -> u64 {
+        debug_assert!((a as u128) < (self.q as u128) << self.k);
+        let mask = (1u64 << self.k) - 1;
+        let m = (a & mask).wrapping_mul(self.q_prime) & mask;
+        let t = ((a as u128 + m as u128 * self.q as u128) >> self.k) as u64;
+        if t >= self.q {
+            t - self.q
+        } else {
+            t
+        }
+    }
+
+    /// Converts into Montgomery form: `a · R mod q`.
+    #[inline]
+    pub fn to_mont(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        self.redc(((a as u128 * self.r2 as u128) % ((self.q as u128) << self.k)) as u64)
+    }
+
+    /// Converts out of Montgomery form.
+    #[inline]
+    pub fn from_mont(&self, a: u64) -> u64 {
+        self.redc(a)
+    }
+
+    /// Multiplies two Montgomery-form residues, staying in Montgomery form.
+    #[inline]
+    pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.redc(a * b)
+    }
+}
+
+/// The shift-add REDC sequences of Algorithm 3 (corrected; see module
+/// docs). Computes `a · R⁻¹ mod q` — possibly plus one `q` — for
+/// `a < q · R`, where `R = 2^18` (7681, 12289) or `R = 2^32` (786433).
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+pub fn shift_add_redc_partial(a: u64, q: u64) -> Result<u64, Error> {
+    let t = match q {
+        12289 => {
+            // m ← a·12287 mod 2^18 ; t ← (a + m·12289) >> 18
+            let m = ((a << 13) + (a << 12) - a) & ((1 << 18) - 1);
+            let mq = (m << 13) + (m << 12) + m;
+            (mq + a) >> 18
+        }
+        7681 => {
+            // m ← a·7679 mod 2^18 ; t ← (a + m·7681) >> 18
+            let m = ((a << 13).wrapping_sub(a << 9).wrapping_sub(a)) & ((1 << 18) - 1);
+            let mq = (m << 13) - (m << 9) + m;
+            (mq + a) >> 18
+        }
+        786433 => {
+            // m ← a·786431 mod 2^32 ; t ← (a + m·786433) >> 32
+            // (reduce a mod 2^32 first so the shifts cannot overflow u64;
+            // m depends only on a mod R)
+            let al = a & ((1 << 32) - 1);
+            let m = ((al << 19) + (al << 18)).wrapping_sub(al) & ((1 << 32) - 1);
+            let mq = (m << 19) + (m << 18) + m;
+            (mq + a) >> 32
+        }
+        _ => return Err(Error::UnsupportedModulus { q }),
+    };
+    Ok(t)
+}
+
+/// Full shift-add REDC: the hardware sequence followed by the single
+/// conditional subtraction to canonical range. Returns `a · R⁻¹ mod q`.
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+pub fn shift_add_redc(a: u64, q: u64) -> Result<u64, Error> {
+    let t = shift_add_redc_partial(a, q)?;
+    Ok(if t >= q { t - q } else { t })
+}
+
+/// The `R` exponent the paper uses for each specialized modulus.
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+pub fn paper_r_exponent(q: u64) -> Result<u32, Error> {
+    match q {
+        7681 | 12289 => Ok(18),
+        786433 => Ok(32),
+        _ => Err(Error::UnsupportedModulus { q }),
+    }
+}
+
+/// A shift-add Montgomery reducer exposing its primitive-operation trace
+/// for PIM cycle accounting (mirrors [`crate::barrett::ShiftAddBarrett`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftAddMontgomery {
+    q: u64,
+    k: u32,
+    trace: Vec<ShiftAddOp>,
+}
+
+impl ShiftAddMontgomery {
+    /// Builds the reducer and its operation trace for modulus `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+    pub fn new(q: u64) -> Result<Self, Error> {
+        let k = paper_r_exponent(q)?;
+        // Each line of Algorithm 3 costs one add/sub per `+`/`−`; the
+        // widths are the bit-widths the steps actually need: the first
+        // multiplier is truncated to k bits, m·q spans k + ceil(log2 q)
+        // bits, and the final correction is a ceil(log2 q)-bit subtract.
+        let qbits = 64 - q.leading_zeros();
+        let trace = match q {
+            12289 => vec![
+                ShiftAddOp::Add { width: k },
+                ShiftAddOp::Sub { width: k },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Sub { width: qbits + 1 },
+            ],
+            7681 => vec![
+                ShiftAddOp::Sub { width: k },
+                ShiftAddOp::Sub { width: k },
+                ShiftAddOp::Sub { width: k + qbits },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Sub { width: qbits + 1 },
+            ],
+            786433 => vec![
+                ShiftAddOp::Add { width: k },
+                ShiftAddOp::Sub { width: k },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Add { width: k + qbits },
+                ShiftAddOp::Sub { width: qbits + 1 },
+            ],
+            _ => unreachable!("paper_r_exponent validated the modulus"),
+        };
+        Ok(ShiftAddMontgomery { q, k, trace })
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The exponent of `R = 2^k`.
+    #[inline]
+    pub fn r_exponent(&self) -> u32 {
+        self.k
+    }
+
+    /// The primitive-operation trace (for PIM cycle accounting).
+    #[inline]
+    pub fn trace(&self) -> &[ShiftAddOp] {
+        &self.trace
+    }
+
+    /// Reduces `a < q · R`, returning `a · R⁻¹ mod q` in canonical form.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        shift_add_redc(a, self.q).expect("modulus validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generic_redc_is_a_times_r_inverse() {
+        for q in [7681u64, 12289, 786433, 8380417] {
+            let red = MontgomeryReducer::new(q).unwrap();
+            let r = 1u64 << red.r_exponent();
+            let r_inv = zq::inv(r % q, q).unwrap();
+            for a in (0..q * 2).step_by(313) {
+                assert_eq!(red.redc(a), zq::mul(a % q, r_inv, q), "q={q} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_mont_mul_roundtrip() {
+        for q in [17u64, 7681, 12289, 786433] {
+            let red = MontgomeryReducer::new(q).unwrap();
+            for a in (0..q).step_by(((q / 50) as usize).max(1)) {
+                for b in (0..q).step_by(((q / 50) as usize).max(1)) {
+                    let c = red.from_mont(red.mont_mul(red.to_mont(a), red.to_mont(b)));
+                    assert_eq!(c, zq::mul(a, b, q), "q={q} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_rejects_even_modulus() {
+        assert!(MontgomeryReducer::new(12288).is_err());
+    }
+
+    #[test]
+    fn generic_rejects_huge_modulus() {
+        assert!(MontgomeryReducer::new(1 << 31).is_err());
+        assert!(MontgomeryReducer::new(0).is_err());
+    }
+
+    #[test]
+    fn shift_add_redc_matches_generic() {
+        for q in [7681u64, 12289, 786433] {
+            let k = paper_r_exponent(q).unwrap();
+            let generic = MontgomeryReducer::with_r_exponent(q, k).unwrap();
+            // Sweep inputs over [0, q·R) sparsely plus dense low range.
+            let qr = (q as u128) << k;
+            let step = (qr / 4096).max(1) as u64;
+            let mut a = 0u64;
+            while (a as u128) < qr {
+                assert_eq!(
+                    shift_add_redc(a, q).unwrap(),
+                    generic.redc(a),
+                    "q = {q}, a = {a}"
+                );
+                a += step;
+            }
+            for a in 0..2048u64 {
+                assert_eq!(shift_add_redc(a, q).unwrap(), generic.redc(a));
+            }
+        }
+    }
+
+    #[test]
+    fn shift_add_redc_partial_within_one_q() {
+        for q in [7681u64, 12289, 786433] {
+            let k = paper_r_exponent(q).unwrap();
+            let qr = (q as u128) << k;
+            let step = (qr / 1024).max(1) as u64;
+            let mut a = 0u64;
+            while (a as u128) < qr {
+                let t = shift_add_redc_partial(a, q).unwrap();
+                assert!(t < 2 * q, "partial REDC bound, q = {q}, a = {a}");
+                a += step;
+            }
+        }
+    }
+
+    /// Demonstrates the erratum: the sequence exactly as printed in the
+    /// paper for q = 7681 (first multiplier 7681, second 7679) is NOT
+    /// congruent to a·R⁻¹ for general inputs.
+    #[test]
+    fn printed_7681_sequence_is_incongruent() {
+        let q = 7681u64;
+        let r_inv = zq::inv((1u64 << 18) % q, q).unwrap();
+        let printed = |a: u64| -> u64 {
+            let m = ((a << 13) - (a << 9) + a) & ((1 << 18) - 1); // a·7681 mod R
+            let mq = (m << 13) - (m << 9) - m; // m·7679
+            (mq + a) >> 18
+        };
+        let mut mismatches = 0u32;
+        for a in (0..(q << 10)).step_by(997) {
+            let expect = zq::mul(a % q, r_inv, q);
+            if printed(a) % q != expect {
+                mismatches += 1;
+            }
+        }
+        assert!(
+            mismatches > 0,
+            "the printed sequence would have to be congruent everywhere to be correct"
+        );
+    }
+
+    #[test]
+    fn shift_add_montgomery_reducer() {
+        for q in [7681u64, 12289, 786433] {
+            let red = ShiftAddMontgomery::new(q).unwrap();
+            assert!(!red.trace().is_empty());
+            assert_eq!(red.modulus(), q);
+            let k = red.r_exponent();
+            let generic = MontgomeryReducer::with_r_exponent(q, k).unwrap();
+            for a in (0..q * 4).step_by(61) {
+                assert_eq!(red.reduce(a), generic.redc(a));
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_modulus_errors() {
+        assert!(shift_add_redc(5, 17).is_err());
+        assert!(ShiftAddMontgomery::new(17).is_err());
+        assert!(paper_r_exponent(17).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shift_add_redc(idx in 0usize..3, a in any::<u64>()) {
+            let q = [7681u64, 12289, 786433][idx];
+            let k = paper_r_exponent(q).unwrap();
+            let a = (a as u128 % ((q as u128) << k)) as u64;
+            let generic = MontgomeryReducer::with_r_exponent(q, k).unwrap();
+            prop_assert_eq!(shift_add_redc(a, q).unwrap(), generic.redc(a));
+        }
+
+        #[test]
+        fn prop_generic_mont_mul(q_seed in 1u64..10_000, a in any::<u64>(), b in any::<u64>()) {
+            let q = 2 * q_seed + 1; // odd
+            let red = MontgomeryReducer::new(q).unwrap();
+            let a = a % q;
+            let b = b % q;
+            let c = red.from_mont(red.mont_mul(red.to_mont(a), red.to_mont(b)));
+            prop_assert_eq!(c, zq::mul(a, b, q));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Named parameter sets matching the paper's evaluation.
+//!
+//! Section III-B fixes the modulus per degree:
+//!
+//! * `q = 7681` for `n ≤ 256` (Kyber),
+//! * `q = 12289` for `n ∈ {512, 1024}` (NewHope),
+//! * `q = 786433` for `n ∈ {2k, 4k, 8k, 16k, 32k}` (Microsoft SEAL).
+//!
+//! The datapath bit-width follows Table II: 16-bit for `n ≤ 1024` and
+//! 32-bit for `n ≥ 2048`.
+
+use crate::{primes, Error};
+
+/// Where a parameter set comes from (the scheme that motivates it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// CRYSTALS-Kyber (NIST round-1 parameters): q = 7681.
+    Kyber,
+    /// NewHope key exchange: q = 12289.
+    NewHope,
+    /// Microsoft SEAL homomorphic-encryption moduli: q = 786433.
+    Seal,
+    /// A custom parameter set built by the user.
+    Custom,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Scheme::Kyber => "Kyber",
+            Scheme::NewHope => "NewHope",
+            Scheme::Seal => "SEAL",
+            Scheme::Custom => "custom",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A full NTT parameter set: degree, modulus, datapath width, provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamSet {
+    /// Polynomial degree `n` (power of two).
+    pub n: usize,
+    /// NTT-friendly prime modulus `q ≡ 1 (mod 2n)`.
+    pub q: u64,
+    /// Datapath bit-width `N` used by the PIM hardware for this set.
+    pub bitwidth: u32,
+    /// The scheme this set is drawn from.
+    pub scheme: Scheme,
+}
+
+/// All eight degrees evaluated in the paper (Fig. 5/6, Table II).
+pub const PAPER_DEGREES: [usize; 8] = [256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+impl ParamSet {
+    /// Returns the paper's parameter set for a given degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when `n` is not a power of two in
+    /// `[4, 32768]` — the paper's table stops at 32k; larger polynomials
+    /// are handled by segmentation at the architecture level.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use modmath::params::ParamSet;
+    ///
+    /// # fn main() -> Result<(), modmath::Error> {
+    /// assert_eq!(ParamSet::for_degree(256)?.q, 7681);
+    /// assert_eq!(ParamSet::for_degree(512)?.q, 12289);
+    /// assert_eq!(ParamSet::for_degree(4096)?.q, 786433);
+    /// assert_eq!(ParamSet::for_degree(4096)?.bitwidth, 32);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn for_degree(n: usize) -> Result<Self, Error> {
+        if !n.is_power_of_two() || !(4..=32768).contains(&n) {
+            return Err(Error::InvalidDegree { n });
+        }
+        let (q, bitwidth, scheme) = if n <= 256 {
+            (7681, 16, Scheme::Kyber)
+        } else if n <= 1024 {
+            (12289, 16, Scheme::NewHope)
+        } else {
+            (786433, 32, Scheme::Seal)
+        };
+        Ok(ParamSet {
+            n,
+            q,
+            bitwidth,
+            scheme,
+        })
+    }
+
+    /// Builds a custom parameter set, validating NTT friendliness.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidDegree`] when `n` is not a power of two `>= 4`.
+    /// * [`Error::NotPrime`] when `q` is composite.
+    /// * [`Error::NoRootOfUnity`] when `q ≢ 1 (mod 2n)`.
+    pub fn custom(n: usize, q: u64, bitwidth: u32) -> Result<Self, Error> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(Error::InvalidDegree { n });
+        }
+        if !primes::is_prime(q) {
+            return Err(Error::NotPrime { q });
+        }
+        if !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(Error::NoRootOfUnity {
+                q,
+                order: 2 * n as u64,
+            });
+        }
+        Ok(ParamSet {
+            n,
+            q,
+            bitwidth,
+            scheme: Scheme::Custom,
+        })
+    }
+
+    /// All eight paper parameter sets in ascending degree order.
+    pub fn paper_sweep() -> Vec<ParamSet> {
+        PAPER_DEGREES
+            .iter()
+            .map(|&n| ParamSet::for_degree(n).expect("paper degrees are valid"))
+            .collect()
+    }
+
+    /// `log2(n)` — the number of NTT stages.
+    #[inline]
+    pub fn log2_n(&self) -> u32 {
+        self.n.trailing_zeros()
+    }
+
+    /// Number of bits needed to store a canonical residue.
+    #[inline]
+    pub fn modulus_bits(&self) -> u32 {
+        64 - self.q.leading_zeros()
+    }
+}
+
+impl std::fmt::Display for ParamSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (n = {}, q = {}, {}-bit)",
+            self.scheme, self.n, self.q, self.bitwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_assignments() {
+        let cases = [
+            (256usize, 7681u64, 16u32),
+            (512, 12289, 16),
+            (1024, 12289, 16),
+            (2048, 786433, 32),
+            (4096, 786433, 32),
+            (8192, 786433, 32),
+            (16384, 786433, 32),
+            (32768, 786433, 32),
+        ];
+        for (n, q, w) in cases {
+            let p = ParamSet::for_degree(n).unwrap();
+            assert_eq!((p.q, p.bitwidth), (q, w), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_paper_sets_are_ntt_friendly() {
+        for p in ParamSet::paper_sweep() {
+            assert!(
+                primes::supports_negacyclic_ntt(p.q, p.n),
+                "{p} is not NTT-friendly"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_degrees_rejected() {
+        for n in [0usize, 1, 2, 3, 100, 65536] {
+            assert!(ParamSet::for_degree(n).is_err(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn custom_validation() {
+        assert!(ParamSet::custom(1024, 12289, 16).is_ok());
+        // Composite modulus.
+        assert!(matches!(
+            ParamSet::custom(1024, 12287, 16),
+            Err(Error::NotPrime { .. })
+        ));
+        // Prime but not ≡ 1 mod 2n.
+        assert!(matches!(
+            ParamSet::custom(4096, 12289, 16),
+            Err(Error::NoRootOfUnity { .. })
+        ));
+        assert!(matches!(
+            ParamSet::custom(3, 12289, 16),
+            Err(Error::InvalidDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn helpers() {
+        let p = ParamSet::for_degree(1024).unwrap();
+        assert_eq!(p.log2_n(), 10);
+        assert_eq!(p.modulus_bits(), 14);
+        assert!(format!("{p}").contains("NewHope"));
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_complete() {
+        let sweep = ParamSet::paper_sweep();
+        assert_eq!(sweep.len(), 8);
+        assert!(sweep.windows(2).all(|w| w[0].n < w[1].n));
+    }
+}

@@ -1,0 +1,204 @@
+//! Primality testing and NTT-friendly prime search.
+//!
+//! A negacyclic NTT of length `n` over `Z_q` needs a primitive `2n`-th root
+//! of unity, which exists iff `2n | q − 1` (for prime `q`). The paper's
+//! moduli all satisfy this for their degrees:
+//!
+//! * `7681  = 2^9 · 3 · 5 + 1 = 15 · 2^9 + 1`  → supports `n ≤ 256`
+//! * `12289 = 3 · 2^12 + 1`                    → supports `n ≤ 2048`
+//! * `786433 = 3 · 2^18 + 1`                   → supports `n ≤ 131072`
+//!
+//! [`find_ntt_prime`] searches for additional moduli of the same shape,
+//! used by the extension experiments.
+
+use crate::zq;
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+///
+/// Uses the standard deterministic witness set
+/// `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` which is sufficient for
+/// every 64-bit integer.
+///
+/// # Example
+///
+/// ```
+/// assert!(modmath::primes::is_prime(12289));
+/// assert!(!modmath::primes::is_prime(12288));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n − 1 = d · 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = zq::pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = zq::mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns `true` when a length-`n` negacyclic NTT exists over `Z_q`:
+/// `q` prime and `q ≡ 1 (mod 2n)`.
+pub fn supports_negacyclic_ntt(q: u64, n: usize) -> bool {
+    let two_n = 2 * n as u64;
+    is_prime(q) && (q - 1).is_multiple_of(two_n)
+}
+
+/// Finds the smallest prime `q > floor` with `q ≡ 1 (mod 2n)`.
+///
+/// Returns `None` if the search space up to `u64::MAX` is exhausted
+/// (practically unreachable for sane inputs).
+///
+/// # Example
+///
+/// ```
+/// // Smallest NTT-friendly prime above 2^12 for n = 1024:
+/// let q = modmath::primes::find_ntt_prime(1024, 1 << 12).unwrap();
+/// assert_eq!(q, 12289);
+/// ```
+pub fn find_ntt_prime(n: usize, floor: u64) -> Option<u64> {
+    let step = 2 * n as u64;
+    // First candidate of the form k·2n + 1 strictly above `floor`.
+    let mut candidate = (floor / step + 1) * step + 1;
+    while candidate > step {
+        if is_prime(candidate) {
+            return Some(candidate);
+        }
+        candidate = candidate.checked_add(step)?;
+    }
+    None
+}
+
+/// Factorizes a (small) integer by trial division. Returns `(prime, exp)`
+/// pairs in ascending order. Intended for factoring `q − 1` when searching
+/// for generators; not a general-purpose factorizer.
+pub fn trial_factor(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut push = |p: u64, e: u32| {
+        if e > 0 {
+            out.push((p, e));
+        }
+    };
+    let mut e = 0;
+    while n.is_multiple_of(2) {
+        n /= 2;
+        e += 1;
+    }
+    push(2, e);
+    let mut p = 3;
+    while p * p <= n {
+        let mut e = 0;
+        while n.is_multiple_of(p) {
+            n /= p;
+            e += 1;
+        }
+        push(p, e);
+        p += 2;
+    }
+    if n > 1 {
+        push(n, 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primes() {
+        for q in [2u64, 3, 5, 7681, 12289, 786433, 8380417, 2305843009213693951] {
+            assert!(is_prime(q), "{q} should be prime");
+        }
+    }
+
+    #[test]
+    fn known_composites() {
+        for n in [0u64, 1, 4, 7680, 12287, 786435, 3215031751] {
+            assert!(!is_prime(n), "{n} should be composite");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_sieve() {
+        // Compare against a simple sieve below 10_000.
+        let limit = 10_000usize;
+        let mut sieve = vec![true; limit];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..limit {
+            if sieve[i] {
+                for j in (i * i..limit).step_by(i) {
+                    sieve[j] = false;
+                }
+            }
+        }
+        for (i, &p) in sieve.iter().enumerate() {
+            assert_eq!(is_prime(i as u64), p, "disagreement at {i}");
+        }
+    }
+
+    #[test]
+    fn paper_moduli_support_their_degrees() {
+        // Kyber-era modulus: supports degree up to 256.
+        assert!(supports_negacyclic_ntt(7681, 256));
+        assert!(!supports_negacyclic_ntt(7681, 512));
+        // NewHope modulus: supports 512 and 1024 (in fact up to 2048).
+        assert!(supports_negacyclic_ntt(12289, 512));
+        assert!(supports_negacyclic_ntt(12289, 1024));
+        assert!(supports_negacyclic_ntt(12289, 2048));
+        assert!(!supports_negacyclic_ntt(12289, 4096));
+        // SEAL modulus: supports all HE degrees the paper uses.
+        for n in [2048usize, 4096, 8192, 16384, 32768] {
+            assert!(supports_negacyclic_ntt(786433, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn find_ntt_prime_recovers_paper_moduli() {
+        assert_eq!(find_ntt_prime(256, 7000), Some(7681));
+        assert_eq!(find_ntt_prime(1024, 4096), Some(12289));
+        assert_eq!(find_ntt_prime(32768, 65536), Some(786433));
+    }
+
+    #[test]
+    fn find_ntt_prime_results_are_valid() {
+        for n in [64usize, 256, 1024, 4096] {
+            let q = find_ntt_prime(n, 1 << 20).unwrap();
+            assert!(supports_negacyclic_ntt(q, n));
+            assert!(q > 1 << 20);
+        }
+    }
+
+    #[test]
+    fn trial_factor_small() {
+        assert_eq!(trial_factor(12288), vec![(2, 12), (3, 1)]);
+        assert_eq!(trial_factor(7680), vec![(2, 9), (3, 1), (5, 1)]);
+        assert_eq!(trial_factor(786432), vec![(2, 18), (3, 1)]);
+        assert_eq!(trial_factor(97), vec![(97, 1)]);
+        assert_eq!(trial_factor(1), vec![]);
+    }
+}

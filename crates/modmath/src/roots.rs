@@ -1,0 +1,322 @@
+//! Primitive roots of unity and precomputed twiddle-factor tables.
+//!
+//! Algorithm 1 precomputes `{w^i, w^-i, φ^i, φ^-i}` where `w` is a
+//! primitive `n`-th root of unity and `φ` a primitive `2n`-th root with
+//! `φ² = w (mod q)`. The `w` powers are stored in bit-reversed order (the
+//! Gentleman–Sande loop indexes `twiddle[j >> (i+1)]`), while the `φ`
+//! powers are stored in normal order. [`NttTables`] reproduces exactly
+//! that layout.
+
+use crate::params::ParamSet;
+use crate::{bitrev, primes, zq, Error};
+
+/// Finds a generator of the multiplicative group `Z_q^*` for prime `q`.
+///
+/// # Errors
+///
+/// Returns [`Error::NotPrime`] when `q` is not prime.
+pub fn find_generator(q: u64) -> Result<u64, Error> {
+    if !primes::is_prime(q) {
+        return Err(Error::NotPrime { q });
+    }
+    if q == 2 {
+        return Ok(1);
+    }
+    let factors = primes::trial_factor(q - 1);
+    'candidate: for g in 2..q {
+        for &(p, _) in &factors {
+            if zq::pow(g, (q - 1) / p, q) == 1 {
+                continue 'candidate;
+            }
+        }
+        return Ok(g);
+    }
+    unreachable!("every prime has a generator")
+}
+
+/// Finds a primitive `order`-th root of unity modulo prime `q`.
+///
+/// # Errors
+///
+/// * [`Error::NotPrime`] when `q` is not prime.
+/// * [`Error::NoRootOfUnity`] when `order` does not divide `q − 1`.
+pub fn primitive_root_of_unity(order: u64, q: u64) -> Result<u64, Error> {
+    if !primes::is_prime(q) {
+        return Err(Error::NotPrime { q });
+    }
+    if order == 0 || !(q - 1).is_multiple_of(order) {
+        return Err(Error::NoRootOfUnity { q, order });
+    }
+    let g = find_generator(q)?;
+    let root = zq::pow(g, (q - 1) / order, q);
+    debug_assert_eq!(zq::pow(root, order, q), 1);
+    Ok(root)
+}
+
+/// Checks that `root` has exact multiplicative order `order` modulo `q`.
+pub fn is_primitive_root(root: u64, order: u64, q: u64) -> bool {
+    if zq::pow(root, order, q) != 1 {
+        return false;
+    }
+    for (p, _) in primes::trial_factor(order) {
+        if zq::pow(root, order / p, q) == 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Precomputed twiddle tables for a negacyclic NTT of length `n` over
+/// `Z_q`, in the layout of Algorithm 1:
+///
+/// * `omega_powers` / `omega_inv_powers` — `w^i` and `w^-i` for
+///   `i ∈ [0, n/2)`, **bit-reversed order** (indexed by the GS loop as
+///   `twiddle[j >> (i+1)]` which visits them sequentially per stage).
+/// * `phi_powers` / `phi_inv_powers` — `φ^i`, `φ^-i` for `i ∈ [0, n)`,
+///   normal order.
+/// * `n_inv` — `n⁻¹ mod q`, folded into the inverse transform's
+///   post-scaling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NttTables {
+    n: usize,
+    q: u64,
+    omega: u64,
+    phi: u64,
+    omega_powers: Vec<u64>,
+    omega_inv_powers: Vec<u64>,
+    phi_powers: Vec<u64>,
+    phi_inv_powers: Vec<u64>,
+    n_inv: u64,
+}
+
+impl NttTables {
+    /// Builds tables for the given parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoRootOfUnity`] / [`Error::NotPrime`] when the
+    /// parameter set does not admit a negacyclic NTT, and
+    /// [`Error::InvalidDegree`] when `n < 2` or `n` is not a power of two.
+    pub fn new(params: &ParamSet) -> Result<Self, Error> {
+        Self::for_degree_modulus(params.n, params.q)
+    }
+
+    /// Builds tables for an explicit `(n, q)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NttTables::new`].
+    pub fn for_degree_modulus(n: usize, q: u64) -> Result<Self, Error> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(Error::InvalidDegree { n });
+        }
+        let phi = primitive_root_of_unity(2 * n as u64, q)?;
+        let omega = zq::mul(phi, phi, q);
+        debug_assert!(is_primitive_root(omega, n as u64, q));
+
+        let half = n / 2;
+        let bits = bitrev::log2_exact(half).map_or(0, |b| b);
+        let omega_inv = zq::inv(omega, q)?;
+        let phi_inv = zq::inv(phi, q)?;
+
+        // Powers in natural order first, then permute w-powers bit-reversed.
+        let mut omega_powers = vec![0u64; half.max(1)];
+        let mut omega_inv_powers = vec![0u64; half.max(1)];
+        let (mut acc_f, mut acc_i) = (1u64, 1u64);
+        for i in 0..half.max(1) {
+            let slot = if half > 1 {
+                bitrev::reverse_bits(i, bits)
+            } else {
+                0
+            };
+            omega_powers[slot] = acc_f;
+            omega_inv_powers[slot] = acc_i;
+            acc_f = zq::mul(acc_f, omega, q);
+            acc_i = zq::mul(acc_i, omega_inv, q);
+        }
+
+        let mut phi_powers = Vec::with_capacity(n);
+        let mut phi_inv_powers = Vec::with_capacity(n);
+        let (mut pf, mut pi) = (1u64, 1u64);
+        for _ in 0..n {
+            phi_powers.push(pf);
+            phi_inv_powers.push(pi);
+            pf = zq::mul(pf, phi, q);
+            pi = zq::mul(pi, phi_inv, q);
+        }
+
+        let n_inv = zq::inv(n as u64 % q, q)?;
+
+        Ok(NttTables {
+            n,
+            q,
+            omega,
+            phi,
+            omega_powers,
+            omega_inv_powers,
+            phi_powers,
+            phi_inv_powers,
+            n_inv,
+        })
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The primitive `n`-th root of unity `w`.
+    #[inline]
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// The primitive `2n`-th root `φ` (with `φ² = w`).
+    #[inline]
+    pub fn phi(&self) -> u64 {
+        self.phi
+    }
+
+    /// `w^i` for `i ∈ [0, n/2)`, bit-reversed order.
+    #[inline]
+    pub fn omega_powers(&self) -> &[u64] {
+        &self.omega_powers
+    }
+
+    /// `w^-i` for `i ∈ [0, n/2)`, bit-reversed order.
+    #[inline]
+    pub fn omega_inv_powers(&self) -> &[u64] {
+        &self.omega_inv_powers
+    }
+
+    /// `φ^i` for `i ∈ [0, n)`, normal order.
+    #[inline]
+    pub fn phi_powers(&self) -> &[u64] {
+        &self.phi_powers
+    }
+
+    /// `φ^-i` for `i ∈ [0, n)`, normal order.
+    #[inline]
+    pub fn phi_inv_powers(&self) -> &[u64] {
+        &self.phi_inv_powers
+    }
+
+    /// `n⁻¹ mod q`.
+    #[inline]
+    pub fn n_inv(&self) -> u64 {
+        self.n_inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_primitive() {
+        for q in [7681u64, 12289, 786433, 97] {
+            let g = find_generator(q).unwrap();
+            assert!(is_primitive_root(g, q - 1, q), "q = {q}, g = {g}");
+        }
+    }
+
+    #[test]
+    fn generator_rejects_composite() {
+        assert!(matches!(find_generator(100), Err(Error::NotPrime { .. })));
+    }
+
+    #[test]
+    fn primitive_roots_have_exact_order() {
+        for (order, q) in [(512u64, 7681u64), (2048, 12289), (65536, 786433)] {
+            let r = primitive_root_of_unity(order, q).unwrap();
+            assert!(is_primitive_root(r, order, q), "order {order} mod {q}");
+        }
+    }
+
+    #[test]
+    fn no_root_when_order_does_not_divide() {
+        assert!(matches!(
+            primitive_root_of_unity(1024, 7681),
+            Err(Error::NoRootOfUnity { .. })
+        ));
+    }
+
+    #[test]
+    fn tables_phi_squared_is_omega() {
+        for (n, q) in [(256usize, 7681u64), (512, 12289), (1024, 12289), (2048, 786433)] {
+            let t = NttTables::for_degree_modulus(n, q).unwrap();
+            assert_eq!(zq::mul(t.phi(), t.phi(), q), t.omega(), "n={n} q={q}");
+            assert!(is_primitive_root(t.phi(), 2 * n as u64, q));
+            assert!(is_primitive_root(t.omega(), n as u64, q));
+        }
+    }
+
+    #[test]
+    fn tables_lengths_and_layout() {
+        let n = 16;
+        let q = 7681; // 32 | 7680
+        let t = NttTables::for_degree_modulus(n, q).unwrap();
+        assert_eq!(t.omega_powers().len(), n / 2);
+        assert_eq!(t.phi_powers().len(), n);
+        // Bit-reversed layout: slot rev(i) holds w^i.
+        let bits = bitrev::log2_exact(n / 2).unwrap();
+        for i in 0..n / 2 {
+            let slot = bitrev::reverse_bits(i, bits);
+            assert_eq!(t.omega_powers()[slot], zq::pow(t.omega(), i as u64, q));
+            assert_eq!(
+                t.omega_inv_powers()[slot],
+                zq::inv(zq::pow(t.omega(), i as u64, q), q).unwrap()
+            );
+        }
+        // phi powers in normal order.
+        for i in 0..n {
+            assert_eq!(t.phi_powers()[i], zq::pow(t.phi(), i as u64, q));
+            assert_eq!(
+                zq::mul(t.phi_powers()[i], t.phi_inv_powers()[i], q),
+                1,
+                "phi^i · phi^-i = 1"
+            );
+        }
+        assert_eq!(zq::mul(t.n_inv(), n as u64, q), 1);
+    }
+
+    #[test]
+    fn tables_reject_bad_degree() {
+        assert!(matches!(
+            NttTables::for_degree_modulus(0, 12289),
+            Err(Error::InvalidDegree { .. })
+        ));
+        assert!(matches!(
+            NttTables::for_degree_modulus(3, 12289),
+            Err(Error::InvalidDegree { .. })
+        ));
+        assert!(matches!(
+            NttTables::for_degree_modulus(1, 12289),
+            Err(Error::InvalidDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn tables_reject_unfriendly_modulus() {
+        // 4096 does not divide 12288? It does (12288 = 3·4096): use 8192.
+        assert!(NttTables::for_degree_modulus(4096, 12289).is_err());
+    }
+
+    #[test]
+    fn paper_parameter_sets_all_build() {
+        use crate::params::ParamSet;
+        for n in [256usize, 512, 1024, 2048, 4096, 8192, 16384, 32768] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let t = NttTables::new(&p).unwrap();
+            assert_eq!(t.degree(), n);
+            assert_eq!(t.modulus(), p.q);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Frequency-domain operand caching.
+//!
+//! RLWE protocols multiply *the same* polynomial many times: the public
+//! `a` in every encryption, the secret `s` in every decryption. Caching
+//! the operand's NTT image saves one of the three transforms per
+//! product — a standard software optimization, and the same data reuse
+//! the CryptoPIM pipeline gets for free by keeping `Â` resident in its
+//! bank (C-INTERMEDIATE).
+
+use crate::negacyclic::NttMultiplier;
+use crate::poly::Polynomial;
+use crate::Result;
+
+/// A polynomial cached in the (negacyclic) frequency domain.
+///
+/// # Example
+///
+/// ```
+/// use modmath::params::ParamSet;
+/// use ntt::cache::CachedOperand;
+/// use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+/// use ntt::poly::Polynomial;
+///
+/// # fn main() -> Result<(), ntt::Error> {
+/// let params = ParamSet::for_degree(256)?;
+/// let mult = NttMultiplier::new(&params)?;
+/// let a = Polynomial::from_coeffs(vec![5; 256], params.q)?;
+/// let cached = CachedOperand::new(&a, &mult)?;
+/// let b = Polynomial::from_coeffs(vec![3; 256], params.q)?;
+/// assert_eq!(cached.multiply(&b, &mult)?, mult.multiply(&a, &b)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedOperand {
+    spectrum: Vec<u64>,
+}
+
+impl CachedOperand {
+    /// Transforms and caches an operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand degree does not match the
+    /// multiplier's.
+    pub fn new(a: &Polynomial, mult: &NttMultiplier) -> Result<Self> {
+        Ok(CachedOperand {
+            spectrum: mult.forward(a)?,
+        })
+    }
+
+    /// The cached frequency-domain image.
+    pub fn spectrum(&self) -> &[u64] {
+        &self.spectrum
+    }
+
+    /// Multiplies the cached operand by a fresh one: one forward
+    /// transform, one point-wise pass, one inverse transform (instead
+    /// of two forwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degree mismatch.
+    pub fn multiply(&self, b: &Polynomial, mult: &NttMultiplier) -> Result<Polynomial> {
+        let fb = mult.forward(b)?;
+        let fc = mult.pointwise(&self.spectrum, &fb)?;
+        mult.inverse(fc)
+    }
+
+    /// Multiplies two cached operands: just point-wise + inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degree mismatch.
+    pub fn multiply_cached(&self, b: &CachedOperand, mult: &NttMultiplier) -> Result<Polynomial> {
+        let fc = mult.pointwise(&self.spectrum, &b.spectrum)?;
+        mult.inverse(fc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negacyclic::PolyMultiplier;
+    use modmath::params::ParamSet;
+
+    fn setup(n: usize) -> (NttMultiplier, Polynomial, Polynomial) {
+        let p = ParamSet::for_degree(n).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let a = Polynomial::from_coeffs((0..n as u64).map(|i| i * 13 % p.q).collect(), p.q).unwrap();
+        let b = Polynomial::from_coeffs((0..n as u64).map(|i| (i * 7 + 2) % p.q).collect(), p.q)
+            .unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn cached_multiply_matches_direct() {
+        for n in [64usize, 256, 2048] {
+            let (m, a, b) = setup(n);
+            let cached = CachedOperand::new(&a, &m).unwrap();
+            assert_eq!(
+                cached.multiply(&b, &m).unwrap(),
+                m.multiply(&a, &b).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn doubly_cached_multiply_matches_direct() {
+        let (m, a, b) = setup(256);
+        let ca = CachedOperand::new(&a, &m).unwrap();
+        let cb = CachedOperand::new(&b, &m).unwrap();
+        assert_eq!(
+            ca.multiply_cached(&cb, &m).unwrap(),
+            m.multiply(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_is_reusable() {
+        let (m, a, _) = setup(256);
+        let q = m.modulus();
+        let cached = CachedOperand::new(&a, &m).unwrap();
+        for seed in 0..5u64 {
+            let b = Polynomial::from_coeffs(
+                (0..256u64).map(|i| (i * seed + 1) % q).collect(),
+                q,
+            )
+            .unwrap();
+            assert_eq!(
+                cached.multiply(&b, &m).unwrap(),
+                m.multiply(&a, &b).unwrap(),
+                "seed = {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_mismatch_errors() {
+        let (m, a, _) = setup(256);
+        let cached = CachedOperand::new(&a, &m).unwrap();
+        let small = Polynomial::zero(128, m.modulus()).unwrap();
+        assert!(cached.multiply(&small, &m).is_err());
+        let m_small = NttMultiplier::for_degree_modulus(128, 7681).unwrap();
+        assert!(CachedOperand::new(&a, &m_small).is_err());
+    }
+
+    #[test]
+    fn spectrum_accessor() {
+        let (m, a, _) = setup(64);
+        let cached = CachedOperand::new(&a, &m).unwrap();
+        assert_eq!(cached.spectrum().len(), 64);
+        assert_eq!(cached.spectrum(), m.forward(&a).unwrap().as_slice());
+    }
+}

@@ -1,0 +1,193 @@
+//! Cooley–Tukey (decimation-in-time) NTT and the permutation-free
+//! transform composition.
+//!
+//! The CT butterfly multiplies the twiddle *before* combining
+//! (`u + w·v`, `u − w·v`), dual to the Gentleman–Sande butterfly the
+//! paper builds in hardware. Two uses here:
+//!
+//! * an independent kernel cross-checking [`crate::gs`] (different
+//!   butterfly, same transform), and
+//! * the **no-bitrev composition** modern software (e.g. Kyber's
+//!   reference code) uses: forward DIF (natural → bit-reversed),
+//!   point-wise multiply in the bit-reversed domain, inverse GS
+//!   (bit-reversed → natural) — zero explicit permutations. In
+//!   CryptoPIM the permutation is a free write; in software it is not,
+//!   which makes this an interesting software-side ablation.
+
+use crate::{dif, gs, Result};
+use modmath::roots::NttTables;
+use modmath::{bitrev, zq};
+
+/// In-place Cooley–Tukey kernel: bit-reversed input → natural output.
+///
+/// `omega_pows` holds `ω^j` for `j ∈ [0, n/2)` in **natural** order.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two of at least 2, or the
+/// twiddle table is not `n/2` long.
+pub fn ct_kernel_in_place(data: &mut [u64], omega_pows: &[u64], q: u64) {
+    let n = data.len();
+    let log_n = bitrev::log2_exact(n).expect("length must be a power of two");
+    assert!(n >= 2, "transform length must be at least 2");
+    assert_eq!(omega_pows.len(), n / 2, "need n/2 natural-order powers");
+
+    for s in 0..log_n {
+        let half = 1usize << s; // butterfly distance
+        let stride = n >> (s + 1); // twiddle exponent step
+        for block in (0..n).step_by(2 * half) {
+            for j in 0..half {
+                let w = omega_pows[j * stride];
+                let u = data[block + j];
+                let v = zq::mul(w, data[block + j + half], q);
+                data[block + j] = zq::add(u, v, q);
+                data[block + j + half] = zq::sub(u, v, q);
+            }
+        }
+    }
+}
+
+/// Forward cyclic NTT via CT: natural input and output (explicit
+/// bit-reversal first).
+///
+/// # Panics
+///
+/// Same as [`ct_kernel_in_place`].
+pub fn forward(data: &mut [u64], tables: &NttTables) {
+    let q = tables.modulus();
+    bitrev::permute_in_place(data);
+    ct_kernel_in_place(data, &natural_powers(tables, false), q);
+}
+
+/// Natural-order twiddle powers from a table (forward or inverse).
+fn natural_powers(tables: &NttTables, inverse: bool) -> Vec<u64> {
+    let q = tables.modulus();
+    let base = if inverse {
+        zq::inv(tables.omega(), q).expect("omega invertible")
+    } else {
+        tables.omega()
+    };
+    let mut pows = Vec::with_capacity(tables.degree() / 2);
+    let mut acc = 1u64;
+    for _ in 0..tables.degree() / 2 {
+        pows.push(acc);
+        acc = zq::mul(acc, base, q);
+    }
+    pows
+}
+
+/// Negacyclic multiplication with **zero explicit permutations**:
+/// forward DIF on both scaled inputs (outputs bit-reversed), point-wise
+/// multiply in the bit-reversed domain, inverse GS back to natural
+/// order.
+///
+/// # Errors
+///
+/// Returns an error when operand lengths differ from the table degree.
+pub fn multiply_no_bitrev(
+    a: &[u64],
+    b: &[u64],
+    tables: &NttTables,
+) -> Result<Vec<u64>> {
+    let n = tables.degree();
+    if a.len() != n || b.len() != n {
+        return Err(modmath::Error::InvalidDegree { n: a.len() });
+    }
+    let q = tables.modulus();
+    let fwd_pows = natural_powers(tables, false);
+
+    let scale = |x: &[u64], phis: &[u64]| -> Vec<u64> {
+        x.iter().zip(phis).map(|(&c, &p)| zq::mul(c, p, q)).collect()
+    };
+
+    // Forward DIF: natural → bit-reversed (no permutation executed).
+    let mut fa = scale(a, tables.phi_powers());
+    let mut fb = scale(b, tables.phi_powers());
+    dif::dif_forward_in_place(&mut fa, &fwd_pows, q);
+    dif::dif_forward_in_place(&mut fb, &fwd_pows, q);
+
+    // Point-wise in the bit-reversed domain (order-agnostic).
+    let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| zq::mul(x, y, q)).collect();
+
+    // Inverse GS: bit-reversed → natural (again, no permutation).
+    gs::gs_kernel_in_place(&mut fc, tables.omega_inv_powers(), q);
+
+    let n_inv = tables.n_inv();
+    Ok(fc
+        .iter()
+        .zip(tables.phi_inv_powers())
+        .map(|(&c, &p)| zq::mul(zq::mul(c, n_inv, q), p, q))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negacyclic::{NttMultiplier, PolyMultiplier};
+    use crate::poly::Polynomial;
+    use crate::{dft, schoolbook};
+    use modmath::params::ParamSet;
+
+    fn tables(n: usize, q: u64) -> NttTables {
+        NttTables::for_degree_modulus(n, q).unwrap()
+    }
+
+    #[test]
+    fn ct_matches_dft_oracle() {
+        for n in [2usize, 8, 64, 256] {
+            let t = tables(n, 7681);
+            let a: Vec<u64> = (0..n as u64).map(|i| (11 * i + 5) % 7681).collect();
+            let mut fast = a.clone();
+            forward(&mut fast, &t);
+            assert_eq!(fast, dft::dft(&a, t.omega(), 7681), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ct_and_gs_agree() {
+        for n in [16usize, 128, 1024] {
+            let t = tables(n, 12289);
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 1) % 12289).collect();
+            let mut via_ct = a.clone();
+            forward(&mut via_ct, &t);
+            let mut via_gs = a.clone();
+            gs::forward(&mut via_gs, &t);
+            assert_eq!(via_ct, via_gs, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn no_bitrev_multiply_matches_schoolbook() {
+        for (n, q) in [(8usize, 7681u64), (32, 12289), (64, 12289)] {
+            let t = tables(n, q);
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * i + 9) % q).collect();
+            let got = multiply_no_bitrev(&a, &b, &t).unwrap();
+            let pa = Polynomial::from_coeffs(a, q).unwrap();
+            let pb = Polynomial::from_coeffs(b, q).unwrap();
+            let expect = schoolbook::multiply(&pa, &pb).unwrap();
+            assert_eq!(got, expect.coeffs(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn no_bitrev_matches_standard_multiplier_paper_sizes() {
+        for n in [256usize, 1024, 4096] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let t = tables(n, p.q);
+            let m = NttMultiplier::new(&p).unwrap();
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 1) % p.q).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * 17 + 4) % p.q).collect();
+            let got = multiply_no_bitrev(&a, &b, &t).unwrap();
+            let pa = Polynomial::from_coeffs(a, p.q).unwrap();
+            let pb = Polynomial::from_coeffs(b, p.q).unwrap();
+            assert_eq!(got, m.multiply(&pa, &pb).unwrap().coeffs(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn degree_mismatch_errors() {
+        let t = tables(64, 12289);
+        assert!(multiply_no_bitrev(&[0; 32], &[0; 64], &t).is_err());
+    }
+}

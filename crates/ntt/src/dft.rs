@@ -1,0 +1,103 @@
+//! O(n²) DFT-by-definition oracle.
+//!
+//! `A_k = Σ_i a_i · ω^{ik} (mod q)` computed literally. Used only in
+//! tests and cross-checks — it is the ground truth every fast transform
+//! in this workspace is compared against.
+
+use modmath::zq;
+
+/// Computes the length-`n` cyclic DFT of `a` over `Z_q` by definition.
+///
+/// `omega` must be a primitive `n`-th root of unity modulo `q`; the
+/// output is in natural order.
+///
+/// # Panics
+///
+/// Panics if `a` is empty.
+pub fn dft(a: &[u64], omega: u64, q: u64) -> Vec<u64> {
+    assert!(!a.is_empty());
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let wk = zq::pow(omega, k as u64, q);
+        let mut acc = 0u64;
+        let mut wki = 1u64; // ω^{k·i}
+        for &ai in a {
+            acc = zq::add(acc, zq::mul(ai % q, wki, q), q);
+            wki = zq::mul(wki, wk, q);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Computes the inverse DFT by definition (including the `n⁻¹` scaling).
+///
+/// # Panics
+///
+/// Panics if `a` is empty or `n` is not invertible modulo `q`.
+pub fn idft(a: &[u64], omega: u64, q: u64) -> Vec<u64> {
+    let n = a.len() as u64;
+    let omega_inv = zq::inv(omega, q).expect("omega must be invertible");
+    let n_inv = zq::inv(n % q, q).expect("n must be invertible mod q");
+    dft(a, omega_inv, q)
+        .into_iter()
+        .map(|c| zq::mul(c, n_inv, q))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::roots;
+
+    #[test]
+    fn dft_of_delta_is_all_ones() {
+        let q = 12289;
+        let n = 8;
+        let w = roots::primitive_root_of_unity(n as u64, q).unwrap();
+        let mut a = vec![0u64; n];
+        a[0] = 1;
+        assert_eq!(dft(&a, w, q), vec![1; n]);
+    }
+
+    #[test]
+    fn dft_of_constant_is_scaled_delta() {
+        let q = 12289;
+        let n = 8;
+        let w = roots::primitive_root_of_unity(n as u64, q).unwrap();
+        let a = vec![3u64; n];
+        let spec = dft(&a, w, q);
+        assert_eq!(spec[0], 3 * n as u64 % q);
+        assert!(spec[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let q = 7681;
+        let n = 16;
+        let w = roots::primitive_root_of_unity(n as u64, q).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 1) % q).collect();
+        assert_eq!(idft(&dft(&a, w, q), w, q), a);
+    }
+
+    #[test]
+    fn dft_is_linear() {
+        let q = 7681;
+        let n = 16;
+        let w = roots::primitive_root_of_unity(n as u64, q).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| (7 * i + 3) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * i) % q).collect();
+        let sum: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| modmath::zq::add(x, y, q))
+            .collect();
+        let fa = dft(&a, w, q);
+        let fb = dft(&b, w, q);
+        let fsum = dft(&sum, w, q);
+        for k in 0..n {
+            assert_eq!(fsum[k], modmath::zq::add(fa[k], fb[k], q));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Textbook decimation-in-frequency (DIF) NTT used as a cross-check.
+//!
+//! Natural-order input, bit-reversed output, twiddle multiplied after the
+//! subtract (the same Gentleman–Sande butterfly as [`crate::gs`], with
+//! stage order reversed: distance starts at `n/2` and halves).
+//!
+//! The two kernels are mathematically transposes of each other; the test
+//! suite asserts `gs(bitrev(x))` ≡ `bitrev(dif(x))` ≡ `DFT(x)`.
+
+use modmath::{bitrev, zq};
+
+/// Forward DIF NTT in place: natural-order input → bit-reversed output.
+///
+/// `omega_pows` must hold `ω^j` for `j ∈ [0, n/2)` in **natural** order.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two of at least 2, or if
+/// `omega_pows.len() != data.len() / 2`.
+pub fn dif_forward_in_place(data: &mut [u64], omega_pows: &[u64], q: u64) {
+    let n = data.len();
+    let log_n = bitrev::log2_exact(n).expect("length must be a power of two");
+    assert!(n >= 2, "transform length must be at least 2");
+    assert_eq!(omega_pows.len(), n / 2, "need n/2 natural-order powers");
+
+    for s in 0..log_n {
+        let dist = n >> (s + 1);
+        let stride = 1usize << s; // twiddle exponent step within a block
+        for block in (0..n).step_by(2 * dist) {
+            for j in 0..dist {
+                let u = data[block + j];
+                let v = data[block + j + dist];
+                data[block + j] = zq::add(u, v, q);
+                data[block + j + dist] = zq::mul(omega_pows[j * stride], zq::sub(u, v, q), q);
+            }
+        }
+    }
+}
+
+/// Forward cyclic NTT with natural-order output: DIF kernel followed by
+/// an explicit bit-reversal.
+///
+/// # Panics
+///
+/// Same as [`dif_forward_in_place`].
+pub fn forward_natural(data: &mut [u64], omega_pows: &[u64], q: u64) {
+    dif_forward_in_place(data, omega_pows, q);
+    bitrev::permute_in_place(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dft, gs};
+    use modmath::roots::NttTables;
+    use modmath::zq as zqm;
+
+    fn natural_powers(t: &NttTables) -> Vec<u64> {
+        let q = t.modulus();
+        let mut pows = Vec::with_capacity(t.degree() / 2);
+        let mut acc = 1u64;
+        for _ in 0..t.degree() / 2 {
+            pows.push(acc);
+            acc = zqm::mul(acc, t.omega(), q);
+        }
+        pows
+    }
+
+    #[test]
+    fn dif_matches_dft_oracle() {
+        for n in [2usize, 8, 64, 256] {
+            let t = NttTables::for_degree_modulus(n, 7681).unwrap();
+            let q = t.modulus();
+            let a: Vec<u64> = (0..n as u64).map(|i| (5 * i + 1) % q).collect();
+            let mut fast = a.clone();
+            forward_natural(&mut fast, &natural_powers(&t), q);
+            assert_eq!(fast, dft::dft(&a, t.omega(), q), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dif_and_gs_agree() {
+        // gs(bitrev(x)) == bitrev-corrected dif(x) == DFT(x) in natural order.
+        for n in [16usize, 128, 512] {
+            let t = NttTables::for_degree_modulus(n, 12289).unwrap();
+            let q = t.modulus();
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 9) % q).collect();
+
+            let mut via_dif = a.clone();
+            forward_natural(&mut via_dif, &natural_powers(&t), q);
+
+            let mut via_gs = a.clone();
+            gs::forward(&mut via_gs, &t);
+
+            assert_eq!(via_dif, via_gs, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Karatsuba negacyclic multiplication — the classical sub-quadratic
+//! algorithm between schoolbook and NTT.
+//!
+//! The paper's CPU baseline uses an NTT; real libraries pick per-size:
+//! schoolbook below ~32 coefficients, Karatsuba in the middle, NTT once
+//! `n log n` wins. This module supplies the middle point so the
+//! software-side crossover can be measured (see the `algorithms` bench
+//! binary), and doubles as yet another independent correctness oracle.
+
+use crate::poly::Polynomial;
+use crate::Result;
+use modmath::{zq, Error};
+
+/// Length at which recursion falls back to schoolbook.
+const THRESHOLD: usize = 32;
+
+/// Multiplies two polynomials in `Z_q[x]/(x^n + 1)` via Karatsuba over
+/// the integers followed by a negacyclic fold.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDegree`] when operand lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use ntt::karatsuba;
+/// use ntt::poly::Polynomial;
+///
+/// # fn main() -> Result<(), ntt::Error> {
+/// let a = Polynomial::from_coeffs(vec![1, 1, 0, 0], 17)?;
+/// let sq = karatsuba::multiply(&a, &a)?;
+/// assert_eq!(sq.coeffs(), &[1, 2, 1, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multiply(a: &Polynomial, b: &Polynomial) -> Result<Polynomial> {
+    if a.degree_bound() != b.degree_bound() {
+        return Err(Error::InvalidDegree {
+            n: b.degree_bound(),
+        });
+    }
+    assert_eq!(a.modulus(), b.modulus(), "mismatched moduli");
+    let n = a.degree_bound();
+    let q = a.modulus();
+
+    // Integer product (length 2n − 1), accumulated in u128: with
+    // q < 2^20 and n ≤ 2^15 the largest coefficient is far below 2^56.
+    let prod = karatsuba_rec(a.coeffs(), b.coeffs());
+
+    // Negacyclic fold: x^{n+k} ≡ −x^k.
+    let mut out = vec![0u64; n];
+    for (k, &c) in prod.iter().enumerate() {
+        let c = (c % q as u128) as u64;
+        if k < n {
+            out[k] = zq::add(out[k], c, q);
+        } else {
+            out[k - n] = zq::sub(out[k - n], c, q);
+        }
+    }
+    Polynomial::from_coeffs(out, q)
+}
+
+/// Plain (acyclic) integer product of two equal-length slices,
+/// length `2·len − 1`.
+fn karatsuba_rec(a: &[u64], b: &[u64]) -> Vec<u128> {
+    let n = a.len();
+    if n <= THRESHOLD || !n.is_multiple_of(2) {
+        let mut out = vec![0u128; 2 * n - 1];
+        for i in 0..n {
+            if a[i] == 0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i + j] += a[i] as u128 * b[j] as u128;
+            }
+        }
+        return out;
+    }
+    let half = n / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+
+    let p0 = karatsuba_rec(a0, b0);
+    let p2 = karatsuba_rec(a1, b1);
+    // (a0 + a1)(b0 + b1)
+    let asum: Vec<u64> = a0.iter().zip(a1).map(|(&x, &y)| x + y).collect();
+    let bsum: Vec<u64> = b0.iter().zip(b1).map(|(&x, &y)| x + y).collect();
+    let pm = karatsuba_rec(&asum, &bsum);
+
+    // Middle term: pm − p0 − p2 (non-negative by construction).
+    let mut out = vec![0u128; 2 * n - 1];
+    for (i, &c) in p0.iter().enumerate() {
+        out[i] += c;
+    }
+    for (i, &c) in p2.iter().enumerate() {
+        out[i + n] += c;
+    }
+    for i in 0..pm.len() {
+        let mid = pm[i] - p0.get(i).copied().unwrap_or(0) - p2.get(i).copied().unwrap_or(0);
+        out[i + half] += mid;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negacyclic::{NttMultiplier, PolyMultiplier};
+    use crate::schoolbook;
+    use modmath::params::ParamSet;
+    use proptest::prelude::*;
+
+    fn rand_poly(n: usize, q: u64, seed: u64) -> Polynomial {
+        let mut state = seed;
+        let coeffs: Vec<u64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 16) % q
+            })
+            .collect();
+        Polynomial::from_coeffs(coeffs, q).unwrap()
+    }
+
+    #[test]
+    fn matches_schoolbook_across_sizes() {
+        // Exercises the base case, one recursion level, and deeper.
+        for n in [4usize, 16, 32, 64, 128, 256] {
+            let q = 7681;
+            let a = rand_poly(n, q, 1);
+            let b = rand_poly(n, q, 2);
+            assert_eq!(
+                multiply(&a, &b).unwrap(),
+                schoolbook::multiply(&a, &b).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_ntt_at_paper_sizes() {
+        for n in [256usize, 1024] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let m = NttMultiplier::new(&p).unwrap();
+            let a = rand_poly(n, p.q, 3);
+            let b = rand_poly(n, p.q, 4);
+            assert_eq!(
+                multiply(&a, &b).unwrap(),
+                m.multiply(&a, &b).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_coefficients_no_overflow() {
+        // All-max coefficients at the largest modulus and a big degree:
+        // the u128 accumulator must not wrap.
+        let q = 786433;
+        let n = 2048;
+        let a = Polynomial::from_coeffs(vec![q - 1; n], q).unwrap();
+        let got = multiply(&a, &a).unwrap();
+        let expect = NttMultiplier::for_degree_modulus(n, q)
+            .unwrap()
+            .multiply(&a, &a)
+            .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = rand_poly(32, 7681, 1);
+        let b = rand_poly(64, 7681, 2);
+        assert!(multiply(&a, &b).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn prop_matches_schoolbook(
+            a in proptest::collection::vec(0u64..12289, 64),
+            b in proptest::collection::vec(0u64..12289, 64),
+        ) {
+            let pa = Polynomial::from_coeffs(a, 12289).unwrap();
+            let pb = Polynomial::from_coeffs(b, 12289).unwrap();
+            prop_assert_eq!(
+                multiply(&pa, &pb).unwrap(),
+                schoolbook::multiply(&pa, &pb).unwrap()
+            );
+        }
+    }
+}

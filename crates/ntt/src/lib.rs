@@ -1,0 +1,59 @@
+//! Reference Number Theoretic Transform library.
+//!
+//! This crate is the *software* (word-level) implementation of the
+//! polynomial arithmetic that CryptoPIM accelerates. It serves three
+//! roles in the reproduction:
+//!
+//! 1. the correctness oracle the PIM simulator is verified against,
+//! 2. the CPU baseline measured in the Table II comparison, and
+//! 3. the arithmetic backend of the RLWE example schemes.
+//!
+//! Modules:
+//!
+//! * [`poly`] — the [`poly::Polynomial`] type over `Z_q[x]/(x^n + 1)`.
+//! * [`gs`] — the Gentleman–Sande in-place NTT of the paper's
+//!   Algorithm 2 (bit-reversed input, natural output, stage-doubling
+//!   butterfly distance, bit-reversed twiddle table).
+//! * [`dif`] — a textbook decimation-in-frequency NTT (natural input,
+//!   bit-reversed output) used as a cross-check and ablation comparator.
+//! * [`negacyclic`] — the full NTT-based negacyclic multiplier of
+//!   Algorithm 1, plus the [`negacyclic::PolyMultiplier`] trait that lets
+//!   callers swap in the PIM-backed multiplier.
+//! * [`schoolbook`] — the O(n²) negacyclic multiplier used as the oracle.
+//! * [`dft`] — an O(n²) DFT-by-definition oracle for transform tests.
+//!
+//! # Example
+//!
+//! ```
+//! use modmath::params::ParamSet;
+//! use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+//! use ntt::poly::Polynomial;
+//!
+//! # fn main() -> Result<(), ntt::Error> {
+//! let params = ParamSet::for_degree(256)?;
+//! let mult = NttMultiplier::new(&params)?;
+//! let a = Polynomial::from_coeffs(vec![1; 256], params.q)?;
+//! let b = Polynomial::from_coeffs(vec![2; 256], params.q)?;
+//! let c = mult.multiply(&a, &b)?;
+//! assert_eq!(c.degree_bound(), 256);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod ct;
+pub mod dft;
+pub mod dif;
+pub mod gs;
+pub mod karatsuba;
+pub mod negacyclic;
+pub mod poly;
+pub mod rns;
+pub mod schoolbook;
+
+/// Errors from this crate are the shared `modmath` error type: every
+/// failure mode (bad degree, unfriendly modulus, …) originates there.
+pub use modmath::Error;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;

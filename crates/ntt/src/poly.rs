@@ -1,0 +1,285 @@
+//! Polynomials over `Z_q[x]/(x^n + 1)`.
+
+use modmath::{zq, Error};
+
+/// A polynomial with coefficients in `Z_q`, of degree below `n`
+/// (`n` a power of two), i.e. an element of `Z_q[x]/(x^n + 1)`.
+///
+/// Coefficients are stored in natural order: `coeffs[i]` is the
+/// coefficient of `x^i`, always canonical in `[0, q)`.
+///
+/// # Example
+///
+/// ```
+/// use ntt::poly::Polynomial;
+///
+/// # fn main() -> Result<(), ntt::Error> {
+/// let p = Polynomial::from_coeffs(vec![3, 1, 4, 1], 17)?;
+/// assert_eq!(p.coeff(2), 4);
+/// let q = p.clone() + p.clone();
+/// assert_eq!(q.coeff(2), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polynomial {
+    coeffs: Vec<u64>,
+    q: u64,
+}
+
+impl Polynomial {
+    /// The zero polynomial of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when `n` is not a power of two
+    /// of at least 2.
+    pub fn zero(n: usize, q: u64) -> Result<Self, Error> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::InvalidDegree { n });
+        }
+        Ok(Polynomial {
+            coeffs: vec![0; n],
+            q,
+        })
+    }
+
+    /// Builds a polynomial from coefficients, reducing each into `[0, q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when the length is not a power of
+    /// two of at least 2.
+    pub fn from_coeffs(mut coeffs: Vec<u64>, q: u64) -> Result<Self, Error> {
+        let n = coeffs.len();
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::InvalidDegree { n });
+        }
+        for c in &mut coeffs {
+            *c %= q;
+        }
+        Ok(Polynomial { coeffs, q })
+    }
+
+    /// Builds a polynomial from signed coefficients (e.g. sampled noise),
+    /// mapping negatives to `q − |c|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when the length is invalid.
+    pub fn from_signed_coeffs(coeffs: &[i64], q: u64) -> Result<Self, Error> {
+        let mapped = coeffs
+            .iter()
+            .map(|&c| {
+                let r = c.rem_euclid(q as i64);
+                r as u64
+            })
+            .collect();
+        Polynomial::from_coeffs(mapped, q)
+    }
+
+    /// The ring degree `n` (number of coefficients; all polynomials in
+    /// the ring have degree strictly below this).
+    #[inline]
+    pub fn degree_bound(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The coefficient of `x^i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[inline]
+    pub fn coeff(&self, i: usize) -> u64 {
+        self.coeffs[i]
+    }
+
+    /// All coefficients in natural order.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable access to the coefficients (kept canonical by the caller).
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its coefficient vector.
+    #[inline]
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
+    /// Maps each coefficient to its centered representative in
+    /// `(−q/2, q/2]`, useful for decoding noisy RLWE payloads.
+    pub fn to_centered(&self) -> Vec<i64> {
+        self.coeffs
+            .iter()
+            .map(|&c| {
+                if c > self.q / 2 {
+                    c as i64 - self.q as i64
+                } else {
+                    c as i64
+                }
+            })
+            .collect()
+    }
+
+    /// Multiplies every coefficient by the scalar `s`.
+    pub fn scale(&self, s: u64) -> Polynomial {
+        let s = s % self.q;
+        Polynomial {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&c| zq::mul(c, s, self.q))
+                .collect(),
+            q: self.q,
+        }
+    }
+
+    /// True if every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Polynomial(n = {}, q = {}, [{} …])",
+            self.coeffs.len(),
+            self.q,
+            self.coeffs.iter().take(4).map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+impl std::ops::Add for Polynomial {
+    type Output = Polynomial;
+
+    fn add(self, rhs: Polynomial) -> Polynomial {
+        assert_eq!(self.q, rhs.q, "mismatched moduli");
+        assert_eq!(self.coeffs.len(), rhs.coeffs.len(), "mismatched degrees");
+        let q = self.q;
+        Polynomial {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| zq::add(a, b, q))
+                .collect(),
+            q,
+        }
+    }
+}
+
+impl std::ops::Sub for Polynomial {
+    type Output = Polynomial;
+
+    fn sub(self, rhs: Polynomial) -> Polynomial {
+        assert_eq!(self.q, rhs.q, "mismatched moduli");
+        assert_eq!(self.coeffs.len(), rhs.coeffs.len(), "mismatched degrees");
+        let q = self.q;
+        Polynomial {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| zq::sub(a, b, q))
+                .collect(),
+            q,
+        }
+    }
+}
+
+impl std::ops::Neg for Polynomial {
+    type Output = Polynomial;
+
+    fn neg(self) -> Polynomial {
+        let q = self.q;
+        Polynomial {
+            coeffs: self.coeffs.iter().map(|&c| zq::neg(c, q)).collect(),
+            q,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let p = Polynomial::from_coeffs(vec![20, 17, 0, 1], 17).unwrap();
+        assert_eq!(p.coeffs(), &[3, 0, 0, 1]);
+    }
+
+    #[test]
+    fn invalid_lengths() {
+        assert!(Polynomial::zero(0, 17).is_err());
+        assert!(Polynomial::zero(1, 17).is_err());
+        assert!(Polynomial::zero(3, 17).is_err());
+        assert!(Polynomial::from_coeffs(vec![1, 2, 3], 17).is_err());
+    }
+
+    #[test]
+    fn signed_construction() {
+        let p = Polynomial::from_signed_coeffs(&[-1, -17, 2, 0], 17).unwrap();
+        assert_eq!(p.coeffs(), &[16, 0, 2, 0]);
+    }
+
+    #[test]
+    fn centered_roundtrip() {
+        let p = Polynomial::from_signed_coeffs(&[-3, 3, 0, -8], 17).unwrap();
+        assert_eq!(p.to_centered(), vec![-3, 3, 0, -8]);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let q = 17;
+        let a = Polynomial::from_coeffs(vec![1, 2, 3, 4], q).unwrap();
+        let b = Polynomial::from_coeffs(vec![16, 16, 16, 16], q).unwrap();
+        let s = a.clone() + b.clone();
+        assert_eq!(s.coeffs(), &[0, 1, 2, 3]);
+        let d = a.clone() - b.clone();
+        assert_eq!(d.coeffs(), &[2, 3, 4, 5]);
+        let n = -a.clone();
+        assert_eq!(n.coeffs(), &[16, 15, 14, 13]);
+        assert!((a.clone() - a).is_zero());
+    }
+
+    #[test]
+    fn scale_matches_repeated_add() {
+        let q = 17;
+        let a = Polynomial::from_coeffs(vec![1, 2, 3, 4], q).unwrap();
+        let tripled = a.scale(3);
+        assert_eq!(tripled.coeffs(), &[3, 6, 9, 12]);
+        assert_eq!(a.scale(0).coeffs(), &[0, 0, 0, 0]);
+        assert_eq!(a.scale(q).coeffs(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched moduli")]
+    fn add_mixed_moduli_panics() {
+        let a = Polynomial::zero(4, 17).unwrap();
+        let b = Polynomial::zero(4, 19).unwrap();
+        let _ = a + b;
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = Polynomial::zero(4, 17).unwrap();
+        assert!(!format!("{p}").is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! RNS (residue-number-system) polynomial multiplication over a
+//! two-prime composite modulus.
+//!
+//! For coefficient moduli wider than one machine-friendly prime (real
+//! BGV/BFV deployments use 100+-bit `Q`), the ring splits into
+//! independent channels `Z_{q1}` and `Z_{q2}`; each channel runs its own
+//! NTT — on CryptoPIM, in its own softbank, in parallel — and the
+//! results recombine by CRT. This module implements the two-channel
+//! version as the architecture extension DESIGN.md §6 calls out.
+
+use crate::negacyclic::{NttMultiplier, PolyMultiplier};
+use crate::poly::Polynomial;
+use crate::Result;
+use modmath::crt::Crt2;
+use modmath::{primes, Error};
+
+/// A negacyclic multiplier over `Z_{q1·q2}[x]/(x^n + 1)`.
+///
+/// # Example
+///
+/// ```
+/// use ntt::rns::RnsMultiplier;
+///
+/// # fn main() -> Result<(), ntt::Error> {
+/// let mult = RnsMultiplier::new(1024, 12289, 40961)?;
+/// assert_eq!(mult.modulus(), 12289u128 * 40961);
+/// let x = {
+///     let mut c = vec![0u128; 1024];
+///     c[1] = 1;
+///     c
+/// };
+/// let x2 = mult.multiply(&x, &x)?;
+/// assert_eq!(x2[2], 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsMultiplier {
+    n: usize,
+    crt: Crt2,
+    chan1: NttMultiplier,
+    chan2: NttMultiplier,
+}
+
+impl RnsMultiplier {
+    /// Builds a multiplier for degree `n` over `q1·q2`. Both primes must
+    /// support a length-`n` negacyclic NTT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates primality/root-of-unity failures from either channel.
+    pub fn new(n: usize, q1: u64, q2: u64) -> Result<Self> {
+        let crt = Crt2::new(q1, q2)?;
+        Ok(RnsMultiplier {
+            n,
+            crt,
+            chan1: NttMultiplier::for_degree_modulus(n, q1)?,
+            chan2: NttMultiplier::for_degree_modulus(n, q2)?,
+        })
+    }
+
+    /// Picks the two smallest NTT-friendly primes above `floor` for
+    /// degree `n` and builds the multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-construction failures; `Error::InvalidDegree`
+    /// if no primes are found (practically unreachable).
+    pub fn with_discovered_primes(n: usize, floor: u64) -> Result<Self> {
+        let q1 = primes::find_ntt_prime(n, floor).ok_or(Error::InvalidDegree { n })?;
+        let q2 = primes::find_ntt_prime(n, q1).ok_or(Error::InvalidDegree { n })?;
+        Self::new(n, q1, q2)
+    }
+
+    /// The ring degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The composite modulus `q1·q2`.
+    #[inline]
+    pub fn modulus(&self) -> u128 {
+        self.crt.modulus()
+    }
+
+    /// The channel moduli.
+    pub fn channel_moduli(&self) -> (u64, u64) {
+        (self.crt.q1(), self.crt.q2())
+    }
+
+    /// Multiplies two polynomials with coefficients below `q1·q2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on a length mismatch.
+    pub fn multiply(&self, a: &[u128], b: &[u128]) -> Result<Vec<u128>> {
+        if a.len() != self.n || b.len() != self.n {
+            return Err(Error::InvalidDegree { n: a.len() });
+        }
+        let to_channel = |x: &[u128], q: u64| -> Result<Polynomial> {
+            Polynomial::from_coeffs(x.iter().map(|&c| (c % q as u128) as u64).collect(), q)
+        };
+        let a1 = to_channel(a, self.crt.q1())?;
+        let b1 = to_channel(b, self.crt.q1())?;
+        let a2 = to_channel(a, self.crt.q2())?;
+        let b2 = to_channel(b, self.crt.q2())?;
+        let c1 = self.chan1.multiply(&a1, &b1)?;
+        let c2 = self.chan2.multiply(&a2, &b2)?;
+        Ok(c1
+            .coeffs()
+            .iter()
+            .zip(c2.coeffs())
+            .map(|(&r1, &r2)| self.crt.combine(r1, r2))
+            .collect())
+    }
+}
+
+/// Schoolbook negacyclic multiplication over a `u128` modulus — the
+/// oracle for the RNS path. Quadratic; test sizes only.
+#[allow(clippy::needless_range_loop)] // paired i/j indexing mirrors the math
+pub fn schoolbook_u128(a: &[u128], b: &[u128], modulus: u128) -> Vec<u128> {
+    let n = a.len();
+    assert_eq!(n, b.len());
+    // Guard against overflow: operands must keep a·b + acc within u128.
+    // q1·q2 < 2^63 in all our parameter choices, so products are < 2^126.
+    assert!(modulus < 1 << 63, "oracle limited to moduli below 2^63");
+    let mut out = vec![0u128; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = (a[i] * b[j]) % modulus;
+            let k = i + j;
+            if k < n {
+                out[k] = (out[k] + prod) % modulus;
+            } else {
+                out[k - n] = (out[k - n] + modulus - prod) % modulus;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_vec(n: usize, modulus: u128, seed: u64) -> Vec<u128> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state as u128) % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_schoolbook_oracle() {
+        let mult = RnsMultiplier::new(64, 12289, 40961).unwrap();
+        let q = mult.modulus();
+        let a = rand_vec(64, q, 1);
+        let b = rand_vec(64, q, 2);
+        assert_eq!(
+            mult.multiply(&a, &b).unwrap(),
+            schoolbook_u128(&a, &b, q)
+        );
+    }
+
+    #[test]
+    fn wide_modulus_actually_used() {
+        // A coefficient above both single primes must survive intact:
+        // x · 1 = x.
+        let mult = RnsMultiplier::new(64, 12289, 40961).unwrap();
+        let q = mult.modulus();
+        assert!(q > 1 << 28, "composite modulus is wide: {q}");
+        let mut a = vec![0u128; 64];
+        a[0] = q - 1; // larger than either prime alone
+        let mut one = vec![0u128; 64];
+        one[0] = 1;
+        let c = mult.multiply(&a, &one).unwrap();
+        assert_eq!(c[0], q - 1);
+    }
+
+    #[test]
+    fn discovered_primes_work() {
+        let mult = RnsMultiplier::with_discovered_primes(256, 1 << 14).unwrap();
+        let (q1, q2) = mult.channel_moduli();
+        assert!(q1 > 1 << 14 && q2 > q1);
+        assert!(primes::supports_negacyclic_ntt(q1, 256));
+        assert!(primes::supports_negacyclic_ntt(q2, 256));
+        let q = mult.modulus();
+        let a = rand_vec(256, q, 5);
+        let b = rand_vec(256, q, 6);
+        // Verify against a spot identity: multiply by x shifts.
+        let mut x = vec![0u128; 256];
+        x[1] = 1;
+        let shifted = mult.multiply(&a, &x).unwrap();
+        assert_eq!(shifted[1], a[0]);
+        assert_eq!(shifted[0], (q - a[255]) % q);
+        // Full oracle at this size is still fine.
+        assert_eq!(mult.multiply(&a, &b).unwrap(), schoolbook_u128(&a, &b, q));
+    }
+
+    #[test]
+    fn degree_mismatch_errors() {
+        let mult = RnsMultiplier::new(64, 12289, 40961).unwrap();
+        assert!(mult.multiply(&[0; 32], &[0; 64]).is_err());
+    }
+
+    #[test]
+    fn channel_requirements_enforced() {
+        // 17 is prime but does not support a length-64 negacyclic NTT.
+        assert!(RnsMultiplier::new(64, 12289, 17).is_err());
+        // Composite channel.
+        assert!(RnsMultiplier::new(64, 12289, 40962).is_err());
+    }
+}

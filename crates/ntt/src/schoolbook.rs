@@ -1,0 +1,125 @@
+//! O(n²) schoolbook negacyclic multiplication — the correctness oracle.
+//!
+//! In `Z_q[x]/(x^n + 1)`, `x^n ≡ −1`, so the coefficient of `x^k` in
+//! `a·b` is `Σ_{i+j=k} a_i b_j − Σ_{i+j=k+n} a_i b_j`.
+
+use crate::poly::Polynomial;
+use crate::Result;
+use modmath::{zq, Error};
+
+/// Multiplies two polynomials in `Z_q[x]/(x^n + 1)` by the definition.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDegree`] if the operands have different
+/// lengths, and [`Error::NotPrime`] is never returned (any modulus works).
+///
+/// # Example
+///
+/// ```
+/// use ntt::poly::Polynomial;
+/// use ntt::schoolbook::multiply;
+///
+/// # fn main() -> Result<(), ntt::Error> {
+/// // (x + 1)² = x² + 2x + 1 in Z_17[x]/(x^4 + 1)
+/// let a = Polynomial::from_coeffs(vec![1, 1, 0, 0], 17)?;
+/// let c = multiply(&a, &a)?;
+/// assert_eq!(c.coeffs(), &[1, 2, 1, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multiply(a: &Polynomial, b: &Polynomial) -> Result<Polynomial> {
+    if a.degree_bound() != b.degree_bound() {
+        return Err(Error::InvalidDegree {
+            n: b.degree_bound(),
+        });
+    }
+    assert_eq!(a.modulus(), b.modulus(), "mismatched moduli");
+    let n = a.degree_bound();
+    let q = a.modulus();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        let ai = a.coeff(i);
+        if ai == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = zq::mul(ai, b.coeff(j), q);
+            let k = i + j;
+            if k < n {
+                out[k] = zq::add(out[k], prod, q);
+            } else {
+                // x^n ≡ −1: wrap with a sign flip.
+                out[k - n] = zq::sub(out[k - n], prod, q);
+            }
+        }
+    }
+    Polynomial::from_coeffs(out, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(coeffs: &[u64], q: u64) -> Polynomial {
+        Polynomial::from_coeffs(coeffs.to_vec(), q).unwrap()
+    }
+
+    #[test]
+    fn multiply_by_one_is_identity() {
+        let q = 17;
+        let a = poly(&[3, 1, 4, 1], q);
+        let one = poly(&[1, 0, 0, 0], q);
+        assert_eq!(multiply(&a, &one).unwrap(), a);
+    }
+
+    #[test]
+    fn multiply_by_x_rotates_with_sign() {
+        let q = 17;
+        let a = poly(&[1, 2, 3, 4], q);
+        let x = poly(&[0, 1, 0, 0], q);
+        // x·(1 + 2x + 3x² + 4x³) = x + 2x² + 3x³ + 4x⁴ = −4 + x + 2x² + 3x³
+        assert_eq!(multiply(&a, &x).unwrap().coeffs(), &[q - 4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn x_to_the_n_is_minus_one() {
+        let q = 17;
+        let n = 8;
+        // (x^{n/2})² = x^n = −1
+        let mut half = vec![0u64; n];
+        half[n / 2] = 1;
+        let h = poly(&half, q);
+        let sq = multiply(&h, &h).unwrap();
+        let mut expect = vec![0u64; n];
+        expect[0] = q - 1;
+        assert_eq!(sq.coeffs(), &expect);
+    }
+
+    #[test]
+    fn commutative() {
+        let q = 7681;
+        let a = poly(&[5, 0, 2, 9, 1, 0, 0, 3], q);
+        let b = poly(&[1, 1, 1, 1, 0, 0, 7, 2], q);
+        assert_eq!(multiply(&a, &b).unwrap(), multiply(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn distributes_over_addition() {
+        let q = 7681;
+        let a = poly(&[5, 0, 2, 9], q);
+        let b = poly(&[1, 1, 1, 1], q);
+        let c = poly(&[9, 8, 7, 6], q);
+        let lhs = multiply(&a, &(b.clone() + c.clone())).unwrap();
+        let rhs = multiply(&a, &b).unwrap() + multiply(&a, &c).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let q = 17;
+        let a = poly(&[1, 2, 3, 4], q);
+        let b = poly(&[1, 2], q);
+        assert!(multiply(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! A memory **bank**: a physical cascade of PIM blocks joined by
+//! fixed-function switches (paper §III-C/D).
+//!
+//! [`crate::block::MemoryBlock`] models one compute site and
+//! [`crate::switch::FixedFunctionSwitch`] one inter-block link; a
+//! [`Bank`] assembles them into the chain the paper provisions (49
+//! blocks for the 32k design), each link with its own hard-wired shift
+//! `s`. The accelerator crate drives banks through whole NTT runs; the
+//! structural test suite there checks a bank-executed multiplication
+//! against the software reference.
+
+use crate::block::MemoryBlock;
+use crate::stats::Tally;
+use crate::switch::{Connection, FixedFunctionSwitch};
+use crate::{PimError, Result, BLOCK_DIM};
+
+/// A chain of memory blocks with a switch between each adjacent pair.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    blocks: Vec<MemoryBlock>,
+    switches: Vec<FixedFunctionSwitch>,
+    bitwidth: u32,
+}
+
+impl Bank {
+    /// Builds a bank of `block_count` standard blocks; `shifts[i]` is
+    /// the hard-wired shift of the switch between blocks `i` and `i+1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::UnsupportedBitwidth`] from block construction.
+    /// * [`PimError::LengthMismatch`] when `shifts.len() + 1 !=
+    ///   block_count`.
+    pub fn new(bitwidth: u32, block_count: usize, shifts: &[usize]) -> Result<Self> {
+        if shifts.len() + 1 != block_count {
+            return Err(PimError::LengthMismatch {
+                left: block_count,
+                right: shifts.len() + 1,
+            });
+        }
+        let blocks = (0..block_count)
+            .map(|_| MemoryBlock::new(bitwidth))
+            .collect::<Result<Vec<_>>>()?;
+        let switches = shifts
+            .iter()
+            .map(|&s| FixedFunctionSwitch::new(s, BLOCK_DIM))
+            .collect();
+        Ok(Bank {
+            blocks,
+            switches,
+            bitwidth,
+        })
+    }
+
+    /// Number of blocks in the chain.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the bank has no blocks (never constructible via
+    /// [`Bank::new`], provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The datapath width.
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+
+    /// Mutable access to block `i` for compute steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn block_mut(&mut self, i: usize) -> &mut MemoryBlock {
+        &mut self.blocks[i]
+    }
+
+    /// The switch after block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len() - 1`.
+    pub fn switch(&self, i: usize) -> &FixedFunctionSwitch {
+        &self.switches[i]
+    }
+
+    /// Moves a vector from block `i` to block `i+1` through the
+    /// interposed switch, each row taking its selected connection.
+    /// Returns the values as they land on the destination rows (rows no
+    /// source routed to read as 0, like unwritten cells).
+    ///
+    /// # Errors
+    ///
+    /// Routing failures (out-of-range rows, length mismatches).
+    pub fn transfer(
+        &mut self,
+        i: usize,
+        data: &[u64],
+        conns: &[Connection],
+    ) -> Result<Vec<u64>> {
+        if i + 1 >= self.blocks.len() {
+            return Err(PimError::RowOutOfRange {
+                row: i as isize + 1,
+                rows: self.blocks.len(),
+            });
+        }
+        let outcome = self.switches[i].route(data, conns, self.bitwidth)?;
+        self.blocks[i + 1].absorb(&outcome.tally);
+        Ok(outcome
+            .values
+            .into_iter()
+            .map(|v| v.unwrap_or(0))
+            .collect())
+    }
+
+    /// Aggregate tally over every block (compute + absorbed transfers).
+    pub fn total_tally(&self) -> Tally {
+        self.blocks.iter().map(|b| b.tally()).sum()
+    }
+
+    /// Resets every block's tally.
+    pub fn reset_tallies(&mut self) {
+        for b in &mut self.blocks {
+            b.reset_tally();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shift_count() {
+        assert!(Bank::new(16, 4, &[1, 2, 4]).is_ok());
+        assert!(matches!(
+            Bank::new(16, 4, &[1, 2]),
+            Err(PimError::LengthMismatch { .. })
+        ));
+        assert!(Bank::new(15, 2, &[1]).is_err(), "odd width rejected");
+    }
+
+    #[test]
+    fn paper_bank_shape() {
+        // The 32k bank: 49 blocks, hence 48 switches.
+        let shifts: Vec<usize> = (0..48).map(|i| 1 << (i % 9)).collect();
+        let bank = Bank::new(32, 49, &shifts).unwrap();
+        assert_eq!(bank.len(), 49);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.switch(0).shift(), 1);
+        assert_eq!(bank.bitwidth(), 32);
+    }
+
+    #[test]
+    fn transfer_moves_and_charges_next_block() {
+        let mut bank = Bank::new(16, 3, &[2, 4]).unwrap();
+        let data = vec![10u64, 11, 12, 13];
+        let conns = vec![
+            Connection::UpShift,
+            Connection::UpShift,
+            Connection::DownShift,
+            Connection::DownShift,
+        ];
+        let landed = bank.transfer(0, &data, &conns).unwrap();
+        assert_eq!(&landed[..4], &[12, 13, 10, 11]);
+        // The destination block absorbed the transfer cost.
+        assert_eq!(bank.blocks[1].tally().transfer_cycles, 48);
+        assert_eq!(bank.blocks[0].tally().cycles, 0);
+        assert_eq!(bank.total_tally().transfer_cycles, 48);
+    }
+
+    #[test]
+    fn transfer_past_the_end_errors() {
+        let mut bank = Bank::new(16, 2, &[1]).unwrap();
+        assert!(bank.transfer(1, &[1], &[Connection::Direct]).is_err());
+    }
+
+    #[test]
+    fn compute_on_blocks_accumulates() {
+        let mut bank = Bank::new(16, 2, &[1]).unwrap();
+        let sums = bank.block_mut(0).add(&[1, 2], &[3, 4]).unwrap();
+        assert_eq!(sums, vec![4, 6]);
+        assert!(bank.total_tally().compute_cycles > 0);
+        bank.reset_tallies();
+        assert_eq!(bank.total_tally(), Tally::new());
+    }
+}

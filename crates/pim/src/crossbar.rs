@@ -1,0 +1,396 @@
+//! Bit-level crossbar memory model (Fig. 1 / Fig. 2 of the paper).
+//!
+//! A [`Crossbar`] is the physical substrate under a
+//! [`crate::block::MemoryBlock`]: an `rows × cols` array of ReRAM cells,
+//! one bit each. Values are stored one per row, MSB first (§III-B.1:
+//! "N continuous memory cells in a row represent an N-bit number, with
+//! the first cell storing the Most Significant Bit"); the columns to the
+//! right of the data field serve as processing columns for intermediate
+//! results.
+//!
+//! The crossbar also tracks per-cell write counts — ReRAM endurance is
+//! finite, and a released PIM simulator must expose wear so kernels can
+//! be compared on write pressure, not just cycles.
+//!
+//! The word-level [`crate::block`] engine is the fast path; this model
+//! exists to (a) validate layouts and microprograms bit-exactly and
+//! (b) provide wear/occupancy statistics for the architecture study.
+
+use crate::logic::{BitColumn, GateEngine};
+use crate::{PimError, Result};
+
+/// A field of columns allocated inside a crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnField {
+    /// First column of the field.
+    pub start: usize,
+    /// Width in columns (= bits).
+    pub width: usize,
+}
+
+impl ColumnField {
+    /// The half-open column range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.width
+    }
+}
+
+/// An `rows × cols` array of single-bit ReRAM cells.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    /// Cell states, row-major.
+    cells: Vec<bool>,
+    /// Per-cell write counts (endurance tracking).
+    writes: Vec<u32>,
+    /// Next free column for allocation.
+    next_col: usize,
+}
+
+impl Crossbar {
+    /// Creates a zeroed crossbar. The paper's block is 512 × 512
+    /// ([`crate::BLOCK_DIM`]), but tests use smaller arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero");
+        Crossbar {
+            rows,
+            cols,
+            cells: vec![false; rows * cols],
+            writes: vec![0; rows * cols],
+            next_col: 0,
+        }
+    }
+
+    /// Rows in the array.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns in the array.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Columns not yet allocated to any field.
+    #[inline]
+    pub fn free_cols(&self) -> usize {
+        self.cols - self.next_col
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Reads one cell.
+    #[inline]
+    pub fn read_bit(&self, row: usize, col: usize) -> bool {
+        self.cells[self.idx(row, col)]
+    }
+
+    /// Writes one cell, counting wear only on actual state changes
+    /// (ReRAM cells age on switching, not on reads or same-state
+    /// writes).
+    #[inline]
+    pub fn write_bit(&mut self, row: usize, col: usize, value: bool) {
+        let i = self.idx(row, col);
+        if self.cells[i] != value {
+            self.cells[i] = value;
+            self.writes[i] += 1;
+        }
+    }
+
+    /// Allocates the next `width` columns as a field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::VectorTooLong`] when fewer than `width`
+    /// columns remain (the block is out of processing space).
+    pub fn allocate(&mut self, width: usize) -> Result<ColumnField> {
+        if self.next_col + width > self.cols {
+            return Err(PimError::VectorTooLong {
+                len: width,
+                rows: self.free_cols(),
+            });
+        }
+        let field = ColumnField {
+            start: self.next_col,
+            width,
+        };
+        self.next_col += width;
+        Ok(field)
+    }
+
+    /// Releases all allocations (processing columns are reclaimed
+    /// between operations; cell contents are left as-is, like hardware).
+    pub fn reset_allocations(&mut self) {
+        self.next_col = 0;
+    }
+
+    /// Stores a vector into a field, one value per row, **MSB first**
+    /// (the paper's layout). `row_map` gives the destination row for
+    /// each value — the free bit-reversal write permutation; pass
+    /// `None` for identity.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::VectorTooLong`] — more values than rows.
+    /// * [`PimError::ValueOverflow`] — a value wider than the field.
+    /// * [`PimError::RowOutOfRange`] — a mapped row outside the array.
+    pub fn store_vector(
+        &mut self,
+        field: ColumnField,
+        values: &[u64],
+        row_map: Option<&[usize]>,
+    ) -> Result<()> {
+        if values.len() > self.rows {
+            return Err(PimError::VectorTooLong {
+                len: values.len(),
+                rows: self.rows,
+            });
+        }
+        if let Some(map) = row_map {
+            if map.len() != values.len() {
+                return Err(PimError::LengthMismatch {
+                    left: values.len(),
+                    right: map.len(),
+                });
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if field.width < 64 && v >> field.width != 0 {
+                return Err(PimError::ValueOverflow {
+                    value: v,
+                    width: field.width as u32,
+                });
+            }
+            let row = row_map.map_or(i, |m| m[i]);
+            if row >= self.rows {
+                return Err(PimError::RowOutOfRange {
+                    row: row as isize,
+                    rows: self.rows,
+                });
+            }
+            // MSB in the first (leftmost) cell of the field.
+            for bit in 0..field.width {
+                let cell_value = (v >> (field.width - 1 - bit)) & 1 == 1;
+                self.write_bit(row, field.start + bit, cell_value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads `count` values back out of a field (identity row order).
+    pub fn load_vector(&self, field: ColumnField, count: usize) -> Vec<u64> {
+        (0..count.min(self.rows))
+            .map(|row| {
+                (0..field.width).fold(0u64, |acc, bit| {
+                    (acc << 1) | self.read_bit(row, field.start + bit) as u64
+                })
+            })
+            .collect()
+    }
+
+    /// Reads a column as a row-parallel bit vector (LSB-agnostic — the
+    /// caller knows the field layout).
+    pub fn read_column(&self, col: usize, count: usize) -> BitColumn {
+        (0..count.min(self.rows))
+            .map(|row| self.read_bit(row, col))
+            .collect()
+    }
+
+    /// Writes a bit vector into a column.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::VectorTooLong`] when the vector exceeds the rows.
+    pub fn write_column(&mut self, col: usize, bits: &BitColumn) -> Result<()> {
+        if bits.len() > self.rows {
+            return Err(PimError::VectorTooLong {
+                len: bits.len(),
+                rows: self.rows,
+            });
+        }
+        for (row, &b) in bits.iter().enumerate() {
+            self.write_bit(row, col, b);
+        }
+        Ok(())
+    }
+
+    /// Executes an in-place row-parallel addition between two fields,
+    /// writing the `width + 1`-bit sum into a freshly allocated result
+    /// field, using the gate-level engine. Returns the result field and
+    /// the gate cycles spent (= `6·width + 1`, validated in tests).
+    ///
+    /// Fields are MSB-first; the gate engine works LSB-first, so columns
+    /// are presented in reversed order — a pure wiring choice with no
+    /// cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn add_fields(
+        &mut self,
+        a: ColumnField,
+        b: ColumnField,
+        count: usize,
+    ) -> Result<(ColumnField, u64)> {
+        assert_eq!(a.width, b.width, "operand fields must match in width");
+        let out = self.allocate(a.width + 1)?;
+        let mut eng = GateEngine::new();
+        let read_lsb_first = |xb: &Crossbar, f: ColumnField| -> Vec<BitColumn> {
+            (0..f.width)
+                .map(|bit| xb.read_column(f.start + f.width - 1 - bit, count))
+                .collect()
+        };
+        let av = read_lsb_first(self, a);
+        let bv = read_lsb_first(self, b);
+        let sum = eng.add_words(&av, &bv, a.width);
+        // sum[bit] is LSB-first with width+1 entries.
+        for (bit, column) in sum.iter().enumerate() {
+            self.write_column(out.start + out.width - 1 - bit, column)?;
+        }
+        Ok((out, eng.trace().cycles()))
+    }
+
+    /// Total cell writes so far (wear).
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().map(|&w| w as u64).sum()
+    }
+
+    /// The most-written cell's write count (endurance hot spot).
+    pub fn max_cell_writes(&self) -> u32 {
+        self.writes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost;
+    use modmath::bitrev;
+
+    #[test]
+    fn store_load_roundtrip_msb_first() {
+        let mut xb = Crossbar::new(8, 32);
+        let field = xb.allocate(8).unwrap();
+        let values = vec![0u64, 1, 0x80, 0xFF, 0x5A];
+        xb.store_vector(field, &values, None).unwrap();
+        assert_eq!(xb.load_vector(field, 5), values);
+        // MSB-first: 0x80 puts its single set bit in the FIRST cell.
+        assert!(xb.read_bit(2, field.start));
+        assert!(!xb.read_bit(2, field.start + 7));
+        // 1 puts its bit in the LAST cell.
+        assert!(xb.read_bit(1, field.start + 7));
+    }
+
+    #[test]
+    fn bitrev_write_permutation() {
+        // The paper's free bit-reversal: apply it as the row map.
+        let n = 8;
+        let mut xb = Crossbar::new(n, 16);
+        let field = xb.allocate(8).unwrap();
+        let values: Vec<u64> = (0..n as u64).collect();
+        let map = bitrev::permutation_table(n);
+        xb.store_vector(field, &values, Some(&map)).unwrap();
+        let loaded = xb.load_vector(field, n);
+        for i in 0..n {
+            assert_eq!(loaded[map[i]], values[i]);
+        }
+    }
+
+    #[test]
+    fn allocation_exhaustion() {
+        let mut xb = Crossbar::new(4, 20);
+        let _ = xb.allocate(16).unwrap();
+        assert_eq!(xb.free_cols(), 4);
+        assert!(xb.allocate(5).is_err());
+        let _ = xb.allocate(4).unwrap();
+        assert_eq!(xb.free_cols(), 0);
+        xb.reset_allocations();
+        assert_eq!(xb.free_cols(), 20);
+    }
+
+    #[test]
+    fn value_overflow_rejected() {
+        let mut xb = Crossbar::new(4, 16);
+        let field = xb.allocate(4).unwrap();
+        assert!(matches!(
+            xb.store_vector(field, &[16], None),
+            Err(PimError::ValueOverflow { .. })
+        ));
+        assert!(xb.store_vector(field, &[15], None).is_ok());
+    }
+
+    #[test]
+    fn too_many_values_rejected() {
+        let mut xb = Crossbar::new(2, 16);
+        let field = xb.allocate(4).unwrap();
+        assert!(matches!(
+            xb.store_vector(field, &[1, 2, 3], None),
+            Err(PimError::VectorTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_row_map_rejected() {
+        let mut xb = Crossbar::new(4, 16);
+        let field = xb.allocate(4).unwrap();
+        assert!(matches!(
+            xb.store_vector(field, &[1, 2], Some(&[0])),
+            Err(PimError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            xb.store_vector(field, &[1, 2], Some(&[0, 9])),
+            Err(PimError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn in_array_addition_bit_exact_and_cycle_exact() {
+        let mut xb = Crossbar::new(64, 64);
+        let width = 12;
+        let a = xb.allocate(width).unwrap();
+        let b = xb.allocate(width).unwrap();
+        let av: Vec<u64> = (0..64u64).map(|i| (i * 37) & 0xFFF).collect();
+        let bv: Vec<u64> = (0..64u64).map(|i| (i * 91 + 3) & 0xFFF).collect();
+        xb.store_vector(a, &av, None).unwrap();
+        xb.store_vector(b, &bv, None).unwrap();
+        let (out, cycles) = xb.add_fields(a, b, 64).unwrap();
+        assert_eq!(cycles, cost::add_cycles(width as u32));
+        let sums = xb.load_vector(out, 64);
+        for i in 0..64 {
+            assert_eq!(sums[i], av[i] + bv[i], "row {i}");
+        }
+    }
+
+    #[test]
+    fn wear_tracking_counts_switches_only() {
+        let mut xb = Crossbar::new(2, 8);
+        let field = xb.allocate(4).unwrap();
+        xb.store_vector(field, &[0b1010], None).unwrap();
+        let w1 = xb.total_writes();
+        assert_eq!(w1, 2, "only the two set bits switched");
+        // Rewriting the same value switches nothing.
+        xb.store_vector(field, &[0b1010], None).unwrap();
+        assert_eq!(xb.total_writes(), w1);
+        // Flipping all four bits switches four cells.
+        xb.store_vector(field, &[0b0101], None).unwrap();
+        assert_eq!(xb.total_writes(), w1 + 4);
+        assert!(xb.max_cell_writes() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        Crossbar::new(0, 8);
+    }
+}

@@ -1,0 +1,73 @@
+//! The calibrated energy model.
+//!
+//! The paper derives per-operation energies from HSPICE simulation of a
+//! 45 nm design; those netlists are not published, so we substitute a
+//! transparent two-constant model (DESIGN.md §2):
+//!
+//! * every gate cycle dissipates [`ROW_GATE_ENERGY_PJ`] per active row
+//!   (device switching + wordline drive), and
+//! * every inter-block transfer dissipates [`TRANSFER_BIT_ROW_ENERGY_PJ`]
+//!   per moved bit per row (switch + bitline).
+//!
+//! **Calibration.** `ROW_GATE_ENERGY_PJ` is fitted once so the pipelined
+//! n = 256 polynomial multiplication matches Table II's 2.58 µJ;
+//! `TRANSFER_BIT_ROW_ENERGY_PJ` is ≈ 1.75× the gate constant (a transfer
+//! is a read + switch route + write per bit, i.e. roughly two device
+//! operations) — this ratio is what yields the paper's ≈ 1.6 %
+//! pipelining energy overhead. Every other energy number in
+//! EXPERIMENTS.md is a *prediction* of this model, compared against the
+//! paper's values (they land within ≈ 2 % across Table II).
+//!
+//! The fitted 0.24 pJ/row·cycle sits comfortably in the published range
+//! for ReRAM logic (≈ 0.1 – 1 pJ per bitwise operation).
+
+/// Energy per gate cycle per active row, in picojoules (fitted).
+pub const ROW_GATE_ENERGY_PJ: f64 = 0.2396;
+
+/// Energy per transferred bit per row through an inter-block switch,
+/// in picojoules (read + route + write).
+pub const TRANSFER_BIT_ROW_ENERGY_PJ: f64 = 0.419;
+
+/// Energy of `cycles` of row-parallel compute over `rows` active rows.
+#[inline]
+pub fn compute_energy_pj(cycles: u64, rows: usize) -> f64 {
+    cycles as f64 * rows as f64 * ROW_GATE_ENERGY_PJ
+}
+
+/// Energy of one vector transfer of `rows` values of `bitwidth` bits.
+#[inline]
+pub fn transfer_energy_pj(rows: usize, bitwidth: u32) -> f64 {
+    rows as f64 * bitwidth as f64 * TRANSFER_BIT_ROW_ENERGY_PJ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_energy_scales_linearly() {
+        let e1 = compute_energy_pj(100, 256);
+        let e2 = compute_energy_pj(200, 256);
+        let e3 = compute_energy_pj(100, 512);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        assert!((e3 - 2.0 * e1).abs() < 1e-9);
+        assert_eq!(compute_energy_pj(0, 512), 0.0);
+    }
+
+    #[test]
+    fn transfer_energy_scales_with_width() {
+        let e16 = transfer_energy_pj(512, 16);
+        let e32 = transfer_energy_pj(512, 32);
+        assert!((e32 - 2.0 * e16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_are_cheap_relative_to_compute() {
+        // One 16-bit transfer of a full block costs less than one 16-bit
+        // vector add (97 cycles over the same rows) — transfers stay a
+        // small slice of total energy.
+        let add = compute_energy_pj(97, 512);
+        let xfer = transfer_energy_pj(512, 16);
+        assert!(xfer < add);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by the PIM simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PimError {
+    /// More vector elements than the block has rows.
+    VectorTooLong {
+        /// Requested vector length.
+        len: usize,
+        /// Rows available in the block.
+        rows: usize,
+    },
+    /// The datapath bit-width is outside the supported range (1..=64 for
+    /// the word-level engine; products need `2N <= 64`).
+    UnsupportedBitwidth {
+        /// Offending width.
+        width: u32,
+    },
+    /// Two blocks involved in one operation hold vectors of different
+    /// lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A value does not fit in the configured bit-width.
+    ValueOverflow {
+        /// The oversized value.
+        value: u64,
+        /// The configured width.
+        width: u32,
+    },
+    /// A switch transfer addressed a row outside the destination block.
+    RowOutOfRange {
+        /// The out-of-range row.
+        row: isize,
+        /// Rows in the block.
+        rows: usize,
+    },
+    /// The operation needs a reduction sequence that is not defined for
+    /// this modulus (only q ∈ {7681, 12289, 786433} are specialized).
+    UnsupportedModulus {
+        /// The modulus.
+        q: u64,
+    },
+    /// An underlying modular-arithmetic error (bad degree, composite
+    /// modulus, …) surfaced through the PIM layer.
+    Math(modmath::Error),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::VectorTooLong { len, rows } => {
+                write!(f, "vector of {len} elements exceeds {rows} block rows")
+            }
+            PimError::UnsupportedBitwidth { width } => {
+                write!(f, "bit-width {width} is outside the supported range")
+            }
+            PimError::LengthMismatch { left, right } => {
+                write!(f, "operand lengths differ: {left} vs {right}")
+            }
+            PimError::ValueOverflow { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            PimError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} outside block of {rows} rows")
+            }
+            PimError::UnsupportedModulus { q } => {
+                write!(f, "no in-memory reduction sequence for modulus {q}")
+            }
+            PimError::Math(e) => write!(f, "modular arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PimError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<modmath::Error> for PimError {
+    fn from(e: modmath::Error) -> Self {
+        match e {
+            modmath::Error::UnsupportedModulus { q } => PimError::UnsupportedModulus { q },
+            other => PimError::Math(other),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Cycle-accurate ReRAM processing-in-memory (PIM) simulator.
+//!
+//! This crate is the substrate the paper's evaluation ran on: the authors
+//! used an in-house cycle-accurate C++ simulator plus HSPICE device
+//! characterization; we rebuild the same stack in Rust (see DESIGN.md §2
+//! for the substitution table).
+//!
+//! The simulator has two levels, cross-validated against each other:
+//!
+//! * **Gate level** ([`logic`]) — bitwise in-memory operations (MAGIC /
+//!   FELIX style) executed literally on bit vectors, one cycle per
+//!   primitive. The adder/subtractor microprograms built from them are
+//!   bit-exact and their measured cycle counts equal the closed forms
+//!   the paper quotes (`6N+1`, `7N+1`).
+//! * **Word level** ([`block`]) — vector-wide operations on whole memory
+//!   blocks. Results are computed with ordinary word arithmetic, while
+//!   cycles and energy are accounted with the validated closed forms
+//!   ([`cost`]). This is what makes 32k-degree simulations tractable.
+//!
+//! Modules:
+//!
+//! * [`device`] — VTEAM-style RRAM device model (Ron/Roff, thresholds,
+//!   1.1 ns switching delay = the CryptoPIM cycle time).
+//! * [`logic`] — gate-level bitwise primitives and the full-adder
+//!   microprogram.
+//! * [`cost`] — the closed-form cycle costs of every CryptoPIM operation
+//!   (paper §III-B and Table I).
+//! * [`reduce`] — in-memory shift-add Barrett/Montgomery reduction
+//!   microprograms, plus the multiplication-based reduction the BP-1/BP-2
+//!   baselines use.
+//! * [`switch`] — fixed-function inter-block switches (A→A, A→A±s) and
+//!   the full-crossbar comparator.
+//! * [`block`] — the 512×512 PIM-enabled memory block with vector-wide
+//!   operations and cycle/energy accounting.
+//! * [`energy`] — the calibrated energy model.
+//! * [`stats`] — cycle/energy tallies.
+//! * [`variation`] — Monte Carlo process-variation analysis (§IV-A).
+
+pub mod alu;
+pub mod bank;
+pub mod block;
+pub mod cost;
+pub mod crossbar;
+pub mod device;
+pub mod energy;
+pub mod logic;
+pub mod reduce;
+pub mod reduce_gate;
+pub mod stats;
+pub mod switch;
+pub mod variation;
+
+mod error;
+
+pub use error::PimError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PimError>;
+
+/// The CryptoPIM clock period: the RRAM switching delay of the adopted
+/// device (paper §IV-A), in nanoseconds.
+pub const CYCLE_TIME_NS: f64 = 1.1;
+
+/// Rows/columns of one PIM-enabled memory block (paper §III-C).
+pub const BLOCK_DIM: usize = 512;

@@ -1,0 +1,357 @@
+//! Gate-level execution of the shift-add reduction sequences
+//! (Algorithm 3), completing the bit-exact validation chain: the
+//! adder/subtractor microprograms are validated in [`crate::logic`], the
+//! multiplier in [`crate::alu`], and here the full Barrett/Montgomery
+//! sequences run literally on the gate engine — shifts as free column
+//! re-selection, masks as free column truncation, and the final
+//! conditional subtraction as an explicit borrow-controlled multiplexer.
+//!
+//! The measured cycle counts are those of a *straightforward* gate
+//! implementation (no "necessary bits only" pruning), so they sit above
+//! the paper's Table I values; the `word level ≡ gate level` equality is
+//! the point, the cycles are reported for the ablation.
+
+use crate::logic::{from_columns, to_columns, BitColumn, GateEngine};
+use crate::{PimError, Result};
+
+/// A row-parallel multi-bit value held as LSB-first bit columns.
+///
+/// Shifts and truncations re-label columns and cost **zero** cycles
+/// (paper §III-B: "shifting operation is translated to selecting
+/// appropriate columns of the memory block").
+#[derive(Debug, Clone)]
+pub struct GateWord {
+    cols: Vec<BitColumn>,
+    rows: usize,
+}
+
+impl GateWord {
+    /// Packs row values into columns at the given width.
+    pub fn from_values(values: &[u64], width: usize) -> Self {
+        GateWord {
+            cols: to_columns(values, width),
+            rows: values.len(),
+        }
+    }
+
+    /// Unpacks back to row values.
+    pub fn to_values(&self) -> Vec<u64> {
+        from_columns(&self.cols)
+    }
+
+    /// Current width in bits.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Left shift by `k` (free: prepend zero columns).
+    pub fn shl(&self, k: usize) -> GateWord {
+        let mut cols = vec![vec![false; self.rows]; k];
+        cols.extend(self.cols.iter().cloned());
+        GateWord {
+            cols,
+            rows: self.rows,
+        }
+    }
+
+    /// Right shift by `k` (free: drop low columns).
+    pub fn shr(&self, k: usize) -> GateWord {
+        GateWord {
+            cols: self.cols.iter().skip(k).cloned().collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Mask to the low `w` bits (free: drop high columns).
+    pub fn truncate(&self, w: usize) -> GateWord {
+        GateWord {
+            cols: self.cols.iter().take(w).cloned().collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Zero-extends to width `w` (free).
+    pub fn extend_to(&self, w: usize) -> GateWord {
+        let mut cols = self.cols.clone();
+        while cols.len() < w {
+            cols.push(vec![false; self.rows]);
+        }
+        GateWord {
+            cols,
+            rows: self.rows,
+        }
+    }
+
+    /// Gate-level addition at the wider operand's width (plus carry).
+    pub fn add(&self, other: &GateWord, eng: &mut GateEngine) -> GateWord {
+        let w = self.width().max(other.width());
+        let a = self.extend_to(w);
+        let b = other.extend_to(w);
+        GateWord {
+            cols: eng.add_words(&a.cols, &b.cols, w),
+            rows: self.rows,
+        }
+    }
+
+    /// Gate-level subtraction modulo `2^w` at the wider width.
+    pub fn sub(&self, other: &GateWord, eng: &mut GateEngine) -> GateWord {
+        let w = self.width().max(other.width());
+        let a = self.extend_to(w);
+        let b = other.extend_to(w);
+        GateWord {
+            cols: eng.sub_words(&a.cols, &b.cols, w),
+            rows: self.rows,
+        }
+    }
+
+    /// Conditional subtraction to canonical range: returns
+    /// `self − q` where that is non-negative, else `self`, using a
+    /// borrow-controlled column multiplexer (`3` gates per bit plus one
+    /// shared inversion).
+    pub fn cond_sub_const(&self, q: u64, eng: &mut GateEngine) -> GateWord {
+        // Work one bit wider so the sign of (self − q) is visible.
+        let w = self.width() + 1;
+        let a = self.extend_to(w);
+        let qw = GateWord::from_values(&vec![q; self.rows], w);
+        let d = a.sub(&qw, eng);
+        // Top bit set ⇔ self < q ⇔ keep self.
+        let keep = d.cols[w - 1].clone();
+        let take = eng.not(&keep);
+        let mut cols = Vec::with_capacity(w - 1);
+        for bit in 0..w - 1 {
+            let from_self = eng.and2(&keep, &a.cols[bit]);
+            let from_diff = eng.and2(&take, &d.cols[bit]);
+            cols.push(eng.or2(&from_self, &from_diff));
+        }
+        GateWord {
+            cols,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Outcome of a gate-level reduction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateReduceOutcome {
+    /// Canonical residues, one per row.
+    pub values: Vec<u64>,
+    /// Gate cycles executed.
+    pub cycles: u64,
+}
+
+/// Runs the shift-add **Barrett** sequence of Algorithm 3 at gate level
+/// on post-addition inputs (`a < 2q`).
+///
+/// # Errors
+///
+/// [`PimError::UnsupportedModulus`] for unspecialized moduli.
+pub fn gate_barrett(values: &[u64], q: u64) -> Result<GateReduceOutcome> {
+    debug_assert!(values.iter().all(|&a| a < 2 * q));
+    let mut eng = GateEngine::new();
+    let out = match q {
+        12289 => {
+            // a < 2q fits 15 bits; (a<<2)+a is 17 bits.
+            let a = GateWord::from_values(values, 15);
+            let s = a.shl(2).add(&a, &mut eng);
+            let u = s.shr(16); // ≤ 1 bit of quotient estimate
+            let uq = u.shl(13).add(&u.shl(12), &mut eng).add(&u, &mut eng);
+            let r = a.sub(&uq.truncate(15), &mut eng);
+            r.cond_sub_const(q, &mut eng)
+        }
+        7681 => {
+            let a = GateWord::from_values(values, 14);
+            let u = a.shr(13);
+            // u·q = (u<<13) − (u<<9) + u (erratum-corrected constant).
+            let uq = u.shl(13).sub(&u.shl(9), &mut eng).add(&u, &mut eng);
+            let r = a.sub(&uq.truncate(14), &mut eng);
+            r.cond_sub_const(q, &mut eng)
+        }
+        786433 => {
+            let a = GateWord::from_values(values, 21);
+            let u = a.shr(20);
+            let uq = u.shl(19).add(&u.shl(18), &mut eng).add(&u, &mut eng);
+            let r = a.sub(&uq.truncate(21), &mut eng);
+            r.cond_sub_const(q, &mut eng)
+        }
+        _ => return Err(PimError::UnsupportedModulus { q }),
+    };
+    Ok(GateReduceOutcome {
+        values: out.to_values(),
+        cycles: eng.trace().cycles(),
+    })
+}
+
+/// Runs the shift-add **Montgomery** (REDC) sequence at gate level for
+/// inputs `a < q·R`, returning `a·R⁻¹ mod q`.
+///
+/// # Errors
+///
+/// [`PimError::UnsupportedModulus`] for unspecialized moduli.
+pub fn gate_montgomery(values: &[u64], q: u64) -> Result<GateReduceOutcome> {
+    let mut eng = GateEngine::new();
+    let out = match q {
+        12289 => {
+            // a < q·2^18 fits 32 bits; m = a·12287 mod 2^18.
+            let a = GateWord::from_values(values, 32);
+            let m = a
+                .shl(13)
+                .truncate(18)
+                .add(&a.shl(12).truncate(18), &mut eng)
+                .truncate(18)
+                .sub(&a.truncate(18), &mut eng);
+            // t = (a + m·q) >> 18, a 15-bit result (≤ 2q).
+            let mq = m.shl(13).add(&m.shl(12), &mut eng).add(&m, &mut eng);
+            let t = mq.add(&a, &mut eng).shr(18).truncate(15);
+            t.cond_sub_const(q, &mut eng)
+        }
+        7681 => {
+            let a = GateWord::from_values(values, 31);
+            // m = a·7679 mod 2^18 = ((a<<13) − (a<<9) − a) mod 2^18.
+            let m = a
+                .shl(13)
+                .truncate(18)
+                .sub(&a.shl(9).truncate(18), &mut eng)
+                .sub(&a.truncate(18), &mut eng);
+            // m·q = (m<<13) − (m<<9) + m (erratum-corrected order).
+            let mq = m.shl(13).sub(&m.shl(9), &mut eng).add(&m, &mut eng);
+            let t = mq.add(&a, &mut eng).shr(18).truncate(14);
+            t.cond_sub_const(q, &mut eng)
+        }
+        786433 => {
+            let a = GateWord::from_values(values, 52);
+            // m = a·786431 mod 2^32 = ((a<<19) + (a<<18) − a) mod 2^32.
+            let m = a
+                .shl(19)
+                .truncate(32)
+                .add(&a.shl(18).truncate(32), &mut eng)
+                .truncate(32)
+                .sub(&a.truncate(32), &mut eng);
+            let mq = m.shl(19).add(&m.shl(18), &mut eng).add(&m, &mut eng);
+            let t = mq.add(&a, &mut eng).shr(32).truncate(21);
+            t.cond_sub_const(q, &mut eng)
+        }
+        _ => return Err(PimError::UnsupportedModulus { q }),
+    };
+    Ok(GateReduceOutcome {
+        values: out.to_values(),
+        cycles: eng.trace().cycles(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::barrett::shift_add_reduce;
+    use modmath::montgomery::{paper_r_exponent, shift_add_redc};
+
+    fn spread(limit: u64, count: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..count)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state % limit
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gate_barrett_matches_word_level() {
+        for q in [7681u64, 12289, 786433] {
+            let inputs = spread(2 * q, 128, q);
+            let out = gate_barrett(&inputs, q).unwrap();
+            for (i, &a) in inputs.iter().enumerate() {
+                assert_eq!(
+                    out.values[i],
+                    shift_add_reduce(a, q).unwrap(),
+                    "q = {q}, a = {a}"
+                );
+                assert_eq!(out.values[i], a % q, "q = {q}, a = {a}");
+            }
+            assert!(out.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn gate_barrett_edge_values() {
+        for q in [7681u64, 12289, 786433] {
+            let edges = [0, 1, q - 1, q, q + 1, 2 * q - 1];
+            let out = gate_barrett(&edges, q).unwrap();
+            for (i, &a) in edges.iter().enumerate() {
+                assert_eq!(out.values[i], a % q, "q = {q}, a = {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_montgomery_matches_word_level() {
+        for q in [7681u64, 12289, 786433] {
+            let k = paper_r_exponent(q).unwrap();
+            let limit = ((q as u128) << k).min(u64::MAX as u128) as u64;
+            let inputs = spread(limit, 96, q + 3);
+            let out = gate_montgomery(&inputs, q).unwrap();
+            for (i, &a) in inputs.iter().enumerate() {
+                assert_eq!(
+                    out.values[i],
+                    shift_add_redc(a, q).unwrap(),
+                    "q = {q}, a = {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_montgomery_edge_values() {
+        for q in [7681u64, 12289] {
+            let k = paper_r_exponent(q).unwrap();
+            let edges = [0u64, 1, q, (q << k) - 1];
+            let out = gate_montgomery(&edges, q).unwrap();
+            for (i, &a) in edges.iter().enumerate() {
+                assert_eq!(out.values[i], shift_add_redc(a, q).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_modulus_rejected() {
+        assert!(gate_barrett(&[1], 17).is_err());
+        assert!(gate_montgomery(&[1], 17).is_err());
+    }
+
+    #[test]
+    fn gate_cycles_exceed_pruned_table1() {
+        // The unpruned gate implementation must cost at least the
+        // paper's optimized (bit-pruned) Table I values — otherwise the
+        // paper's claimed optimization would be meaningless.
+        for q in [7681u64, 12289, 786433] {
+            let b = gate_barrett(&[q - 1], q).unwrap().cycles;
+            let m = gate_montgomery(&[q - 1], q).unwrap().cycles;
+            let tb = crate::cost::barrett_cycles(q).unwrap();
+            let tm = crate::cost::montgomery_cycles(q).unwrap();
+            assert!(b >= tb, "q = {q}: gate Barrett {b} < Table I {tb}");
+            assert!(m >= tm, "q = {q}: gate Montgomery {m} < Table I {tm}");
+        }
+    }
+
+    #[test]
+    fn gateword_shift_semantics() {
+        let mut eng = GateEngine::new();
+        let w = GateWord::from_values(&[5, 9], 4);
+        assert_eq!(w.shl(2).to_values(), vec![20, 36]);
+        assert_eq!(w.shr(1).to_values(), vec![2, 4]);
+        assert_eq!(w.truncate(2).to_values(), vec![1, 1]);
+        assert_eq!(eng.trace().cycles(), 0, "shifts are free");
+        let sum = w.add(&w, &mut eng);
+        assert_eq!(sum.to_values(), vec![10, 18]);
+        assert!(eng.trace().cycles() > 0);
+    }
+
+    #[test]
+    fn cond_sub_both_branches() {
+        let mut eng = GateEngine::new();
+        let w = GateWord::from_values(&[3, 7, 10, 13], 4);
+        let out = w.cond_sub_const(7, &mut eng);
+        assert_eq!(out.to_values(), vec![3, 0, 3, 6]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cycle and energy tallies.
+
+use crate::CYCLE_TIME_NS;
+
+/// Accumulated cost of a sequence of PIM operations.
+///
+/// `cycles` counts device switching cycles (1.1 ns each); `energy_pj`
+/// accumulates the calibrated energy model's output in picojoules;
+/// the per-category counters feed the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tally {
+    /// Total device cycles.
+    pub cycles: u64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Cycles spent in vector arithmetic (add/sub/mul).
+    pub compute_cycles: u64,
+    /// Cycles spent in modular reductions.
+    pub reduce_cycles: u64,
+    /// Cycles spent in inter-block transfers.
+    pub transfer_cycles: u64,
+}
+
+impl Tally {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Tally::default()
+    }
+
+    /// Adds another tally into this one.
+    pub fn absorb(&mut self, other: &Tally) {
+        self.cycles += other.cycles;
+        self.energy_pj += other.energy_pj;
+        self.compute_cycles += other.compute_cycles;
+        self.reduce_cycles += other.reduce_cycles;
+        self.transfer_cycles += other.transfer_cycles;
+    }
+
+    /// Wall-clock time at the CryptoPIM cycle period, in nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        self.cycles as f64 * CYCLE_TIME_NS
+    }
+
+    /// Wall-clock time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.time_ns() / 1_000.0
+    }
+
+    /// Energy in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_pj / 1e6
+    }
+}
+
+impl std::ops::Add for Tally {
+    type Output = Tally;
+
+    fn add(mut self, rhs: Tally) -> Tally {
+        self.absorb(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for Tally {
+    fn sum<I: Iterator<Item = Tally>>(iter: I) -> Tally {
+        iter.fold(Tally::new(), |acc, t| acc + t)
+    }
+}
+
+impl std::fmt::Display for Tally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cycles ({:.3} µs), {:.3} µJ",
+            self.cycles,
+            self.time_us(),
+            self.energy_uj()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = Tally {
+            cycles: 10,
+            energy_pj: 1.5,
+            compute_cycles: 6,
+            reduce_cycles: 4,
+            transfer_cycles: 0,
+        };
+        let b = Tally {
+            cycles: 5,
+            energy_pj: 0.5,
+            compute_cycles: 0,
+            reduce_cycles: 0,
+            transfer_cycles: 5,
+        };
+        a.absorb(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.compute_cycles, 6);
+        assert_eq!(a.transfer_cycles, 5);
+        assert!((a.energy_pj - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_uses_cycle_period() {
+        let t = Tally {
+            cycles: 1000,
+            ..Tally::default()
+        };
+        assert!((t.time_ns() - 1100.0).abs() < 1e-9);
+        assert!((t.time_us() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let parts = vec![
+            Tally {
+                cycles: 1,
+                ..Tally::default()
+            },
+            Tally {
+                cycles: 2,
+                ..Tally::default()
+            },
+            Tally {
+                cycles: 3,
+                ..Tally::default()
+            },
+        ];
+        let total: Tally = parts.into_iter().sum();
+        assert_eq!(total.cycles, 6);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let t = Tally::new();
+        let s = format!("{t}");
+        assert!(s.contains("µs") && s.contains("µJ"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Inter-block switches: CryptoPIM's fixed-function switch vs a full
+//! crossbar (paper §III-C, Fig. 3).
+//!
+//! The NTT's only inter-stage communication pattern is strided: stage `i`
+//! sends row `A` of one block to rows `A`, `A+s`, `A−s` of the next
+//! (`s` = the butterfly distance). A general crossbar scales its logic
+//! with the number of ports; CryptoPIM hard-wires the three connection
+//! kinds, needing just **3 logic switches per row** regardless of block
+//! size. A transfer of one vector costs `3 × bitwidth` cycles (a column
+//! per bit, once per connection kind).
+
+use crate::cost;
+use crate::stats::Tally;
+use crate::{energy, PimError, Result};
+
+/// How one row of the destination block receives data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connection {
+    /// Row `A` → row `A`.
+    Direct,
+    /// Row `A` → row `A + s`.
+    UpShift,
+    /// Row `A` → row `A − s`.
+    DownShift,
+}
+
+/// A fixed-function switch between two adjacent memory blocks, with a
+/// hard-wired shift amount `s`.
+///
+/// # Example
+///
+/// ```
+/// use pim::switch::{Connection, FixedFunctionSwitch};
+///
+/// # fn main() -> Result<(), pim::PimError> {
+/// let sw = FixedFunctionSwitch::new(2, 8);
+/// let data = vec![10, 11, 12, 13];
+/// let out = sw.route(&data, &[Connection::UpShift; 4], 16)?;
+/// assert_eq!(out.values[2], Some(10)); // row 0 → row 0+2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedFunctionSwitch {
+    s: usize,
+    rows: usize,
+}
+
+/// The result of routing a vector through a switch: the value landing on
+/// each destination row (rows no source routed to hold `None`), plus the
+/// transfer cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// Destination rows; `values[r]` is the value written to row `r`.
+    pub values: Vec<Option<u64>>,
+    /// Cycle/energy cost of the transfer.
+    pub tally: Tally,
+}
+
+impl FixedFunctionSwitch {
+    /// Creates a switch with hard-wired shift `s` between blocks of
+    /// `rows` rows.
+    pub fn new(s: usize, rows: usize) -> Self {
+        FixedFunctionSwitch { s, rows }
+    }
+
+    /// The hard-wired shift factor.
+    #[inline]
+    pub fn shift(&self) -> usize {
+        self.s
+    }
+
+    /// Logic switches required per row: always 3, independent of block
+    /// size (the paper's headline claim for this component).
+    #[inline]
+    pub fn switches_per_row(&self) -> usize {
+        3
+    }
+
+    /// Routes `data[r]` (row `r` of the source block) to the destination
+    /// block according to each row's selected connection. A full
+    /// vector transfer costs `3 × bitwidth` cycles (paper §III-C).
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::LengthMismatch`] when `data` and `conns` differ in
+    ///   length or exceed the block rows.
+    /// * [`PimError::RowOutOfRange`] when a shift lands outside the block.
+    pub fn route(
+        &self,
+        data: &[u64],
+        conns: &[Connection],
+        bitwidth: u32,
+    ) -> Result<RouteOutcome> {
+        if data.len() != conns.len() {
+            return Err(PimError::LengthMismatch {
+                left: data.len(),
+                right: conns.len(),
+            });
+        }
+        if data.len() > self.rows {
+            return Err(PimError::VectorTooLong {
+                len: data.len(),
+                rows: self.rows,
+            });
+        }
+        let mut values = vec![None; self.rows];
+        for (row, (&v, &c)) in data.iter().zip(conns).enumerate() {
+            let dest = match c {
+                Connection::Direct => row as isize,
+                Connection::UpShift => row as isize + self.s as isize,
+                Connection::DownShift => row as isize - self.s as isize,
+            };
+            if dest < 0 || dest as usize >= self.rows {
+                return Err(PimError::RowOutOfRange {
+                    row: dest,
+                    rows: self.rows,
+                });
+            }
+            values[dest as usize] = Some(v);
+        }
+        let cycles = cost::switch_transfer_cycles(bitwidth);
+        let tally = Tally {
+            cycles,
+            energy_pj: energy::transfer_energy_pj(data.len(), bitwidth),
+            transfer_cycles: cycles,
+            ..Tally::default()
+        };
+        Ok(RouteOutcome { values, tally })
+    }
+}
+
+/// A conventional crossbar switch model, kept only for the ablation
+/// comparison: any input row can reach any output row, at the cost of one
+/// logic switch per (input, output) pair — `rows` switches per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossbarSwitch {
+    rows: usize,
+}
+
+impl CrossbarSwitch {
+    /// Creates a full crossbar between blocks of `rows` rows.
+    pub fn new(rows: usize) -> Self {
+        CrossbarSwitch { rows }
+    }
+
+    /// Logic switches per row: one per destination — grows linearly with
+    /// block size (and the total switch count quadratically), which is
+    /// why the paper rejects this design.
+    #[inline]
+    pub fn switches_per_row(&self) -> usize {
+        self.rows
+    }
+
+    /// Routes through an arbitrary permutation. Cost model: the crossbar
+    /// can also move a vector in `3 × bitwidth` cycles (it is a superset
+    /// of the fixed-function switch) — its penalty is area, not latency.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::RowOutOfRange`] when the permutation addresses a row
+    /// outside the block, [`PimError::LengthMismatch`] on length skew.
+    pub fn route(&self, data: &[u64], dests: &[usize], bitwidth: u32) -> Result<RouteOutcome> {
+        if data.len() != dests.len() {
+            return Err(PimError::LengthMismatch {
+                left: data.len(),
+                right: dests.len(),
+            });
+        }
+        let mut values = vec![None; self.rows];
+        for (&v, &d) in data.iter().zip(dests) {
+            if d >= self.rows {
+                return Err(PimError::RowOutOfRange {
+                    row: d as isize,
+                    rows: self.rows,
+                });
+            }
+            values[d] = Some(v);
+        }
+        let cycles = cost::switch_transfer_cycles(bitwidth);
+        let tally = Tally {
+            cycles,
+            energy_pj: energy::transfer_energy_pj(data.len(), bitwidth),
+            transfer_cycles: cycles,
+            ..Tally::default()
+        };
+        Ok(RouteOutcome { values, tally })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_routing_is_identity() {
+        let sw = FixedFunctionSwitch::new(4, 8);
+        let data: Vec<u64> = (0..8).collect();
+        let out = sw.route(&data, &[Connection::Direct; 8], 16).unwrap();
+        for r in 0..8 {
+            assert_eq!(out.values[r], Some(r as u64));
+        }
+        assert_eq!(out.tally.cycles, 48);
+    }
+
+    #[test]
+    fn shifts_move_by_s() {
+        let sw = FixedFunctionSwitch::new(2, 8);
+        let data: Vec<u64> = (0..4).collect(); // rows 0..4
+        let out = sw.route(&data, &[Connection::UpShift; 4], 16).unwrap();
+        assert_eq!(out.values[2], Some(0));
+        assert_eq!(out.values[5], Some(3));
+        assert_eq!(out.values[0], None);
+
+        let out = sw
+            .route(&[7, 8], &[Connection::DownShift, Connection::Direct], 16)
+            .unwrap_err();
+        // Row 0 − 2 = −2 is out of range.
+        assert!(matches!(out, PimError::RowOutOfRange { row: -2, .. }));
+    }
+
+    #[test]
+    fn butterfly_exchange_pattern() {
+        // The NTT use-case: rows [0, s) shift up while rows [s, 2s)
+        // shift down, exchanging butterfly partners.
+        let s = 2;
+        let sw = FixedFunctionSwitch::new(s, 4);
+        let data = vec![100, 101, 102, 103];
+        let conns = vec![
+            Connection::UpShift,
+            Connection::UpShift,
+            Connection::DownShift,
+            Connection::DownShift,
+        ];
+        let out = sw.route(&data, &conns, 16).unwrap();
+        assert_eq!(
+            out.values,
+            vec![Some(102), Some(103), Some(100), Some(101)]
+        );
+    }
+
+    #[test]
+    fn cost_is_three_bitwidth() {
+        let sw = FixedFunctionSwitch::new(1, 512);
+        let data = vec![0u64; 512];
+        for w in [16u32, 32] {
+            let out = sw.route(&data, &[Connection::Direct; 512], w).unwrap();
+            assert_eq!(out.tally.cycles, 3 * w as u64);
+            assert_eq!(out.tally.transfer_cycles, out.tally.cycles);
+        }
+    }
+
+    #[test]
+    fn switch_complexity_comparison() {
+        // The ablation claim: fixed-function is O(1) per row, crossbar O(rows).
+        let ff = FixedFunctionSwitch::new(7, 512);
+        let xb = CrossbarSwitch::new(512);
+        assert_eq!(ff.switches_per_row(), 3);
+        assert_eq!(xb.switches_per_row(), 512);
+    }
+
+    #[test]
+    fn crossbar_arbitrary_permutation() {
+        let xb = CrossbarSwitch::new(4);
+        let out = xb.route(&[9, 8, 7, 6], &[3, 2, 1, 0], 16).unwrap();
+        assert_eq!(out.values, vec![Some(6), Some(7), Some(8), Some(9)]);
+        assert!(xb.route(&[1], &[9], 16).is_err());
+        assert!(xb.route(&[1, 2], &[0], 16).is_err());
+    }
+
+    #[test]
+    fn length_validation() {
+        let sw = FixedFunctionSwitch::new(1, 4);
+        assert!(matches!(
+            sw.route(&[1, 2, 3], &[Connection::Direct; 2], 16),
+            Err(PimError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            sw.route(&[0; 9], &[Connection::Direct; 9], 16),
+            Err(PimError::VectorTooLong { .. })
+        ));
+    }
+}

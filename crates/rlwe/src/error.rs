@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors from the RLWE layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RlweError {
+    /// The message does not fit the ring (more bits than coefficients).
+    MessageTooLong {
+        /// Bits supplied.
+        bits: usize,
+        /// Ring degree (capacity).
+        capacity: usize,
+    },
+    /// Operands belong to different parameter sets.
+    ParameterMismatch,
+    /// An underlying arithmetic error.
+    Math(modmath::Error),
+}
+
+impl fmt::Display for RlweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlweError::MessageTooLong { bits, capacity } => {
+                write!(f, "message of {bits} bits exceeds ring capacity {capacity}")
+            }
+            RlweError::ParameterMismatch => write!(f, "mismatched RLWE parameter sets"),
+            RlweError::Math(e) => write!(f, "arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RlweError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RlweError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<modmath::Error> for RlweError {
+    fn from(e: modmath::Error) -> Self {
+        RlweError::Math(e)
+    }
+}

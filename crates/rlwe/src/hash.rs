@@ -1,0 +1,218 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! The CCA-style KEM ([`crate::kem`]) needs a hash for its
+//! Fujisaki–Okamoto re-encryption transform; the dependency policy of
+//! this workspace (DESIGN.md) keeps external crates to `rand`,
+//! `proptest`, `criterion`, so the primitive lives here. Verified
+//! against the FIPS test vectors.
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// A 32-byte SHA-256 digest.
+pub type Digest = [u8; 32];
+
+/// Computes SHA-256 of `data`.
+///
+/// # Example
+///
+/// ```
+/// let d = rlwe::hash::sha256(b"abc");
+/// assert_eq!(d[0], 0xba);
+/// assert_eq!(d[31], 0xad);
+/// ```
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut state = H0;
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+
+    // Process full blocks, then the padded tail.
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        compress(&mut state, block.try_into().expect("exact chunk"));
+    }
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_blocks = if rem.len() < 56 { 1 } else { 2 };
+    let len_pos = tail_blocks * 64 - 8;
+    tail[len_pos..len_pos + 8].copy_from_slice(&bit_len.to_be_bytes());
+    for i in 0..tail_blocks {
+        compress(
+            &mut state,
+            tail[i * 64..(i + 1) * 64].try_into().expect("block"),
+        );
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Domain-separated hash: `SHA-256(domain || 0x00 || data)`.
+pub fn sha256_tagged(domain: &[u8], data: &[u8]) -> Digest {
+    let mut buf = Vec::with_capacity(domain.len() + 1 + data.len());
+    buf.extend_from_slice(domain);
+    buf.push(0);
+    buf.extend_from_slice(data);
+    sha256(&buf)
+}
+
+/// Expands a 32-byte seed into `len` pseudo-random bytes by counter-mode
+/// hashing (`SHA-256(seed || ctr)`), the XOF stand-in the KEM uses.
+pub fn expand(seed: &Digest, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut ctr = 0u32;
+    while out.len() < len {
+        let mut buf = [0u8; 36];
+        buf[..32].copy_from_slice(seed);
+        buf[32..].copy_from_slice(&ctr.to_be_bytes());
+        out.extend_from_slice(&sha256(&buf));
+        ctr += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Lowercase hex rendering of a digest.
+pub fn hex(d: &Digest) -> String {
+    d.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 55/56/64-byte padding edges must all work.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5Au8; len];
+            let d1 = sha256(&data);
+            let d2 = sha256(&data);
+            assert_eq!(d1, d2);
+            // Flip one byte → different digest.
+            let mut other = data.clone();
+            other[len / 2] ^= 1;
+            assert_ne!(sha256(&other), d1, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn tagged_separates_domains() {
+        assert_ne!(
+            sha256_tagged(b"enc", b"data"),
+            sha256_tagged(b"key", b"data")
+        );
+        // And differs from a naive concatenation collision.
+        assert_ne!(sha256_tagged(b"ab", b"c"), sha256_tagged(b"a", b"bc"));
+    }
+
+    #[test]
+    fn expand_is_deterministic_and_long() {
+        let seed = sha256(b"seed");
+        let a = expand(&seed, 100);
+        let b = expand(&seed, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = expand(&seed, 33);
+        assert_eq!(&a[..33], &c[..]);
+        // Reasonably balanced bits.
+        let ones: u32 = a.iter().map(|b| b.count_ones()).sum();
+        assert!((300..500).contains(&ones), "{ones} ones in 800 bits");
+    }
+}

@@ -1,0 +1,145 @@
+//! NewHope-style key agreement built on the RLWE PKE.
+//!
+//! The flow is KEM-style (as in the NIST NewHope submission): Alice
+//! publishes an RLWE public key; Bob samples a random bit string,
+//! encrypts it to Alice, and both sides use those bits as the shared
+//! secret. (The original NewHope's reconciliation machinery is replaced
+//! by plain encryption — same multiplications, simpler decoding.)
+
+use crate::pke::{Ciphertext, KeyPair, PublicKey};
+use crate::sampling;
+use crate::Result;
+use modmath::params::ParamSet;
+use ntt::negacyclic::PolyMultiplier;
+use rand::Rng;
+
+/// Shared-secret length in bits (NewHope targets a 256-bit key).
+pub const SHARED_SECRET_BITS: usize = 256;
+
+/// Alice's side: holds the key pair, awaits Bob's encapsulation.
+#[derive(Debug, Clone)]
+pub struct Initiator {
+    keys: KeyPair,
+}
+
+/// Bob's output: the message for Alice plus his copy of the secret.
+#[derive(Debug, Clone)]
+pub struct Encapsulation {
+    /// Ciphertext to send to the initiator.
+    pub ciphertext: Ciphertext,
+    /// Bob's shared secret bits.
+    pub shared_secret: Vec<u8>,
+}
+
+impl Initiator {
+    /// Starts a key agreement: generates Alice's key pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn new<M: PolyMultiplier + ?Sized>(
+        params: &ParamSet,
+        mult: &M,
+        seed: u64,
+    ) -> Result<Self> {
+        Ok(Initiator {
+            keys: KeyPair::generate(params, mult, seed)?,
+        })
+    }
+
+    /// The public key to send to Bob.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public()
+    }
+
+    /// Completes the agreement from Bob's ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decryption failures.
+    pub fn finish<M: PolyMultiplier + ?Sized>(
+        &self,
+        ct: &Ciphertext,
+        mult: &M,
+    ) -> Result<Vec<u8>> {
+        let bits = self.keys.secret().decrypt_bits(ct, mult)?;
+        Ok(bits[..SHARED_SECRET_BITS.min(bits.len())].to_vec())
+    }
+}
+
+/// Bob's side: encapsulates a fresh shared secret to Alice's key.
+///
+/// # Errors
+///
+/// Propagates encryption failures.
+///
+/// # Panics
+///
+/// Panics if the ring degree is smaller than [`SHARED_SECRET_BITS`].
+pub fn encapsulate<M: PolyMultiplier + ?Sized>(
+    pk: &PublicKey,
+    mult: &M,
+    seed: u64,
+) -> Result<Encapsulation> {
+    assert!(
+        pk.params().n >= SHARED_SECRET_BITS,
+        "ring too small for a {SHARED_SECRET_BITS}-bit secret"
+    );
+    let mut rng = sampling::seeded_rng(seed);
+    let secret: Vec<u8> = (0..SHARED_SECRET_BITS).map(|_| rng.gen::<u8>() & 1).collect();
+    let ciphertext = pk.encrypt_bits(&secret, mult, rng.gen())?;
+    Ok(Encapsulation {
+        ciphertext,
+        shared_secret: secret,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt::negacyclic::NttMultiplier;
+
+    #[test]
+    fn agreement_succeeds_on_paper_degrees() {
+        for n in [256usize, 512, 1024] {
+            let p = ParamSet::for_degree(n).unwrap();
+            let m = NttMultiplier::new(&p).unwrap();
+            let alice = Initiator::new(&p, &m, 77).unwrap();
+            let bob = encapsulate(alice.public_key(), &m, 88).unwrap();
+            let alice_secret = alice.finish(&bob.ciphertext, &m).unwrap();
+            assert_eq!(alice_secret, bob.shared_secret, "n = {n}");
+            assert_eq!(alice_secret.len(), SHARED_SECRET_BITS);
+        }
+    }
+
+    #[test]
+    fn secrets_are_nontrivial() {
+        let p = ParamSet::for_degree(512).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let alice = Initiator::new(&p, &m, 1).unwrap();
+        let bob = encapsulate(alice.public_key(), &m, 2).unwrap();
+        let ones = bob.shared_secret.iter().filter(|&&b| b == 1).count();
+        assert!(ones > 64 && ones < 192, "{ones} ones in 256 bits");
+    }
+
+    #[test]
+    fn fresh_sessions_differ() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let alice = Initiator::new(&p, &m, 1).unwrap();
+        let b1 = encapsulate(alice.public_key(), &m, 10).unwrap();
+        let b2 = encapsulate(alice.public_key(), &m, 11).unwrap();
+        assert_ne!(b1.shared_secret, b2.shared_secret);
+    }
+
+    #[test]
+    fn eavesdropper_fails() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let alice = Initiator::new(&p, &m, 1).unwrap();
+        let eve = Initiator::new(&p, &m, 666).unwrap();
+        let bob = encapsulate(alice.public_key(), &m, 2).unwrap();
+        let eve_guess = eve.finish(&bob.ciphertext, &m).unwrap();
+        assert_ne!(eve_guess, bob.shared_secret);
+    }
+}

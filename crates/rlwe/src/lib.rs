@@ -1,0 +1,56 @@
+//! Ring-LWE lattice cryptography on top of the polynomial multiplier.
+//!
+//! This crate is the application layer the paper motivates: the
+//! protocols whose inner loop is the negacyclic polynomial multiplication
+//! CryptoPIM accelerates. Every scheme here is generic over
+//! [`ntt::negacyclic::PolyMultiplier`], so the same code runs on the
+//! software NTT or on the PIM-backed accelerator.
+//!
+//! * [`sampling`] — uniform and centered-binomial polynomial samplers.
+//! * [`pke`] — LPR-style RLWE public-key encryption of bit vectors
+//!   (the scheme underlying Kyber/NewHope, with the paper's moduli).
+//! * [`keyexchange`] — a NewHope-style key agreement built on the PKE
+//!   (KEM-style encapsulation; no reconciliation machinery).
+//! * [`she`] — a somewhat-homomorphic (additive + plaintext-product)
+//!   encryption demo at homomorphic-encryption degrees (4k – 32k), the
+//!   BGV-flavoured workload of the paper's introduction.
+//!
+//! These schemes are **reference implementations for exercising the
+//! accelerator** — they are not constant-time and must not be used to
+//! protect real data.
+//!
+//! # Example
+//!
+//! ```
+//! use modmath::params::ParamSet;
+//! use ntt::negacyclic::NttMultiplier;
+//! use rlwe::pke::KeyPair;
+//!
+//! # fn main() -> Result<(), rlwe::RlweError> {
+//! let params = ParamSet::for_degree(256)?;
+//! let mult = NttMultiplier::new(&params)?;
+//! let keys = KeyPair::generate(&params, &mult, 42)?;
+//! let message = vec![1u8, 0, 1, 1];
+//! let ct = keys.public().encrypt_bits(&message, &mult, 7)?;
+//! let pt = keys.secret().decrypt_bits(&ct, &mult)?;
+//! assert_eq!(&pt[..4], &message[..]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod hash;
+pub mod kem;
+pub mod keyexchange;
+pub mod noise;
+pub mod pke;
+pub mod sampling;
+pub mod serialize;
+pub mod she;
+pub mod signature;
+
+mod error;
+
+pub use error::RlweError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RlweError>;

@@ -1,0 +1,217 @@
+//! Noise measurement and budget estimation.
+//!
+//! Every RLWE ciphertext hides the message under additive noise; the
+//! message survives decryption while the noise's largest coefficient
+//! stays below `q/4`. This module measures the *actual* noise of a
+//! ciphertext (given the secret key) and predicts growth under
+//! homomorphic operations, so the HE demo's limits are engineering
+//! numbers rather than folklore.
+
+use crate::pke::{Ciphertext, SecretKey};
+use crate::Result;
+use ntt::negacyclic::PolyMultiplier;
+
+/// A measured noise report for one ciphertext.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseReport {
+    /// Largest absolute noise coefficient.
+    pub max_abs: u64,
+    /// Root-mean-square noise coefficient.
+    pub rms: f64,
+    /// Decryption fails when `max_abs` reaches this bound (`q/4`).
+    pub failure_bound: u64,
+    /// Remaining budget in bits: `log2(failure_bound / max_abs)`.
+    pub budget_bits: f64,
+}
+
+impl NoiseReport {
+    /// True while decryption is guaranteed correct.
+    pub fn decryptable(&self) -> bool {
+        self.max_abs < self.failure_bound
+    }
+}
+
+/// Measures the exact noise of `ct` under `sk`, assuming the embedded
+/// message bits are `message` (bit `i` in coefficient `i`; missing bits
+/// are zero).
+///
+/// # Errors
+///
+/// Propagates multiplier failures.
+pub fn measure<M: PolyMultiplier + ?Sized>(
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    message: &[u8],
+    mult: &M,
+) -> Result<NoiseReport> {
+    let noisy = sk.decrypt_poly(ct, mult)?;
+    let q = sk.params().q;
+    let delta = q.div_ceil(2) as i64;
+    let n = sk.params().n;
+    let mut max_abs = 0u64;
+    let mut sum_sq = 0.0f64;
+    for (i, &c) in noisy.to_centered().iter().enumerate() {
+        let bit = message.get(i).copied().unwrap_or(0) & 1;
+        // Remove the message contribution; the remainder is pure noise.
+        // Δ·m is represented centered: Δ·1 ≈ ±q/2 wraps to −(q−Δ)…
+        let mut noise = if bit == 1 {
+            // The encoded Δ may appear as +Δ or as Δ − q once centered.
+            let cand1 = c - delta;
+            let cand2 = c + (q as i64 - delta);
+            if cand1.abs() <= cand2.abs() {
+                cand1
+            } else {
+                cand2
+            }
+        } else {
+            c
+        };
+        if noise.abs() > q as i64 / 2 {
+            noise = noise.rem_euclid(q as i64);
+            if noise > q as i64 / 2 {
+                noise -= q as i64;
+            }
+        }
+        max_abs = max_abs.max(noise.unsigned_abs());
+        sum_sq += (noise * noise) as f64;
+    }
+    let failure_bound = q / 4;
+    let rms = (sum_sq / n as f64).sqrt();
+    let budget_bits = if max_abs == 0 {
+        f64::INFINITY
+    } else {
+        (failure_bound as f64 / max_abs as f64).log2()
+    };
+    Ok(NoiseReport {
+        max_abs,
+        rms,
+        failure_bound,
+        budget_bits,
+    })
+}
+
+/// Predicted RMS noise of a fresh encryption: the decryption noise is
+/// `e·r + e₂ − s·e₁`, a sum of `2n` products of independent CBD_η
+/// samples plus one CBD_η term — variance `≈ 2n·(η/2)² + η/2`.
+pub fn predicted_fresh_rms(n: usize, eta: u32) -> f64 {
+    let var = eta as f64 / 2.0;
+    (2.0 * n as f64 * var * var + var).sqrt()
+}
+
+/// Predicted RMS after `k` homomorphic additions of fresh ciphertexts:
+/// independent noises add in variance (`√(k+1)` growth).
+pub fn predicted_rms_after_additions(n: usize, eta: u32, additions: u32) -> f64 {
+    predicted_fresh_rms(n, eta) * ((additions + 1) as f64).sqrt()
+}
+
+/// Maximum homomorphic additions with failure probability below
+/// ~2^-40 per coefficient: keeps `σ·13 < q/4` (13σ tail bound).
+pub fn addition_capacity(n: usize, q: u64, eta: u32) -> u32 {
+    let sigma = predicted_fresh_rms(n, eta);
+    let limit = q as f64 / 4.0 / (13.0 * sigma);
+    (limit * limit).floor().max(0.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pke::{KeyPair, ETA};
+    use crate::she;
+    use modmath::params::ParamSet;
+    use ntt::negacyclic::NttMultiplier;
+
+    fn setup(n: usize) -> (ParamSet, NttMultiplier, KeyPair) {
+        let p = ParamSet::for_degree(n).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let k = KeyPair::generate(&p, &m, 5).unwrap();
+        (p, m, k)
+    }
+
+    #[test]
+    fn fresh_noise_is_small_and_decryptable() {
+        for n in [256usize, 1024, 4096] {
+            let (p, m, keys) = setup(n);
+            let msg: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+            let ct = keys.public().encrypt_bits(&msg, &m, 9).unwrap();
+            let report = measure(keys.secret(), &ct, &msg, &m).unwrap();
+            assert!(report.decryptable(), "n = {n}");
+            assert!(report.max_abs > 0, "noise exists");
+            assert!(report.max_abs < p.q / 16, "fresh noise is far from bound");
+            assert!(report.budget_bits > 2.0);
+        }
+    }
+
+    #[test]
+    fn measured_rms_tracks_prediction() {
+        let (_, m, keys) = setup(4096);
+        let msg = vec![0u8; 4096];
+        let ct = keys.public().encrypt_bits(&msg, &m, 3).unwrap();
+        let report = measure(keys.secret(), &ct, &msg, &m).unwrap();
+        let predicted = predicted_fresh_rms(4096, ETA);
+        let ratio = report.rms / predicted;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "measured {:.1} vs predicted {:.1}",
+            report.rms,
+            predicted
+        );
+    }
+
+    #[test]
+    fn additions_grow_noise_like_sqrt_k() {
+        let (_, m, keys) = setup(1024);
+        let msg = vec![0u8; 1024];
+        let fresh = she::encrypt(&keys, &msg, &m, 1).unwrap();
+        let fresh_noise = measure(keys.secret(), fresh.inner(), &msg, &m)
+            .unwrap()
+            .rms;
+        let mut acc = fresh.clone();
+        let k = 15;
+        for i in 0..k {
+            let c = she::encrypt(&keys, &msg, &m, 100 + i).unwrap();
+            acc = acc.add(&c).unwrap();
+        }
+        let grown = measure(keys.secret(), acc.inner(), &msg, &m).unwrap().rms;
+        let expect = ((k + 1) as f64).sqrt();
+        let ratio = grown / fresh_noise;
+        assert!(
+            (expect * 0.6..expect * 1.6).contains(&ratio),
+            "noise grew {ratio:.2}× over {k} additions (expected ≈ {expect:.2}×)"
+        );
+    }
+
+    #[test]
+    fn capacity_is_generous_at_paper_parameters() {
+        // The HE parameter sets leave room for hundreds of additions.
+        for (n, q) in [(4096usize, 786433u64), (32768, 786433)] {
+            let cap = addition_capacity(n, q, ETA);
+            assert!(cap > 50, "n = {n}: capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn capacity_shrinks_with_degree() {
+        // Larger rings accumulate more noise per product.
+        let big = addition_capacity(1024, 786433, ETA);
+        let small = addition_capacity(32768, 786433, ETA);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn zero_noise_reports_infinite_budget() {
+        // Construct an artificial noise-free ciphertext: u = 0, v = Δ·m.
+        let (p, m, keys) = setup(256);
+        let delta = p.q.div_ceil(2);
+        let mut v = vec![0u64; 256];
+        v[3] = delta;
+        let ct = crate::pke::Ciphertext {
+            u: ntt::poly::Polynomial::zero(256, p.q).unwrap(),
+            v: ntt::poly::Polynomial::from_coeffs(v, p.q).unwrap(),
+        };
+        let mut msg = vec![0u8; 256];
+        msg[3] = 1;
+        let report = measure(keys.secret(), &ct, &msg, &m).unwrap();
+        assert_eq!(report.max_abs, 0);
+        assert!(report.budget_bits.is_infinite());
+    }
+}

@@ -1,0 +1,195 @@
+//! Byte serialization for keys, ciphertexts, and signatures.
+//!
+//! Wire formats are versioned and self-describing enough to reject
+//! mismatched parameters on load. Coefficients travel as fixed-width
+//! little-endian words sized by the modulus (2 bytes below 2^16,
+//! 4 bytes otherwise), so a NewHope ciphertext is ~4 KiB — matching
+//! the sizes the protocol literature quotes.
+
+use crate::pke::Ciphertext;
+use crate::{Result, RlweError};
+use modmath::params::ParamSet;
+use ntt::poly::Polynomial;
+
+/// Format version tag leading every serialized object.
+const VERSION: u8 = 1;
+
+/// Bytes per coefficient for a modulus.
+fn coeff_width(q: u64) -> usize {
+    if q < 1 << 16 {
+        2
+    } else {
+        4
+    }
+}
+
+/// Serializes a polynomial (length + modulus header + coefficients).
+pub fn polynomial_to_bytes(p: &Polynomial) -> Vec<u8> {
+    let w = coeff_width(p.modulus());
+    let mut out = Vec::with_capacity(13 + p.degree_bound() * w);
+    out.push(VERSION);
+    out.extend_from_slice(&(p.degree_bound() as u32).to_le_bytes());
+    out.extend_from_slice(&p.modulus().to_le_bytes());
+    for &c in p.coeffs() {
+        out.extend_from_slice(&c.to_le_bytes()[..w]);
+    }
+    out
+}
+
+/// Deserializes a polynomial, validating the header.
+///
+/// # Errors
+///
+/// [`RlweError::ParameterMismatch`] on truncated input, version skew,
+/// or out-of-range coefficients.
+pub fn polynomial_from_bytes(bytes: &[u8]) -> Result<Polynomial> {
+    if bytes.len() < 13 || bytes[0] != VERSION {
+        return Err(RlweError::ParameterMismatch);
+    }
+    let n = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+    let q = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+    let w = coeff_width(q);
+    if bytes.len() != 13 + n * w || !n.is_power_of_two() || n < 2 {
+        return Err(RlweError::ParameterMismatch);
+    }
+    let mut coeffs = Vec::with_capacity(n);
+    for chunk in bytes[13..].chunks_exact(w) {
+        let mut buf = [0u8; 8];
+        buf[..w].copy_from_slice(chunk);
+        let c = u64::from_le_bytes(buf);
+        if c >= q {
+            return Err(RlweError::ParameterMismatch);
+        }
+        coeffs.push(c);
+    }
+    Ok(Polynomial::from_coeffs(coeffs, q)?)
+}
+
+/// Serializes a ciphertext (`u` then `v`).
+pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
+    let u = polynomial_to_bytes(&ct.u);
+    let v = polynomial_to_bytes(&ct.v);
+    let mut out = Vec::with_capacity(8 + u.len() + v.len());
+    out.extend_from_slice(&(u.len() as u32).to_le_bytes());
+    out.extend_from_slice(&u);
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    out.extend_from_slice(&v);
+    out
+}
+
+/// Deserializes a ciphertext.
+///
+/// # Errors
+///
+/// [`RlweError::ParameterMismatch`] on malformed input or when the two
+/// components disagree in ring parameters.
+pub fn ciphertext_from_bytes(bytes: &[u8]) -> Result<Ciphertext> {
+    let read_chunk = |bytes: &[u8]| -> Result<(Polynomial, usize)> {
+        if bytes.len() < 4 {
+            return Err(RlweError::ParameterMismatch);
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        if bytes.len() < 4 + len {
+            return Err(RlweError::ParameterMismatch);
+        }
+        Ok((polynomial_from_bytes(&bytes[4..4 + len])?, 4 + len))
+    };
+    let (u, consumed) = read_chunk(bytes)?;
+    let (v, rest) = read_chunk(&bytes[consumed..])?;
+    if consumed + rest != bytes.len()
+        || u.degree_bound() != v.degree_bound()
+        || u.modulus() != v.modulus()
+    {
+        return Err(RlweError::ParameterMismatch);
+    }
+    Ok(Ciphertext { u, v })
+}
+
+/// Expected ciphertext wire size for a parameter set, in bytes.
+pub fn ciphertext_wire_size(params: &ParamSet) -> usize {
+    2 * (13 + params.n * coeff_width(params.q)) + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pke::KeyPair;
+    use ntt::negacyclic::NttMultiplier;
+
+    fn ct(n: usize) -> (ParamSet, Ciphertext) {
+        let p = ParamSet::for_degree(n).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let keys = KeyPair::generate(&p, &m, 1).unwrap();
+        let msg: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        (p, keys.public().encrypt_bits(&msg, &m, 2).unwrap())
+    }
+
+    #[test]
+    fn polynomial_roundtrip() {
+        for (n, q) in [(256usize, 7681u64), (1024, 12289), (2048, 786433)] {
+            let p = Polynomial::from_coeffs(
+                (0..n as u64).map(|i| i * 37 % q).collect(),
+                q,
+            )
+            .unwrap();
+            let bytes = polynomial_to_bytes(&p);
+            assert_eq!(polynomial_from_bytes(&bytes).unwrap(), p, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ciphertext_roundtrip_and_size() {
+        for n in [256usize, 1024, 2048] {
+            let (p, c) = ct(n);
+            let bytes = ciphertext_to_bytes(&c);
+            assert_eq!(bytes.len(), ciphertext_wire_size(&p), "n = {n}");
+            assert_eq!(ciphertext_from_bytes(&bytes).unwrap(), c, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn newhope_ciphertext_is_about_4k() {
+        let p = ParamSet::for_degree(1024).unwrap();
+        let size = ciphertext_wire_size(&p);
+        assert!((4000..4200).contains(&size), "size = {size}");
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let (_, c) = ct(256);
+        let good = ciphertext_to_bytes(&c);
+        // Truncation.
+        assert!(ciphertext_from_bytes(&good[..good.len() - 1]).is_err());
+        assert!(ciphertext_from_bytes(&good[..3]).is_err());
+        // Version skew.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(ciphertext_from_bytes(&bad).is_err());
+        // Out-of-range coefficient (q = 7681 < 2^13; force 0xFFFF).
+        let mut bad = good.clone();
+        bad[17] = 0xFF;
+        bad[18] = 0xFF;
+        assert!(ciphertext_from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert!(ciphertext_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn deserialized_ciphertext_still_decrypts() {
+        let p = ParamSet::for_degree(512).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let keys = KeyPair::generate(&p, &m, 9).unwrap();
+        let msg: Vec<u8> = (0..512).map(|i| (i % 3 == 0) as u8).collect();
+        let c = keys.public().encrypt_bits(&msg, &m, 10).unwrap();
+        let restored = ciphertext_from_bytes(&ciphertext_to_bytes(&c)).unwrap();
+        assert_eq!(keys.secret().decrypt_bits(&restored, &m).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(polynomial_from_bytes(&[]).is_err());
+        assert!(ciphertext_from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Somewhat-homomorphic encryption at HE degrees (the BGV-flavoured
+//! workload of the paper's introduction).
+//!
+//! Built on the LPR ciphertext structure with plaintext modulus `t = 2`:
+//!
+//! * **Addition**: `(u₁+u₂, v₁+v₂)` — decrypts to `m₁ ⊕ m₂` as long as
+//!   accumulated noise stays below `q/4` (hundreds of additions at the
+//!   paper's parameters).
+//! * **Plaintext product**: `(u·p, v·p)` for a public binary polynomial
+//!   `p` of small Hamming weight — two more negacyclic multiplications,
+//!   i.e. exactly the operation the accelerator exists for, at
+//!   homomorphic-encryption degrees (4k – 32k, q = 786433).
+//!
+//! Full BGV (ciphertext-ciphertext products, relinearization, modulus
+//! switching) is out of scope: the paper uses HE only as the workload
+//! that motivates large-degree multiplication.
+
+use crate::pke::{Ciphertext, KeyPair, SecretKey};
+use crate::{Result, RlweError};
+use ntt::negacyclic::PolyMultiplier;
+use ntt::poly::Polynomial;
+
+/// A homomorphic ciphertext (same structure as a PKE ciphertext, kept
+/// distinct so noise-management rules stay visible in types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomCiphertext {
+    inner: Ciphertext,
+    /// Upper bound on ⊕-depth consumed so far (documentation of noise
+    /// budget; enforced loosely).
+    pub additions: u32,
+}
+
+impl HomCiphertext {
+    /// Wraps a freshly encrypted ciphertext.
+    pub fn fresh(ct: Ciphertext) -> Self {
+        HomCiphertext {
+            inner: ct,
+            additions: 0,
+        }
+    }
+
+    /// The raw ciphertext.
+    pub fn inner(&self) -> &Ciphertext {
+        &self.inner
+    }
+
+    /// Homomorphic XOR: adds the ciphertexts coefficient-wise.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParameterMismatch`] when the rings differ.
+    pub fn add(&self, other: &HomCiphertext) -> Result<HomCiphertext> {
+        if self.inner.u.degree_bound() != other.inner.u.degree_bound()
+            || self.inner.u.modulus() != other.inner.u.modulus()
+        {
+            return Err(RlweError::ParameterMismatch);
+        }
+        Ok(HomCiphertext {
+            inner: Ciphertext {
+                u: self.inner.u.clone() + other.inner.u.clone(),
+                v: self.inner.v.clone() + other.inner.v.clone(),
+            },
+            additions: self.additions + other.additions + 1,
+        })
+    }
+
+    /// Homomorphic product with a public binary polynomial `p` (small
+    /// Hamming weight keeps noise growth ≈ weight×): the plaintext
+    /// becomes `m·p` in `R_2`.
+    ///
+    /// # Errors
+    ///
+    /// [`RlweError::ParameterMismatch`] when the rings differ; multiplier
+    /// failures propagate.
+    pub fn mul_plaintext<M: PolyMultiplier + ?Sized>(
+        &self,
+        p: &Polynomial,
+        mult: &M,
+    ) -> Result<HomCiphertext> {
+        if p.degree_bound() != self.inner.u.degree_bound()
+            || p.modulus() != self.inner.u.modulus()
+        {
+            return Err(RlweError::ParameterMismatch);
+        }
+        let weight = p.coeffs().iter().filter(|&&c| c != 0).count() as u32;
+        Ok(HomCiphertext {
+            inner: Ciphertext {
+                u: mult.multiply(&self.inner.u, p)?,
+                v: mult.multiply(&self.inner.v, p)?,
+            },
+            additions: self.additions * weight.max(1) + weight,
+        })
+    }
+}
+
+/// Decrypts a homomorphic ciphertext to its bit vector.
+///
+/// # Errors
+///
+/// Propagates multiplier failures.
+pub fn decrypt<M: PolyMultiplier + ?Sized>(
+    sk: &SecretKey,
+    ct: &HomCiphertext,
+    mult: &M,
+) -> Result<Vec<u8>> {
+    sk.decrypt_bits(&ct.inner, mult)
+}
+
+/// Convenience: encrypts bits as a fresh homomorphic ciphertext.
+///
+/// # Errors
+///
+/// Same as [`crate::pke::PublicKey::encrypt_bits`].
+pub fn encrypt<M: PolyMultiplier + ?Sized>(
+    keys: &KeyPair,
+    bits: &[u8],
+    mult: &M,
+    seed: u64,
+) -> Result<HomCiphertext> {
+    Ok(HomCiphertext::fresh(keys.public().encrypt_bits(
+        bits, mult, seed,
+    )?))
+}
+
+/// Reference plaintext semantics of [`HomCiphertext::mul_plaintext`]:
+/// binary negacyclic product in `R_2` (negacyclic sign flips vanish
+/// mod 2).
+#[allow(clippy::needless_range_loop)] // paired i/j indexing mirrors the math
+pub fn plaintext_product(m: &[u8], p: &[u8]) -> Vec<u8> {
+    let n = m.len();
+    let mut out = vec![0u8; n];
+    for i in 0..n {
+        if m[i] == 0 {
+            continue;
+        }
+        for (j, &pj) in p.iter().enumerate() {
+            if pj != 0 {
+                let k = (i + j) % n;
+                out[k] ^= 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::params::ParamSet;
+    use ntt::negacyclic::NttMultiplier;
+
+    fn setup(n: usize) -> (ParamSet, NttMultiplier, KeyPair) {
+        let p = ParamSet::for_degree(n).unwrap();
+        let m = NttMultiplier::new(&p).unwrap();
+        let k = KeyPair::generate(&p, &m, 5).unwrap();
+        (p, m, k)
+    }
+
+    fn bits(n: usize, seed: u64) -> Vec<u8> {
+        (0..n).map(|i| ((i as u64).wrapping_mul(seed * 2 + 1) >> 3) as u8 & 1).collect()
+    }
+
+    #[test]
+    fn homomorphic_xor_at_he_degrees() {
+        for n in [2048usize, 4096] {
+            let (_, m, keys) = setup(n);
+            let a = bits(n, 1);
+            let b = bits(n, 2);
+            let ca = encrypt(&keys, &a, &m, 10).unwrap();
+            let cb = encrypt(&keys, &b, &m, 11).unwrap();
+            let sum = ca.add(&cb).unwrap();
+            let pt = decrypt(keys.secret(), &sum, &m).unwrap();
+            let expect: Vec<u8> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+            assert_eq!(pt, expect, "n = {n}");
+            assert_eq!(sum.additions, 1);
+        }
+    }
+
+    #[test]
+    fn many_additions_still_decrypt() {
+        let (_, m, keys) = setup(2048);
+        let zero = vec![0u8; 2048];
+        let one_bit = {
+            let mut v = vec![0u8; 2048];
+            v[0] = 1;
+            v
+        };
+        let mut acc = encrypt(&keys, &zero, &m, 1).unwrap();
+        for i in 0..50 {
+            let c = encrypt(&keys, &one_bit, &m, 100 + i).unwrap();
+            acc = acc.add(&c).unwrap();
+        }
+        let pt = decrypt(keys.secret(), &acc, &m).unwrap();
+        // 50 XORs of the same bit = 0.
+        assert_eq!(pt[0], 0);
+        assert!(pt[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn plaintext_multiplication_matches_reference() {
+        let n = 2048;
+        let (p, m, keys) = setup(n);
+        let msg = bits(n, 3);
+        // Sparse public polynomial: x^5 + x^100 + 1.
+        let mut pc = vec![0u64; n];
+        pc[0] = 1;
+        pc[5] = 1;
+        pc[100] = 1;
+        let ppoly = Polynomial::from_coeffs(pc.clone(), p.q).unwrap();
+        let ct = encrypt(&keys, &msg, &m, 4).unwrap();
+        let prod = ct.mul_plaintext(&ppoly, &m).unwrap();
+        let pt = decrypt(keys.secret(), &prod, &m).unwrap();
+        let pbits: Vec<u8> = pc.iter().map(|&c| c as u8).collect();
+        assert_eq!(pt, plaintext_product(&msg, &pbits));
+    }
+
+    #[test]
+    fn mismatched_rings_error() {
+        let (_, m2, keys2) = setup(2048);
+        let (p4, _, _) = setup(4096);
+        let ct = encrypt(&keys2, &bits(2048, 1), &m2, 1).unwrap();
+        let other = Polynomial::zero(4096, p4.q).unwrap();
+        assert!(matches!(
+            ct.mul_plaintext(&other, &m2),
+            Err(RlweError::ParameterMismatch)
+        ));
+    }
+
+    #[test]
+    fn plaintext_product_reference_props() {
+        // Multiplying by the monomial 1 is the identity.
+        let m = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let one = vec![1, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(plaintext_product(&m, &one), m);
+        // Commutative.
+        let p = vec![0, 1, 0, 0, 1, 0, 0, 0];
+        assert_eq!(plaintext_product(&m, &p), plaintext_product(&p, &m));
+    }
+}

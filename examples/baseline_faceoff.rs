@@ -1,0 +1,42 @@
+//! Face-off: the same polynomial multiplication on every platform the
+//! paper compares — native host CPU (measured), the paper's gem5/X86
+//! (reference data + fitted model), the published FPGA, and simulated
+//! CryptoPIM.
+//!
+//! ```text
+//! cargo run --release --example baseline_faceoff
+//! ```
+
+use baselines::{cpu, fpga};
+use cryptopim::accelerator::CryptoPim;
+use modmath::params::ParamSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:>16} {:>14} {:>14} {:>14}",
+        "n", "host CPU (µs)", "gem5 X86 (µs)", "FPGA (µs)", "CryptoPIM (µs)"
+    );
+    let model = cpu::CpuModel::fitted();
+    for n in [256usize, 1024, 4096, 32768] {
+        let params = ParamSet::for_degree(n)?;
+        // Native timing of our own software NTT on this machine.
+        let host = cpu::measure_software_multiply(&params, 10)?;
+        // The paper's gem5 measurement (reference) or the fitted model.
+        let gem5 = cpu::paper_reference_for(n)
+            .map(|r| r.latency_us)
+            .unwrap_or_else(|| model.latency_us(&params));
+        let fpga_lat = fpga::paper_reference_for(n)
+            .map(|r| format!("{:.2}", r.latency_us))
+            .unwrap_or_else(|| "-".into());
+        let pim = CryptoPim::new(&params)?.report()?.pipelined.latency_us;
+        println!(
+            "{:<8} {:>16.2} {:>14.2} {:>14} {:>14.2}",
+            n, host, gem5, fpga_lat, pim
+        );
+    }
+    println!(
+        "\nhost CPU numbers are wall-clock on this machine (unrelated to the 2 GHz\n\
+         gem5 model) — the comparison of interest is shape: µs-scale, ≈ n·log n."
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Design-space exploration: sweep the pipeline organizations,
+//! multiplier microprograms, and reduction styles across degrees, and
+//! print how each choice moves latency — a compact tour of the paper's
+//! §III-D and §IV-C trade-offs.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use baselines::bp::PimDesign;
+use cryptopim::pipeline::{Organization, PipelineModel};
+use modmath::params::ParamSet;
+use pim::variation::{run_monte_carlo, MonteCarloConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== pipeline organization sweep (pipelined latency, µs) ==");
+    println!(
+        "{:<8} {:>16} {:>12} {:>12}",
+        "n", "area-efficient", "naive", "CryptoPIM"
+    );
+    for n in [256usize, 1024, 4096, 32768] {
+        let p = ParamSet::for_degree(n)?;
+        let model = PipelineModel::for_params(&p)?;
+        let lat = |org| model.pipelined(org).latency_us;
+        println!(
+            "{:<8} {:>16.2} {:>12.2} {:>12.2}",
+            n,
+            lat(Organization::AreaEfficient),
+            lat(Organization::Naive),
+            lat(Organization::CryptoPim)
+        );
+    }
+
+    println!("\n== design ladder (non-pipelined latency, µs) ==");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "n", "BP-1", "BP-2", "BP-3", "CryptoPIM", "total gain"
+    );
+    for n in [256usize, 2048, 32768] {
+        let p = ParamSet::for_degree(n)?;
+        let lat: Vec<f64> = PimDesign::ALL
+            .iter()
+            .map(|d| d.latency_us(&p))
+            .collect::<Result<_, _>>()?;
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>9.1}×",
+            n,
+            lat[0],
+            lat[1],
+            lat[2],
+            lat[3],
+            lat[0] / lat[3]
+        );
+    }
+
+    println!("\n== device robustness at increasing process variation ==");
+    let nominal = pim::device::DeviceParams::nominal();
+    println!("{:>10} {:>18} {:>10}", "variation", "margin reduction", "failures");
+    for v in [0.05f64, 0.10, 0.20] {
+        let r = run_monte_carlo(
+            &nominal,
+            &MonteCarloConfig {
+                variation: v,
+                samples: 2000,
+                seed: 7,
+            },
+        );
+        println!(
+            "{:>9.0}% {:>17.1}% {:>10}",
+            v * 100.0,
+            r.max_margin_reduction * 100.0,
+            r.failures
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Noise budgeting: watch an RLWE ciphertext's noise grow under
+//! homomorphic additions, compare against the predicted √k curve, and
+//! find the parameter set's addition capacity — the engineering view of
+//! why homomorphic encryption demands the big-`n`, bigger-`q` parameter
+//! sets CryptoPIM is provisioned for.
+//!
+//! ```text
+//! cargo run --release --example noise_budget
+//! ```
+
+use modmath::params::ParamSet;
+use ntt::negacyclic::NttMultiplier;
+use rlwe::noise;
+use rlwe::pke::{KeyPair, ETA};
+use rlwe::she;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ParamSet::for_degree(4096)?;
+    println!("noise budget study over {params}\n");
+    let mult = NttMultiplier::new(&params)?;
+    let keys = KeyPair::generate(&params, &mult, 11)?;
+    let zero = vec![0u8; params.n];
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "additions", "max |noise|", "rms", "predicted rms", "budget bits"
+    );
+    let mut acc = she::encrypt(&keys, &zero, &mult, 1)?;
+    for step in [0u32, 1, 3, 7, 15, 31, 63] {
+        while acc.additions < step {
+            let fresh = she::encrypt(&keys, &zero, &mult, 100 + u64::from(acc.additions))?;
+            acc = acc.add(&fresh)?;
+        }
+        let report = noise::measure(keys.secret(), acc.inner(), &zero, &mult)?;
+        let predicted = noise::predicted_rms_after_additions(params.n, ETA, step);
+        println!(
+            "{:>10} {:>12} {:>12.1} {:>14.1} {:>12.1}",
+            step, report.max_abs, report.rms, predicted, report.budget_bits
+        );
+        assert!(report.decryptable(), "budget exhausted unexpectedly");
+    }
+
+    println!(
+        "\naddition capacity at 2^-40 failure odds: ≈ {} ciphertexts",
+        noise::addition_capacity(params.n, params.q, ETA)
+    );
+    println!(
+        "failure bound: q/4 = {} (decryption flips a bit when |noise| crosses it)",
+        params.q / 4
+    );
+    Ok(())
+}

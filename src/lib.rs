@@ -1,0 +1,1 @@
+pub use cryptopim; pub use modmath; pub use ntt; pub use pim; pub use baselines; pub use rlwe;

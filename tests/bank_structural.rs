@@ -1,0 +1,120 @@
+//! Structural fidelity test: a forward negacyclic NTT executed through a
+//! *physically assembled* bank — real `MemoryBlock`s chained by real
+//! `FixedFunctionSwitch`es with the per-stage hard-wired shifts — must
+//! equal the software transform. This closes the gap between the
+//! index-arithmetic execution engine and the hardware structure the
+//! paper describes in §III-C/D.
+
+use cryptopim::exchange::stage_connections;
+use cryptopim::mapping::NttMapping;
+use modmath::params::ParamSet;
+use modmath::{bitrev, zq};
+use ntt::gs;
+use pim::bank::Bank;
+use pim::block::MultiplierKind;
+use pim::reduce::ReductionStyle;
+use pim::BLOCK_DIM;
+
+/// Runs the forward half of Algorithm 1 (ψ-scale, bit-reversed write,
+/// log n GS stages) for one polynomial through a bank chain.
+fn bank_forward_ntt(mapping: &NttMapping, input: &[u64]) -> Vec<u64> {
+    let params = mapping.params();
+    let n = params.n;
+    assert!(n <= BLOCK_DIM, "single-lane test");
+    let log_n = params.log2_n();
+    let q = params.q;
+    let red = mapping.reducer();
+
+    // Chain: premul block, then one block per stage; switch i carries
+    // the stage-i exchange with hard-wired shift 2^i.
+    let shifts: Vec<usize> = (0..log_n).map(|i| 1usize << i).collect();
+    let mut bank = Bank::new(params.bitwidth, log_n as usize + 1, &shifts)
+        .expect("valid bank shape");
+
+    // ψ pre-multiply in block 0 (REDC against the φ·R constants).
+    let mut x = bank
+        .block_mut(0)
+        .mul_montgomery(input, mapping.phi_a(), MultiplierKind::CryptoPim, red)
+        .expect("premul");
+
+    // Bit-reversed write into the first stage block (free).
+    bitrev::permute_in_place(&mut x);
+
+    for stage in 0..log_n {
+        // Physical exchange through the stage's switch.
+        let conns = stage_connections(n, stage);
+        let mut partner = bank
+            .transfer(stage as usize, &x, &conns)
+            .expect("stage exchange");
+        // The switch spans the full 512-row block; our vector occupies
+        // the first n rows.
+        partner.truncate(n);
+
+        // Vector-wide compute in the stage block.
+        let blk = bank.block_mut(stage as usize + 1);
+        let sums_raw = blk.add(&x, &partner).expect("add");
+        let sums = blk.barrett(&sums_raw, red).expect("barrett");
+        let diffs = blk.sub_plus_q(&partner, &x, q).expect("sub");
+        let w_by_row: Vec<u64> = (0..n)
+            .map(|j| mapping.twiddle_fwd()[j >> (stage + 1)])
+            .collect();
+        let prods = blk
+            .mul(&diffs, &w_by_row, MultiplierKind::CryptoPim)
+            .expect("mul");
+        let mont = blk.montgomery(&prods, red).expect("montgomery");
+
+        // Per-row write-enable: low rows keep the sum, high rows the
+        // twiddled difference.
+        let dist = 1usize << stage;
+        x = (0..n)
+            .map(|j| if j & dist == 0 { sums[j] } else { mont[j] })
+            .collect();
+    }
+    x
+}
+
+#[test]
+fn bank_executed_forward_ntt_matches_software() {
+    for n in [64usize, 256, 512] {
+        let params = ParamSet::for_degree(n).expect("valid degree");
+        let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim)
+            .expect("paper parameters");
+        let input: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 7) % params.q).collect();
+
+        let via_bank = bank_forward_ntt(&mapping, &input);
+
+        // Software reference: NTT(φ ⊙ input).
+        let tables = mapping.tables();
+        let mut expect: Vec<u64> = input
+            .iter()
+            .zip(tables.phi_powers())
+            .map(|(&c, &p)| zq::mul(c, p, params.q))
+            .collect();
+        gs::forward(&mut expect, tables);
+
+        assert_eq!(via_bank, expect, "n = {n}");
+    }
+}
+
+#[test]
+fn bank_charges_compute_and_transfers() {
+    let params = ParamSet::for_degree(256).expect("valid degree");
+    let mapping =
+        NttMapping::new(&params, ReductionStyle::CryptoPim).expect("paper parameters");
+    let input: Vec<u64> = (0..256u64).collect();
+    // Rebuild the bank inside the helper; rerun and inspect via a local
+    // copy of the chain to check accounting.
+    let shifts: Vec<usize> = (0..8).map(|i| 1usize << i).collect();
+    let mut bank = Bank::new(16, 9, &shifts).expect("bank");
+    let red = mapping.reducer();
+    let x = bank
+        .block_mut(0)
+        .mul_montgomery(&input, mapping.phi_a(), MultiplierKind::CryptoPim, red)
+        .expect("premul");
+    let conns = stage_connections(256, 0);
+    let _ = bank.transfer(0, &x, &conns).expect("transfer");
+    let tally = bank.total_tally();
+    assert!(tally.compute_cycles > 0);
+    assert!(tally.reduce_cycles > 0);
+    assert_eq!(tally.transfer_cycles, 48, "one 16-bit exchange");
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration: the accelerator as a drop-in backend for
+//! lattice cryptography, verified end-to-end against the software stack.
+
+use cryptopim::accelerator::CryptoPim;
+use modmath::params::ParamSet;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+use ntt::schoolbook;
+use rlwe::keyexchange::{encapsulate, Initiator};
+use rlwe::pke::KeyPair;
+use rlwe::she;
+
+fn rand_poly(n: usize, q: u64, seed: u64) -> Polynomial {
+    let mut state = seed;
+    let coeffs: Vec<u64> = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) % q
+        })
+        .collect();
+    Polynomial::from_coeffs(coeffs, q).expect("valid degree")
+}
+
+#[test]
+fn accelerator_software_schoolbook_agree() {
+    for n in [64usize, 256, 512] {
+        let p = ParamSet::for_degree(n).expect("valid degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let sw = NttMultiplier::new(&p).expect("paper parameters");
+        let a = rand_poly(n, p.q, 1);
+        let b = rand_poly(n, p.q, 2);
+        let via_pim = acc.multiply(&a, &b).expect("pim multiply");
+        let via_sw = sw.multiply(&a, &b).expect("sw multiply");
+        let via_school = schoolbook::multiply(&a, &b).expect("schoolbook");
+        assert_eq!(via_pim, via_sw, "n = {n}");
+        assert_eq!(via_sw, via_school, "n = {n}");
+    }
+}
+
+#[test]
+fn accelerator_handles_all_paper_degrees() {
+    for n in modmath::params::PAPER_DEGREES {
+        let p = ParamSet::for_degree(n).expect("paper degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let sw = NttMultiplier::new(&p).expect("paper parameters");
+        let a = rand_poly(n, p.q, 3);
+        let b = rand_poly(n, p.q, 4);
+        assert_eq!(
+            acc.multiply(&a, &b).expect("pim"),
+            sw.multiply(&a, &b).expect("sw"),
+            "n = {n}"
+        );
+    }
+}
+
+#[test]
+fn pke_roundtrip_on_pim_backend() {
+    let p = ParamSet::for_degree(512).expect("valid degree");
+    let pim = CryptoPim::new(&p).expect("paper parameters");
+    let keys = KeyPair::generate(&p, &pim, 42).expect("keygen");
+    let msg: Vec<u8> = (0..512).map(|i| (i % 3 == 0) as u8).collect();
+    let ct = keys
+        .public()
+        .encrypt_bits(&msg, &pim, 43)
+        .expect("encrypt");
+    let pt = keys.secret().decrypt_bits(&ct, &pim).expect("decrypt");
+    assert_eq!(pt, msg);
+}
+
+#[test]
+fn mixed_backends_interoperate() {
+    // Encrypt with the software backend, decrypt with the PIM backend:
+    // the ciphertext format is backend-independent.
+    let p = ParamSet::for_degree(256).expect("valid degree");
+    let sw = NttMultiplier::new(&p).expect("software backend");
+    let pim = CryptoPim::new(&p).expect("pim backend");
+    let keys = KeyPair::generate(&p, &sw, 7).expect("keygen");
+    let msg: Vec<u8> = (0..256).map(|i| (i % 5 == 1) as u8).collect();
+    let ct = keys.public().encrypt_bits(&msg, &sw, 8).expect("encrypt");
+    let pt = keys.secret().decrypt_bits(&ct, &pim).expect("decrypt");
+    assert_eq!(pt, msg);
+}
+
+#[test]
+fn key_exchange_on_pim_backend() {
+    let p = ParamSet::for_degree(1024).expect("valid degree");
+    let pim = CryptoPim::new(&p).expect("paper parameters");
+    let alice = Initiator::new(&p, &pim, 11).expect("initiator");
+    let bob = encapsulate(alice.public_key(), &pim, 12).expect("encapsulate");
+    let alice_secret = alice.finish(&bob.ciphertext, &pim).expect("finish");
+    assert_eq!(alice_secret, bob.shared_secret);
+}
+
+#[test]
+fn homomorphic_tally_on_pim_backend_at_he_degree() {
+    let p = ParamSet::for_degree(2048).expect("valid degree");
+    let pim = CryptoPim::new(&p).expect("paper parameters");
+    let keys = KeyPair::generate(&p, &pim, 77).expect("keygen");
+    let votes = [1u8, 1, 0, 1];
+    let mut acc: Option<she::HomCiphertext> = None;
+    for (i, &v) in votes.iter().enumerate() {
+        let mut bits = vec![0u8; 2048];
+        bits[0] = v;
+        let ct = she::encrypt(&keys, &bits, &pim, 100 + i as u64).expect("encrypt");
+        acc = Some(match acc {
+            None => ct,
+            Some(prev) => prev.add(&ct).expect("hom add"),
+        });
+    }
+    let opened = she::decrypt(keys.secret(), &acc.expect("ciphertext"), &pim).expect("decrypt");
+    assert_eq!(opened[0], votes.iter().fold(0, |a, &b| a ^ b));
+}
+
+#[test]
+fn dyn_backend_selection() {
+    // Schemes accept either backend through the trait object.
+    let p = ParamSet::for_degree(256).expect("valid degree");
+    let backends: Vec<Box<dyn PolyMultiplier>> = vec![
+        Box::new(NttMultiplier::new(&p).expect("software")),
+        Box::new(CryptoPim::new(&p).expect("pim")),
+    ];
+    let a = rand_poly(256, p.q, 5);
+    let b = rand_poly(256, p.q, 6);
+    let results: Vec<Polynomial> = backends
+        .iter()
+        .map(|m| m.multiply(&a, &b).expect("multiply"))
+        .collect();
+    assert_eq!(results[0], results[1]);
+}

@@ -1,0 +1,176 @@
+//! The reproduction contract: every headline number of the paper's
+//! evaluation, asserted in one place. If any of these fail, the
+//! EXPERIMENTS.md claims no longer hold.
+
+use baselines::bp;
+use baselines::{cpu, fpga};
+use cryptopim::accelerator::CryptoPim;
+use cryptopim::pipeline::{Organization, PipelineModel};
+use modmath::params::ParamSet;
+use pim::device::DeviceParams;
+use pim::variation::{run_monte_carlo, MonteCarloConfig};
+
+fn model(n: usize) -> PipelineModel {
+    PipelineModel::for_params(&ParamSet::for_degree(n).expect("paper degree"))
+        .expect("paper parameters")
+}
+
+fn report(n: usize) -> cryptopim::report::ExecutionReport {
+    CryptoPim::new(&ParamSet::for_degree(n).expect("paper degree"))
+        .expect("paper parameters")
+        .report()
+        .expect("report")
+}
+
+#[test]
+fn table1_reduction_latencies() {
+    use pim::reduce::{Reducer, ReductionStyle};
+    let r = |q| Reducer::new(q, ReductionStyle::CryptoPim).expect("specialized");
+    assert_eq!(r(12289).barrett_cycles(), 239);
+    assert_eq!(r(786433).barrett_cycles(), 429);
+    assert_eq!(r(7681).montgomery_cycles(), 683);
+    assert_eq!(r(12289).montgomery_cycles(), 461);
+    assert_eq!(r(786433).montgomery_cycles(), 1083);
+}
+
+#[test]
+fn fig4_stage_latencies() {
+    let m = model(256);
+    assert_eq!(m.stage_latency(Organization::AreaEfficient), 2700);
+    assert_eq!(m.stage_latency(Organization::Naive), 1756);
+    assert_eq!(m.stage_latency(Organization::CryptoPim), 1643);
+}
+
+#[test]
+fn table2_cryptopim_rows_within_tolerance() {
+    let rows = [
+        (256usize, 68.67, 2.58, 553311.0),
+        (512, 75.90, 5.02, 553311.0),
+        (1024, 83.12, 11.04, 553311.0),
+        (2048, 363.60, 82.57, 137511.0),
+        (4096, 392.69, 178.62, 137511.0),
+        (8192, 421.78, 384.17, 137511.0),
+        (16384, 450.87, 822.21, 137511.0),
+        (32768, 479.95, 1752.15, 137511.0),
+    ];
+    for (n, lat, energy, thr) in rows {
+        let r = report(n).pipelined;
+        assert!(
+            (r.latency_us - lat).abs() / lat < 1e-3,
+            "latency n = {n}: {} vs {lat}",
+            r.latency_us
+        );
+        assert!(
+            (r.throughput - thr).abs() / thr < 1e-3,
+            "throughput n = {n}: {} vs {thr}",
+            r.throughput
+        );
+        assert!(
+            (r.energy_uj - energy).abs() / energy < 0.05,
+            "energy n = {n}: {} vs {energy} (5 % model tolerance)",
+            r.energy_uj
+        );
+    }
+}
+
+#[test]
+fn abstract_headline_fpga_comparison() {
+    // "31× throughput improvement with the same energy and only 28 %
+    // performance reduction" over n ∈ {256, 512, 1024}.
+    let mut gain = 0.0;
+    let mut perf = 0.0;
+    let mut energy = 0.0;
+    for n in [256usize, 512, 1024] {
+        let r = report(n).pipelined;
+        let c = fpga::compare(n, r.latency_us, r.energy_uj, r.throughput)
+            .expect("published FPGA row");
+        gain += c.throughput_gain / 3.0;
+        perf += c.performance_ratio / 3.0;
+        energy += c.energy_ratio / 3.0;
+    }
+    assert!((gain - 31.0).abs() < 3.0, "throughput gain {gain:.1}");
+    assert!((perf - 0.72).abs() < 0.05, "performance ratio {perf:.2}");
+    assert!((energy - 1.0).abs() < 0.15, "energy ratio {energy:.2}");
+}
+
+#[test]
+fn cpu_headline_comparison() {
+    // "7.6×, 111×, and 226× improvement in performance, throughput, and
+    // energy" (performance over all degrees; throughput/energy over the
+    // 16-bit rows — the scopes that recover the printed numbers).
+    let mut perf = Vec::new();
+    let mut thr = Vec::new();
+    let mut energy = Vec::new();
+    for row in cpu::paper_reference() {
+        let r = report(row.n).pipelined;
+        perf.push(row.latency_us / r.latency_us);
+        if row.n <= 1024 {
+            thr.push(r.throughput / row.throughput);
+            energy.push(row.energy_uj / r.energy_uj);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!((avg(&perf) - 7.6).abs() < 0.5, "performance {:.2}", avg(&perf));
+    assert!((avg(&thr) - 111.0).abs() < 10.0, "throughput {:.1}", avg(&thr));
+    assert!((avg(&energy) - 226.0).abs() < 25.0, "energy {:.1}", avg(&energy));
+}
+
+#[test]
+fn fig5_pipelining_aggregates() {
+    let mut small_gain = Vec::new();
+    let mut large_gain = Vec::new();
+    let mut small_ovh = Vec::new();
+    let mut large_ovh = Vec::new();
+    let mut e_ovh = Vec::new();
+    for n in modmath::params::PAPER_DEGREES {
+        let r = report(n);
+        if n <= 1024 {
+            small_gain.push(r.pipelining_throughput_gain());
+            small_ovh.push(r.pipelining_latency_overhead());
+        } else {
+            large_gain.push(r.pipelining_throughput_gain());
+            large_ovh.push(r.pipelining_latency_overhead());
+        }
+        e_ovh.push(r.pipelining_energy_overhead());
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Paper: 27.8× / 36.3× gains; 29 % / 59.7 % overheads; ≈ 1.6 % energy.
+    assert!((avg(&small_gain) - 27.8).abs() < 8.0, "{:.1}", avg(&small_gain));
+    assert!((avg(&large_gain) - 36.3).abs() < 8.0, "{:.1}", avg(&large_gain));
+    assert!((avg(&small_ovh) - 0.29).abs() < 0.1, "{:.3}", avg(&small_ovh));
+    assert!((avg(&large_ovh) - 0.597).abs() < 0.05, "{:.3}", avg(&large_ovh));
+    assert!((avg(&e_ovh) - 0.016).abs() < 0.01, "{:.4}", avg(&e_ovh));
+}
+
+#[test]
+fn fig6_baseline_ratios() {
+    let s = bp::fig6_summary().expect("paper parameters");
+    assert!((s.bp1_over_bp2 - 1.9).abs() < 0.4, "{:.2}", s.bp1_over_bp2);
+    assert!((s.bp2_over_bp3 - 5.5).abs() < 2.5, "{:.2}", s.bp2_over_bp3);
+    assert!(
+        (s.bp3_over_cryptopim - 1.2).abs() < 0.2,
+        "{:.2}",
+        s.bp3_over_cryptopim
+    );
+    assert!(
+        (s.bp1_over_cryptopim - 12.7).abs() < 5.0,
+        "{:.2}",
+        s.bp1_over_cryptopim
+    );
+}
+
+#[test]
+fn monte_carlo_robustness() {
+    // "A maximum of 25.6 % reduction in resistance noise margin …
+    // this did not affect the operations."
+    let r = run_monte_carlo(&DeviceParams::nominal(), &MonteCarloConfig::default());
+    assert!((r.max_margin_reduction - 0.256).abs() < 0.1, "{:.3}", r.max_margin_reduction);
+    assert_eq!(r.failures, 0);
+}
+
+#[test]
+fn architecture_32k_block_count() {
+    let arch = report(32768).arch;
+    assert_eq!(arch.blocks_per_bank, 49);
+    assert_eq!(arch.banks_per_softbank, 64);
+}

@@ -1,0 +1,105 @@
+//! Cross-crate property-based tests: algebraic invariants that must hold
+//! for any inputs, exercised through the full stack.
+
+use cryptopim::accelerator::CryptoPim;
+use modmath::params::ParamSet;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+use proptest::prelude::*;
+
+const N: usize = 128;
+const Q: u64 = 7681;
+
+fn poly(coeffs: Vec<u64>) -> Polynomial {
+    Polynomial::from_coeffs(coeffs, Q).expect("valid degree")
+}
+
+fn coeff_vec() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..Q, N)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The PIM-accelerated product always equals the software product.
+    #[test]
+    fn pim_equals_software(a in coeff_vec(), b in coeff_vec()) {
+        let p = ParamSet::for_degree(N).expect("valid degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let sw = NttMultiplier::new(&p).expect("paper parameters");
+        let pa = poly(a);
+        let pb = poly(b);
+        prop_assert_eq!(
+            acc.multiply(&pa, &pb).expect("pim"),
+            sw.multiply(&pa, &pb).expect("sw")
+        );
+    }
+
+    /// Ring commutativity through the accelerator.
+    #[test]
+    fn multiplication_commutes(a in coeff_vec(), b in coeff_vec()) {
+        let p = ParamSet::for_degree(N).expect("valid degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let pa = poly(a);
+        let pb = poly(b);
+        prop_assert_eq!(
+            acc.multiply(&pa, &pb).expect("ab"),
+            acc.multiply(&pb, &pa).expect("ba")
+        );
+    }
+
+    /// Distributivity: a·(b + c) = a·b + a·c.
+    #[test]
+    fn multiplication_distributes(
+        a in coeff_vec(),
+        b in coeff_vec(),
+        c in coeff_vec(),
+    ) {
+        let p = ParamSet::for_degree(N).expect("valid degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let pa = poly(a);
+        let pb = poly(b);
+        let pc = poly(c);
+        let lhs = acc.multiply(&pa, &(pb.clone() + pc.clone())).expect("a(b+c)");
+        let rhs = acc.multiply(&pa, &pb).expect("ab") + acc.multiply(&pa, &pc).expect("ac");
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Multiplying by x^k rotates coefficients with a negacyclic sign.
+    #[test]
+    fn monomial_shift(a in coeff_vec(), k in 0usize..N) {
+        let p = ParamSet::for_degree(N).expect("valid degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let pa = poly(a.clone());
+        let mut mono = vec![0u64; N];
+        mono[k] = 1;
+        let shifted = acc.multiply(&pa, &poly(mono)).expect("shift");
+        for i in 0..N {
+            let (src, negate) = if i >= k {
+                (i - k, false)
+            } else {
+                (i + N - k, true)
+            };
+            let expect = if negate {
+                (Q - a[src]) % Q
+            } else {
+                a[src]
+            };
+            prop_assert_eq!(shifted.coeff(i), expect, "i = {}, k = {}", i, k);
+        }
+    }
+
+    /// The report is input-independent (data-oblivious hardware): cycles
+    /// depend only on the parameter set.
+    #[test]
+    fn timing_is_data_oblivious(a in coeff_vec(), b in coeff_vec()) {
+        let p = ParamSet::for_degree(N).expect("valid degree");
+        let acc = CryptoPim::new(&p).expect("paper parameters");
+        let pa = poly(a);
+        let pb = poly(b);
+        let (_, _, t1) = acc.multiply_with_trace(&pa, &pb).expect("first");
+        let zero = Polynomial::zero(N, Q).expect("zero");
+        let (_, _, t2) = acc.multiply_with_trace(&zero, &zero).expect("second");
+        prop_assert_eq!(t1.total().cycles, t2.total().cycles);
+    }
+}
