@@ -88,8 +88,7 @@ impl PimDesign {
     ///
     /// Propagates model-construction failures.
     pub fn latency_us(self, params: &ParamSet) -> Result<f64> {
-        let mapping =
-            cryptopim::mapping::NttMapping::new(params, self.reduction())?;
+        let mapping = cryptopim::mapping::NttMapping::new(params, self.reduction())?;
         let model = PipelineModel::new(&mapping).with_multiplier(self.multiplier());
         Ok(model.non_pipelined().latency_us)
     }
@@ -141,9 +140,7 @@ pub fn fig6_summary() -> Result<Fig6Summary> {
         r3c.push(l3 / lc);
         r1c.push(l1 / lc);
     }
-    let gmean = |v: &[f64]| {
-        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-    };
+    let gmean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
     Ok(Fig6Summary {
         bp1_over_bp2: gmean(&r12),
         bp2_over_bp3: gmean(&r23),
@@ -218,10 +215,7 @@ mod tests {
     fn design_metadata() {
         assert_eq!(PimDesign::Bp1.multiplier(), MultiplierKind::HajAli);
         assert_eq!(PimDesign::Bp2.multiplier(), MultiplierKind::CryptoPim);
-        assert_eq!(
-            PimDesign::Bp3.reduction(),
-            ReductionStyle::ShiftAdd
-        );
+        assert_eq!(PimDesign::Bp3.reduction(), ReductionStyle::ShiftAdd);
         assert_eq!(format!("{}", PimDesign::CryptoPim), "CryptoPIM");
     }
 }

@@ -47,13 +47,15 @@ pub fn paper_reference() -> Vec<ReferenceRow> {
         (32768, 32, 12762.65, 95032.33, 78.0),
     ]
     .into_iter()
-    .map(|(n, bitwidth, latency_us, energy_uj, throughput)| ReferenceRow {
-        n,
-        bitwidth,
-        latency_us,
-        energy_uj,
-        throughput,
-    })
+    .map(
+        |(n, bitwidth, latency_us, energy_uj, throughput)| ReferenceRow {
+            n,
+            bitwidth,
+            latency_us,
+            energy_uj,
+            throughput,
+        },
+    )
     .collect()
 }
 
@@ -134,7 +136,9 @@ pub fn measure_software_multiply(params: &ParamSet, iterations: u32) -> ntt::Res
         params.q,
     )?;
     let b = Polynomial::from_coeffs(
-        (0..params.n as u64).map(|i| (i * 23 + 7) % params.q).collect(),
+        (0..params.n as u64)
+            .map(|i| (i * 23 + 7) % params.q)
+            .collect(),
         params.q,
     )?;
     // Warm-up pass keeps one-time costs out of the measurement.

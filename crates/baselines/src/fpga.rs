@@ -16,13 +16,15 @@ pub fn paper_reference() -> Vec<ReferenceRow> {
         (1024, 16, 101.84, 12.52, 9819.0),
     ]
     .into_iter()
-    .map(|(n, bitwidth, latency_us, energy_uj, throughput)| ReferenceRow {
-        n,
-        bitwidth,
-        latency_us,
-        energy_uj,
-        throughput,
-    })
+    .map(
+        |(n, bitwidth, latency_us, energy_uj, throughput)| ReferenceRow {
+            n,
+            bitwidth,
+            latency_us,
+            energy_uj,
+            throughput,
+        },
+    )
     .collect()
 }
 
@@ -75,7 +77,10 @@ mod tests {
     fn only_small_degrees_published() {
         assert_eq!(paper_reference().len(), 3);
         assert!(paper_reference_for(1024).is_some());
-        assert!(paper_reference_for(2048).is_none(), "Table II: 2k-32k is '-'");
+        assert!(
+            paper_reference_for(2048).is_none(),
+            "Table II: 2k-32k is '-'"
+        );
     }
 
     #[test]
@@ -104,7 +109,10 @@ mod tests {
         let g = avg(&gains);
         let perf = avg(&penalties);
         let e = avg(&energies);
-        assert!((25.0..40.0).contains(&g), "throughput gain {g:.1} (paper 31×)");
+        assert!(
+            (25.0..40.0).contains(&g),
+            "throughput gain {g:.1} (paper 31×)"
+        );
         assert!(
             (0.6..0.85).contains(&perf),
             "performance ratio {perf:.2} (paper 0.72 = 28 % reduction)"

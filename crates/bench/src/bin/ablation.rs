@@ -21,7 +21,10 @@ use pim::switch::{CrossbarSwitch, FixedFunctionSwitch};
 
 fn main() {
     header("AB1 — switch complexity (logic switches per row)");
-    println!("{:>8} {:>16} {:>12} {:>10}", "rows", "fixed-function", "crossbar", "saving");
+    println!(
+        "{:>8} {:>16} {:>12} {:>10}",
+        "rows", "fixed-function", "crossbar", "saving"
+    );
     for rows in [64usize, 128, 256, 512] {
         let ff = FixedFunctionSwitch::new(1, rows);
         let xb = CrossbarSwitch::new(rows);
@@ -81,8 +84,13 @@ fn main() {
         "Mont pruned"
     );
     for q in [7681u64, 12289, 786433] {
-        let mb = Reducer::new(q, ReductionStyle::MulBased { optimized_mul: true })
-            .expect("specialized modulus");
+        let mb = Reducer::new(
+            q,
+            ReductionStyle::MulBased {
+                optimized_mul: true,
+            },
+        )
+        .expect("specialized modulus");
         let sa = Reducer::new(q, ReductionStyle::ShiftAdd).expect("specialized modulus");
         let opt = Reducer::new(q, ReductionStyle::CryptoPim).expect("specialized modulus");
         println!(

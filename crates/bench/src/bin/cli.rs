@@ -4,9 +4,15 @@
 //! cargo run -p cryptopim-bench --bin cli -- simulate --degree 1024
 //! cargo run -p cryptopim-bench --bin cli -- simulate --degree 4096 --org naive
 //! cargo run -p cryptopim-bench --bin cli -- baseline --design bp2
-//! cargo run -p cryptopim-bench --bin cli -- verify --degree 512
+//! cargo run -p cryptopim-bench --bin cli -- verify --degree 512 --threads 4
 //! cargo run -p cryptopim-bench --bin cli -- montecarlo --samples 2000 --variation 15
+//! cargo run -p cryptopim-bench --bin cli -- bench --json [--threads N]
+//! cargo run -p cryptopim-bench --bin cli -- --json              # shorthand for bench --json
 //! ```
+//!
+//! `bench --json` writes `BENCH_<date>.json` in the working directory:
+//! median ns/op for the software NTT and the functional accelerator at
+//! the paper degrees, plus the worker count and the git commit.
 
 use baselines::bp::PimDesign;
 use cryptopim::accelerator::CryptoPim;
@@ -16,8 +22,10 @@ use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
 use ntt::poly::Polynomial;
 use pim::block::MultiplierKind;
 use pim::device::DeviceParams;
+use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::variation::{run_monte_carlo, MonteCarloConfig};
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
@@ -26,8 +34,13 @@ fn usage() -> ! {
          commands:\n\
          \x20 simulate    --degree N [--org cryptopim|naive|area]   performance report\n\
          \x20 baseline    --design bp1|bp2|bp3|cryptopim [--degree N] Fig.6 design point\n\
-         \x20 verify      [--degree N]                                functional check vs software NTT\n\
-         \x20 montecarlo  [--samples N] [--variation PCT]             device robustness study\n"
+         \x20 verify      [--degree N] [--threads N]                  functional check vs software NTT\n\
+         \x20 montecarlo  [--samples N] [--variation PCT]             device robustness study\n\
+         \x20 bench       [--json] [--threads N]                      host-side ns/op benchmarks\n\
+         \n\
+         --threads N pins the lane fan-out (default: CRYPTOPIM_THREADS\n\
+         or the machine's available parallelism; results are identical\n\
+         for any worker count)\n"
     );
     std::process::exit(2);
 }
@@ -48,9 +61,144 @@ fn parse_degree(args: &[String], default: usize) -> usize {
     }
 }
 
+fn parse_threads(args: &[String]) -> Threads {
+    match opt(args, "--threads") {
+        None => Threads::Auto,
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) if k >= 1 => Threads::Fixed(k),
+            _ => {
+                eprintln!("invalid --threads: {v}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Median ns/op of `f`, sized so each sample runs for at least ~2 ms.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warmup + estimate
+    let start = Instant::now();
+    f();
+    let est = start.elapsed().as_nanos().max(1);
+    let iters = (2_000_000 / est).clamp(1, 10_000) as usize;
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no external deps).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn run_bench(args: &[String]) {
+    let threads = parse_threads(args);
+    let workers = threads.resolve();
+    let json = args.iter().any(|a| a == "--json");
+    let mut results: Vec<(String, f64)> = Vec::new();
+
+    for n in [256usize, 1024, 4096] {
+        let params = ParamSet::for_degree(n).expect("paper degree");
+        let q = params.q;
+        let sw = NttMultiplier::new(&params).expect("paper parameters");
+        let a = Polynomial::from_coeffs((0..n as u64).map(|i| i * 31 % q).collect(), q)
+            .expect("valid degree");
+        let b = Polynomial::from_coeffs((0..n as u64).map(|i| (i * 17 + 5) % q).collect(), q)
+            .expect("valid degree");
+
+        results.push((
+            format!("ntt_forward/{n}"),
+            time_ns(|| {
+                std::hint::black_box(sw.forward(std::hint::black_box(&a)).unwrap());
+            }),
+        ));
+        results.push((
+            format!("poly_multiply/{n}"),
+            time_ns(|| {
+                std::hint::black_box(sw.multiply(&a, &b).unwrap());
+            }),
+        ));
+
+        let acc = CryptoPim::new(&params)
+            .expect("paper parameters")
+            .with_threads(threads);
+        results.push((
+            format!("engine_multiply/{n}"),
+            time_ns(|| {
+                std::hint::black_box(acc.multiply_with_trace(&a, &b).unwrap());
+            }),
+        ));
+    }
+
+    println!("{:<24} {:>14}", "benchmark", "ns/op (median)");
+    for (id, ns) in &results {
+        println!("{id:<24} {ns:>14.0}");
+    }
+    println!("workers: {workers}");
+
+    if json {
+        let path = format!("BENCH_{}.json", today_utc());
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
+        out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str("  \"benches\": [\n");
+        for (i, (id, ns)) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"ns_per_op\": {ns:.0}}}{sep}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write benchmark JSON");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
+
+    match command.as_str() {
+        // `cli -- --json` is shorthand for `cli -- bench --json`.
+        "bench" | "--json" => {
+            run_bench(&args);
+            return;
+        }
+        _ => {}
+    }
 
     match command.as_str() {
         "simulate" => {
@@ -107,7 +255,9 @@ fn main() {
                 eprintln!("bad degree: {e}");
                 std::process::exit(2);
             });
-            let acc = CryptoPim::new(&params).expect("paper parameters");
+            let acc = CryptoPim::new(&params)
+                .expect("paper parameters")
+                .with_threads(parse_threads(&args));
             let sw = NttMultiplier::new(&params).expect("paper parameters");
             let a = Polynomial::from_coeffs(
                 (0..n as u64).map(|i| i * 31 % params.q).collect(),

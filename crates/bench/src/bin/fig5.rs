@@ -18,14 +18,7 @@ fn main() {
     header("Fig. 5 — latency and throughput, NP vs P (normalized to NP at n = 256)");
     println!(
         "{:<8} {:>12} {:>12} {:>10} {:>14} {:>14} {:>10} {:>10}",
-        "n",
-        "NP lat µs",
-        "P lat µs",
-        "lat ovh",
-        "NP mult/s",
-        "P mult/s",
-        "thr gain",
-        "E ovh %"
+        "n", "NP lat µs", "P lat µs", "lat ovh", "NP mult/s", "P mult/s", "thr gain", "E ovh %"
     );
 
     let mut small_gain = Vec::new();

@@ -39,7 +39,10 @@ fn main() {
     );
 
     header("Sensitivity sweep: variation vs worst-case margin reduction");
-    println!("{:>10} {:>16} {:>10}", "variation", "max reduction %", "failures");
+    println!(
+        "{:>10} {:>16} {:>10}",
+        "variation", "max reduction %", "failures"
+    );
     for v in [0.02f64, 0.05, 0.10, 0.15, 0.20, 0.30] {
         let r = run_monte_carlo(
             &nominal,
@@ -57,7 +60,10 @@ fn main() {
     }
 
     header("Why the high R_off/R_on matters (ratio ablation at 10 % variation)");
-    println!("{:>12} {:>16} {:>10}", "Roff/Ron", "max reduction %", "failures");
+    println!(
+        "{:>12} {:>16} {:>10}",
+        "Roff/Ron", "max reduction %", "failures"
+    );
     for ratio in [10.0f64, 50.0, 100.0, 1000.0] {
         let device = DeviceParams {
             r_off: nominal.r_on * ratio,

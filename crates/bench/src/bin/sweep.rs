@@ -26,8 +26,8 @@ fn main() {
         let native = n.min(MAX_NATIVE_DEGREE);
         let p = ParamSet::for_degree(native).expect("valid degree");
         let model = PipelineModel::for_params(&p).expect("paper parameters");
-        let arch = ArchConfig::for_degree(n, &model, Organization::CryptoPim)
-            .expect("valid degree");
+        let arch =
+            ArchConfig::for_degree(n, &model, Organization::CryptoPim).expect("valid degree");
         let per_pipeline = model.pipelined(Organization::CryptoPim).throughput;
         println!(
             "{:<8} {:>8} {:>12} {:>12} {:>8} {:>16.0} {:>18.0}",

@@ -16,10 +16,7 @@ use pim::reduce::{Reducer, ReductionStyle};
 
 fn main() {
     header("Table I — modulo operation latency (cycles)");
-    println!(
-        "{:<10} {:>42} {:>42}",
-        "q", "Barrett", "Montgomery"
-    );
+    println!("{:<10} {:>42} {:>42}", "q", "Barrett", "Montgomery");
     for q in [7681u64, 12289, 786433] {
         let opt = Reducer::new(q, ReductionStyle::CryptoPim).expect("specialized modulus");
         let paper_b = cost::table1_paper_barrett(q).map(|c| c as f64);

@@ -83,7 +83,10 @@ fn main() {
     let mut eng = Vec::new();
     for row in cpu::paper_reference() {
         let p = ParamSet::for_degree(row.n).expect("paper degree");
-        let r = CryptoPim::new(&p).expect("params").report().expect("report");
+        let r = CryptoPim::new(&p)
+            .expect("params")
+            .report()
+            .expect("report");
         perf.push(row.latency_us / r.pipelined.latency_us);
         if row.n <= 1024 {
             thr.push(r.pipelined.throughput / row.throughput);
@@ -104,7 +107,10 @@ fn main() {
     let mut feng = Vec::new();
     for n in [256usize, 512, 1024] {
         let p = ParamSet::for_degree(n).expect("paper degree");
-        let r = CryptoPim::new(&p).expect("params").report().expect("report");
+        let r = CryptoPim::new(&p)
+            .expect("params")
+            .report()
+            .expect("report");
         let c = fpga::compare(
             n,
             r.pipelined.latency_us,

@@ -16,6 +16,7 @@ use modmath::params::ParamSet;
 use ntt::negacyclic::PolyMultiplier;
 use ntt::poly::Polynomial;
 use pim::block::MultiplierKind;
+use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::PimError;
 
@@ -46,6 +47,7 @@ pub struct CryptoPim {
     model: PipelineModel,
     organization: Organization,
     multiplier: MultiplierKind,
+    threads: Threads,
 }
 
 impl CryptoPim {
@@ -85,7 +87,21 @@ impl CryptoPim {
             model,
             organization,
             multiplier,
+            threads: Threads::Auto,
         })
+    }
+
+    /// Selects the host-thread fan-out policy for functional execution
+    /// (`--threads N` / `CRYPTOPIM_THREADS`). Worker count never changes
+    /// products, reports, or traces — only wall-clock simulation time.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured thread policy.
+    pub fn threads(&self) -> Threads {
+        self.threads
     }
 
     /// The parameter set.
@@ -157,7 +173,9 @@ impl CryptoPim {
                 right: b.degree_bound(),
             });
         }
-        let engine = Engine::new(&self.mapping).with_multiplier(self.multiplier);
+        let engine = Engine::new(&self.mapping)
+            .with_multiplier(self.multiplier)
+            .with_threads(self.threads);
         let (coeffs, trace) = engine.multiply(a.coeffs(), b.coeffs())?;
         let product = Polynomial::from_coeffs(coeffs, self.params().q)?;
         Ok((product, self.report()?, trace))

@@ -13,6 +13,7 @@ use crate::arch::ArchConfig;
 use crate::schedule::simulate_burst;
 use crate::Result;
 use ntt::poly::Polynomial;
+use pim::par::{self, Threads};
 use pim::{PimError, CYCLE_TIME_NS};
 
 /// Outcome of a batched run.
@@ -39,25 +40,35 @@ pub struct BatchReport {
 ///
 /// Propagates per-pair execution failures; [`PimError::LengthMismatch`]
 /// when the batch is empty.
-pub fn multiply_batch(
-    acc: &CryptoPim,
-    pairs: &[(Polynomial, Polynomial)],
-) -> Result<BatchReport> {
+pub fn multiply_batch(acc: &CryptoPim, pairs: &[(Polynomial, Polynomial)]) -> Result<BatchReport> {
     if pairs.is_empty() {
         return Err(PimError::LengthMismatch { left: 0, right: 0 });
     }
-    let mut products = Vec::with_capacity(pairs.len());
-    for (a, b) in pairs {
-        let (p, _, _) = acc.multiply_with_trace(a, b)?;
-        products.push(p);
-    }
+    // Pairs are independent superbank slots: fan them out across host
+    // threads at job granularity. Inner engines run single-threaded to
+    // avoid nested fan-out; results land in input order either way.
+    let workers = acc.threads().resolve().min(pairs.len());
+    let products = if workers > 1 {
+        let seq = acc.clone().with_threads(Threads::Fixed(1));
+        par::map_jobs(pairs, workers, |(a, b)| {
+            seq.multiply_with_trace(a, b).map(|(p, _, _)| p)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?
+    } else {
+        let mut products = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            let (p, _, _) = acc.multiply_with_trace(a, b)?;
+            products.push(p);
+        }
+        products
+    };
 
     let arch = ArchConfig::for_degree(acc.params().n, acc.model(), acc.organization())?;
     let lanes = arch.parallel_multiplications.max(1);
     let jobs_per_lane = pairs.len().div_ceil(lanes);
     let burst = simulate_burst(acc.model(), acc.organization(), jobs_per_lane);
-    let makespan_us = burst.makespan_cycles as f64 * CYCLE_TIME_NS / 1000.0
-        * arch.passes as f64;
+    let makespan_us = burst.makespan_cycles as f64 * CYCLE_TIME_NS / 1000.0 * arch.passes as f64;
     Ok(BatchReport {
         products,
         makespan_us,
@@ -81,7 +92,9 @@ mod tests {
                 )
                 .unwrap();
                 let b = Polynomial::from_coeffs(
-                    (0..n as u64).map(|i| (i * 7 + 2 * k as u64 + 1) % q).collect(),
+                    (0..n as u64)
+                        .map(|i| (i * 7 + 2 * k as u64 + 1) % q)
+                        .collect(),
                     q,
                 )
                 .unwrap();
@@ -129,6 +142,27 @@ mod tests {
         let report = multiply_batch(&acc, &pairs(32768, p.q, 2)).unwrap();
         assert_eq!(report.packed_lanes, 1);
         assert_eq!(report.products.len(), 2);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = pairs(256, p.q, 9);
+        let seq = multiply_batch(
+            &CryptoPim::new(&p).unwrap().with_threads(Threads::Fixed(1)),
+            &batch,
+        )
+        .unwrap();
+        for workers in [2usize, 4, 8] {
+            let par = multiply_batch(
+                &CryptoPim::new(&p)
+                    .unwrap()
+                    .with_threads(Threads::Fixed(workers)),
+                &batch,
+            )
+            .unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
     }
 
     #[test]

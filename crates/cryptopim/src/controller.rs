@@ -219,12 +219,8 @@ impl<'m> Controller<'m> {
                     };
                     let mut blk = MemoryBlock::with_rows(params.bitwidth, params.n)?;
                     let data = regs.get_mut(reg);
-                    *data = blk.mul_montgomery(
-                        data,
-                        consts,
-                        self.multiplier,
-                        self.mapping.reducer(),
-                    )?;
+                    *data =
+                        blk.mul_montgomery(data, consts, self.multiplier, self.mapping.reducer())?;
                     tally.absorb(&blk.tally());
                 }
                 Instr::Bitrev { reg } => {
@@ -314,8 +310,7 @@ mod tests {
             let (via_eng, trace) = eng.multiply(&a, &b).unwrap();
 
             assert_eq!(via_ctl, via_eng, "n = {n}");
-            let eng_compute =
-                trace.total().compute_cycles + trace.total().reduce_cycles;
+            let eng_compute = trace.total().compute_cycles + trace.total().reduce_cycles;
             assert_eq!(
                 ctl_tally.compute_cycles + ctl_tally.reduce_cycles,
                 eng_compute,

@@ -17,8 +17,9 @@ use crate::mapping::NttMapping;
 use modmath::bitrev;
 use pim::block::{MemoryBlock, MultiplierKind};
 use pim::cost;
+use pim::par::{self, Threads};
 use pim::stats::Tally;
-use pim::{energy, Result};
+use pim::{energy, PimError, Result};
 
 /// Per-phase operation tallies from one functional execution.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -60,6 +61,7 @@ impl EngineTrace {
 pub struct Engine<'m> {
     mapping: &'m NttMapping,
     multiplier: MultiplierKind,
+    threads: Threads,
 }
 
 impl<'m> Engine<'m> {
@@ -69,12 +71,23 @@ impl<'m> Engine<'m> {
         Engine {
             mapping,
             multiplier: MultiplierKind::CryptoPim,
+            threads: Threads::Auto,
         }
     }
 
     /// Selects the multiplier microprogram.
     pub fn with_multiplier(mut self, kind: MultiplierKind) -> Self {
         self.multiplier = kind;
+        self
+    }
+
+    /// Selects the host-thread fan-out policy for lane execution.
+    ///
+    /// Any worker count produces the same products and a bit-identical
+    /// [`EngineTrace`] — the charge sequence is data-oblivious and is
+    /// always replayed in sequential order (see [`pim::par`]).
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -97,6 +110,16 @@ impl<'m> Engine<'m> {
     ///
     /// Debug-panics if inputs are not canonical (`>= q`).
     pub fn multiply(&self, a: &[u64], b: &[u64]) -> Result<(Vec<u64>, EngineTrace)> {
+        let workers = self.threads.resolve_for(self.mapping.params().n);
+        if workers > 1 {
+            self.multiply_parallel(a, b, workers)
+        } else {
+            self.multiply_sequential(a, b)
+        }
+    }
+
+    /// The reference single-thread execution (also the workers ≤ 1 path).
+    fn multiply_sequential(&self, a: &[u64], b: &[u64]) -> Result<(Vec<u64>, EngineTrace)> {
         let n = self.mapping.params().n;
         let q = self.mapping.params().q;
         debug_assert!(a.iter().all(|&x| x < q) && b.iter().all(|&x| x < q));
@@ -153,9 +176,135 @@ impl<'m> Engine<'m> {
         Ok((out, trace))
     }
 
+    /// Lane-parallel execution: the same phase structure as
+    /// [`Engine::multiply_sequential`], with two invariants that make it
+    /// indistinguishable from it in everything but wall-clock time:
+    ///
+    /// 1. **Data** — every output element is a pure gather of its
+    ///    inputs (the bit-reversal permutes are folded into the gather
+    ///    indices), so chunking the index space across threads cannot
+    ///    reorder or change any value.
+    /// 2. **Accounting** — block charges depend only on datapath width
+    ///    and active rows, never on operand values, so replaying the
+    ///    sequential charge sequence (same ops, same order, same f64
+    ///    accumulation) yields a bit-identical [`EngineTrace`].
+    fn multiply_parallel(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        workers: usize,
+    ) -> Result<(Vec<u64>, EngineTrace)> {
+        let n = self.mapping.params().n;
+        let q = self.mapping.params().q;
+        if a.len() != n || b.len() != n {
+            return Err(PimError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
+        }
+        debug_assert!(a.iter().all(|&x| x < q) && b.iter().all(|&x| x < q));
+        let red = self.mapping.reducer();
+        let bits = bitrev::log2_exact(n).expect("degree is a power of two");
+        let mut trace = EngineTrace::default();
+
+        // --- ψ pre-multiply, bit-reversal folded into the gather. ---
+        let mut blk = self.block()?;
+        blk.charge_mul_montgomery(n, self.multiplier, red);
+        blk.charge_mul_montgomery(n, self.multiplier, red);
+        let phi_a = self.mapping.phi_a();
+        let phi_b = self.mapping.phi_b();
+        let mut xa = par::map_indexed(n, workers, |k| {
+            let i = bitrev::reverse_bits(k, bits);
+            red.montgomery(a[i] * phi_a[i])
+        });
+        let mut xb = par::map_indexed(n, workers, |k| {
+            let i = bitrev::reverse_bits(k, bits);
+            red.montgomery(b[i] * phi_b[i])
+        });
+        trace.premul.absorb(&blk.tally());
+
+        // --- forward NTT stages. ---
+        let log_n = self.mapping.params().log2_n();
+        for stage in 0..log_n {
+            let (fa, ta) = self.ntt_stage_par(&xa, stage, self.mapping.twiddle_fwd(), workers)?;
+            let (fb, tb) = self.ntt_stage_par(&xb, stage, self.mapping.twiddle_fwd(), workers)?;
+            xa = fa;
+            xb = fb;
+            trace.forward.absorb(&ta);
+            trace.forward.absorb(&tb);
+            let xfer = self.transfer_tally(n);
+            trace.transfers.absorb(&xfer);
+            trace.transfers.absorb(&xfer);
+        }
+
+        // --- point-wise multiply, bit-reversal folded into the gather. ---
+        let mut blk = self.block()?;
+        blk.charge_mul_montgomery(n, self.multiplier, red);
+        let mut xc = par::map_indexed(n, workers, |k| {
+            let i = bitrev::reverse_bits(k, bits);
+            red.montgomery(xa[i] * xb[i])
+        });
+        trace.pointwise.absorb(&blk.tally());
+
+        // --- inverse NTT stages. ---
+        for stage in 0..log_n {
+            let (fc, tc) = self.ntt_stage_par(&xc, stage, self.mapping.twiddle_inv(), workers)?;
+            xc = fc;
+            trace.inverse.absorb(&tc);
+            trace.transfers.absorb(&self.transfer_tally(n));
+        }
+
+        // --- ψ⁻¹ · n⁻¹ post-multiply. ---
+        let mut blk = self.block()?;
+        blk.charge_mul_montgomery(n, self.multiplier, red);
+        let phi_post = self.mapping.phi_post();
+        let out = par::map_indexed(n, workers, |k| red.montgomery(xc[k] * phi_post[k]));
+        trace.postmul.absorb(&blk.tally());
+
+        Ok((out, trace))
+    }
+
     /// One Gentleman–Sande stage (see [`ntt_stage`]).
     fn ntt_stage(&self, x: &[u64], stage: u32, twiddle: &[u64]) -> Result<(Vec<u64>, Tally)> {
         ntt_stage(self.mapping, self.multiplier, x, stage, twiddle)
+    }
+
+    /// Lane-parallel Gentleman–Sande stage: charges the block exactly as
+    /// [`ntt_stage`] does (add, Barrett, sub, mul, REDC — each on `n/2`
+    /// rows), then computes the output as an index-wise gather. Output
+    /// index `k` with the stage bit clear is an add-side row
+    /// (`barrett(x[k] + x[k+dist])`); with the stage bit set it is a
+    /// mul-side row (`REDC(W · (x[k−dist] + q − x[k]))`) — elementwise
+    /// identical to the sequential scatter.
+    fn ntt_stage_par(
+        &self,
+        x: &[u64],
+        stage: u32,
+        twiddle: &[u64],
+        workers: usize,
+    ) -> Result<(Vec<u64>, Tally)> {
+        let n = x.len();
+        let q = self.mapping.params().q;
+        let red = self.mapping.reducer();
+        let dist = 1usize << stage;
+        let half = n / 2;
+
+        let mut blk = MemoryBlock::with_rows(self.mapping.params().bitwidth, half)?;
+        blk.charge_add(half);
+        blk.charge_barrett(half, red);
+        blk.charge_sub_plus_q(half);
+        blk.charge_mul(half, self.multiplier);
+        blk.charge_montgomery(half, red);
+
+        let out = par::map_indexed(n, workers, |k| {
+            if k & dist == 0 {
+                red.barrett(x[k] + x[k + dist])
+            } else {
+                let j = k - dist;
+                red.montgomery((x[j] + q - x[k]) * twiddle[j >> (stage + 1)])
+            }
+        });
+        Ok((out, blk.tally()))
     }
 
     /// The cost of one inter-block vector transfer at this datapath width.
@@ -319,9 +468,15 @@ mod tests {
         // Forward covers two polynomials: about twice the inverse cost.
         let ratio = tr.forward.cycles as f64 / tr.inverse.cycles as f64;
         assert!((ratio - 2.0).abs() < 0.01, "fwd/inv cycle ratio {ratio}");
-        assert_eq!(tr.total().cycles, tr.premul.cycles + tr.forward.cycles
-            + tr.pointwise.cycles + tr.inverse.cycles + tr.postmul.cycles
-            + tr.transfers.cycles);
+        assert_eq!(
+            tr.total().cycles,
+            tr.premul.cycles
+                + tr.forward.cycles
+                + tr.pointwise.cycles
+                + tr.inverse.cycles
+                + tr.postmul.cycles
+                + tr.transfers.cycles
+        );
     }
 
     #[test]
@@ -338,10 +493,8 @@ mod tests {
             .multiply(&rand_vec(n, q, 9), &rand_vec(n, q, 10))
             .unwrap();
         let mul_redc = pim::cost::mul_cycles(w) + red.montgomery_cycles();
-        let stage = pim::cost::add_cycles(w)
-            + red.barrett_cycles()
-            + pim::cost::sub_cycles(w)
-            + mul_redc;
+        let stage =
+            pim::cost::add_cycles(w) + red.barrett_cycles() + pim::cost::sub_cycles(w) + mul_redc;
         let log_n = n.trailing_zeros() as u64;
         assert_eq!(tr.premul.cycles, 2 * mul_redc);
         assert_eq!(tr.forward.cycles, 2 * log_n * stage);
@@ -352,6 +505,43 @@ mod tests {
             tr.transfers.cycles,
             3 * log_n * pim::cost::switch_transfer_cycles(w)
         );
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        for n in [64usize, 256, 512] {
+            let m = mapping(n);
+            let q = m.params().q;
+            let a = rand_vec(n, q, 11);
+            let b = rand_vec(n, q, 12);
+            let (c_seq, t_seq) = Engine::new(&m)
+                .with_threads(Threads::Fixed(1))
+                .multiply(&a, &b)
+                .unwrap();
+            for workers in [2usize, 3, 4, 8] {
+                let (c_par, t_par) = Engine::new(&m)
+                    .with_threads(Threads::Fixed(workers))
+                    .multiply(&a, &b)
+                    .unwrap();
+                assert_eq!(c_par, c_seq, "products, n = {n}, workers = {workers}");
+                assert_eq!(t_par, t_seq, "trace, n = {n}, workers = {workers}");
+                assert_eq!(
+                    t_par.total().energy_pj.to_bits(),
+                    t_seq.total().energy_pj.to_bits(),
+                    "energy must match to the last bit, n = {n}, workers = {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_rejects_wrong_length_inputs() {
+        let m = mapping(256);
+        let q = m.params().q;
+        let eng = Engine::new(&m).with_threads(Threads::Fixed(4));
+        let a = rand_vec(128, q, 1);
+        let b = rand_vec(256, q, 2);
+        assert!(eng.multiply(&a, &b).is_err());
     }
 
     proptest! {

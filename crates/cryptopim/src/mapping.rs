@@ -56,7 +56,11 @@ impl NttMapping {
         let q = params.q;
         let scale = |v: u64| reducer.to_mont(v);
         let twiddle_fwd = tables.omega_powers().iter().map(|&w| scale(w)).collect();
-        let twiddle_inv = tables.omega_inv_powers().iter().map(|&w| scale(w)).collect();
+        let twiddle_inv = tables
+            .omega_inv_powers()
+            .iter()
+            .map(|&w| scale(w))
+            .collect();
         let phi_a = tables.phi_powers().iter().map(|&p| scale(p)).collect();
         // φ·R²: scale twice — REDC(b · φR²) = b·φ·R (Montgomery form).
         let phi_b = tables

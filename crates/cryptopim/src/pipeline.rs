@@ -207,8 +207,7 @@ impl PipelineModel {
         let n = self.params.bitwidth;
         let log_n = self.params.log2_n() as u64;
         let xfer = cost::switch_transfer_cycles(n);
-        let scale_block =
-            self.multiplier.cycles(n) + self.reducer.montgomery_cycles_for(n) + xfer;
+        let scale_block = self.multiplier.cycles(n) + self.reducer.montgomery_cycles_for(n) + xfer;
         let stage_block = self.stage_latency(Organization::AreaEfficient);
         // Critical path: pre-scale, log n forward stages (two inputs in
         // parallel banks), point-wise, log n inverse stages, post-scale.
@@ -282,6 +281,30 @@ struct WorkProfile {
     total_work: u64,
 }
 
+/// Evaluates `(pipelined, non_pipelined)` reports for every degree,
+/// fanning the independent model evaluations across host threads
+/// (`threads`, see [`pim::par::Threads`]). Results are in input order
+/// and identical to a sequential sweep for any worker count.
+///
+/// # Errors
+///
+/// Fails on the first degree without paper parameters or a specialized
+/// reduction sequence.
+pub fn sweep_reports(
+    degrees: &[usize],
+    org: Organization,
+    threads: pim::par::Threads,
+) -> Result<Vec<(ModeReport, ModeReport)>> {
+    let workers = threads.resolve().min(degrees.len().max(1));
+    pim::par::map_jobs(degrees, workers, |&n| {
+        let params = ParamSet::for_degree(n)?;
+        let model = PipelineModel::for_params(&params)?;
+        Ok((model.pipelined(org), model.non_pipelined()))
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +314,25 @@ mod tests {
     fn model(n: usize) -> PipelineModel {
         let p = ParamSet::for_degree(n).unwrap();
         PipelineModel::for_params(&p).unwrap()
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        use pim::par::Threads;
+        let degrees: Vec<usize> = modmath::params::PAPER_DEGREES.to_vec();
+        let seq = sweep_reports(&degrees, Organization::CryptoPim, Threads::Fixed(1)).unwrap();
+        let par = sweep_reports(&degrees, Organization::CryptoPim, Threads::Fixed(4)).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(seq.len(), degrees.len());
+        // Spot-check ordering: entry i really is degree i's report.
+        let direct = model(degrees[2]).pipelined(Organization::CryptoPim);
+        assert_eq!(seq[2].0, direct);
+    }
+
+    #[test]
+    fn sweep_propagates_bad_degree_errors() {
+        use pim::par::Threads;
+        assert!(sweep_reports(&[256, 300], Organization::CryptoPim, Threads::Fixed(2)).is_err());
     }
 
     #[test]

@@ -98,11 +98,7 @@ pub fn simulate_burst(model: &PipelineModel, org: Organization, jobs: usize) -> 
 /// # Panics
 ///
 /// Panics unless `0 < fraction < 1`.
-pub fn burst_size_for_efficiency(
-    model: &PipelineModel,
-    org: Organization,
-    fraction: f64,
-) -> usize {
+pub fn burst_size_for_efficiency(model: &PipelineModel, org: Organization, fraction: f64) -> usize {
     assert!(fraction > 0.0 && fraction < 1.0, "fraction in (0, 1)");
     let depth = model.depth(org) as f64;
     // k / (depth + k − 1) ≥ fraction  →  k ≥ fraction·(depth − 1)/(1 − fraction)
@@ -206,7 +202,10 @@ mod tests {
         // single-job latency despite a faster beat than area-efficient.
         let m = model(256);
         let lat = |org| simulate_burst(&m, org, 1).jobs[0].latency_cycles();
-        assert!(lat(Organization::CryptoPim) < lat(Organization::AreaEfficient).max(lat(Organization::Naive)));
+        assert!(
+            lat(Organization::CryptoPim)
+                < lat(Organization::AreaEfficient).max(lat(Organization::Naive))
+        );
     }
 
     #[test]

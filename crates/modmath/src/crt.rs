@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_moduli() {
-        assert!(matches!(Crt2::new(12288, 40961), Err(Error::NotPrime { .. })));
-        assert!(matches!(Crt2::new(12289, 40962), Err(Error::NotPrime { .. })));
+        assert!(matches!(
+            Crt2::new(12288, 40961),
+            Err(Error::NotPrime { .. })
+        ));
+        assert!(matches!(
+            Crt2::new(12289, 40962),
+            Err(Error::NotPrime { .. })
+        ));
         assert!(Crt2::new(12289, 12289).is_err());
     }
 

@@ -39,6 +39,7 @@ pub mod montgomery;
 pub mod params;
 pub mod primes;
 pub mod roots;
+pub mod shoup;
 pub mod zq;
 
 mod error;

@@ -82,7 +82,10 @@ impl MontgomeryReducer {
             return Err(Error::ModulusTooLarge { q });
         }
         if q & 1 == 0 {
-            return Err(Error::NotInvertible { value: q, q: 1 << k });
+            return Err(Error::NotInvertible {
+                value: q,
+                q: 1 << k,
+            });
         }
         let r = 1u64 << k;
         // q⁻¹ mod 2^k by Newton / Hensel lifting.

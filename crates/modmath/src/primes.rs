@@ -130,7 +130,16 @@ mod tests {
 
     #[test]
     fn known_primes() {
-        for q in [2u64, 3, 5, 7681, 12289, 786433, 8380417, 2305843009213693951] {
+        for q in [
+            2u64,
+            3,
+            5,
+            7681,
+            12289,
+            786433,
+            8380417,
+            2305843009213693951,
+        ] {
             assert!(is_prime(q), "{q} should be prime");
         }
     }

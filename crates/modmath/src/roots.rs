@@ -8,7 +8,7 @@
 //! that layout.
 
 use crate::params::ParamSet;
-use crate::{bitrev, primes, zq, Error};
+use crate::{bitrev, primes, shoup, zq, Error};
 
 /// Finds a generator of the multiplicative group `Z_q^*` for prime `q`.
 ///
@@ -76,6 +76,12 @@ pub fn is_primitive_root(root: u64, order: u64, q: u64) -> bool {
 ///   normal order.
 /// * `n_inv` — `n⁻¹ mod q`, folded into the inverse transform's
 ///   post-scaling.
+///
+/// Every multiplicand table additionally carries its Shoup companion
+/// (`⌊w·2^64/q⌋`, see [`crate::shoup`]) so the NTT kernels can run with
+/// lazy reduction, and `phi_inv_n_inv_powers` stores the fused
+/// `φ^{-i}·n⁻¹` post-scaling constants so the inverse negacyclic
+/// transform finishes in a single pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NttTables {
     n: usize,
@@ -83,10 +89,16 @@ pub struct NttTables {
     omega: u64,
     phi: u64,
     omega_powers: Vec<u64>,
+    omega_powers_shoup: Vec<u64>,
     omega_inv_powers: Vec<u64>,
+    omega_inv_powers_shoup: Vec<u64>,
     phi_powers: Vec<u64>,
+    phi_powers_shoup: Vec<u64>,
     phi_inv_powers: Vec<u64>,
+    phi_inv_n_inv_powers: Vec<u64>,
+    phi_inv_n_inv_powers_shoup: Vec<u64>,
     n_inv: u64,
+    n_inv_shoup: u64,
 }
 
 impl NttTables {
@@ -147,16 +159,33 @@ impl NttTables {
 
         let n_inv = zq::inv(n as u64 % q, q)?;
 
+        let phi_inv_n_inv_powers: Vec<u64> = phi_inv_powers
+            .iter()
+            .map(|&p| zq::mul(p, n_inv, q))
+            .collect();
+
+        let omega_powers_shoup = shoup::precompute_table(&omega_powers, q);
+        let omega_inv_powers_shoup = shoup::precompute_table(&omega_inv_powers, q);
+        let phi_powers_shoup = shoup::precompute_table(&phi_powers, q);
+        let phi_inv_n_inv_powers_shoup = shoup::precompute_table(&phi_inv_n_inv_powers, q);
+        let n_inv_shoup = shoup::precompute(n_inv, q);
+
         Ok(NttTables {
             n,
             q,
             omega,
             phi,
             omega_powers,
+            omega_powers_shoup,
             omega_inv_powers,
+            omega_inv_powers_shoup,
             phi_powers,
+            phi_powers_shoup,
             phi_inv_powers,
+            phi_inv_n_inv_powers,
+            phi_inv_n_inv_powers_shoup,
             n_inv,
+            n_inv_shoup,
         })
     }
 
@@ -190,10 +219,22 @@ impl NttTables {
         &self.omega_powers
     }
 
+    /// Shoup companions of [`NttTables::omega_powers`].
+    #[inline]
+    pub fn omega_powers_shoup(&self) -> &[u64] {
+        &self.omega_powers_shoup
+    }
+
     /// `w^-i` for `i ∈ [0, n/2)`, bit-reversed order.
     #[inline]
     pub fn omega_inv_powers(&self) -> &[u64] {
         &self.omega_inv_powers
+    }
+
+    /// Shoup companions of [`NttTables::omega_inv_powers`].
+    #[inline]
+    pub fn omega_inv_powers_shoup(&self) -> &[u64] {
+        &self.omega_inv_powers_shoup
     }
 
     /// `φ^i` for `i ∈ [0, n)`, normal order.
@@ -202,16 +243,41 @@ impl NttTables {
         &self.phi_powers
     }
 
+    /// Shoup companions of [`NttTables::phi_powers`].
+    #[inline]
+    pub fn phi_powers_shoup(&self) -> &[u64] {
+        &self.phi_powers_shoup
+    }
+
     /// `φ^-i` for `i ∈ [0, n)`, normal order.
     #[inline]
     pub fn phi_inv_powers(&self) -> &[u64] {
         &self.phi_inv_powers
     }
 
+    /// Fused `φ^{-i}·n⁻¹` for `i ∈ [0, n)`, normal order — the inverse
+    /// transform's entire post-scaling in one table.
+    #[inline]
+    pub fn phi_inv_n_inv_powers(&self) -> &[u64] {
+        &self.phi_inv_n_inv_powers
+    }
+
+    /// Shoup companions of [`NttTables::phi_inv_n_inv_powers`].
+    #[inline]
+    pub fn phi_inv_n_inv_powers_shoup(&self) -> &[u64] {
+        &self.phi_inv_n_inv_powers_shoup
+    }
+
     /// `n⁻¹ mod q`.
     #[inline]
     pub fn n_inv(&self) -> u64 {
         self.n_inv
+    }
+
+    /// Shoup companion of [`NttTables::n_inv`].
+    #[inline]
+    pub fn n_inv_shoup(&self) -> u64 {
+        self.n_inv_shoup
     }
 }
 
@@ -250,7 +316,12 @@ mod tests {
 
     #[test]
     fn tables_phi_squared_is_omega() {
-        for (n, q) in [(256usize, 7681u64), (512, 12289), (1024, 12289), (2048, 786433)] {
+        for (n, q) in [
+            (256usize, 7681u64),
+            (512, 12289),
+            (1024, 12289),
+            (2048, 786433),
+        ] {
             let t = NttTables::for_degree_modulus(n, q).unwrap();
             assert_eq!(zq::mul(t.phi(), t.phi(), q), t.omega(), "n={n} q={q}");
             assert!(is_primitive_root(t.phi(), 2 * n as u64, q));
@@ -285,6 +356,35 @@ mod tests {
             );
         }
         assert_eq!(zq::mul(t.n_inv(), n as u64, q), 1);
+    }
+
+    #[test]
+    fn shoup_companions_consistent() {
+        let n = 64;
+        let q = 7681;
+        let t = NttTables::for_degree_modulus(n, q).unwrap();
+        let pairs = [
+            (t.omega_powers(), t.omega_powers_shoup()),
+            (t.omega_inv_powers(), t.omega_inv_powers_shoup()),
+            (t.phi_powers(), t.phi_powers_shoup()),
+            (t.phi_inv_n_inv_powers(), t.phi_inv_n_inv_powers_shoup()),
+        ];
+        for (ws, duals) in pairs {
+            assert_eq!(ws.len(), duals.len());
+            for (&w, &dual) in ws.iter().zip(duals) {
+                assert_eq!(dual, shoup::precompute(w, q));
+                // Spot-check the product against plain modular mul.
+                assert_eq!(shoup::mul(12345 % q, w, dual, q), zq::mul(w, 12345 % q, q));
+            }
+        }
+        for i in 0..n {
+            assert_eq!(
+                t.phi_inv_n_inv_powers()[i],
+                zq::mul(t.phi_inv_powers()[i], t.n_inv(), q),
+                "fused post-scaling constant at i = {i}"
+            );
+        }
+        assert_eq!(t.n_inv_shoup(), shoup::precompute(t.n_inv(), q));
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl Zq {
     pub fn new(value: u64, q: u64) -> Self {
         assert!(q > 0, "modulus must be nonzero");
         assert!(q <= MAX_MODULUS, "modulus too large");
-        Zq { value: value % q, q }
+        Zq {
+            value: value % q,
+            q,
+        }
     }
 
     /// The canonical representative in `[0, q)`.

@@ -34,18 +34,25 @@ use crate::Result;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedOperand {
     spectrum: Vec<u64>,
+    /// Shoup companions of `spectrum`, precomputed once so every reuse
+    /// of the cached operand gets the division-free pointwise path.
+    spectrum_shoup: Vec<u64>,
 }
 
 impl CachedOperand {
-    /// Transforms and caches an operand.
+    /// Transforms and caches an operand (including the Shoup companions
+    /// of its spectrum).
     ///
     /// # Errors
     ///
     /// Returns an error when the operand degree does not match the
     /// multiplier's.
     pub fn new(a: &Polynomial, mult: &NttMultiplier) -> Result<Self> {
+        let spectrum = mult.forward(a)?;
+        let spectrum_shoup = modmath::shoup::precompute_table(&spectrum, mult.tables().modulus());
         Ok(CachedOperand {
-            spectrum: mult.forward(a)?,
+            spectrum,
+            spectrum_shoup,
         })
     }
 
@@ -63,7 +70,7 @@ impl CachedOperand {
     /// Returns an error on degree mismatch.
     pub fn multiply(&self, b: &Polynomial, mult: &NttMultiplier) -> Result<Polynomial> {
         let fb = mult.forward(b)?;
-        let fc = mult.pointwise(&self.spectrum, &fb)?;
+        let fc = mult.pointwise_with_shoup(&self.spectrum, &self.spectrum_shoup, &fb)?;
         mult.inverse(fc)
     }
 
@@ -73,7 +80,7 @@ impl CachedOperand {
     ///
     /// Returns an error on degree mismatch.
     pub fn multiply_cached(&self, b: &CachedOperand, mult: &NttMultiplier) -> Result<Polynomial> {
-        let fc = mult.pointwise(&self.spectrum, &b.spectrum)?;
+        let fc = mult.pointwise_with_shoup(&self.spectrum, &self.spectrum_shoup, &b.spectrum)?;
         mult.inverse(fc)
     }
 }
@@ -87,7 +94,8 @@ mod tests {
     fn setup(n: usize) -> (NttMultiplier, Polynomial, Polynomial) {
         let p = ParamSet::for_degree(n).unwrap();
         let m = NttMultiplier::new(&p).unwrap();
-        let a = Polynomial::from_coeffs((0..n as u64).map(|i| i * 13 % p.q).collect(), p.q).unwrap();
+        let a =
+            Polynomial::from_coeffs((0..n as u64).map(|i| i * 13 % p.q).collect(), p.q).unwrap();
         let b = Polynomial::from_coeffs((0..n as u64).map(|i| (i * 7 + 2) % p.q).collect(), p.q)
             .unwrap();
         (m, a, b)
@@ -123,11 +131,8 @@ mod tests {
         let q = m.modulus();
         let cached = CachedOperand::new(&a, &m).unwrap();
         for seed in 0..5u64 {
-            let b = Polynomial::from_coeffs(
-                (0..256u64).map(|i| (i * seed + 1) % q).collect(),
-                q,
-            )
-            .unwrap();
+            let b = Polynomial::from_coeffs((0..256u64).map(|i| (i * seed + 1) % q).collect(), q)
+                .unwrap();
             assert_eq!(
                 cached.multiply(&b, &m).unwrap(),
                 m.multiply(&a, &b).unwrap(),

@@ -84,11 +84,7 @@ fn natural_powers(tables: &NttTables, inverse: bool) -> Vec<u64> {
 /// # Errors
 ///
 /// Returns an error when operand lengths differ from the table degree.
-pub fn multiply_no_bitrev(
-    a: &[u64],
-    b: &[u64],
-    tables: &NttTables,
-) -> Result<Vec<u64>> {
+pub fn multiply_no_bitrev(a: &[u64], b: &[u64], tables: &NttTables) -> Result<Vec<u64>> {
     let n = tables.degree();
     if a.len() != n || b.len() != n {
         return Err(modmath::Error::InvalidDegree { n: a.len() });
@@ -97,7 +93,10 @@ pub fn multiply_no_bitrev(
     let fwd_pows = natural_powers(tables, false);
 
     let scale = |x: &[u64], phis: &[u64]| -> Vec<u64> {
-        x.iter().zip(phis).map(|(&c, &p)| zq::mul(c, p, q)).collect()
+        x.iter()
+            .zip(phis)
+            .map(|(&c, &p)| zq::mul(c, p, q))
+            .collect()
     };
 
     // Forward DIF: natural → bit-reversed (no permutation executed).
@@ -107,7 +106,11 @@ pub fn multiply_no_bitrev(
     dif::dif_forward_in_place(&mut fb, &fwd_pows, q);
 
     // Point-wise in the bit-reversed domain (order-agnostic).
-    let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| zq::mul(x, y, q)).collect();
+    let mut fc: Vec<u64> = fa
+        .iter()
+        .zip(&fb)
+        .map(|(&x, &y)| zq::mul(x, y, q))
+        .collect();
 
     // Inverse GS: bit-reversed → natural (again, no permutation).
     gs::gs_kernel_in_place(&mut fc, tables.omega_inv_powers(), q);

@@ -7,11 +7,16 @@
 //! The two kernels are mathematically transposes of each other; the test
 //! suite asserts `gs(bitrev(x))` ≡ `bitrev(dif(x))` ≡ `DFT(x)`.
 
-use modmath::{bitrev, zq};
+use modmath::{bitrev, shoup};
 
 /// Forward DIF NTT in place: natural-order input → bit-reversed output.
 ///
 /// `omega_pows` must hold `ω^j` for `j ∈ [0, n/2)` in **natural** order.
+///
+/// Internally runs with lazy reduction: Shoup companions for the powers
+/// are computed once up front (`n/2` divisions, amortized over
+/// `n/2·log n` butterflies), coefficients stay in `[0, 2q)` between
+/// stages, and one normalization pass restores canonical output.
 ///
 /// # Panics
 ///
@@ -23,6 +28,8 @@ pub fn dif_forward_in_place(data: &mut [u64], omega_pows: &[u64], q: u64) {
     assert!(n >= 2, "transform length must be at least 2");
     assert_eq!(omega_pows.len(), n / 2, "need n/2 natural-order powers");
 
+    let omega_shoup = shoup::precompute_table(omega_pows, q);
+    let two_q = q << 1;
     for s in 0..log_n {
         let dist = n >> (s + 1);
         let stride = 1usize << s; // twiddle exponent step within a block
@@ -30,11 +37,18 @@ pub fn dif_forward_in_place(data: &mut [u64], omega_pows: &[u64], q: u64) {
             for j in 0..dist {
                 let u = data[block + j];
                 let v = data[block + j + dist];
-                data[block + j] = zq::add(u, v, q);
-                data[block + j + dist] = zq::mul(omega_pows[j * stride], zq::sub(u, v, q), q);
+                let mut sum = u + v; // < 4q, fits u64 for q ≤ 2^62
+                if sum >= two_q {
+                    sum -= two_q;
+                }
+                data[block + j] = sum;
+                let k = j * stride;
+                data[block + j + dist] =
+                    shoup::mul_lazy(u + two_q - v, omega_pows[k], omega_shoup[k], q);
             }
         }
     }
+    shoup::normalize_slice(data, q);
 }
 
 /// Forward cyclic NTT with natural-order output: DIF kernel followed by

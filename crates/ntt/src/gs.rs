@@ -15,9 +15,20 @@
 //! The inverse transform is the same kernel run with the `ω^-1` table
 //! followed by an `n⁻¹` scaling (callers usually fold that scaling into
 //! the `φ^-i` post-multiply; [`inverse`] keeps it explicit).
+//!
+//! # Lazy reduction
+//!
+//! The hot path is [`gs_kernel_lazy_in_place`]: coefficients stay in
+//! `[0, 2q)` between stages, the butterfly sum pays one conditional
+//! subtraction of `2q`, the difference path computes `a − b + 2q ∈
+//! (0, 4q)` and feeds it straight into a Shoup multiply (valid for any
+//! `u64` input, result back in `[0, 2q)`; see [`modmath::shoup`]). A
+//! single normalization pass at the end of the transform restores
+//! canonical form. [`gs_kernel_in_place`] remains the strict
+//! canonical-in/canonical-out kernel for cross-checks.
 
 use modmath::roots::NttTables;
-use modmath::{bitrev, zq};
+use modmath::{bitrev, shoup, zq};
 
 /// Runs the Gentleman–Sande kernel in place.
 ///
@@ -53,22 +64,81 @@ pub fn gs_kernel_in_place(data: &mut [u64], twiddle: &[u64], q: u64) {
     }
 }
 
+/// Runs the Gentleman–Sande kernel in place with lazy reduction.
+///
+/// Same butterfly schedule as [`gs_kernel_in_place`], but coefficients
+/// are only kept in `[0, 2q)`: the sum path conditionally subtracts
+/// `2q`, the difference path forms `a − b + 2q ∈ (0, 4q)` and reduces it
+/// through the Shoup multiply. Inputs must be below `2q` (canonical
+/// values qualify); outputs are below `2q` and callers normalize once at
+/// the end (e.g. via [`modmath::shoup::normalize_slice`]).
+///
+/// `twiddle_shoup` must hold the Shoup companions of `twiddle`, exactly
+/// the layout of [`NttTables::omega_powers_shoup`].
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two of at least 2, or if the
+/// twiddle tables do not have `data.len() / 2` entries each.
+pub fn gs_kernel_lazy_in_place(data: &mut [u64], twiddle: &[u64], twiddle_shoup: &[u64], q: u64) {
+    let n = data.len();
+    let log_n = bitrev::log2_exact(n).expect("length must be a power of two");
+    assert!(n >= 2, "transform length must be at least 2");
+    assert_eq!(twiddle.len(), n / 2, "twiddle table must have n/2 entries");
+    assert_eq!(
+        twiddle_shoup.len(),
+        n / 2,
+        "Shoup table must have n/2 entries"
+    );
+    let two_q = q << 1;
+    debug_assert!(data.iter().all(|&c| c < two_q), "inputs must be < 2q");
+
+    for i in 0..log_n {
+        let dist = 1usize << i;
+        // Stage i visits n / 2^(i+1) blocks of 2·dist coefficients; the
+        // block at position t uses twiddle[t] (the tables are stored in
+        // bit-reversed order precisely so stages read them
+        // sequentially). Iterating blocks via chunks keeps the twiddle
+        // in a register and lets the compiler drop all bounds checks.
+        for (chunk, (&w, &ws)) in data
+            .chunks_exact_mut(2 * dist)
+            .zip(twiddle.iter().zip(twiddle_shoup))
+        {
+            let (lo, hi) = chunk.split_at_mut(dist);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b;
+                let mut s = u + v; // < 4q, fits u64 for q ≤ 2^62
+                if s >= two_q {
+                    s -= two_q;
+                }
+                *a = s;
+                *b = shoup::mul_lazy(u + two_q - v, w, ws, q);
+            }
+        }
+    }
+}
+
 /// Forward cyclic NTT: natural-order input, natural-order output.
 ///
 /// Applies the bit-reversal permutation (free in CryptoPIM — it is a row
-/// write permutation) and then the GS kernel with the forward twiddles.
+/// write permutation), then the lazy GS kernel with the forward
+/// twiddles, then one normalization pass.
 ///
 /// # Panics
 ///
 /// Panics if `data.len() != tables.degree()`.
 pub fn forward(data: &mut [u64], tables: &NttTables) {
     assert_eq!(data.len(), tables.degree(), "length mismatch");
+    let q = tables.modulus();
     bitrev::permute_in_place(data);
-    gs_kernel_in_place(data, tables.omega_powers(), tables.modulus());
+    gs_kernel_lazy_in_place(data, tables.omega_powers(), tables.omega_powers_shoup(), q);
+    shoup::normalize_slice(data, q);
 }
 
 /// Inverse cyclic NTT: natural-order input, natural-order output,
-/// including the `n⁻¹` scaling.
+/// including the `n⁻¹` scaling (applied as a Shoup multiply fused with
+/// the final normalization).
 ///
 /// # Panics
 ///
@@ -77,10 +147,15 @@ pub fn inverse(data: &mut [u64], tables: &NttTables) {
     assert_eq!(data.len(), tables.degree(), "length mismatch");
     let q = tables.modulus();
     bitrev::permute_in_place(data);
-    gs_kernel_in_place(data, tables.omega_inv_powers(), q);
-    let n_inv = tables.n_inv();
+    gs_kernel_lazy_in_place(
+        data,
+        tables.omega_inv_powers(),
+        tables.omega_inv_powers_shoup(),
+        q,
+    );
+    let (n_inv, n_inv_shoup) = (tables.n_inv(), tables.n_inv_shoup());
     for c in data.iter_mut() {
-        *c = zq::mul(*c, n_inv, q);
+        *c = shoup::mul(*c, n_inv, n_inv_shoup, q);
     }
 }
 
@@ -148,6 +223,45 @@ mod tests {
     }
 
     #[test]
+    fn lazy_kernel_matches_strict_kernel() {
+        for (n, q) in [(8usize, 7681u64), (64, 12289), (256, 786433)] {
+            let t = tables_nq(n, q);
+            let data: Vec<u64> = (0..n as u64).map(|i| (i * 7919 + 13) % q).collect();
+
+            let mut strict = data.clone();
+            gs_kernel_in_place(&mut strict, t.omega_powers(), q);
+
+            let mut lazy = data.clone();
+            gs_kernel_lazy_in_place(&mut lazy, t.omega_powers(), t.omega_powers_shoup(), q);
+            assert!(lazy.iter().all(|&c| c < 2 * q), "lazy outputs below 2q");
+            modmath::shoup::normalize_slice(&mut lazy, q);
+
+            assert_eq!(lazy, strict, "n = {n}, q = {q}");
+        }
+    }
+
+    #[test]
+    fn lazy_kernel_accepts_noncanonical_inputs() {
+        // Values in [q, 2q) must transform to the same residues as their
+        // canonical counterparts.
+        let n = 64;
+        let q = 12289;
+        let t = tables_nq(n, q);
+        let canonical: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % q).collect();
+        let shifted: Vec<u64> = canonical.iter().map(|&c| c + q).collect();
+
+        let mut a = canonical.clone();
+        gs_kernel_lazy_in_place(&mut a, t.omega_powers(), t.omega_powers_shoup(), q);
+        modmath::shoup::normalize_slice(&mut a, q);
+
+        let mut b = shifted;
+        gs_kernel_lazy_in_place(&mut b, t.omega_powers(), t.omega_powers_shoup(), q);
+        modmath::shoup::normalize_slice(&mut b, q);
+
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn kernel_rejects_bad_twiddle_len() {
         let result = std::panic::catch_unwind(|| {
             let mut data = vec![0u64; 8];
@@ -176,7 +290,11 @@ mod tests {
         let mut fb = b.clone();
         forward(&mut fa, &t);
         forward(&mut fb, &t);
-        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| zq::mul(x, y, q)).collect();
+        let mut prod: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| zq::mul(x, y, q))
+            .collect();
         inverse(&mut prod, &t);
         assert_eq!(prod, conv);
     }

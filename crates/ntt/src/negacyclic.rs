@@ -18,7 +18,7 @@ use crate::poly::Polynomial;
 use crate::{gs, Result};
 use modmath::params::ParamSet;
 use modmath::roots::NttTables;
-use modmath::{zq, Error};
+use modmath::{bitrev, shoup, zq, Error};
 
 /// Anything that can multiply two polynomials in `Z_q[x]/(x^n + 1)`.
 ///
@@ -113,13 +113,24 @@ impl NttMultiplier {
         }
         let q = self.tables.modulus();
         let phi = self.tables.phi_powers();
-        let mut data: Vec<u64> = a
-            .coeffs()
-            .iter()
-            .zip(phi)
-            .map(|(&c, &p)| zq::mul(c, p, q))
-            .collect();
-        gs::forward(&mut data, &self.tables);
+        let phi_shoup = self.tables.phi_powers_shoup();
+        // Lazy hot path: the φ pre-scaling leaves values in [0, 2q),
+        // which is exactly what the lazy kernel accepts, and the GS
+        // kernel's bit-reversal permutation is folded into the same
+        // pass as a scatter. One normalization at the end restores
+        // canonical form.
+        let bits = bitrev::log2_exact(n).expect("degree is a power of two");
+        let mut data = vec![0u64; n];
+        for (i, &c) in a.coeffs().iter().enumerate() {
+            data[bitrev::reverse_bits(i, bits)] = shoup::mul_lazy(c, phi[i], phi_shoup[i], q);
+        }
+        gs::gs_kernel_lazy_in_place(
+            &mut data,
+            self.tables.omega_powers(),
+            self.tables.omega_powers_shoup(),
+            q,
+        );
+        shoup::normalize_slice(&mut data, q);
         Ok(data)
     }
 
@@ -135,10 +146,20 @@ impl NttMultiplier {
             return Err(Error::InvalidDegree { n: spec.len() });
         }
         let q = self.tables.modulus();
-        gs::inverse(&mut spec, &self.tables);
-        let phi_inv = self.tables.phi_inv_powers();
-        for (c, &p) in spec.iter_mut().zip(phi_inv) {
-            *c = zq::mul(*c, p, q);
+        // Lazy inverse: kernel output stays in [0, 2q); the fused
+        // φ^{-i}·n⁻¹ Shoup multiply performs the post-scaling and the
+        // final normalization in one pass.
+        bitrev::permute_in_place(&mut spec);
+        gs::gs_kernel_lazy_in_place(
+            &mut spec,
+            self.tables.omega_inv_powers(),
+            self.tables.omega_inv_powers_shoup(),
+            q,
+        );
+        let fused = self.tables.phi_inv_n_inv_powers();
+        let fused_shoup = self.tables.phi_inv_n_inv_powers_shoup();
+        for (i, c) in spec.iter_mut().enumerate() {
+            *c = shoup::mul(*c, fused[i], fused_shoup[i], q);
         }
         Polynomial::from_coeffs(spec, q)
     }
@@ -154,6 +175,26 @@ impl NttMultiplier {
         }
         let q = self.tables.modulus();
         Ok(a.iter().zip(b).map(|(&x, &y)| zq::mul(x, y, q)).collect())
+    }
+
+    /// Pointwise product where `a` comes with precomputed Shoup
+    /// companions (`a_shoup[i] = ⌊a[i]·2^64/q⌋`) — the fast path for
+    /// cached operands, avoiding the `u128` remainder entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on a length mismatch.
+    pub fn pointwise_with_shoup(&self, a: &[u64], a_shoup: &[u64], b: &[u64]) -> Result<Vec<u64>> {
+        let n = self.tables.degree();
+        if a.len() != n || a_shoup.len() != n || b.len() != n {
+            return Err(Error::InvalidDegree { n: a.len() });
+        }
+        let q = self.tables.modulus();
+        Ok(a.iter()
+            .zip(a_shoup)
+            .zip(b)
+            .map(|((&x, &xs), &y)| shoup::mul(y, x, xs, q))
+            .collect())
     }
 }
 
@@ -190,7 +231,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let coeffs: Vec<u64> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 16) % q
             })
             .collect();

@@ -138,11 +138,7 @@ impl Polynomial {
     pub fn scale(&self, s: u64) -> Polynomial {
         let s = s % self.q;
         Polynomial {
-            coeffs: self
-                .coeffs
-                .iter()
-                .map(|&c| zq::mul(c, s, self.q))
-                .collect(),
+            coeffs: self.coeffs.iter().map(|&c| zq::mul(c, s, self.q)).collect(),
             q: self.q,
         }
     }
@@ -160,7 +156,12 @@ impl std::fmt::Display for Polynomial {
             "Polynomial(n = {}, q = {}, [{} …])",
             self.coeffs.len(),
             self.q,
-            self.coeffs.iter().take(4).map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+            self.coeffs
+                .iter()
+                .take(4)
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     }
 }

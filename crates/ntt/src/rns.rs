@@ -165,10 +165,7 @@ mod tests {
         let q = mult.modulus();
         let a = rand_vec(64, q, 1);
         let b = rand_vec(64, q, 2);
-        assert_eq!(
-            mult.multiply(&a, &b).unwrap(),
-            schoolbook_u128(&a, &b, q)
-        );
+        assert_eq!(mult.multiply(&a, &b).unwrap(), schoolbook_u128(&a, &b, q));
     }
 
     #[test]

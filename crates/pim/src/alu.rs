@@ -37,7 +37,10 @@ pub struct GateMulOutcome {
 /// Panics if the slices differ in length, are empty, or `width` is 0 or
 /// `> 32` (the product must fit `u64`).
 pub fn gate_multiply(a: &[u64], b: &[u64], width: usize) -> GateMulOutcome {
-    assert!(!a.is_empty() && a.len() == b.len(), "matching nonempty operands");
+    assert!(
+        !a.is_empty() && a.len() == b.len(),
+        "matching nonempty operands"
+    );
     assert!(width > 0 && width <= 32, "width must be in 1..=32");
     let mut eng = GateEngine::new();
     let a_cols = to_columns(a, width);
@@ -103,7 +106,11 @@ mod tests {
     #[test]
     fn products_bit_exact() {
         for width in [2usize, 4, 8, 16, 24, 32] {
-            let mask: u64 = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask: u64 = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let a: Vec<u64> = (0..32u64).map(|i| (i * 2654435761) & mask).collect();
             let b: Vec<u64> = (0..32u64).map(|i| (i * 40503 + 77) & mask).collect();
             let out = gate_multiply(&a, &b, width);

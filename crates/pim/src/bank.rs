@@ -94,12 +94,7 @@ impl Bank {
     /// # Errors
     ///
     /// Routing failures (out-of-range rows, length mismatches).
-    pub fn transfer(
-        &mut self,
-        i: usize,
-        data: &[u64],
-        conns: &[Connection],
-    ) -> Result<Vec<u64>> {
+    pub fn transfer(&mut self, i: usize, data: &[u64], conns: &[Connection]) -> Result<Vec<u64>> {
         if i + 1 >= self.blocks.len() {
             return Err(PimError::RowOutOfRange {
                 row: i as isize + 1,
@@ -108,11 +103,7 @@ impl Bank {
         }
         let outcome = self.switches[i].route(data, conns, self.bitwidth)?;
         self.blocks[i + 1].absorb(&outcome.tally);
-        Ok(outcome
-            .values
-            .into_iter()
-            .map(|v| v.unwrap_or(0))
-            .collect())
+        Ok(outcome.values.into_iter().map(|v| v.unwrap_or(0)).collect())
     }
 
     /// Aggregate tally over every block (compute + absorbed transfers).

@@ -141,6 +141,43 @@ impl MemoryBlock {
         self.tally.energy_pj += energy::compute_energy_pj(cycles, rows);
     }
 
+    /// Charges the cycle/energy cost of a vector addition on `rows`
+    /// rows without computing data. Cost-only twin of
+    /// [`MemoryBlock::add`], for executions whose data path runs
+    /// elsewhere (e.g. the parallel lane engine): charging the same op
+    /// sequence in the same order reproduces the sequential tally
+    /// bit-for-bit, because every charge depends only on the datapath
+    /// width and the active row count — never on operand values.
+    pub fn charge_add(&mut self, rows: usize) {
+        self.charge_compute(cost::add_cycles(self.bitwidth), rows);
+    }
+
+    /// Cost-only twin of [`MemoryBlock::sub_plus_q`].
+    pub fn charge_sub_plus_q(&mut self, rows: usize) {
+        self.charge_compute(cost::sub_cycles(self.bitwidth), rows);
+    }
+
+    /// Cost-only twin of [`MemoryBlock::mul`].
+    pub fn charge_mul(&mut self, rows: usize, kind: MultiplierKind) {
+        self.charge_compute(kind.cycles(self.bitwidth), rows);
+    }
+
+    /// Cost-only twin of [`MemoryBlock::barrett`].
+    pub fn charge_barrett(&mut self, rows: usize, reducer: &Reducer) {
+        self.charge_reduce(reducer.barrett_cycles_for(self.bitwidth), rows);
+    }
+
+    /// Cost-only twin of [`MemoryBlock::montgomery`].
+    pub fn charge_montgomery(&mut self, rows: usize, reducer: &Reducer) {
+        self.charge_reduce(reducer.montgomery_cycles_for(self.bitwidth), rows);
+    }
+
+    /// Cost-only twin of [`MemoryBlock::mul_montgomery`].
+    pub fn charge_mul_montgomery(&mut self, rows: usize, kind: MultiplierKind, reducer: &Reducer) {
+        self.charge_mul(rows, kind);
+        self.charge_montgomery(rows, reducer);
+    }
+
     /// Raw vector addition (no reduction): `a[i] + b[i]`, an `N+1`-bit
     /// result. Costs `6N + 1` cycles.
     ///
@@ -149,7 +186,7 @@ impl MemoryBlock {
     /// Length mismatch or capacity overflow.
     pub fn add(&mut self, a: &[u64], b: &[u64]) -> Result<Vec<u64>> {
         self.check_operands(a, b)?;
-        self.charge_compute(cost::add_cycles(self.bitwidth), a.len());
+        self.charge_add(a.len());
         Ok(a.iter().zip(b).map(|(&x, &y)| x + y).collect())
     }
 
@@ -162,7 +199,7 @@ impl MemoryBlock {
     /// Length mismatch or capacity overflow.
     pub fn sub_plus_q(&mut self, a: &[u64], b: &[u64], q: u64) -> Result<Vec<u64>> {
         self.check_operands(a, b)?;
-        self.charge_compute(cost::sub_cycles(self.bitwidth), a.len());
+        self.charge_sub_plus_q(a.len());
         Ok(a.iter().zip(b).map(|(&x, &y)| x + q - y).collect())
     }
 
@@ -175,7 +212,7 @@ impl MemoryBlock {
     /// Length mismatch or capacity overflow.
     pub fn mul(&mut self, a: &[u64], b: &[u64], kind: MultiplierKind) -> Result<Vec<u64>> {
         self.check_operands(a, b)?;
-        self.charge_compute(kind.cycles(self.bitwidth), a.len());
+        self.charge_mul(a.len(), kind);
         Ok(a.iter().zip(b).map(|(&x, &y)| x * y).collect())
     }
 
@@ -187,7 +224,7 @@ impl MemoryBlock {
     /// Capacity overflow.
     pub fn barrett(&mut self, a: &[u64], reducer: &Reducer) -> Result<Vec<u64>> {
         self.check_vector(a)?;
-        self.charge_reduce(reducer.barrett_cycles_for(self.bitwidth), a.len());
+        self.charge_barrett(a.len(), reducer);
         Ok(a.iter().map(|&x| reducer.barrett(x)).collect())
     }
 
@@ -199,7 +236,7 @@ impl MemoryBlock {
     /// Capacity overflow.
     pub fn montgomery(&mut self, a: &[u64], reducer: &Reducer) -> Result<Vec<u64>> {
         self.check_vector(a)?;
-        self.charge_reduce(reducer.montgomery_cycles_for(self.bitwidth), a.len());
+        self.charge_montgomery(a.len(), reducer);
         Ok(a.iter().map(|&x| reducer.montgomery(x)).collect())
     }
 
@@ -300,10 +337,7 @@ mod tests {
         );
         let before = blk.tally().cycles;
         let _ = blk.mul(&a, &a, MultiplierKind::HajAli).unwrap();
-        assert_eq!(
-            blk.tally().cycles - before,
-            cost::mul_cycles_baseline(32)
-        );
+        assert_eq!(blk.tally().cycles - before, cost::mul_cycles_baseline(32));
     }
 
     #[test]
@@ -357,6 +391,32 @@ mod tests {
         assert!(blk.tally().cycles > 0);
         blk.reset_tally();
         assert_eq!(blk.tally(), Tally::new());
+    }
+
+    #[test]
+    fn charge_twins_match_real_ops_bit_for_bit() {
+        let q = 12289;
+        let red = reducer(q);
+        let a = vec![7u64; 96];
+        let mut real = MemoryBlock::new(16).unwrap();
+        let _ = real.add(&a, &a).unwrap();
+        let _ = real.barrett(&a, &red).unwrap();
+        let _ = real.sub_plus_q(&a, &a, q).unwrap();
+        let _ = real
+            .mul_montgomery(&a, &a, MultiplierKind::CryptoPim, &red)
+            .unwrap();
+        let mut ghost = MemoryBlock::new(16).unwrap();
+        ghost.charge_add(96);
+        ghost.charge_barrett(96, &red);
+        ghost.charge_sub_plus_q(96);
+        ghost.charge_mul_montgomery(96, MultiplierKind::CryptoPim, &red);
+        assert_eq!(real.tally(), ghost.tally());
+        // f64 energy must match to the last bit, not just approximately:
+        // the parallel engine's determinism contract depends on it.
+        assert_eq!(
+            real.tally().energy_pj.to_bits(),
+            ghost.tally().energy_pj.to_bits()
+        );
     }
 
     /// Cross-validation: the word-level block op agrees bit-for-bit with

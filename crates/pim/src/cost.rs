@@ -37,7 +37,10 @@ pub fn sub_cycles(n: u32) -> u64 {
 /// datapath widths, where it is integral).
 #[inline]
 pub fn mul_cycles(n: u32) -> u64 {
-    assert!(n.is_multiple_of(2), "multiplier cost specified for even widths");
+    assert!(
+        n.is_multiple_of(2),
+        "multiplier cost specified for even widths"
+    );
     let n = n as u64;
     (13 * n * n) / 2 - (23 * n) / 2 + 3
 }
@@ -189,10 +192,7 @@ mod tests {
     #[test]
     fn trace_costing() {
         use modmath::barrett::ShiftAddOp;
-        let trace = [
-            ShiftAddOp::Add { width: 16 },
-            ShiftAddOp::Sub { width: 16 },
-        ];
+        let trace = [ShiftAddOp::Add { width: 16 }, ShiftAddOp::Sub { width: 16 }];
         assert_eq!(shift_add_trace_cycles(&trace), 97 + 113);
         assert_eq!(shift_add_trace_cycles(&[]), 0);
     }

@@ -56,7 +56,10 @@ impl DeviceParams {
     /// the output node to ground. The output flips (RESET) only when the
     /// voltage across it exceeds `v_th`.
     pub fn nor_output_voltage(&self, input_states: &[bool]) -> f64 {
-        assert!(!input_states.is_empty(), "NOR gate needs at least one input");
+        assert!(
+            !input_states.is_empty(),
+            "NOR gate needs at least one input"
+        );
         // Parallel resistance of the input devices.
         let mut conductance = 0.0;
         for &s in input_states {

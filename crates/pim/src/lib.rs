@@ -44,6 +44,7 @@ pub mod crossbar;
 pub mod device;
 pub mod energy;
 pub mod logic;
+pub mod par;
 pub mod reduce;
 pub mod reduce_gate;
 pub mod stats;

@@ -155,12 +155,7 @@ impl GateEngine {
     /// N-bit row-parallel addition: `a + b` over `width`-bit lanes,
     /// producing `width + 1` output columns (the extra one is the final
     /// carry). Bit index 0 is the LSB. Costs `6·width + 1` cycles.
-    pub fn add_words(
-        &mut self,
-        a: &[BitColumn],
-        b: &[BitColumn],
-        width: usize,
-    ) -> Vec<BitColumn> {
+    pub fn add_words(&mut self, a: &[BitColumn], b: &[BitColumn], width: usize) -> Vec<BitColumn> {
         assert_eq!(a.len(), width);
         assert_eq!(b.len(), width);
         let rows = a[0].len();
@@ -178,12 +173,7 @@ impl GateEngine {
     /// N-bit row-parallel subtraction `a − b` (mod 2^width) via 2's
     /// complement: complement each subtrahend bit (one extra gate per
     /// bit) and seed the carry with 1. Costs `7·width + 1` cycles.
-    pub fn sub_words(
-        &mut self,
-        a: &[BitColumn],
-        b: &[BitColumn],
-        width: usize,
-    ) -> Vec<BitColumn> {
+    pub fn sub_words(&mut self, a: &[BitColumn], b: &[BitColumn], width: usize) -> Vec<BitColumn> {
         assert_eq!(a.len(), width);
         assert_eq!(b.len(), width);
         let rows = a[0].len();
@@ -250,7 +240,11 @@ mod tests {
     #[test]
     fn add_words_bit_exact_and_cycle_exact() {
         for width in [4usize, 8, 16, 32] {
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let a_vals: Vec<u64> = (0..64u64).map(|i| (i * 2654435761) & mask).collect();
             let b_vals: Vec<u64> = (0..64u64).map(|i| (i * 40503 + 99) & mask).collect();
             let mut eng = GateEngine::new();
@@ -274,7 +268,11 @@ mod tests {
     #[test]
     fn sub_words_bit_exact_and_cycle_exact() {
         for width in [4usize, 8, 16, 32] {
-            let mask: u64 = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask: u64 = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let a_vals: Vec<u64> = (0..64u64).map(|i| (i * 2654435761) & mask).collect();
             let b_vals: Vec<u64> = (0..64u64).map(|i| (i * 40503 + 99) & mask).collect();
             let mut eng = GateEngine::new();

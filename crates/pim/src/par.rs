@@ -1,0 +1,174 @@
+//! Deterministic lane fan-out across scoped OS threads.
+//!
+//! A CryptoPIM chip is massively parallel: a degree-`n` vector spans
+//! `⌈n/512⌉` independent lanes whose blocks execute the same microcode
+//! in lock-step, and a superbank packs many independent multiplications
+//! side by side. The *simulator* can exploit exactly that independence:
+//! each output element (or each batched job) is a pure function of the
+//! inputs, so the data path parallelizes trivially while the cycle and
+//! energy accounting — which is data-oblivious (cycles depend only on
+//! the datapath width, energy on cycles × active rows) — is replayed in
+//! the sequential charge order. The result is a wall-clock speedup with
+//! **bit-identical** tallies and traces.
+//!
+//! Built on [`std::thread::scope`] only: borrowed inputs need no `Arc`,
+//! no external thread-pool dependency, and a panicking worker propagates
+//! instead of deadlocking. Worker counts come from [`Threads`], which
+//! reads `CRYPTOPIM_THREADS` (or the machine's available parallelism)
+//! unless a caller pins an explicit count.
+
+use std::thread;
+
+/// Environment variable overriding the auto-detected worker count.
+pub const THREADS_ENV: &str = "CRYPTOPIM_THREADS";
+
+/// Worker-count policy for parallel lane execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// `CRYPTOPIM_THREADS` if set (and ≥ 1), else the machine's
+    /// available parallelism — then gated by problem size so tiny
+    /// transforms never pay thread-spawn latency.
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to ≥ 1), regardless of
+    /// problem size. Used by the determinism tests and `--threads N`.
+    Fixed(usize),
+}
+
+impl Threads {
+    /// The raw worker count before any size gating.
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Fixed(k) => k.max(1),
+            Threads::Auto => std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&k| k >= 1)
+                .unwrap_or_else(|| thread::available_parallelism().map_or(1, |p| p.get())),
+        }
+    }
+
+    /// Workers to use for a problem with `lanes` independent elements.
+    ///
+    /// `Fixed(k)` is honored (capped at `lanes`); `Auto` additionally
+    /// gates on size — one worker per 8192 lanes — so that per-stage
+    /// spawn overhead (tens of µs per scope) never dominates. Measured
+    /// on the engine, per-stage work only amortizes a spawn once a
+    /// vector pass runs well past 10k elements; coarser-grained units
+    /// (whole batched multiplications) bypass this gate via
+    /// [`Threads::resolve`].
+    pub fn resolve_for(self, lanes: usize) -> usize {
+        let k = self.resolve().min(lanes.max(1));
+        match self {
+            Threads::Fixed(_) => k,
+            Threads::Auto => k.min((lanes / 8192).max(1)),
+        }
+    }
+}
+
+/// Computes `(0..len).map(f)` with `workers` scoped threads, returning
+/// results in index order.
+///
+/// The index range is split into `workers` contiguous chunks; chunk 0
+/// runs on the calling thread while chunks 1.. run on spawned workers,
+/// and the per-chunk outputs are concatenated in chunk order — so the
+/// result is identical to the sequential map for any worker count.
+/// `workers <= 1` short-circuits to a plain loop with zero spawns.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn map_indexed<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let workers = workers.min(len);
+    let chunk = len.div_ceil(workers);
+    let f = &f;
+    let mut out = Vec::with_capacity(len);
+    thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(len);
+                s.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        out.extend((0..chunk.min(len)).map(f));
+        for h in handles {
+            out.extend(h.join().expect("parallel lane worker panicked"));
+        }
+    });
+    out
+}
+
+/// Maps `f` over a slice of independent jobs with `workers` scoped
+/// threads, returning results in input order.
+///
+/// The batched-multiplication analogue of [`map_indexed`]: each job is
+/// a packed superbank slot, fanned out across host threads.
+pub fn map_jobs<T, R, F>(jobs: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(jobs.len(), workers, |i| f(&jobs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_matches_sequential_for_any_worker_count() {
+        let reference: Vec<u64> = (0..1000).map(|i| (i as u64) * 17 + 3).collect();
+        for workers in [1usize, 2, 3, 4, 7, 8, 16, 1000, 2000] {
+            let got = map_indexed(1000, workers, |i| (i as u64) * 17 + 3);
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_tiny_and_empty_inputs() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 10), vec![10]);
+        assert_eq!(map_indexed(3, 8, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_jobs_preserves_input_order() {
+        let jobs: Vec<String> = (0..57).map(|i| format!("job{i}")).collect();
+        let out = map_jobs(&jobs, 4, |j| format!("{j}!"));
+        let expect: Vec<String> = (0..57).map(|i| format!("job{i}!")).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fixed_threads_resolve_clamped() {
+        assert_eq!(Threads::Fixed(0).resolve(), 1);
+        assert_eq!(Threads::Fixed(6).resolve(), 6);
+        assert_eq!(Threads::Fixed(8).resolve_for(4), 4, "capped at lanes");
+        assert_eq!(Threads::Fixed(2).resolve_for(4096), 2);
+    }
+
+    #[test]
+    fn auto_threads_gate_on_problem_size() {
+        // Small transforms must never spawn regardless of core count.
+        assert_eq!(Threads::Auto.resolve_for(256), 1);
+        assert_eq!(Threads::Auto.resolve_for(4096), 1);
+        // Large ones are capped by one worker per 8192 lanes.
+        assert!(Threads::Auto.resolve_for(32768) <= 4);
+        assert!(Threads::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn workers_beyond_len_are_harmless() {
+        let got = map_indexed(5, 64, |i| i * i);
+        assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -75,8 +75,8 @@ impl Reducer {
     pub fn new(q: u64, style: ReductionStyle) -> Result<Self> {
         let barrett = ShiftAddBarrett::new(q).map_err(PimError::from)?;
         let montgomery = ShiftAddMontgomery::new(q).map_err(PimError::from)?;
-        let generic_mont =
-            MontgomeryReducer::with_r_exponent(q, montgomery.r_exponent()).map_err(PimError::from)?;
+        let generic_mont = MontgomeryReducer::with_r_exponent(q, montgomery.r_exponent())
+            .map_err(PimError::from)?;
         Ok(Reducer {
             q,
             style,
@@ -209,8 +209,10 @@ mod tests {
                     optimized_mul: true,
                 },
             ];
-            let reducers: Vec<Reducer> =
-                styles.iter().map(|&s| Reducer::new(q, s).unwrap()).collect();
+            let reducers: Vec<Reducer> = styles
+                .iter()
+                .map(|&s| Reducer::new(q, s).unwrap())
+                .collect();
             for a in (0..2 * q).step_by(97) {
                 let expect = a % q;
                 for r in &reducers {

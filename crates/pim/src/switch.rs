@@ -86,12 +86,7 @@ impl FixedFunctionSwitch {
     /// * [`PimError::LengthMismatch`] when `data` and `conns` differ in
     ///   length or exceed the block rows.
     /// * [`PimError::RowOutOfRange`] when a shift lands outside the block.
-    pub fn route(
-        &self,
-        data: &[u64],
-        conns: &[Connection],
-        bitwidth: u32,
-    ) -> Result<RouteOutcome> {
+    pub fn route(&self, data: &[u64], conns: &[Connection], bitwidth: u32) -> Result<RouteOutcome> {
         if data.len() != conns.len() {
             return Err(PimError::LengthMismatch {
                 left: data.len(),
@@ -233,10 +228,7 @@ mod tests {
             Connection::DownShift,
         ];
         let out = sw.route(&data, &conns, 16).unwrap();
-        assert_eq!(
-            out.values,
-            vec![Some(102), Some(103), Some(100), Some(101)]
-        );
+        assert_eq!(out.values, vec![Some(102), Some(103), Some(100), Some(101)]);
     }
 
     #[test]

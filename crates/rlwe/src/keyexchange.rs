@@ -37,11 +37,7 @@ impl Initiator {
     /// # Errors
     ///
     /// Propagates key-generation failures.
-    pub fn new<M: PolyMultiplier + ?Sized>(
-        params: &ParamSet,
-        mult: &M,
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn new<M: PolyMultiplier + ?Sized>(params: &ParamSet, mult: &M, seed: u64) -> Result<Self> {
         Ok(Initiator {
             keys: KeyPair::generate(params, mult, seed)?,
         })
@@ -57,11 +53,7 @@ impl Initiator {
     /// # Errors
     ///
     /// Propagates decryption failures.
-    pub fn finish<M: PolyMultiplier + ?Sized>(
-        &self,
-        ct: &Ciphertext,
-        mult: &M,
-    ) -> Result<Vec<u8>> {
+    pub fn finish<M: PolyMultiplier + ?Sized>(&self, ct: &Ciphertext, mult: &M) -> Result<Vec<u8>> {
         let bits = self.keys.secret().decrypt_bits(ct, mult)?;
         Ok(bits[..SHARED_SECRET_BITS.min(bits.len())].to_vec())
     }
@@ -86,7 +78,9 @@ pub fn encapsulate<M: PolyMultiplier + ?Sized>(
         "ring too small for a {SHARED_SECRET_BITS}-bit secret"
     );
     let mut rng = sampling::seeded_rng(seed);
-    let secret: Vec<u8> = (0..SHARED_SECRET_BITS).map(|_| rng.gen::<u8>() & 1).collect();
+    let secret: Vec<u8> = (0..SHARED_SECRET_BITS)
+        .map(|_| rng.gen::<u8>() & 1)
+        .collect();
     let ciphertext = pk.encrypt_bits(&secret, mult, rng.gen())?;
     Ok(Encapsulation {
         ciphertext,

@@ -162,9 +162,7 @@ mod tests {
         let (_, m, keys) = setup(1024);
         let msg = vec![0u8; 1024];
         let fresh = she::encrypt(&keys, &msg, &m, 1).unwrap();
-        let fresh_noise = measure(keys.secret(), fresh.inner(), &msg, &m)
-            .unwrap()
-            .rms;
+        let fresh_noise = measure(keys.secret(), fresh.inner(), &msg, &m).unwrap().rms;
         let mut acc = fresh.clone();
         let k = 15;
         for i in 0..k {

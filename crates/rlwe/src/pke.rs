@@ -74,10 +74,7 @@ impl KeyPair {
                 a,
                 b,
             },
-            secret: SecretKey {
-                params: *params,
-                s,
-            },
+            secret: SecretKey { params: *params, s },
         })
     }
 
@@ -203,7 +200,9 @@ mod tests {
     }
 
     fn bit_pattern(n: usize, seed: u64) -> Vec<u8> {
-        (0..n).map(|i| ((i as u64 * 2654435761 + seed) >> 7) as u8 & 1).collect()
+        (0..n)
+            .map(|i| ((i as u64 * 2654435761 + seed) >> 7) as u8 & 1)
+            .collect()
     }
 
     #[test]

@@ -85,8 +85,7 @@ mod tests {
         let p = params();
         let mut rng = seeded_rng(3);
         let poly = centered_binomial(&p, 2, &mut rng);
-        let mean: f64 =
-            poly.to_centered().iter().map(|&c| c as f64).sum::<f64>() / p.n as f64;
+        let mean: f64 = poly.to_centered().iter().map(|&c| c as f64).sum::<f64>() / p.n as f64;
         assert!(mean.abs() < 0.2, "sample mean {mean}");
     }
 
@@ -96,8 +95,12 @@ mod tests {
         let mut rng = seeded_rng(4);
         let eta = 4u32;
         let poly = centered_binomial(&p, eta, &mut rng);
-        let var: f64 =
-            poly.to_centered().iter().map(|&c| (c * c) as f64).sum::<f64>() / p.n as f64;
+        let var: f64 = poly
+            .to_centered()
+            .iter()
+            .map(|&c| (c * c) as f64)
+            .sum::<f64>()
+            / p.n as f64;
         let expect = eta as f64 / 2.0;
         assert!(
             (var - expect).abs() < expect * 0.3,

@@ -127,11 +127,8 @@ mod tests {
     #[test]
     fn polynomial_roundtrip() {
         for (n, q) in [(256usize, 7681u64), (1024, 12289), (2048, 786433)] {
-            let p = Polynomial::from_coeffs(
-                (0..n as u64).map(|i| i * 37 % q).collect(),
-                q,
-            )
-            .unwrap();
+            let p =
+                Polynomial::from_coeffs((0..n as u64).map(|i| i * 37 % q).collect(), q).unwrap();
             let bytes = polynomial_to_bytes(&p);
             assert_eq!(polynomial_from_bytes(&bytes).unwrap(), p, "n = {n}");
         }

@@ -77,8 +77,7 @@ impl HomCiphertext {
         p: &Polynomial,
         mult: &M,
     ) -> Result<HomCiphertext> {
-        if p.degree_bound() != self.inner.u.degree_bound()
-            || p.modulus() != self.inner.u.modulus()
+        if p.degree_bound() != self.inner.u.degree_bound() || p.modulus() != self.inner.u.modulus()
         {
             return Err(RlweError::ParameterMismatch);
         }
@@ -117,9 +116,9 @@ pub fn encrypt<M: PolyMultiplier + ?Sized>(
     mult: &M,
     seed: u64,
 ) -> Result<HomCiphertext> {
-    Ok(HomCiphertext::fresh(keys.public().encrypt_bits(
-        bits, mult, seed,
-    )?))
+    Ok(HomCiphertext::fresh(
+        keys.public().encrypt_bits(bits, mult, seed)?,
+    ))
 }
 
 /// Reference plaintext semantics of [`HomCiphertext::mul_plaintext`]:
@@ -157,7 +156,9 @@ mod tests {
     }
 
     fn bits(n: usize, seed: u64) -> Vec<u8> {
-        (0..n).map(|i| ((i as u64).wrapping_mul(seed * 2 + 1) >> 3) as u8 & 1).collect()
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed * 2 + 1) >> 3) as u8 & 1)
+            .collect()
     }
 
     #[test]

@@ -161,8 +161,7 @@ impl VerifyKey {
         }
         let c = challenge_poly(&sig.challenge, &self.params)?;
         // a·z₁ + z₂ − t·c  =  a·y₁ + y₂
-        let w = mult.multiply(&self.a, &sig.z1)? + sig.z2.clone()
-            - mult.multiply(&self.t, &c)?;
+        let w = mult.multiply(&self.a, &sig.z1)? + sig.z2.clone() - mult.multiply(&self.t, &c)?;
         Ok(challenge_digest(&w, message) == sig.challenge)
     }
 }

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== device robustness at increasing process variation ==");
     let nominal = pim::device::DeviceParams::nominal();
-    println!("{:>10} {:>18} {:>10}", "variation", "margin reduction", "failures");
+    println!(
+        "{:>10} {:>18} {:>10}",
+        "variation", "margin reduction", "failures"
+    );
     for v in [0.05f64, 0.10, 0.20] {
         let r = run_monte_carlo(
             &nominal,

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ct in &encrypted[1..] {
         tally = tally.add(ct)?;
     }
-    println!("tally server combined {} ciphertexts homomorphically", ballots.len());
+    println!(
+        "tally server combined {} ciphertexts homomorphically",
+        ballots.len()
+    );
 
     // It can also homomorphically shift the result into coefficient 100
     // by multiplying with the public monomial x^100 — a full negacyclic

@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .chunks(8)
         .take(4)
         .map(|byte_bits| {
-            let byte = byte_bits
-                .iter()
-                .fold(0u8, |acc, &b| (acc << 1) | (b & 1));
+            let byte = byte_bits.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1));
             format!("{byte:02x}")
         })
         .collect();

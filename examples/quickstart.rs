@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Multiply through the simulated PIM datapath.
     let (product, report) = accelerator.multiply_with_report(&a, &b)?;
-    println!("\nproduct (first 8 coefficients): {:?}", &product.coeffs()[..8]);
+    println!(
+        "\nproduct (first 8 coefficients): {:?}",
+        &product.coeffs()[..8]
+    );
     println!("\n{report}");
 
     // 4. Cross-check against the software NTT.

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (q1, q2) = mult.channel_moduli();
     let q = mult.modulus();
     println!("channels: q1 = {q1}, q2 = {q2}");
-    println!("composite modulus Q = q1·q2 = {q} ({} bits)", 128 - q.leading_zeros());
+    println!(
+        "composite modulus Q = q1·q2 = {q} ({} bits)",
+        128 - q.leading_zeros()
+    );
 
     // Coefficients larger than either prime alone.
     let mut a = vec![0u128; 1024];

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let forged = verifier.verify(b"a different message", &signature, &pim)?;
     println!(
         "same signature over a different message: {}",
-        if forged { "accepted ✗" } else { "rejected ✓" }
+        if forged {
+            "accepted ✗"
+        } else {
+            "rejected ✓"
+        }
     );
     assert!(!forged);
 

@@ -1,1 +1,6 @@
-pub use cryptopim; pub use modmath; pub use ntt; pub use pim; pub use baselines; pub use rlwe;
+pub use baselines;
+pub use cryptopim;
+pub use modmath;
+pub use ntt;
+pub use pim;
+pub use rlwe;

@@ -28,8 +28,8 @@ fn bank_forward_ntt(mapping: &NttMapping, input: &[u64]) -> Vec<u64> {
     // Chain: premul block, then one block per stage; switch i carries
     // the stage-i exchange with hard-wired shift 2^i.
     let shifts: Vec<usize> = (0..log_n).map(|i| 1usize << i).collect();
-    let mut bank = Bank::new(params.bitwidth, log_n as usize + 1, &shifts)
-        .expect("valid bank shape");
+    let mut bank =
+        Bank::new(params.bitwidth, log_n as usize + 1, &shifts).expect("valid bank shape");
 
     // ψ pre-multiply in block 0 (REDC against the φ·R constants).
     let mut x = bank
@@ -77,8 +77,8 @@ fn bank_forward_ntt(mapping: &NttMapping, input: &[u64]) -> Vec<u64> {
 fn bank_executed_forward_ntt_matches_software() {
     for n in [64usize, 256, 512] {
         let params = ParamSet::for_degree(n).expect("valid degree");
-        let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim)
-            .expect("paper parameters");
+        let mapping =
+            NttMapping::new(&params, ReductionStyle::CryptoPim).expect("paper parameters");
         let input: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 7) % params.q).collect();
 
         let via_bank = bank_forward_ntt(&mapping, &input);
@@ -99,8 +99,7 @@ fn bank_executed_forward_ntt_matches_software() {
 #[test]
 fn bank_charges_compute_and_transfers() {
     let params = ParamSet::for_degree(256).expect("valid degree");
-    let mapping =
-        NttMapping::new(&params, ReductionStyle::CryptoPim).expect("paper parameters");
+    let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("paper parameters");
     let input: Vec<u64> = (0..256u64).collect();
     // Rebuild the bank inside the helper; rerun and inspect via a local
     // copy of the chain to check accounting.

@@ -61,10 +61,7 @@ fn pke_roundtrip_on_pim_backend() {
     let pim = CryptoPim::new(&p).expect("paper parameters");
     let keys = KeyPair::generate(&p, &pim, 42).expect("keygen");
     let msg: Vec<u8> = (0..512).map(|i| (i % 3 == 0) as u8).collect();
-    let ct = keys
-        .public()
-        .encrypt_bits(&msg, &pim, 43)
-        .expect("encrypt");
+    let ct = keys.public().encrypt_bits(&msg, &pim, 43).expect("encrypt");
     let pt = keys.secret().decrypt_bits(&ct, &pim).expect("decrypt");
     assert_eq!(pt, msg);
 }

@@ -31,8 +31,7 @@ fn four_multipliers_agree() {
         .expect("ntt");
     let via_kara = karatsuba::multiply(&a, &b).expect("karatsuba");
     let tables = NttTables::new(&p).expect("tables");
-    let via_nobitrev =
-        ct::multiply_no_bitrev(a.coeffs(), b.coeffs(), &tables).expect("no-bitrev");
+    let via_nobitrev = ct::multiply_no_bitrev(a.coeffs(), b.coeffs(), &tables).expect("no-bitrev");
     let via_pim = CryptoPim::new(&p)
         .expect("params")
         .multiply(&a, &b)
@@ -102,11 +101,8 @@ fn batch_and_single_agree() {
     let p = ParamSet::for_degree(256).expect("degree");
     let acc = CryptoPim::new(&p).expect("params");
     let mk = |seed: u64| {
-        Polynomial::from_coeffs(
-            (0..256u64).map(|i| (i * seed + 1) % p.q).collect(),
-            p.q,
-        )
-        .expect("valid")
+        Polynomial::from_coeffs((0..256u64).map(|i| (i * seed + 1) % p.q).collect(), p.q)
+            .expect("valid")
     };
     let pairs = vec![(mk(3), mk(5)), (mk(7), mk(11))];
     let report = multiply_batch(&acc, &pairs).expect("batch");

@@ -11,12 +11,7 @@ use pim::reduce_gate::{gate_barrett, gate_montgomery};
 
 /// Gate-level butterfly for q = 12289 (16-bit class):
 /// `lo = (t + u) mod q`, `hi = REDC(wR · (t + q − u))`.
-fn gate_butterfly(
-    t: &[u64],
-    u: &[u64],
-    w_scaled: &[u64],
-    q: u64,
-) -> (Vec<u64>, Vec<u64>) {
+fn gate_butterfly(t: &[u64], u: &[u64], w_scaled: &[u64], q: u64) -> (Vec<u64>, Vec<u64>) {
     let n = t.len();
     // t + u via the gate adder (through the multiplier module's engine
     // would also work; reuse the reduction helpers' I/O contract).
@@ -27,7 +22,9 @@ fn gate_butterfly(
 
     let diffs: Vec<u64> = (0..n).map(|i| t[i] + q - u[i]).collect();
     let prods = gate_multiply(&diffs, w_scaled, 16).products;
-    let hi = gate_montgomery(&prods, q).expect("specialized modulus").values;
+    let hi = gate_montgomery(&prods, q)
+        .expect("specialized modulus")
+        .values;
     (lo, hi)
 }
 

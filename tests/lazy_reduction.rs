@@ -1,0 +1,82 @@
+//! Property tests for the lazy-reduction (Shoup) NTT hot path: the
+//! optimized negacyclic multiplier must agree with the O(n²) schoolbook
+//! oracle for every paper modulus at every compatible degree.
+//!
+//! The moduli are Table I's 7681, 12289, and 786433; a degree `n` is
+//! compatible with `q` when `2n | q − 1` (a primitive 2n-th root of
+//! unity must exist), which is why 7681 stops at n = 256 and 12289 at
+//! n = 2048 — the full {256, 1024, 4096} ladder only fits 786433.
+
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+use ntt::schoolbook;
+use proptest::prelude::*;
+
+fn check_against_schoolbook(n: usize, q: u64, a: Vec<u64>, b: Vec<u64>) {
+    let mult = NttMultiplier::for_degree_modulus(n, q).expect("compatible (n, q)");
+    let pa = Polynomial::from_coeffs(a, q).expect("valid degree");
+    let pb = Polynomial::from_coeffs(b, q).expect("valid degree");
+    let fast = mult.multiply(&pa, &pb).expect("ntt multiply");
+    let oracle = schoolbook::multiply(&pa, &pb).expect("schoolbook multiply");
+    assert_eq!(fast, oracle, "n = {n}, q = {q}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lazy_ntt_matches_schoolbook_q7681_n256(
+        a in proptest::collection::vec(0u64..7681, 256),
+        b in proptest::collection::vec(0u64..7681, 256),
+    ) {
+        check_against_schoolbook(256, 7681, a, b);
+    }
+
+    #[test]
+    fn lazy_ntt_matches_schoolbook_q12289_n256(
+        a in proptest::collection::vec(0u64..12289, 256),
+        b in proptest::collection::vec(0u64..12289, 256),
+    ) {
+        check_against_schoolbook(256, 12289, a, b);
+    }
+
+    #[test]
+    fn lazy_ntt_matches_schoolbook_q786433_n256(
+        a in proptest::collection::vec(0u64..786433, 256),
+        b in proptest::collection::vec(0u64..786433, 256),
+    ) {
+        check_against_schoolbook(256, 786433, a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn lazy_ntt_matches_schoolbook_q12289_n1024(
+        a in proptest::collection::vec(0u64..12289, 1024),
+        b in proptest::collection::vec(0u64..12289, 1024),
+    ) {
+        check_against_schoolbook(1024, 12289, a, b);
+    }
+
+    #[test]
+    fn lazy_ntt_matches_schoolbook_q786433_n1024(
+        a in proptest::collection::vec(0u64..786433, 1024),
+        b in proptest::collection::vec(0u64..786433, 1024),
+    ) {
+        check_against_schoolbook(1024, 786433, a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn lazy_ntt_matches_schoolbook_q786433_n4096(
+        a in proptest::collection::vec(0u64..786433, 4096),
+        b in proptest::collection::vec(0u64..786433, 4096),
+    ) {
+        check_against_schoolbook(4096, 786433, a, b);
+    }
+}

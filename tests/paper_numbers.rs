@@ -82,8 +82,8 @@ fn abstract_headline_fpga_comparison() {
     let mut energy = 0.0;
     for n in [256usize, 512, 1024] {
         let r = report(n).pipelined;
-        let c = fpga::compare(n, r.latency_us, r.energy_uj, r.throughput)
-            .expect("published FPGA row");
+        let c =
+            fpga::compare(n, r.latency_us, r.energy_uj, r.throughput).expect("published FPGA row");
         gain += c.throughput_gain / 3.0;
         perf += c.performance_ratio / 3.0;
         energy += c.energy_ratio / 3.0;
@@ -110,9 +110,21 @@ fn cpu_headline_comparison() {
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    assert!((avg(&perf) - 7.6).abs() < 0.5, "performance {:.2}", avg(&perf));
-    assert!((avg(&thr) - 111.0).abs() < 10.0, "throughput {:.1}", avg(&thr));
-    assert!((avg(&energy) - 226.0).abs() < 25.0, "energy {:.1}", avg(&energy));
+    assert!(
+        (avg(&perf) - 7.6).abs() < 0.5,
+        "performance {:.2}",
+        avg(&perf)
+    );
+    assert!(
+        (avg(&thr) - 111.0).abs() < 10.0,
+        "throughput {:.1}",
+        avg(&thr)
+    );
+    assert!(
+        (avg(&energy) - 226.0).abs() < 25.0,
+        "energy {:.1}",
+        avg(&energy)
+    );
 }
 
 #[test]
@@ -135,10 +147,26 @@ fn fig5_pipelining_aggregates() {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     // Paper: 27.8× / 36.3× gains; 29 % / 59.7 % overheads; ≈ 1.6 % energy.
-    assert!((avg(&small_gain) - 27.8).abs() < 8.0, "{:.1}", avg(&small_gain));
-    assert!((avg(&large_gain) - 36.3).abs() < 8.0, "{:.1}", avg(&large_gain));
-    assert!((avg(&small_ovh) - 0.29).abs() < 0.1, "{:.3}", avg(&small_ovh));
-    assert!((avg(&large_ovh) - 0.597).abs() < 0.05, "{:.3}", avg(&large_ovh));
+    assert!(
+        (avg(&small_gain) - 27.8).abs() < 8.0,
+        "{:.1}",
+        avg(&small_gain)
+    );
+    assert!(
+        (avg(&large_gain) - 36.3).abs() < 8.0,
+        "{:.1}",
+        avg(&large_gain)
+    );
+    assert!(
+        (avg(&small_ovh) - 0.29).abs() < 0.1,
+        "{:.3}",
+        avg(&small_ovh)
+    );
+    assert!(
+        (avg(&large_ovh) - 0.597).abs() < 0.05,
+        "{:.3}",
+        avg(&large_ovh)
+    );
     assert!((avg(&e_ovh) - 0.016).abs() < 0.01, "{:.4}", avg(&e_ovh));
 }
 
@@ -164,7 +192,11 @@ fn monte_carlo_robustness() {
     // "A maximum of 25.6 % reduction in resistance noise margin …
     // this did not affect the operations."
     let r = run_monte_carlo(&DeviceParams::nominal(), &MonteCarloConfig::default());
-    assert!((r.max_margin_reduction - 0.256).abs() < 0.1, "{:.3}", r.max_margin_reduction);
+    assert!(
+        (r.max_margin_reduction - 0.256).abs() < 0.1,
+        "{:.3}",
+        r.max_margin_reduction
+    );
     assert_eq!(r.failures, 0);
 }
 

@@ -1,0 +1,133 @@
+//! Determinism regression: the parallel lane engine must be
+//! **bit-identical** to the sequential engine — same products, same
+//! [`EngineTrace`], and energy tallies equal to the last f64 bit — for
+//! every paper modulus and any worker count.
+//!
+//! This is the contract that makes `--threads N` safe to default on:
+//! block charges are data-oblivious (cycles depend only on datapath
+//! width, energy on cycles × active rows), so the parallel engine
+//! replays the sequential charge sequence while only the data path fans
+//! out (see `pim::par` and DESIGN.md).
+
+use cryptopim::accelerator::CryptoPim;
+use cryptopim::batch::multiply_batch;
+use cryptopim::engine::Engine;
+use cryptopim::mapping::NttMapping;
+use modmath::params::ParamSet;
+use ntt::poly::Polynomial;
+use pim::par::Threads;
+use pim::reduce::ReductionStyle;
+
+/// The paper's (degree, modulus) pairs: 7681 (Table I row 1), 12289,
+/// and 786433.
+const PAPER_CASES: [(usize, u64); 3] = [(256, 7681), (1024, 12289), (4096, 786433)];
+
+fn rand_vec(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) % q
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_engine_trace_is_bit_identical_for_paper_moduli() {
+    for (n, q) in PAPER_CASES {
+        let params = ParamSet::for_degree(n).expect("paper degree");
+        assert_eq!(params.q, q, "paper modulus for n = {n}");
+        let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("mapping");
+        let a = rand_vec(n, q, 0xC0FFEE ^ n as u64);
+        let b = rand_vec(n, q, 0xBEEF ^ n as u64);
+
+        let (c_seq, t_seq) = Engine::new(&mapping)
+            .with_threads(Threads::Fixed(1))
+            .multiply(&a, &b)
+            .expect("sequential multiply");
+
+        for workers in [2usize, 4, 8] {
+            let (c_par, t_par) = Engine::new(&mapping)
+                .with_threads(Threads::Fixed(workers))
+                .multiply(&a, &b)
+                .expect("parallel multiply");
+            assert_eq!(c_par, c_seq, "products: n = {n}, workers = {workers}");
+            assert_eq!(t_par, t_seq, "trace: n = {n}, workers = {workers}");
+            // PartialEq on f64 is bit-blind to -0.0/0.0 and would accept
+            // equal-but-differently-rounded sums; pin the exact bits.
+            for (phase, seq, par) in [
+                ("premul", &t_seq.premul, &t_par.premul),
+                ("forward", &t_seq.forward, &t_par.forward),
+                ("pointwise", &t_seq.pointwise, &t_par.pointwise),
+                ("inverse", &t_seq.inverse, &t_par.inverse),
+                ("postmul", &t_seq.postmul, &t_par.postmul),
+                ("transfers", &t_seq.transfers, &t_par.transfers),
+            ] {
+                assert_eq!(
+                    seq.energy_pj.to_bits(),
+                    par.energy_pj.to_bits(),
+                    "{phase} energy bits: n = {n}, workers = {workers}"
+                );
+            }
+            assert_eq!(
+                t_seq.total().energy_pj.to_bits(),
+                t_par.total().energy_pj.to_bits(),
+                "total energy bits: n = {n}, workers = {workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_threads_match_pinned_sequential() {
+    // Whatever Auto resolves to on this machine (including the
+    // CRYPTOPIM_THREADS env override), results must not change.
+    let (n, q) = PAPER_CASES[2];
+    let params = ParamSet::for_degree(n).expect("paper degree");
+    let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("mapping");
+    let a = rand_vec(n, q, 7);
+    let b = rand_vec(n, q, 8);
+    let (c_seq, t_seq) = Engine::new(&mapping)
+        .with_threads(Threads::Fixed(1))
+        .multiply(&a, &b)
+        .expect("sequential multiply");
+    let (c_auto, t_auto) = Engine::new(&mapping)
+        .with_threads(Threads::Auto)
+        .multiply(&a, &b)
+        .expect("auto multiply");
+    assert_eq!(c_auto, c_seq);
+    assert_eq!(t_auto, t_seq);
+}
+
+#[test]
+fn parallel_batch_report_is_identical() {
+    let (n, q) = PAPER_CASES[0];
+    let params = ParamSet::for_degree(n).expect("paper degree");
+    let pairs: Vec<(Polynomial, Polynomial)> = (0..12u64)
+        .map(|k| {
+            (
+                Polynomial::from_coeffs(rand_vec(n, q, 100 + k), q).expect("valid"),
+                Polynomial::from_coeffs(rand_vec(n, q, 200 + k), q).expect("valid"),
+            )
+        })
+        .collect();
+    let seq = multiply_batch(
+        &CryptoPim::new(&params)
+            .expect("paper parameters")
+            .with_threads(Threads::Fixed(1)),
+        &pairs,
+    )
+    .expect("sequential batch");
+    for workers in [2usize, 4, 8] {
+        let par = multiply_batch(
+            &CryptoPim::new(&params)
+                .expect("paper parameters")
+                .with_threads(Threads::Fixed(workers)),
+            &pairs,
+        )
+        .expect("parallel batch");
+        assert_eq!(par, seq, "workers = {workers}");
+    }
+}

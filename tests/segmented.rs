@@ -35,7 +35,10 @@ fn degree_65536_multiplies_correctly_in_two_passes() {
 
     let report = acc.report().expect("report");
     assert_eq!(report.arch.passes, 2);
-    assert_eq!(report.arch.banks_per_softbank, 64, "hardware stays 32k-sized");
+    assert_eq!(
+        report.arch.banks_per_softbank, 64,
+        "hardware stays 32k-sized"
+    );
     // Throughput halves relative to the native 32k row.
     let native = CryptoPim::new(&ParamSet::for_degree(32768).expect("degree"))
         .expect("parameters")
