@@ -6,13 +6,17 @@
 //! cargo run -p cryptopim-bench --bin cli -- baseline --design bp2
 //! cargo run -p cryptopim-bench --bin cli -- verify --degree 512 --threads 4
 //! cargo run -p cryptopim-bench --bin cli -- montecarlo --samples 2000 --variation 15
-//! cargo run -p cryptopim-bench --bin cli -- bench --json [--threads N]
+//! cargo run -p cryptopim-bench --bin cli -- bench --json [--threads N] [--degrees 256,1024] [--out PATH]
+//! cargo run -p cryptopim-bench --bin cli -- bench --compare OLD.json NEW.json
 //! cargo run -p cryptopim-bench --bin cli -- --json              # shorthand for bench --json
 //! ```
 //!
-//! `bench --json` writes `BENCH_<date>.json` in the working directory:
-//! median ns/op for the software NTT and the functional accelerator at
-//! the paper degrees, plus the worker count and the git commit.
+//! `bench --json` writes `BENCH_<date>.json` (or `--out PATH`) in the
+//! working directory: median ns/op for the software NTT and the
+//! functional accelerator at the paper degrees, plus the worker count
+//! and the git commit. `bench --compare` diffs two such snapshots and
+//! exits non-zero when any common benchmark regressed by more than 10 %
+//! — the CI `bench-smoke` job runs it against the committed baseline.
 
 use baselines::bp::PimDesign;
 use cryptopim::accelerator::CryptoPim;
@@ -36,7 +40,9 @@ fn usage() -> ! {
          \x20 baseline    --design bp1|bp2|bp3|cryptopim [--degree N] Fig.6 design point\n\
          \x20 verify      [--degree N] [--threads N]                  functional check vs software NTT\n\
          \x20 montecarlo  [--samples N] [--variation PCT]             device robustness study\n\
-         \x20 bench       [--json] [--threads N]                      host-side ns/op benchmarks\n\
+         \x20 bench       [--json] [--threads N] [--degrees A,B] [--out PATH]\n\
+         \x20                                                         host-side ns/op benchmarks\n\
+         \x20 bench       --compare OLD.json NEW.json                 diff two snapshots; exit 1 on >10 % regression\n\
          \n\
          --threads N pins the lane fan-out (default: CRYPTOPIM_THREADS\n\
          or the machine's available parallelism; results are identical\n\
@@ -123,13 +129,134 @@ fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Extracts `(id, ns_per_op)` pairs from a `bench --json` snapshot.
+///
+/// A deliberately minimal scan (the files are machine-written by this
+/// binary, and the workspace carries no JSON dependency): each bench
+/// entry is the `"id"` string literal followed by the `"ns_per_op"`
+/// number.
+fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"id\"") {
+        rest = &rest[pos + 4..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let id = rest[open + 1..open + 1 + close].to_string();
+        rest = &rest[open + 1 + close..];
+        let Some(key) = rest.find("\"ns_per_op\"") else {
+            break;
+        };
+        let after = rest[key + 11..].trim_start_matches([':', ' ']);
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(after.len());
+        if let Ok(ns) = after[..end].parse::<f64>() {
+            out.push((id, ns));
+        }
+        rest = &after[end..];
+    }
+    out
+}
+
+/// `bench --compare OLD NEW`: prints per-benchmark deltas over the
+/// common ids and exits 1 when any regressed by more than 10 %.
+fn run_compare(old_path: &str, new_path: &str) {
+    let load = |path: &str| -> Vec<(String, f64)> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let benches = parse_bench_json(&text);
+        if benches.is_empty() {
+            eprintln!("{path}: no benchmark entries found");
+            std::process::exit(2);
+        }
+        benches
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+
+    const REGRESSION_LIMIT_PCT: f64 = 10.0;
+    let mut worst: Option<(f64, String)> = None;
+    let mut compared = 0usize;
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "benchmark", "old ns/op", "new ns/op", "delta"
+    );
+    for (id, new_ns) in &new {
+        let Some((_, old_ns)) = old.iter().find(|(o, _)| o == id) else {
+            println!("{id:<24} {:>12} {new_ns:>12.0} {:>9}", "-", "new");
+            continue;
+        };
+        let delta_pct = (new_ns - old_ns) / old_ns * 100.0;
+        println!("{id:<24} {old_ns:>12.0} {new_ns:>12.0} {delta_pct:>+8.1}%");
+        compared += 1;
+        if worst.as_ref().is_none_or(|(w, _)| delta_pct > *w) {
+            worst = Some((delta_pct, id.clone()));
+        }
+    }
+    for (id, old_ns) in &old {
+        if !new.iter().any(|(n, _)| n == id) {
+            println!("{id:<24} {old_ns:>12.0} {:>12} {:>9}", "-", "gone");
+        }
+    }
+    if compared == 0 {
+        eprintln!("no common benchmarks between {old_path} and {new_path}");
+        std::process::exit(2);
+    }
+    match worst {
+        Some((pct, id)) if pct > REGRESSION_LIMIT_PCT => {
+            eprintln!("REGRESSION: {id} slowed by {pct:.1}% (limit {REGRESSION_LIMIT_PCT:.0}%)");
+            std::process::exit(1);
+        }
+        Some((pct, id)) => {
+            println!("worst delta: {id} at {pct:+.1}% (limit {REGRESSION_LIMIT_PCT:.0}%) — OK");
+        }
+        None => unreachable!("compared > 0 implies a worst delta"),
+    }
+}
+
+fn parse_degrees(args: &[String]) -> Vec<usize> {
+    match opt(args, "--degrees") {
+        None => vec![256, 1024, 4096],
+        Some(v) => {
+            let degrees: Vec<usize> = v
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("invalid --degrees entry: {s}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            if degrees.is_empty() {
+                eprintln!("--degrees needs at least one degree");
+                std::process::exit(2);
+            }
+            degrees
+        }
+    }
+}
+
 fn run_bench(args: &[String]) {
+    if args.iter().any(|a| a == "--compare") {
+        let pos = args.iter().position(|a| a == "--compare").expect("present");
+        let (Some(old_path), Some(new_path)) = (args.get(pos + 1), args.get(pos + 2)) else {
+            eprintln!("--compare needs two snapshot paths");
+            std::process::exit(2);
+        };
+        run_compare(old_path, new_path);
+        return;
+    }
     let threads = parse_threads(args);
     let workers = threads.resolve();
     let json = args.iter().any(|a| a == "--json");
     let mut results: Vec<(String, f64)> = Vec::new();
 
-    for n in [256usize, 1024, 4096] {
+    for n in parse_degrees(args) {
         let params = ParamSet::for_degree(n).expect("paper degree");
         let q = params.q;
         let sw = NttMultiplier::new(&params).expect("paper parameters");
@@ -169,7 +296,7 @@ fn run_bench(args: &[String]) {
     println!("workers: {workers}");
 
     if json {
-        let path = format!("BENCH_{}.json", today_utc());
+        let path = opt(args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
         out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));

@@ -5,6 +5,11 @@
 //! multiplications through the functional engine, and implements
 //! [`PolyMultiplier`] so lattice schemes can use the accelerator as a
 //! drop-in backend.
+//!
+//! Constructing an [`Engine`] per call is cheap: the stage plan
+//! (bit-reversal table plus the full charge schedule) lives in the
+//! process-wide cache keyed by engine configuration (`cryptopim::plan`),
+//! so repeat multiplies skip straight to the datapath.
 
 use crate::arch::{ArchConfig, MAX_NATIVE_DEGREE};
 use crate::engine::{Engine, EngineTrace};

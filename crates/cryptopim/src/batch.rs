@@ -7,6 +7,11 @@
 //! back-to-back. [`multiply_batch`] exposes both: it computes every
 //! product functionally and reports the batch's latency and effective
 //! throughput from the occupancy simulation.
+//!
+//! Jobs fan out over the persistent worker pool (`pim::par`); each
+//! worker's inner engine runs sequentially and reuses that worker's
+//! thread-local scratch slab, so a long batch settles into the same
+//! zero-allocation steady state as a single-engine loop.
 
 use crate::accelerator::CryptoPim;
 use crate::arch::ArchConfig;

@@ -2,9 +2,17 @@
 //! through PIM memory-block operations.
 //!
 //! Every vector-wide arithmetic step of Algorithm 1 is executed with
-//! [`MemoryBlock`] operations — producing the actual product (verified
-//! against the software NTT in the test suite) *and* an honest
+//! [`MemoryBlock`]-equivalent operations — producing the actual product
+//! (verified against the software NTT in the test suite) *and* an honest
 //! cycle/energy trace for exactly the operations the hardware performs.
+//!
+//! The steady state is allocation-free and spawn-free (DESIGN.md §10):
+//! the charge schedule and index structure come from a cached
+//! [`StagePlan`], the working vectors from a thread-local [`Scratch`]
+//! arena, and multi-worker fan-out runs on the persistent pool behind
+//! [`pim::par`]. Accounting is replayed from the plan in the exact
+//! historical charge order, so traces — including the f64 energy sums —
+//! stay bit-identical to the op-by-op charging they replace.
 //!
 //! A note on widths: the engine operates on full-length vectors. A
 //! degree-`n` polynomial physically spans `⌈n/512⌉` parallel lanes
@@ -14,12 +22,13 @@
 //! bank arithmetic is in [`crate::arch`].
 
 use crate::mapping::NttMapping;
-use modmath::bitrev;
+use crate::plan::StagePlan;
+use crate::scratch::Scratch;
 use pim::block::{MemoryBlock, MultiplierKind};
-use pim::cost;
 use pim::par::{self, Threads};
+use pim::reduce::Reducer;
 use pim::stats::Tally;
-use pim::{energy, PimError, Result};
+use pim::{PimError, Result};
 
 /// Per-phase operation tallies from one functional execution.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -91,11 +100,6 @@ impl<'m> Engine<'m> {
         self
     }
 
-    fn block(&self) -> Result<MemoryBlock> {
-        let n = self.mapping.params().n;
-        MemoryBlock::with_rows(self.mapping.params().bitwidth, n)
-    }
-
     /// Runs `c = a · b` in `Z_q[x]/(x^n + 1)` through the PIM datapath.
     ///
     /// Inputs must be canonical coefficient vectors of length `n`; the
@@ -103,97 +107,33 @@ impl<'m> Engine<'m> {
     ///
     /// # Errors
     ///
-    /// Propagates block-level validation failures (length mismatches,
-    /// capacity overflows).
+    /// Returns [`PimError::LengthMismatch`] when either input's length
+    /// differs from the configured degree.
     ///
     /// # Panics
     ///
     /// Debug-panics if inputs are not canonical (`>= q`).
     pub fn multiply(&self, a: &[u64], b: &[u64]) -> Result<(Vec<u64>, EngineTrace)> {
-        let workers = self.threads.resolve_for(self.mapping.params().n);
-        if workers > 1 {
-            self.multiply_parallel(a, b, workers)
-        } else {
-            self.multiply_sequential(a, b)
-        }
-    }
-
-    /// The reference single-thread execution (also the workers ≤ 1 path).
-    fn multiply_sequential(&self, a: &[u64], b: &[u64]) -> Result<(Vec<u64>, EngineTrace)> {
-        let n = self.mapping.params().n;
-        let q = self.mapping.params().q;
-        debug_assert!(a.iter().all(|&x| x < q) && b.iter().all(|&x| x < q));
-        let red = self.mapping.reducer();
-        let mut trace = EngineTrace::default();
-
-        // --- ψ pre-multiply (the two inputs run in parallel banks). ---
-        let mut blk = self.block()?;
-        let mut xa = blk.mul_montgomery(a, self.mapping.phi_a(), self.multiplier, red)?;
-        let mut xb = blk.mul_montgomery(b, self.mapping.phi_b(), self.multiplier, red)?;
-        trace.premul.absorb(&blk.tally());
-
-        // --- bit-reversed write into the first NTT stage (free). ---
-        bitrev::permute_in_place(&mut xa);
-        bitrev::permute_in_place(&mut xb);
-
-        // --- forward NTT stages. ---
-        let log_n = self.mapping.params().log2_n();
-        for stage in 0..log_n {
-            let (fa, ta) = self.ntt_stage(&xa, stage, self.mapping.twiddle_fwd())?;
-            let (fb, tb) = self.ntt_stage(&xb, stage, self.mapping.twiddle_fwd())?;
-            xa = fa;
-            xb = fb;
-            trace.forward.absorb(&ta);
-            trace.forward.absorb(&tb);
-            // Two partner exchanges (one per input), but they travel in
-            // parallel banks: charge energy for both, latency for one.
-            let xfer = self.transfer_tally(n);
-            trace.transfers.absorb(&xfer);
-            trace.transfers.absorb(&xfer);
-        }
-
-        // --- point-wise multiplication: REDC(Â · B̂R) = Â·B̂. ---
-        let mut blk = self.block()?;
-        let mut xc = blk.mul_montgomery(&xa, &xb, self.multiplier, red)?;
-        trace.pointwise.absorb(&blk.tally());
-
-        // --- bit-reversed write into the inverse transform (free). ---
-        bitrev::permute_in_place(&mut xc);
-
-        // --- inverse NTT stages. ---
-        for stage in 0..log_n {
-            let (fc, tc) = self.ntt_stage(&xc, stage, self.mapping.twiddle_inv())?;
-            xc = fc;
-            trace.inverse.absorb(&tc);
-            trace.transfers.absorb(&self.transfer_tally(n));
-        }
-
-        // --- ψ⁻¹ · n⁻¹ post-multiply. ---
-        let mut blk = self.block()?;
-        let out = blk.mul_montgomery(&xc, self.mapping.phi_post(), self.multiplier, red)?;
-        trace.postmul.absorb(&blk.tally());
-
+        let mut out = Vec::new();
+        let trace = self.multiply_into(a, b, &mut out)?;
         Ok((out, trace))
     }
 
-    /// Lane-parallel execution: the same phase structure as
-    /// [`Engine::multiply_sequential`], with two invariants that make it
-    /// indistinguishable from it in everything but wall-clock time:
+    /// [`Engine::multiply`] into a caller-owned output vector.
     ///
-    /// 1. **Data** — every output element is a pure gather of its
-    ///    inputs (the bit-reversal permutes are folded into the gather
-    ///    indices), so chunking the index space across threads cannot
-    ///    reorder or change any value.
-    /// 2. **Accounting** — block charges depend only on datapath width
-    ///    and active rows, never on operand values, so replaying the
-    ///    sequential charge sequence (same ops, same order, same f64
-    ///    accumulation) yields a bit-identical [`EngineTrace`].
-    fn multiply_parallel(
-        &self,
-        a: &[u64],
-        b: &[u64],
-        workers: usize,
-    ) -> Result<(Vec<u64>, EngineTrace)> {
+    /// `out` is cleared and resized to `n`; reusing the same vector
+    /// across calls makes the steady-state loop allocation-free (the
+    /// plan is cached, the scratch slab pooled, and `out`'s capacity
+    /// retained) — asserted by `tests/alloc_steady_state.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::multiply`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if inputs are not canonical (`>= q`).
+    pub fn multiply_into(&self, a: &[u64], b: &[u64], out: &mut Vec<u64>) -> Result<EngineTrace> {
         let n = self.mapping.params().n;
         let q = self.mapping.params().q;
         if a.len() != n || b.len() != n {
@@ -203,121 +143,254 @@ impl<'m> Engine<'m> {
             });
         }
         debug_assert!(a.iter().all(|&x| x < q) && b.iter().all(|&x| x < q));
-        let red = self.mapping.reducer();
-        let bits = bitrev::log2_exact(n).expect("degree is a power of two");
-        let mut trace = EngineTrace::default();
+        let plan = StagePlan::cached(self.mapping, self.multiplier)?;
+        let mut scratch = Scratch::checkout(n);
+        out.clear();
+        out.resize(n, 0);
+        let workers = self.threads.resolve_for(n);
+        if workers > 1 {
+            self.datapath_parallel(&plan, &mut scratch, a, b, out, workers);
+        } else {
+            self.datapath_sequential(&plan, &mut scratch, a, b, out);
+        }
+        Ok(replay_trace(&plan))
+    }
 
-        // --- ψ pre-multiply, bit-reversal folded into the gather. ---
-        let mut blk = self.block()?;
-        blk.charge_mul_montgomery(n, self.multiplier, red);
-        blk.charge_mul_montgomery(n, self.multiplier, red);
+    /// The reference single-thread datapath (also the workers ≤ 1 path):
+    /// bit-reversal folded into the ψ pre-multiply gather, then fused
+    /// row-centric butterfly stages double-buffered through the scratch
+    /// arena.
+    fn datapath_sequential(
+        &self,
+        plan: &StagePlan,
+        scratch: &mut Scratch,
+        a: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+    ) {
+        let n = plan.n();
+        let q = self.mapping.params().q;
+        let red = self.mapping.reducer();
+        let rev = plan.rev();
+        let (mut xa, mut xa2, mut xb, mut xb2) = scratch.buffers();
+
+        // --- ψ pre-multiply, bit-reversed write folded in (free). ---
         let phi_a = self.mapping.phi_a();
         let phi_b = self.mapping.phi_b();
-        let mut xa = par::map_indexed(n, workers, |k| {
-            let i = bitrev::reverse_bits(k, bits);
-            red.montgomery(a[i] * phi_a[i])
-        });
-        let mut xb = par::map_indexed(n, workers, |k| {
-            let i = bitrev::reverse_bits(k, bits);
-            red.montgomery(b[i] * phi_b[i])
-        });
-        trace.premul.absorb(&blk.tally());
-
-        // --- forward NTT stages. ---
-        let log_n = self.mapping.params().log2_n();
-        for stage in 0..log_n {
-            let (fa, ta) = self.ntt_stage_par(&xa, stage, self.mapping.twiddle_fwd(), workers)?;
-            let (fb, tb) = self.ntt_stage_par(&xb, stage, self.mapping.twiddle_fwd(), workers)?;
-            xa = fa;
-            xb = fb;
-            trace.forward.absorb(&ta);
-            trace.forward.absorb(&tb);
-            let xfer = self.transfer_tally(n);
-            trace.transfers.absorb(&xfer);
-            trace.transfers.absorb(&xfer);
+        for k in 0..n {
+            let i = rev[k] as usize;
+            xa[k] = red.montgomery(a[i] * phi_a[i]);
+            xb[k] = red.montgomery(b[i] * phi_b[i]);
         }
 
-        // --- point-wise multiply, bit-reversal folded into the gather. ---
-        let mut blk = self.block()?;
-        blk.charge_mul_montgomery(n, self.multiplier, red);
-        let mut xc = par::map_indexed(n, workers, |k| {
-            let i = bitrev::reverse_bits(k, bits);
-            red.montgomery(xa[i] * xb[i])
-        });
-        trace.pointwise.absorb(&blk.tally());
+        // --- forward NTT stages (the two inputs in parallel banks). ---
+        for stage in 0..plan.log_n() {
+            let tw = self.mapping.twiddle_fwd_stage(stage);
+            stage_rows(red, q, xa, xa2, stage, tw);
+            stage_rows(red, q, xb, xb2, stage, tw);
+            std::mem::swap(&mut xa, &mut xa2);
+            std::mem::swap(&mut xb, &mut xb2);
+        }
+
+        // --- point-wise multiply, REDC(Â · B̂R) = Â·B̂; bit-reversed
+        //     write into the inverse transform folded in (free). ---
+        for k in 0..n {
+            let i = rev[k] as usize;
+            xa2[k] = red.montgomery(xa[i] * xb[i]);
+        }
+        let (mut xc, mut xc2) = (xa2, xb2);
 
         // --- inverse NTT stages. ---
-        for stage in 0..log_n {
-            let (fc, tc) = self.ntt_stage_par(&xc, stage, self.mapping.twiddle_inv(), workers)?;
-            xc = fc;
-            trace.inverse.absorb(&tc);
-            trace.transfers.absorb(&self.transfer_tally(n));
+        for stage in 0..plan.log_n() {
+            stage_rows(
+                red,
+                q,
+                xc,
+                xc2,
+                stage,
+                self.mapping.twiddle_inv_stage(stage),
+            );
+            std::mem::swap(&mut xc, &mut xc2);
         }
 
         // --- ψ⁻¹ · n⁻¹ post-multiply. ---
-        let mut blk = self.block()?;
-        blk.charge_mul_montgomery(n, self.multiplier, red);
         let phi_post = self.mapping.phi_post();
-        let out = par::map_indexed(n, workers, |k| red.montgomery(xc[k] * phi_post[k]));
-        trace.postmul.absorb(&blk.tally());
-
-        Ok((out, trace))
-    }
-
-    /// One Gentleman–Sande stage (see [`ntt_stage`]).
-    fn ntt_stage(&self, x: &[u64], stage: u32, twiddle: &[u64]) -> Result<(Vec<u64>, Tally)> {
-        ntt_stage(self.mapping, self.multiplier, x, stage, twiddle)
-    }
-
-    /// Lane-parallel Gentleman–Sande stage: charges the block exactly as
-    /// [`ntt_stage`] does (add, Barrett, sub, mul, REDC — each on `n/2`
-    /// rows), then computes the output as an index-wise gather. Output
-    /// index `k` with the stage bit clear is an add-side row
-    /// (`barrett(x[k] + x[k+dist])`); with the stage bit set it is a
-    /// mul-side row (`REDC(W · (x[k−dist] + q − x[k]))`) — elementwise
-    /// identical to the sequential scatter.
-    fn ntt_stage_par(
-        &self,
-        x: &[u64],
-        stage: u32,
-        twiddle: &[u64],
-        workers: usize,
-    ) -> Result<(Vec<u64>, Tally)> {
-        let n = x.len();
-        let q = self.mapping.params().q;
-        let red = self.mapping.reducer();
-        let dist = 1usize << stage;
-        let half = n / 2;
-
-        let mut blk = MemoryBlock::with_rows(self.mapping.params().bitwidth, half)?;
-        blk.charge_add(half);
-        blk.charge_barrett(half, red);
-        blk.charge_sub_plus_q(half);
-        blk.charge_mul(half, self.multiplier);
-        blk.charge_montgomery(half, red);
-
-        let out = par::map_indexed(n, workers, |k| {
-            if k & dist == 0 {
-                red.barrett(x[k] + x[k + dist])
-            } else {
-                let j = k - dist;
-                red.montgomery((x[j] + q - x[k]) * twiddle[j >> (stage + 1)])
-            }
-        });
-        Ok((out, blk.tally()))
-    }
-
-    /// The cost of one inter-block vector transfer at this datapath width.
-    fn transfer_tally(&self, rows: usize) -> Tally {
-        let w = self.mapping.params().bitwidth;
-        let cycles = cost::switch_transfer_cycles(w);
-        Tally {
-            cycles,
-            transfer_cycles: cycles,
-            energy_pj: energy::transfer_energy_pj(rows, w),
-            ..Tally::default()
+        for k in 0..n {
+            out[k] = red.montgomery(xc[k] * phi_post[k]);
         }
     }
+
+    /// Lane-parallel datapath: the same phase structure as
+    /// [`Engine::datapath_sequential`], fanned out over the persistent
+    /// worker pool. Every output element is a pure gather of its inputs,
+    /// so chunking the index space across threads cannot reorder or
+    /// change any value — products are identical for any worker count
+    /// (and the trace is replayed from the plan either way).
+    fn datapath_parallel(
+        &self,
+        plan: &StagePlan,
+        scratch: &mut Scratch,
+        a: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+        workers: usize,
+    ) {
+        let q = self.mapping.params().q;
+        let red = self.mapping.reducer();
+        let rev = plan.rev();
+        let (mut xa, mut xa2, mut xb, mut xb2) = scratch.buffers();
+
+        // --- ψ pre-multiply, bit-reversal folded into the gather. ---
+        let phi_a = self.mapping.phi_a();
+        let phi_b = self.mapping.phi_b();
+        par::map_indexed_into(xa, workers, |k| {
+            let i = rev[k] as usize;
+            red.montgomery(a[i] * phi_a[i])
+        });
+        par::map_indexed_into(xb, workers, |k| {
+            let i = rev[k] as usize;
+            red.montgomery(b[i] * phi_b[i])
+        });
+
+        // --- forward NTT stages. ---
+        for stage in 0..plan.log_n() {
+            let tw = self.mapping.twiddle_fwd_stage(stage);
+            stage_rows_par(red, q, xa, xa2, stage, tw, workers);
+            stage_rows_par(red, q, xb, xb2, stage, tw, workers);
+            std::mem::swap(&mut xa, &mut xa2);
+            std::mem::swap(&mut xb, &mut xb2);
+        }
+
+        // --- point-wise multiply, bit-reversal folded into the gather. ---
+        {
+            let (src_a, src_b) = (&*xa, &*xb);
+            par::map_indexed_into(xa2, workers, |k| {
+                let i = rev[k] as usize;
+                red.montgomery(src_a[i] * src_b[i])
+            });
+        }
+        let (mut xc, mut xc2) = (xa2, xb2);
+
+        // --- inverse NTT stages. ---
+        for stage in 0..plan.log_n() {
+            let tw = self.mapping.twiddle_inv_stage(stage);
+            stage_rows_par(red, q, xc, xc2, stage, tw, workers);
+            std::mem::swap(&mut xc, &mut xc2);
+        }
+
+        // --- ψ⁻¹ · n⁻¹ post-multiply. ---
+        let phi_post = self.mapping.phi_post();
+        {
+            let src = &*xc;
+            par::map_indexed_into(out, workers, |k| red.montgomery(src[k] * phi_post[k]));
+        }
+    }
+}
+
+/// Replays the plan's charge schedule in the exact historical order:
+/// pre-multiply; per forward stage two stage tallies then two transfer
+/// tallies (the two inputs travel in parallel banks — energy for both,
+/// latency for one); point-wise scale; per inverse stage one of each;
+/// post-multiply scale. Each absorbed tally was accumulated from zero by
+/// the same charge twins the op-by-op engine called, so every f64 energy
+/// sum reproduces the pre-plan trace bit-for-bit.
+fn replay_trace(plan: &StagePlan) -> EngineTrace {
+    let mut trace = EngineTrace::default();
+    trace.premul.absorb(plan.premul());
+    for _ in 0..plan.log_n() {
+        trace.forward.absorb(plan.stage());
+        trace.forward.absorb(plan.stage());
+        trace.transfers.absorb(plan.transfer());
+        trace.transfers.absorb(plan.transfer());
+    }
+    trace.pointwise.absorb(plan.scale());
+    for _ in 0..plan.log_n() {
+        trace.inverse.absorb(plan.stage());
+        trace.transfers.absorb(plan.transfer());
+    }
+    trace.postmul.absorb(plan.scale());
+    trace
+}
+
+/// One fused Gentleman–Sande stage in row-centric order: butterfly block
+/// `b` spans rows `[b·2^{stage+1}, (b+1)·2^{stage+1})` and uses the
+/// single twiddle factor `W_b`, so the old gather → vector-op → scatter
+/// round trip collapses into one pass with no index tables:
+/// `dst[j] = (t + u) mod q`, `dst[j+dist] = REDC(W_b · (t + q − u))`.
+fn stage_rows(red: &Reducer, q: u64, src: &[u64], dst: &mut [u64], stage: u32, twiddle: &[u64]) {
+    // Monomorphize on the paper moduli so the shift-add sequences fold
+    // to immediate-constant shifts inside the loop. The const paths call
+    // the exact functions `Reducer::{barrett, montgomery}` delegate to,
+    // so results are identical; only unspecialized moduli (none today —
+    // `Reducer::new` rejects them) would take the dynamic path.
+    match q {
+        7681 => stage_rows_const::<7681>(src, dst, stage, twiddle),
+        12289 => stage_rows_const::<12289>(src, dst, stage, twiddle),
+        786433 => stage_rows_const::<786433>(src, dst, stage, twiddle),
+        _ => stage_rows_dyn(red, q, src, dst, stage, twiddle),
+    }
+}
+
+fn stage_rows_const<const Q: u64>(src: &[u64], dst: &mut [u64], stage: u32, twiddle: &[u64]) {
+    let dist = 1usize << stage;
+    for ((s, d), &w) in src
+        .chunks_exact(2 * dist)
+        .zip(dst.chunks_exact_mut(2 * dist))
+        .zip(twiddle)
+    {
+        let (s_lo, s_hi) = s.split_at(dist);
+        let (d_lo, d_hi) = d.split_at_mut(dist);
+        for ((&t, &u), (dl, dh)) in s_lo.iter().zip(s_hi).zip(d_lo.iter_mut().zip(d_hi)) {
+            *dl = modmath::barrett::shift_add_reduce(t + u, Q).expect("paper modulus");
+            *dh = modmath::montgomery::shift_add_redc((t + Q - u) * w, Q).expect("paper modulus");
+        }
+    }
+}
+
+fn stage_rows_dyn(
+    red: &Reducer,
+    q: u64,
+    src: &[u64],
+    dst: &mut [u64],
+    stage: u32,
+    twiddle: &[u64],
+) {
+    let dist = 1usize << stage;
+    for ((s, d), &w) in src
+        .chunks_exact(2 * dist)
+        .zip(dst.chunks_exact_mut(2 * dist))
+        .zip(twiddle)
+    {
+        let (s_lo, s_hi) = s.split_at(dist);
+        let (d_lo, d_hi) = d.split_at_mut(dist);
+        for ((&t, &u), (dl, dh)) in s_lo.iter().zip(s_hi).zip(d_lo.iter_mut().zip(d_hi)) {
+            *dl = red.barrett(t + u);
+            *dh = red.montgomery((t + q - u) * w);
+        }
+    }
+}
+
+/// [`stage_rows`] as an index-wise gather for pool fan-out: output `k`
+/// with the stage bit clear is an add-side row, with it set a mul-side
+/// row — elementwise identical to the sequential pass.
+fn stage_rows_par(
+    red: &Reducer,
+    q: u64,
+    src: &[u64],
+    dst: &mut [u64],
+    stage: u32,
+    twiddle: &[u64],
+    workers: usize,
+) {
+    let dist = 1usize << stage;
+    par::map_indexed_into(dst, workers, |k| {
+        if k & dist == 0 {
+            red.barrett(src[k] + src[k + dist])
+        } else {
+            let j = k - dist;
+            red.montgomery((src[j] + q - src[k]) * twiddle[j >> (stage + 1)])
+        }
+    });
 }
 
 /// One Gentleman–Sande stage, vector-wide:
@@ -325,8 +398,10 @@ impl<'m> Engine<'m> {
 ///
 /// The butterfly partner arrives through the stage's fixed-function
 /// switch (shift `s = 2^stage`); the add-side and mul-side each activate
-/// `n/2` rows. Shared by the [`Engine`] and the
-/// [`crate::controller::Controller`].
+/// `n/2` rows, charged through the block's cost-only twins (identical
+/// tallies to the real vector ops they mirror). Used by the
+/// [`crate::controller::Controller`]; the [`Engine`] replays the same
+/// per-stage tally from its cached plan.
 pub(crate) fn ntt_stage(
     mapping: &NttMapping,
     multiplier: MultiplierKind,
@@ -335,39 +410,18 @@ pub(crate) fn ntt_stage(
     twiddle: &[u64],
 ) -> Result<(Vec<u64>, Tally)> {
     let n = x.len();
-    let q = mapping.params().q;
-    let red = mapping.reducer();
-    let dist = 1usize << stage;
     let half = n / 2;
-
-    // Gather butterfly operand vectors (the switch's job).
-    let mut t = Vec::with_capacity(half);
-    let mut u = Vec::with_capacity(half);
-    let mut w = Vec::with_capacity(half);
-    let mut lo_idx = Vec::with_capacity(half);
-    for idx in 0..half {
-        let st = idx & (dist - 1);
-        let j = ((idx & !(dist - 1)) << 1) | st;
-        let jp = j + dist;
-        t.push(x[j]);
-        u.push(x[jp]);
-        w.push(twiddle[j >> (stage + 1)]);
-        lo_idx.push(j);
-    }
-
-    // Vector-wide ops, each on n/2 rows.
     let mut blk = MemoryBlock::with_rows(mapping.params().bitwidth, half)?;
-    let sums_raw = blk.add(&t, &u)?;
-    let sums = blk.barrett(&sums_raw, red)?;
-    let diffs = blk.sub_plus_q(&t, &u, q)?;
-    let prods = blk.mul(&diffs, &w, multiplier)?;
-    let hi = blk.montgomery(&prods, red)?;
-
+    blk.charge_ntt_stage(half, multiplier, mapping.reducer());
     let mut out = vec![0u64; n];
-    for (k, &j) in lo_idx.iter().enumerate() {
-        out[j] = sums[k];
-        out[j + dist] = hi[k];
-    }
+    stage_rows(
+        mapping.reducer(),
+        mapping.params().q,
+        x,
+        &mut out,
+        stage,
+        twiddle,
+    );
     Ok((out, blk.tally()))
 }
 
@@ -429,6 +483,22 @@ mod tests {
             let pb = Polynomial::from_coeffs(b, q).unwrap();
             let expect = sw.multiply(&pa, &pb).unwrap();
             assert_eq!(c, expect.coeffs(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multiply_into_reuses_the_output_vector() {
+        let m = mapping(256);
+        let q = m.params().q;
+        let eng = Engine::new(&m);
+        let a = rand_vec(256, q, 31);
+        let b = rand_vec(256, q, 32);
+        let (expect, expect_trace) = eng.multiply(&a, &b).unwrap();
+        let mut out = vec![0xFFFF_FFFFu64; 3]; // wrong size and junk data
+        for _ in 0..3 {
+            let trace = eng.multiply_into(&a, &b, &mut out).unwrap();
+            assert_eq!(out, expect);
+            assert_eq!(trace, expect_trace);
         }
     }
 

@@ -51,8 +51,10 @@ pub mod engine;
 pub mod exchange;
 pub mod mapping;
 pub mod pipeline;
+pub mod plan;
 pub mod report;
 pub mod schedule;
+pub mod scratch;
 
 pub use pim::PimError;
 

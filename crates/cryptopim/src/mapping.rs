@@ -116,6 +116,22 @@ impl NttMapping {
         &self.twiddle_inv
     }
 
+    /// The forward twiddles stage `stage` actually consumes: block `b`
+    /// of the stage (rows `[b·2^{stage+1}, (b+1)·2^{stage+1})`) uses
+    /// factor `b`, so the stage reads exactly the length-`n/2^{stage+1}`
+    /// prefix of the bit-reversed table.
+    #[inline]
+    pub fn twiddle_fwd_stage(&self, stage: u32) -> &[u64] {
+        &self.twiddle_fwd[..self.params.n >> (stage + 1)]
+    }
+
+    /// Per-stage slice of the inverse twiddles (see
+    /// [`NttMapping::twiddle_fwd_stage`]).
+    #[inline]
+    pub fn twiddle_inv_stage(&self, stage: u32) -> &[u64] {
+        &self.twiddle_inv[..self.params.n >> (stage + 1)]
+    }
+
     /// `φ^i · R` for the first input.
     #[inline]
     pub fn phi_a(&self) -> &[u64] {
@@ -175,6 +191,20 @@ mod tests {
             let expect = zq::mul(m.phi_inv_powers()[i], m.n_inv(), q);
             assert_eq!(map.reducer().montgomery(map.phi_post()[i]), expect);
         }
+    }
+
+    #[test]
+    fn stage_slices_cover_exactly_the_consumed_factors() {
+        let m = mapping(256);
+        for stage in 0..8u32 {
+            let len = 256usize >> (stage + 1);
+            assert_eq!(m.twiddle_fwd_stage(stage).len(), len, "stage {stage}");
+            assert_eq!(m.twiddle_inv_stage(stage).len(), len, "stage {stage}");
+            assert_eq!(m.twiddle_fwd_stage(stage), &m.twiddle_fwd()[..len]);
+            assert_eq!(m.twiddle_inv_stage(stage), &m.twiddle_inv()[..len]);
+        }
+        // The last stage uses a single factor: ω⁰ in Montgomery form.
+        assert_eq!(m.twiddle_fwd_stage(7), &[m.reducer().to_mont(1)]);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! (fewest blocks and transfers — what one would build without
 //! pipelining), which is what produces the paper's 29 % / 59.7 % latency
 //! overheads and ≈ 1.6 % energy overhead of pipelining.
+//!
+//! This module is purely analytic — it never touches the worker pool or
+//! the scratch arenas; those belong to the functional engine
+//! (`crate::engine`, `pim::par`).
 
 use crate::mapping::NttMapping;
 use modmath::params::ParamSet;

@@ -1,0 +1,289 @@
+//! The stage-plan cache: everything the engine's hot loop used to
+//! re-derive per call, computed once per parameter set and replayed.
+//!
+//! NTT-PIM (Park et al., 2023) makes the point for hardware: precompute
+//! the row-centric stage mapping once and replay it, and the per-NTT
+//! control cost disappears from the steady state. The same holds for
+//! this simulator. Before the plan cache, every [`crate::engine`] call
+//! rebuilt, for each of the `3·log2 n` stages, the lo/hi gather index
+//! vectors, the gathered twiddle vector, *and* the per-stage charge
+//! tallies — plus a fresh transfer tally per stage even though it only
+//! depends on `(n, bitwidth)`.
+//!
+//! A [`StagePlan`] captures all of that once, keyed by
+//! `(n, q, bitwidth, multiplier, reduction style)` — every input the
+//! charge schedule and index structure depend on. (The host worker
+//! count is deliberately *not* part of the key: the plan describes the
+//! hardware schedule, which is identical for any `Threads` setting —
+//! that is the determinism contract of DESIGN.md §9.)
+//!
+//! Two structural facts keep the plan small:
+//!
+//! * **The gather tables are implicit.** In the row-centric iteration
+//!   order (blocks of `2·dist` rows), the lo index is just a linear scan
+//!   and the twiddle index is the block number, so the engine needs no
+//!   materialized index vectors at all — only the bit-reversal
+//!   permutation, which the plan stores once.
+//! * **The charge schedule is three tallies.** Block charges are
+//!   data-oblivious, so every stage costs the same [`Tally`]; replaying
+//!   one precomputed stage tally `log2 n` times accumulates — in the
+//!   same f64 order — exactly what charging each stage afresh did.
+
+use crate::mapping::NttMapping;
+use modmath::bitrev;
+use pim::block::{MemoryBlock, MultiplierKind};
+use pim::cost;
+use pim::energy;
+use pim::reduce::ReductionStyle;
+use pim::stats::Tally;
+use pim::Result;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything the plan's charge schedule and index structure depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    n: usize,
+    q: u64,
+    bitwidth: u32,
+    multiplier: MultiplierKind,
+    style: ReductionStyle,
+}
+
+/// The precomputed execution plan for one engine configuration.
+#[derive(Debug)]
+pub struct StagePlan {
+    n: usize,
+    log_n: u32,
+    /// Bit-reversal permutation: `rev[k] = reverse_bits(k, log2 n)`.
+    rev: Vec<u32>,
+    /// Charge schedule: the ψ pre-multiply phase (two fused mul+REDC
+    /// passes — both inputs — on `n` rows of one block).
+    premul: Tally,
+    /// One fused mul+REDC on `n` rows (point-wise and post-multiply).
+    scale: Tally,
+    /// One Gentleman–Sande stage (each side on `n/2` rows).
+    stage: Tally,
+    /// One inter-block transfer at this `(rows, bitwidth)` — constant
+    /// across the whole transform, computed once instead of per stage.
+    xfer: Tally,
+}
+
+fn cache() -> &'static Mutex<HashMap<PlanKey, Arc<StagePlan>>> {
+    static CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<StagePlan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl StagePlan {
+    /// Returns the (process-wide) cached plan for a mapping/multiplier
+    /// pair, building it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-construction failures for invalid bitwidths.
+    pub fn cached(mapping: &NttMapping, multiplier: MultiplierKind) -> Result<Arc<StagePlan>> {
+        let p = mapping.params();
+        let key = PlanKey {
+            n: p.n,
+            q: p.q,
+            bitwidth: p.bitwidth,
+            multiplier,
+            style: mapping.reducer().style(),
+        };
+        if let Some(plan) = cache().lock().expect("plan cache poisoned").get(&key) {
+            return Ok(plan.clone());
+        }
+        let built = Arc::new(Self::build(mapping, multiplier)?);
+        Ok(cache()
+            .lock()
+            .expect("plan cache poisoned")
+            .entry(key)
+            .or_insert(built)
+            .clone())
+    }
+
+    /// Builds a plan without consulting the cache (tests; cache misses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-construction failures for invalid bitwidths.
+    pub fn build(mapping: &NttMapping, multiplier: MultiplierKind) -> Result<StagePlan> {
+        let p = mapping.params();
+        let red = mapping.reducer();
+        let n = p.n;
+        let log_n = p.log2_n();
+        let rev = (0..n)
+            .map(|k| bitrev::reverse_bits(k, log_n) as u32)
+            .collect();
+
+        // The charge sequences mirror the engine's historical op order
+        // exactly; each phase starts from a fresh block so the f64
+        // energy accumulation replays bit-for-bit.
+        let mut blk = MemoryBlock::with_rows(p.bitwidth, n)?;
+        blk.charge_mul_montgomery(n, multiplier, red);
+        blk.charge_mul_montgomery(n, multiplier, red);
+        let premul = blk.tally();
+
+        let mut blk = MemoryBlock::with_rows(p.bitwidth, n)?;
+        blk.charge_mul_montgomery(n, multiplier, red);
+        let scale = blk.tally();
+
+        let half = n / 2;
+        let mut blk = MemoryBlock::with_rows(p.bitwidth, half)?;
+        blk.charge_ntt_stage(half, multiplier, red);
+        let stage = blk.tally();
+
+        let cycles = cost::switch_transfer_cycles(p.bitwidth);
+        let xfer = Tally {
+            cycles,
+            transfer_cycles: cycles,
+            energy_pj: energy::transfer_energy_pj(n, p.bitwidth),
+            ..Tally::default()
+        };
+
+        Ok(StagePlan {
+            n,
+            log_n,
+            rev,
+            premul,
+            scale,
+            stage,
+            xfer,
+        })
+    }
+
+    /// The transform degree this plan was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2 n`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The bit-reversal permutation table.
+    #[inline]
+    pub fn rev(&self) -> &[u32] {
+        &self.rev
+    }
+
+    /// Charge tally of the ψ pre-multiply phase (both inputs).
+    #[inline]
+    pub fn premul(&self) -> &Tally {
+        &self.premul
+    }
+
+    /// Charge tally of one fused mul+REDC scaling pass on `n` rows.
+    #[inline]
+    pub fn scale(&self) -> &Tally {
+        &self.scale
+    }
+
+    /// Charge tally of one NTT stage.
+    #[inline]
+    pub fn stage(&self) -> &Tally {
+        &self.stage
+    }
+
+    /// Charge tally of one inter-block transfer (constant per stage).
+    #[inline]
+    pub fn transfer(&self) -> &Tally {
+        &self.xfer
+    }
+}
+
+/// Number of distinct plans currently cached (diagnostics/tests).
+pub fn cached_plans() -> usize {
+    cache().lock().expect("plan cache poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::params::ParamSet;
+    use pim::par::Threads;
+    use pim::reduce::ReductionStyle;
+
+    fn mapping(n: usize) -> NttMapping {
+        let p = ParamSet::for_degree(n).unwrap();
+        NttMapping::new(&p, ReductionStyle::CryptoPim).unwrap()
+    }
+
+    #[test]
+    fn cached_returns_same_arc_for_same_key() {
+        let m = mapping(256);
+        let a = StagePlan::cached(&m, MultiplierKind::CryptoPim).unwrap();
+        let b = StagePlan::cached(&m, MultiplierKind::CryptoPim).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+        let c = StagePlan::cached(&m, MultiplierKind::HajAli).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "multiplier is part of the key");
+    }
+
+    #[test]
+    fn transfer_tally_is_constant_and_matches_cost_model() {
+        // The satellite fix: the transfer cost only depends on
+        // (rows, bitwidth), so the plan computes it once. Pin it to the
+        // closed forms the per-stage code used to recompute.
+        for n in [256usize, 1024, 4096] {
+            let m = mapping(n);
+            let plan = StagePlan::build(&m, MultiplierKind::CryptoPim).unwrap();
+            let w = m.params().bitwidth;
+            let cycles = cost::switch_transfer_cycles(w);
+            assert_eq!(plan.transfer().cycles, cycles);
+            assert_eq!(plan.transfer().transfer_cycles, cycles);
+            assert_eq!(
+                plan.transfer().energy_pj.to_bits(),
+                energy::transfer_energy_pj(n, w).to_bits(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_tally_matches_fresh_block_charges() {
+        let m = mapping(512);
+        let red = m.reducer();
+        let plan = StagePlan::build(&m, MultiplierKind::CryptoPim).unwrap();
+        let half = 256;
+        let mut blk = MemoryBlock::with_rows(m.params().bitwidth, half).unwrap();
+        blk.charge_add(half);
+        blk.charge_barrett(half, red);
+        blk.charge_sub_plus_q(half);
+        blk.charge_mul(half, MultiplierKind::CryptoPim);
+        blk.charge_montgomery(half, red);
+        assert_eq!(*plan.stage(), blk.tally());
+        assert_eq!(
+            plan.stage().energy_pj.to_bits(),
+            blk.tally().energy_pj.to_bits()
+        );
+    }
+
+    #[test]
+    fn rev_table_is_the_bitrev_permutation() {
+        let m = mapping(64);
+        let plan = StagePlan::build(&m, MultiplierKind::CryptoPim).unwrap();
+        for k in 0..64usize {
+            assert_eq!(plan.rev()[k] as usize, bitrev::reverse_bits(k, 6));
+        }
+        assert_eq!(plan.n(), 64);
+        assert_eq!(plan.log_n(), 6);
+    }
+
+    #[test]
+    fn thread_policy_does_not_affect_the_plan() {
+        // Fixed/Auto resolve differently, but the plan key ignores the
+        // host worker count: the hardware schedule is thread-invariant.
+        let m = mapping(256);
+        let before = cached_plans();
+        let _ = StagePlan::cached(&m, MultiplierKind::CryptoPim).unwrap();
+        let _ = Threads::Fixed(8).resolve();
+        let _ = StagePlan::cached(&m, MultiplierKind::CryptoPim).unwrap();
+        assert!(cached_plans() >= before.max(1));
+        let after_first = cached_plans();
+        let _ = StagePlan::cached(&m, MultiplierKind::CryptoPim).unwrap();
+        assert_eq!(cached_plans(), after_first);
+    }
+}

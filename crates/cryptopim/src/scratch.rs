@@ -1,0 +1,133 @@
+//! Reusable scratch arenas for the engine hot path.
+//!
+//! One degree-`n` multiplication needs four working vectors (two
+//! double-buffered transforms), and before this module every call
+//! allocated them afresh — `3·log2 n + O(1)` heap allocations per
+//! multiply. A [`Scratch`] checks a single flat `4n`-word slab out of a
+//! thread-local pool, hands out the four buffers as disjoint views, and
+//! returns the slab on drop. In the steady state (same `n`, same
+//! thread) the checkout is a `Vec::pop` and the whole multiply performs
+//! **zero** heap allocations — asserted by the counting-allocator test
+//! in `tests/alloc_steady_state.rs`.
+//!
+//! Lifetime rules (also documented in DESIGN.md §10):
+//!
+//! * A `Scratch` is checked out per multiply and must not outlive the
+//!   call that checked it out — the engine keeps it on the stack.
+//! * The pool is thread-local, so pool workers executing batched jobs
+//!   each warm their own slabs; there is no cross-thread hand-off and
+//!   therefore no locking on the hot path.
+//! * Returning to the pool is best-effort: if the thread-local is gone
+//!   (thread teardown) the slab is simply freed, never leaked.
+
+use std::cell::RefCell;
+
+/// Slabs retained per thread. Two covers the engine (one multiply in
+/// flight) plus one nested checkout (e.g. a batch job calling back into
+/// the engine); beyond that, extra slabs are freed rather than hoarded.
+const MAX_POOLED: usize = 4;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A checked-out `4n`-word scratch slab; returns itself on drop.
+#[derive(Debug)]
+pub struct Scratch {
+    slab: Vec<u64>,
+    n: usize,
+}
+
+impl Scratch {
+    /// Checks a slab for degree `n` out of the thread-local pool,
+    /// allocating only when the pool has no slab of this exact size.
+    pub fn checkout(n: usize) -> Scratch {
+        let want = 4 * n;
+        let slab = POOL
+            .with(|p| {
+                let mut p = p.borrow_mut();
+                p.iter()
+                    .position(|s| s.len() == want)
+                    .map(|i| p.swap_remove(i))
+            })
+            .unwrap_or_else(|| vec![0u64; want]);
+        Scratch { slab, n }
+    }
+
+    /// The four disjoint `n`-word working buffers.
+    pub fn buffers(&mut self) -> (&mut [u64], &mut [u64], &mut [u64], &mut [u64]) {
+        let (a, rest) = self.slab.split_at_mut(self.n);
+        let (b, rest) = rest.split_at_mut(self.n);
+        let (c, d) = rest.split_at_mut(self.n);
+        (a, b, c, &mut d[..self.n])
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let slab = std::mem::take(&mut self.slab);
+        if slab.is_empty() {
+            return;
+        }
+        // Best-effort return; during thread teardown the TLS may already
+        // be gone, in which case the slab is just freed.
+        let _ = POOL.try_with(|p| {
+            if let Ok(mut p) = p.try_borrow_mut() {
+                if p.len() < MAX_POOLED {
+                    p.push(slab);
+                }
+            }
+        });
+    }
+}
+
+/// Number of slabs currently pooled on this thread (diagnostics/tests).
+pub fn pooled_slabs() -> usize {
+    POOL.with(|p| p.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_the_returned_slab() {
+        let first_ptr = {
+            let mut s = Scratch::checkout(64);
+            s.buffers().0[0] = 7;
+            s.slab.as_ptr() as usize
+        };
+        let s = Scratch::checkout(64);
+        assert_eq!(
+            s.slab.as_ptr() as usize,
+            first_ptr,
+            "steady state must reuse the pooled slab"
+        );
+    }
+
+    #[test]
+    fn buffers_are_disjoint_full_length_views() {
+        let mut s = Scratch::checkout(8);
+        let (a, b, c, d) = s.buffers();
+        assert_eq!([a.len(), b.len(), c.len(), d.len()], [8, 8, 8, 8]);
+        a[0] = 1;
+        b[0] = 2;
+        c[0] = 3;
+        d[0] = 4;
+        assert_eq!((a[0], b[0], c[0], d[0]), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn mismatched_sizes_do_not_cross_pollinate() {
+        drop(Scratch::checkout(16));
+        let s = Scratch::checkout(32);
+        assert_eq!(s.slab.len(), 128, "a 16-slab must not serve n = 32");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let many: Vec<Scratch> = (0..2 * MAX_POOLED).map(|_| Scratch::checkout(4)).collect();
+        drop(many);
+        assert!(pooled_slabs() <= MAX_POOLED);
+    }
+}

@@ -128,6 +128,7 @@ impl BarrettReducer {
 ///
 /// Returns [`Error::UnsupportedModulus`] for moduli other than
 /// 7681, 12289, 786433.
+#[inline]
 pub fn shift_add_reduce_partial(a: u64, q: u64) -> Result<u64, Error> {
     let r = match q {
         12289 => {
@@ -175,6 +176,7 @@ pub fn shift_add_reduce_partial(a: u64, q: u64) -> Result<u64, Error> {
 /// # Ok(())
 /// # }
 /// ```
+#[inline]
 pub fn shift_add_reduce(a: u64, q: u64) -> Result<u64, Error> {
     let mut r = shift_add_reduce_partial(a, q)?;
     while r >= q {

@@ -155,6 +155,7 @@ impl MontgomeryReducer {
 /// # Errors
 ///
 /// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+#[inline]
 pub fn shift_add_redc_partial(a: u64, q: u64) -> Result<u64, Error> {
     let t = match q {
         12289 => {
@@ -189,6 +190,7 @@ pub fn shift_add_redc_partial(a: u64, q: u64) -> Result<u64, Error> {
 /// # Errors
 ///
 /// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+#[inline]
 pub fn shift_add_redc(a: u64, q: u64) -> Result<u64, Error> {
     let t = shift_add_redc_partial(a, q)?;
     Ok(if t >= q { t - q } else { t })

@@ -16,7 +16,7 @@ use crate::stats::Tally;
 use crate::{cost, energy, PimError, Result, BLOCK_DIM};
 
 /// Which multiplier microprogram a block uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MultiplierKind {
     /// CryptoPIM's optimized multiplier: `6.5N² − 11.5N + 3` cycles.
     CryptoPim,
@@ -174,6 +174,19 @@ impl MemoryBlock {
 
     /// Cost-only twin of [`MemoryBlock::mul_montgomery`].
     pub fn charge_mul_montgomery(&mut self, rows: usize, kind: MultiplierKind, reducer: &Reducer) {
+        self.charge_mul(rows, kind);
+        self.charge_montgomery(rows, reducer);
+    }
+
+    /// Charges one full Gentleman–Sande NTT stage: add + Barrett on the
+    /// low side, sub + mul + REDC on the high side, each on `rows` rows
+    /// (`n/2` for a degree-`n` transform). The charge order matches the
+    /// engine's historical op sequence, so replaying this tally
+    /// reproduces per-stage energy bit-for-bit.
+    pub fn charge_ntt_stage(&mut self, rows: usize, kind: MultiplierKind, reducer: &Reducer) {
+        self.charge_add(rows);
+        self.charge_barrett(rows, reducer);
+        self.charge_sub_plus_q(rows);
         self.charge_mul(rows, kind);
         self.charge_montgomery(rows, reducer);
     }

@@ -45,6 +45,7 @@ pub mod device;
 pub mod energy;
 pub mod logic;
 pub mod par;
+pub(crate) mod pool;
 pub mod reduce;
 pub mod reduce_gate;
 pub mod stats;

@@ -1,4 +1,4 @@
-//! Deterministic lane fan-out across scoped OS threads.
+//! Deterministic lane fan-out across a persistent worker pool.
 //!
 //! A CryptoPIM chip is massively parallel: a degree-`n` vector spans
 //! `⌈n/512⌉` independent lanes whose blocks execute the same microcode
@@ -11,13 +11,19 @@
 //! the sequential charge order. The result is a wall-clock speedup with
 //! **bit-identical** tallies and traces.
 //!
-//! Built on [`std::thread::scope`] only: borrowed inputs need no `Arc`,
-//! no external thread-pool dependency, and a panicking worker propagates
-//! instead of deadlocking. Worker counts come from [`Threads`], which
-//! reads `CRYPTOPIM_THREADS` (or the machine's available parallelism)
-//! unless a caller pins an explicit count.
+//! Execution runs on the lazily-initialized persistent pool in
+//! [`crate::pool`]: the first parallel region spawns its workers, every
+//! later region reuses them, so `Threads::Fixed(k)` no longer pays an OS
+//! thread spawn per NTT stage (the pre-pool [`std::thread::scope`]
+//! design did, tens of µs per scope). Still `std`-only — no external
+//! thread-pool dependency — and a panicking worker propagates to the
+//! caller instead of deadlocking. Worker counts come from [`Threads`],
+//! which reads `CRYPTOPIM_THREADS` (or the machine's available
+//! parallelism) unless a caller pins an explicit count.
 
 use std::thread;
+
+pub use crate::pool::pool_threads;
 
 /// Environment variable overriding the auto-detected worker count.
 pub const THREADS_ENV: &str = "CRYPTOPIM_THREADS";
@@ -27,7 +33,7 @@ pub const THREADS_ENV: &str = "CRYPTOPIM_THREADS";
 pub enum Threads {
     /// `CRYPTOPIM_THREADS` if set (and ≥ 1), else the machine's
     /// available parallelism — then gated by problem size so tiny
-    /// transforms never pay thread-spawn latency.
+    /// transforms never pay fan-out latency.
     #[default]
     Auto,
     /// Exactly this many workers (clamped to ≥ 1), regardless of
@@ -52,10 +58,8 @@ impl Threads {
     ///
     /// `Fixed(k)` is honored (capped at `lanes`); `Auto` additionally
     /// gates on size — one worker per 8192 lanes — so that per-stage
-    /// spawn overhead (tens of µs per scope) never dominates. Measured
-    /// on the engine, per-stage work only amortizes a spawn once a
-    /// vector pass runs well past 10k elements; coarser-grained units
-    /// (whole batched multiplications) bypass this gate via
+    /// dispatch overhead never dominates. Coarser-grained units (whole
+    /// batched multiplications) bypass this gate via
     /// [`Threads::resolve`].
     pub fn resolve_for(self, lanes: usize) -> usize {
         let k = self.resolve().min(lanes.max(1));
@@ -66,18 +70,53 @@ impl Threads {
     }
 }
 
-/// Computes `(0..len).map(f)` with `workers` scoped threads, returning
+/// Raw-pointer wrapper that lets disjoint chunk writers share one output
+/// buffer across pool threads.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Core fan-out: writes `f(i)` into `out + i` for `i in 0..len`, split
+/// into `workers` contiguous chunks (chunk 0 on the calling thread,
+/// chunks 1.. on the persistent pool).
+///
+/// # Safety
+///
+/// `out` must be valid for writes of `len` elements, and the written
+/// slots must be safe to overwrite with `ptr::write` (uninitialized, or
+/// holding `Copy` values). On panic some slots may be left unwritten.
+unsafe fn fill_indexed<T, F>(out: *mut T, len: usize, workers: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(len);
+    let chunk = len.div_ceil(workers);
+    let base = SendPtr(out);
+    let base = &base;
+    crate::pool::scope_run(workers, &move |w| {
+        let start = w * chunk;
+        let end = ((w + 1) * chunk).min(len);
+        for i in start..end {
+            // SAFETY: chunks are disjoint; every slot is written once.
+            unsafe { base.0.add(i).write(f(i)) };
+        }
+    });
+}
+
+/// Computes `(0..len).map(f)` with `workers` pool threads, returning
 /// results in index order.
 ///
 /// The index range is split into `workers` contiguous chunks; chunk 0
-/// runs on the calling thread while chunks 1.. run on spawned workers,
-/// and the per-chunk outputs are concatenated in chunk order — so the
-/// result is identical to the sequential map for any worker count.
-/// `workers <= 1` short-circuits to a plain loop with zero spawns.
+/// runs on the calling thread while chunks 1.. run on pool workers, and
+/// every chunk writes directly into its disjoint span of the output — so
+/// the result is identical to the sequential map for any worker count.
+/// `workers <= 1` short-circuits to a plain loop with zero dispatch.
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// Propagates a panic from any worker (produced elements are leaked,
+/// never double-dropped).
 pub fn map_indexed<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -86,27 +125,41 @@ where
     if workers <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
-    let workers = workers.min(len);
-    let chunk = len.div_ceil(workers);
-    let f = &f;
-    let mut out = Vec::with_capacity(len);
-    thread::scope(|s| {
-        let handles: Vec<_> = (1..workers)
-            .map(|w| {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(len);
-                s.spawn(move || (start..end).map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        out.extend((0..chunk.min(len)).map(f));
-        for h in handles {
-            out.extend(h.join().expect("parallel lane worker panicked"));
-        }
-    });
+    let mut out: Vec<T> = Vec::with_capacity(len);
+    // SAFETY: the buffer has capacity for `len` writes; on success every
+    // slot is initialized before set_len; on panic set_len never runs.
+    unsafe {
+        fill_indexed(out.as_mut_ptr(), len, workers, &f);
+        out.set_len(len);
+    }
     out
 }
 
-/// Maps `f` over a slice of independent jobs with `workers` scoped
+/// In-place variant of [`map_indexed`]: overwrites `out[i] = f(i)` with
+/// zero allocations, for hot paths that reuse scratch buffers.
+///
+/// Restricted to `Copy` elements so overwriting needs no drops.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker; `out` is then partially updated.
+pub fn map_indexed_into<T, F>(out: &mut [T], workers: usize, f: F)
+where
+    T: Copy + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = out.len();
+    if workers <= 1 || len <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    // SAFETY: slice is valid for `len` writes; `T: Copy` has no drop.
+    unsafe { fill_indexed(out.as_mut_ptr(), len, workers, &f) };
+}
+
+/// Maps `f` over a slice of independent jobs with `workers` pool
 /// threads, returning results in input order.
 ///
 /// The batched-multiplication analogue of [`map_indexed`]: each job is
@@ -141,6 +194,26 @@ mod tests {
     }
 
     #[test]
+    fn map_indexed_into_matches_map_indexed() {
+        let reference = map_indexed(513, 1, |i| (i as u64) ^ 0xABCD);
+        for workers in [1usize, 2, 3, 8, 513] {
+            let mut out = vec![0u64; 513];
+            map_indexed_into(&mut out, workers, |i| (i as u64) ^ 0xABCD);
+            assert_eq!(out, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_into_is_allocation_free_shape() {
+        // Zero-length and single-element shapes take the inline path.
+        let mut empty: [u64; 0] = [];
+        map_indexed_into(&mut empty, 8, |_| 1);
+        let mut one = [0u64; 1];
+        map_indexed_into(&mut one, 8, |i| i as u64 + 41);
+        assert_eq!(one, [41]);
+    }
+
+    #[test]
     fn map_jobs_preserves_input_order() {
         let jobs: Vec<String> = (0..57).map(|i| format!("job{i}")).collect();
         let out = map_jobs(&jobs, 4, |j| format!("{j}!"));
@@ -158,7 +231,7 @@ mod tests {
 
     #[test]
     fn auto_threads_gate_on_problem_size() {
-        // Small transforms must never spawn regardless of core count.
+        // Small transforms must never fan out regardless of core count.
         assert_eq!(Threads::Auto.resolve_for(256), 1);
         assert_eq!(Threads::Auto.resolve_for(4096), 1);
         // Large ones are capped by one worker per 8192 lanes.
@@ -170,5 +243,16 @@ mod tests {
     fn workers_beyond_len_are_harmless() {
         let got = map_indexed(5, 64, |i| i * i);
         assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(100, 4, |i| {
+                assert!(i != 77, "deliberate worker panic");
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 }

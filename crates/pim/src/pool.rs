@@ -1,0 +1,305 @@
+//! Lazily-initialized persistent worker pool.
+//!
+//! The first parallel region spawns its helper threads; every later
+//! region reuses them, so steady-state fan-out costs a queue push and a
+//! wake-up instead of an OS thread spawn (tens of µs per
+//! [`std::thread::scope`], paid once per NTT stage before this pool
+//! existed). Workers park on a condvar-guarded [`VecDeque`] work queue;
+//! the queue is plain `std` — no external dependencies.
+//!
+//! Contracts (relied on by [`crate::par`] and documented in DESIGN.md):
+//!
+//! * **Lifetime safety** — tasks borrow the caller's stack. [`scope_run`]
+//!   does not return (and does not finish unwinding) until every task it
+//!   enqueued has completed, so those borrows never dangle even though
+//!   the pool threads are `'static`.
+//! * **Panic propagation** — a panicking task is caught on the worker,
+//!   its payload is carried back through the completion latch, and
+//!   [`scope_run`] re-raises it on the calling thread after all sibling
+//!   tasks have drained. A panic never deadlocks the pool and never
+//!   kills a worker thread.
+//! * **Nested regions cannot deadlock** — a thread waiting on its latch
+//!   *helps*: it drains queued tasks (its own or another region's)
+//!   instead of blocking while work is pending, so progress is always
+//!   made even when every pool thread is itself inside a region.
+//! * **Shutdown** — workers are detached and live for the process; they
+//!   hold no resources beyond a parked stack, so process exit is the
+//!   shutdown protocol. There is deliberately no drop-based teardown.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Hard cap on spawned workers (a safety valve, far above any sensible
+/// `--threads` setting; excess requests queue instead of spawning).
+const POOL_MAX_THREADS: usize = 256;
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// One queued unit of work: run `f(index)`, then count down `latch`.
+///
+/// The `'static` lifetimes are a fiction maintained by [`scope_run`],
+/// which blocks until the latch drains before its frame (holding the
+/// real referents) can die.
+#[derive(Clone, Copy)]
+struct Task {
+    f: &'static (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: &'static Latch,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<PanicPayload>,
+}
+
+/// Countdown latch with panic-payload transport.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<PanicPayload>) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Task>>,
+    work: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn shared() -> &'static PoolShared {
+    static SHARED: OnceLock<PoolShared> = OnceLock::new();
+    SHARED.get_or_init(|| PoolShared {
+        queue: Mutex::new(VecDeque::new()),
+        work: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn run_task(task: Task) {
+    let result = catch_unwind(AssertUnwindSafe(|| (task.f)(task.index)));
+    task.latch.complete(result.err());
+}
+
+fn worker_loop() {
+    let s = shared();
+    loop {
+        let task = {
+            let mut q = s.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = s.work.wait(q).expect("pool queue poisoned");
+            }
+        };
+        run_task(task);
+    }
+}
+
+/// Spawns workers until `wanted` exist (capped at [`POOL_MAX_THREADS`]).
+fn ensure_threads(wanted: usize) {
+    let s = shared();
+    let mut spawned = s.spawned.lock().expect("pool spawn count poisoned");
+    let target = wanted.min(POOL_MAX_THREADS);
+    while *spawned < target {
+        thread::Builder::new()
+            .name(format!("cryptopim-pool-{spawned}"))
+            .spawn(worker_loop)
+            .expect("spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Number of persistent workers spawned so far (diagnostics; the pool
+/// reuse tests assert this stays flat across thousands of regions).
+pub fn pool_threads() -> usize {
+    *shared().spawned.lock().expect("pool spawn count poisoned")
+}
+
+/// Waits for `latch` to drain, helping with queued work (ours or another
+/// region's) instead of blocking while any task is runnable.
+fn wait_help(latch: &Latch) {
+    let s = shared();
+    loop {
+        {
+            let st = latch.state.lock().expect("latch poisoned");
+            if st.remaining == 0 {
+                return;
+            }
+        }
+        let task = s.queue.lock().expect("pool queue poisoned").pop_front();
+        match task {
+            Some(t) => run_task(t),
+            None => {
+                // Queue empty: our outstanding tasks are running on other
+                // threads; their completions will signal `done`.
+                let mut st = latch.state.lock().expect("latch poisoned");
+                while st.remaining > 0 {
+                    st = latch.done.wait(st).expect("latch poisoned");
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Waits for the latch even when the caller's own chunk panics, so
+/// borrowed stack data outlives every queued task.
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        wait_help(self.0);
+    }
+}
+
+/// Runs `f(0) ... f(count-1)`, `f(0)` on the calling thread and the rest
+/// on the persistent pool, returning once every call has finished.
+///
+/// `f` may borrow from the caller's stack: the function does not return
+/// (or finish unwinding) before all queued calls complete.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed among the calls, after all of them
+/// have drained.
+pub(crate) fn scope_run(count: usize, f: &(dyn Fn(usize) + Sync)) {
+    match count {
+        0 => return,
+        1 => {
+            f(0);
+            return;
+        }
+        _ => {}
+    }
+    let helpers = count - 1;
+    ensure_threads(helpers);
+    let latch = Latch::new(helpers);
+    // SAFETY: the WaitGuard below (armed before any task is queued)
+    // blocks this frame — on return *and* on unwind — until every task
+    // referencing `f` and `latch` has completed.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let latch_static: &'static Latch = unsafe { &*std::ptr::from_ref(&latch) };
+    let guard = WaitGuard(&latch);
+    {
+        let s = shared();
+        let mut q = s.queue.lock().expect("pool queue poisoned");
+        for index in 1..count {
+            q.push_back(Task {
+                f: f_static,
+                index,
+                latch: latch_static,
+            });
+        }
+        drop(q);
+        if helpers == 1 {
+            s.work.notify_one();
+        } else {
+            s.work.notify_all();
+        }
+    }
+    f(0);
+    drop(guard); // waits for the helpers
+    let payload = latch.state.lock().expect("latch poisoned").panic.take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_run_covers_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        scope_run(64, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_threads_do_not_grow_with_reuse() {
+        scope_run(4, &|_| {});
+        let after_first = pool_threads();
+        for _ in 0..500 {
+            scope_run(4, &|_| {});
+        }
+        assert_eq!(pool_threads(), after_first, "regions must reuse workers");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            scope_run(4, &|i| {
+                if i == 2 {
+                    panic!("boom from worker chunk");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool must still work afterwards.
+        let count = AtomicUsize::new(0);
+        scope_run(4, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_chunk_panic_still_drains_helpers() {
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope_run(3, &|i| {
+                if i == 0 {
+                    panic!("caller chunk panics");
+                }
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            2,
+            "helper chunks must have drained before the unwind finished"
+        );
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let total = AtomicUsize::new(0);
+        scope_run(4, &|_| {
+            scope_run(4, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+}

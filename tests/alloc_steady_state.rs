@@ -1,0 +1,88 @@
+//! Zero-allocation steady state: after warm-up, the engine's multiply
+//! loop must not touch the heap at all.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! warms the plan cache, the thread-local scratch pool, and the output
+//! vector's capacity, then asserts that further multiplies perform zero
+//! allocations and zero deallocations. This is its own test binary so
+//! the counter sees no interference from other tests (integration tests
+//! each link their own globals, and this file stays single-threaded).
+
+use cryptopim::engine::Engine;
+use cryptopim::mapping::NttMapping;
+use modmath::params::ParamSet;
+use pim::par::Threads;
+use pim::reduce::ReductionStyle;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn rand_vec(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) % q
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_multiply_is_allocation_free() {
+    let n = 1024usize;
+    let params = ParamSet::for_degree(n).expect("paper degree");
+    let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("mapping");
+    let engine = Engine::new(&mapping).with_threads(Threads::Fixed(1));
+    let a = rand_vec(n, params.q, 1);
+    let b = rand_vec(n, params.q, 2);
+    let mut out = Vec::new();
+
+    // Warm-up: builds the cached plan, pools the scratch slab, and gives
+    // `out` its capacity. Two rounds so the slab is checked out of the
+    // pool (not freshly allocated) at least once before measuring.
+    for _ in 0..2 {
+        let trace = engine.multiply_into(&a, &b, &mut out).expect("warm-up");
+        assert!(trace.total().cycles > 0);
+    }
+    let reference = out.clone();
+
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        engine
+            .multiply_into(&a, &b, &mut out)
+            .expect("steady state");
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - deallocs_before;
+
+    assert_eq!(out, reference, "products must stay correct");
+    assert_eq!(allocs, 0, "steady-state multiply must not allocate");
+    assert_eq!(deallocs, 0, "steady-state multiply must not deallocate");
+}

@@ -102,6 +102,49 @@ fn auto_threads_match_pinned_sequential() {
 }
 
 #[test]
+fn persistent_pool_stays_deterministic_over_many_multiplies() {
+    // 100 back-to-back multiplies per worker count, all through the
+    // persistent pool: every one must be bit-identical to the sequential
+    // engine, and the pool must not grow (regions reuse parked workers
+    // instead of spawning).
+    let (n, q) = PAPER_CASES[0];
+    let params = ParamSet::for_degree(n).expect("paper degree");
+    let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("mapping");
+    let seq = Engine::new(&mapping).with_threads(Threads::Fixed(1));
+
+    for workers in [2usize, 4, 8] {
+        let par = Engine::new(&mapping).with_threads(Threads::Fixed(workers));
+        // Prime the pool to its high-water mark for this worker count.
+        let warm_a = rand_vec(n, q, 0xA5);
+        par.multiply(&warm_a, &warm_a).expect("pool warm-up");
+        let pool_before = pim::par::pool_threads();
+        let mut out_seq = Vec::new();
+        let mut out_par = Vec::new();
+        for round in 0..100u64 {
+            let a = rand_vec(n, q, 0x5EED_0000 + round);
+            let b = rand_vec(n, q, 0xFACE_0000 + round);
+            let t_seq = seq.multiply_into(&a, &b, &mut out_seq).expect("sequential");
+            let t_par = par.multiply_into(&a, &b, &mut out_par).expect("parallel");
+            assert_eq!(
+                out_par, out_seq,
+                "products: workers = {workers}, round = {round}"
+            );
+            assert_eq!(t_par, t_seq, "trace: workers = {workers}, round = {round}");
+            assert_eq!(
+                t_par.total().energy_pj.to_bits(),
+                t_seq.total().energy_pj.to_bits(),
+                "energy bits: workers = {workers}, round = {round}"
+            );
+        }
+        assert_eq!(
+            pim::par::pool_threads(),
+            pool_before,
+            "pool must reuse its workers, not spawn per multiply (workers = {workers})"
+        );
+    }
+}
+
+#[test]
 fn parallel_batch_report_is_identical() {
     let (n, q) = PAPER_CASES[0];
     let params = ParamSet::for_degree(n).expect("paper degree");
