@@ -8,6 +8,7 @@
 //! cargo run -p cryptopim-bench --bin cli -- montecarlo --samples 2000 --variation 15
 //! cargo run -p cryptopim-bench --bin cli -- bench --json [--threads N] [--degrees 256,1024] [--out PATH]
 //! cargo run -p cryptopim-bench --bin cli -- bench --compare OLD.json NEW.json
+//! cargo run -p cryptopim-bench --bin cli -- serve-loadgen --seed 7 --jobs 1920 --clients 4
 //! cargo run -p cryptopim-bench --bin cli -- --json              # shorthand for bench --json
 //! ```
 //!
@@ -17,6 +18,13 @@
 //! and the git commit. `bench --compare` diffs two such snapshots and
 //! exits non-zero when any common benchmark regressed by more than 10 %
 //! — the CI `bench-smoke` job runs it against the committed baseline.
+//!
+//! `serve-loadgen` drives the `service` crate's job scheduler with a
+//! deterministic seeded workload, bit-verifies every product against
+//! the direct engine path, and prints throughput, latency percentiles,
+//! and packed-lane occupancy. It exits non-zero when any product
+//! mismatches or any admitted job is dropped — the CI `service-smoke`
+//! job relies on that.
 
 use baselines::bp::PimDesign;
 use cryptopim::accelerator::CryptoPim;
@@ -29,7 +37,9 @@ use pim::device::DeviceParams;
 use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::variation::{run_monte_carlo, MonteCarloConfig};
-use std::time::Instant;
+use service::loadgen::{self, LoadMode, LoadgenConfig};
+use service::{Backpressure, ServiceConfig};
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -43,6 +53,11 @@ fn usage() -> ! {
          \x20 bench       [--json] [--threads N] [--degrees A,B] [--out PATH]\n\
          \x20                                                         host-side ns/op benchmarks\n\
          \x20 bench       --compare OLD.json NEW.json                 diff two snapshots; exit 1 on >10 % regression\n\
+         \x20 serve-loadgen [--seed N] [--jobs N] [--degrees A,B]     drive the batch-forming job scheduler\n\
+         \x20             [--mode closed|open] [--clients C] [--rate R]\n\
+         \x20             [--workers S] [--queue-cap N] [--linger-us U]\n\
+         \x20             [--backpressure block|reject] [--no-verify]\n\
+         \x20             [--min-speedup X] [--json] [--out PATH]     exit 1 on mismatch/drop\n\
          \n\
          --threads N pins the lane fan-out (default: CRYPTOPIM_THREADS\n\
          or the machine's available parallelism; results are identical\n\
@@ -161,6 +176,67 @@ fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Regression threshold for `bench --compare`.
+const REGRESSION_LIMIT_PCT: f64 = 10.0;
+
+/// Result of diffing two benchmark snapshots — computed apart from
+/// printing/exiting so the edge cases (zero/NaN baselines, one-sided
+/// benchmarks) are unit-testable.
+#[derive(Debug)]
+struct CompareOutcome {
+    /// Per-benchmark table rows, in new-snapshot order then gone rows.
+    lines: Vec<String>,
+    /// Entries skipped because a ns/op value was unusable.
+    warnings: Vec<String>,
+    /// Benchmarks actually compared (present and valid in both).
+    compared: usize,
+    /// Worst (most positive) delta among compared benchmarks.
+    worst: Option<(f64, String)>,
+}
+
+/// Diffs two parsed snapshots. Entries whose ns/op is zero, negative,
+/// or non-finite (a hand-edited or truncated snapshot) are skipped
+/// with a warning instead of producing an infinite/NaN ratio;
+/// benchmarks present in only one snapshot are reported as
+/// `new` / `gone` rather than silently ignored.
+fn compare_snapshots(old: &[(String, f64)], new: &[(String, f64)]) -> CompareOutcome {
+    let usable = |ns: f64| ns.is_finite() && ns > 0.0;
+    let mut out = CompareOutcome {
+        lines: Vec::new(),
+        warnings: Vec::new(),
+        compared: 0,
+        worst: None,
+    };
+    for (id, new_ns) in new {
+        let Some((_, old_ns)) = old.iter().find(|(o, _)| o == id) else {
+            out.lines
+                .push(format!("{id:<24} {:>12} {new_ns:>12.0} {:>9}", "-", "new"));
+            continue;
+        };
+        if !usable(*old_ns) || !usable(*new_ns) {
+            out.warnings.push(format!(
+                "skipping {id}: unusable ns/op (old {old_ns}, new {new_ns})"
+            ));
+            continue;
+        }
+        let delta_pct = (new_ns - old_ns) / old_ns * 100.0;
+        out.lines.push(format!(
+            "{id:<24} {old_ns:>12.0} {new_ns:>12.0} {delta_pct:>+8.1}%"
+        ));
+        out.compared += 1;
+        if out.worst.as_ref().is_none_or(|(w, _)| delta_pct > *w) {
+            out.worst = Some((delta_pct, id.clone()));
+        }
+    }
+    for (id, old_ns) in old {
+        if !new.iter().any(|(n, _)| n == id) {
+            out.lines
+                .push(format!("{id:<24} {old_ns:>12.0} {:>12} {:>9}", "-", "gone"));
+        }
+    }
+    out
+}
+
 /// `bench --compare OLD NEW`: prints per-benchmark deltas over the
 /// common ids and exits 1 when any regressed by more than 10 %.
 fn run_compare(old_path: &str, new_path: &str) {
@@ -179,35 +255,22 @@ fn run_compare(old_path: &str, new_path: &str) {
     let old = load(old_path);
     let new = load(new_path);
 
-    const REGRESSION_LIMIT_PCT: f64 = 10.0;
-    let mut worst: Option<(f64, String)> = None;
-    let mut compared = 0usize;
+    let outcome = compare_snapshots(&old, &new);
     println!(
         "{:<24} {:>12} {:>12} {:>9}",
         "benchmark", "old ns/op", "new ns/op", "delta"
     );
-    for (id, new_ns) in &new {
-        let Some((_, old_ns)) = old.iter().find(|(o, _)| o == id) else {
-            println!("{id:<24} {:>12} {new_ns:>12.0} {:>9}", "-", "new");
-            continue;
-        };
-        let delta_pct = (new_ns - old_ns) / old_ns * 100.0;
-        println!("{id:<24} {old_ns:>12.0} {new_ns:>12.0} {delta_pct:>+8.1}%");
-        compared += 1;
-        if worst.as_ref().is_none_or(|(w, _)| delta_pct > *w) {
-            worst = Some((delta_pct, id.clone()));
-        }
+    for line in &outcome.lines {
+        println!("{line}");
     }
-    for (id, old_ns) in &old {
-        if !new.iter().any(|(n, _)| n == id) {
-            println!("{id:<24} {old_ns:>12.0} {:>12} {:>9}", "-", "gone");
-        }
+    for warning in &outcome.warnings {
+        eprintln!("warning: {warning}");
     }
-    if compared == 0 {
-        eprintln!("no common benchmarks between {old_path} and {new_path}");
+    if outcome.compared == 0 {
+        eprintln!("no comparable benchmarks between {old_path} and {new_path}");
         std::process::exit(2);
     }
-    match worst {
+    match outcome.worst {
         Some((pct, id)) if pct > REGRESSION_LIMIT_PCT => {
             eprintln!("REGRESSION: {id} slowed by {pct:.1}% (limit {REGRESSION_LIMIT_PCT:.0}%)");
             std::process::exit(1);
@@ -314,6 +377,160 @@ fn run_bench(args: &[String]) {
     }
 }
 
+/// `serve-loadgen`: drives the batch-forming job scheduler with a
+/// seeded workload, verifies products against the direct engine path,
+/// and exits 1 on any mismatch, drop, or execution failure.
+fn run_serve_loadgen(args: &[String]) {
+    let parse_num = |name: &str, default: u64| -> u64 {
+        match opt(args, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let seed = parse_num("--seed", 7);
+    // Defaults favour stable measurement over spectacle: enough jobs
+    // to dominate thread spin-up, and a small fleet — closed-loop
+    // clients and workers contend for the same host cores, so modest
+    // counts measure the scheduler rather than the context switcher.
+    let jobs = parse_num("--jobs", 1920) as usize;
+    let clients = parse_num("--clients", 4).max(1) as usize;
+    let workers = parse_num("--workers", 2).max(1) as usize;
+    let queue_cap = parse_num("--queue-cap", 4096).max(1) as usize;
+    let linger_us = parse_num("--linger-us", 500);
+    let degrees = if opt(args, "--degrees").is_some() {
+        parse_degrees(args)
+    } else {
+        vec![256, 512, 1024]
+    };
+    let mode = match opt(args, "--mode").as_deref() {
+        None | Some("closed") => LoadMode::Closed { clients },
+        Some("open") => {
+            let rate: f64 = opt(args, "--rate")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("invalid --rate: {v}");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(20_000.0);
+            LoadMode::Open { rate_per_s: rate }
+        }
+        Some(other) => {
+            eprintln!("unknown mode: {other}");
+            std::process::exit(2);
+        }
+    };
+    let backpressure = match opt(args, "--backpressure").as_deref() {
+        None | Some("block") => Backpressure::Block,
+        Some("reject") => Backpressure::Reject,
+        Some(other) => {
+            eprintln!("unknown backpressure policy: {other}");
+            std::process::exit(2);
+        }
+    };
+    let verify = !args.iter().any(|a| a == "--no-verify");
+
+    let config = LoadgenConfig {
+        seed,
+        jobs,
+        degrees: degrees.clone(),
+        mode,
+        service: ServiceConfig {
+            workers,
+            queue_capacity: queue_cap,
+            backpressure,
+            linger: Duration::from_micros(linger_us),
+        },
+        verify_direct: verify,
+    };
+    println!(
+        "serve-loadgen: seed {seed}, {jobs} jobs over n ∈ {degrees:?}, {mode:?}, \
+         {workers} superbank workers, queue {queue_cap} ({backpressure:?}), linger {linger_us} µs"
+    );
+    let report = loadgen::run(&config);
+
+    println!(
+        "service: {} ok, {} rejected, {} failed in {:.3} s → {:.0} mult/s",
+        report.ok, report.rejected, report.failed, report.wall_s, report.throughput
+    );
+    if verify {
+        println!(
+            "direct (one-at-a-time CryptoPim::multiply): {:.3} s → {:.0} mult/s; \
+             service speedup {:.2}×, {} product mismatches",
+            report.direct_wall_s, report.direct_throughput, report.speedup, report.mismatches
+        );
+    }
+    println!("{}", report.stats);
+
+    if args.iter().any(|a| a == "--json") {
+        let path =
+            opt(args, "--out").unwrap_or_else(|| format!("BENCH_service_{}.json", today_utc()));
+        let s = &report.stats;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
+        out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!(
+            "  \"degrees\": [{}],\n",
+            degrees
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
+        out.push_str(&format!("  \"ok\": {},\n", report.ok));
+        out.push_str(&format!("  \"rejected\": {},\n", report.rejected));
+        out.push_str(&format!("  \"failed\": {},\n", report.failed));
+        out.push_str(&format!("  \"mismatches\": {},\n", report.mismatches));
+        out.push_str(&format!("  \"dropped\": {},\n", report.dropped));
+        out.push_str(&format!("  \"throughput\": {:.1},\n", report.throughput));
+        out.push_str(&format!(
+            "  \"direct_throughput\": {:.1},\n",
+            report.direct_throughput
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3},\n", report.speedup));
+        out.push_str(&format!("  \"mean_occupancy\": {:.3},\n", s.mean_occupancy));
+        out.push_str(&format!("  \"full_batches\": {},\n", s.full_batches));
+        out.push_str(&format!(
+            "  \"lingered_batches\": {},\n",
+            s.lingered_batches
+        ));
+        out.push_str(&format!("  \"eager_batches\": {},\n", s.eager_batches));
+        out.push_str(&format!("  \"p50_us\": {:.1},\n", s.p50_us));
+        out.push_str(&format!("  \"p95_us\": {:.1},\n", s.p95_us));
+        out.push_str(&format!("  \"p99_us\": {:.1}\n", s.p99_us));
+        out.push_str("}\n");
+        std::fs::write(&path, out).expect("write service JSON");
+        println!("wrote {path}");
+    }
+
+    if !report.is_clean() {
+        eprintln!(
+            "FAILED: {} mismatches, {} dropped, {} failed",
+            report.mismatches, report.dropped, report.failed
+        );
+        std::process::exit(1);
+    }
+    if let Some(min) = opt(args, "--min-speedup") {
+        let min: f64 = min.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --min-speedup");
+            std::process::exit(2);
+        });
+        if verify && report.speedup < min {
+            eprintln!(
+                "FAILED: service speedup {:.2}× below required {min:.2}×",
+                report.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -322,6 +539,10 @@ fn main() {
         // `cli -- --json` is shorthand for `cli -- bench --json`.
         "bench" | "--json" => {
             run_bench(&args);
+            return;
+        }
+        "serve-loadgen" => {
+            run_serve_loadgen(&args);
             return;
         }
         _ => {}
@@ -428,5 +649,94 @@ fn main() {
             );
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(&str, f64)]) -> Vec<(String, f64)> {
+        entries
+            .iter()
+            .map(|(id, ns)| (id.to_string(), *ns))
+            .collect()
+    }
+
+    #[test]
+    fn parse_bench_json_extracts_pairs() {
+        let text = r#"{
+          "benches": [
+            { "id": "ntt_1024", "ns_per_op": 1234.5 },
+            { "id": "mult_256", "ns_per_op": 99 }
+          ]
+        }"#;
+        assert_eq!(
+            parse_bench_json(text),
+            snap(&[("ntt_1024", 1234.5), ("mult_256", 99.0)])
+        );
+    }
+
+    #[test]
+    fn parse_bench_json_tolerates_truncation_and_noise() {
+        // Truncated mid-entry: the complete entry still parses.
+        let text = r#""id": "a", "ns_per_op": 10.0, "id": "b", "ns_per"#;
+        assert_eq!(parse_bench_json(text), snap(&[("a", 10.0)]));
+        // No entries at all.
+        assert!(parse_bench_json("{}").is_empty());
+        // Unparseable number is dropped, later entries survive.
+        let text = r#""id": "a", "ns_per_op": oops, "id": "b", "ns_per_op": 7"#;
+        assert_eq!(parse_bench_json(text), snap(&[("b", 7.0)]));
+    }
+
+    #[test]
+    fn compare_skips_zero_and_nonfinite_baselines() {
+        let old = snap(&[("zeroed", 0.0), ("nan", f64::NAN), ("ok", 100.0)]);
+        let new = snap(&[("zeroed", 50.0), ("nan", 50.0), ("ok", 105.0)]);
+        let out = compare_snapshots(&old, &new);
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.warnings.len(), 2);
+        assert!(out.warnings.iter().any(|w| w.contains("zeroed")));
+        assert!(out.warnings.iter().any(|w| w.contains("nan")));
+        let (worst, id) = out.worst.expect("one comparable benchmark");
+        assert_eq!(id, "ok");
+        assert!((worst - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_reports_one_sided_benchmarks() {
+        let old = snap(&[("gone_bench", 10.0), ("shared", 10.0)]);
+        let new = snap(&[("shared", 10.0), ("new_bench", 20.0)]);
+        let out = compare_snapshots(&old, &new);
+        assert_eq!(out.compared, 1);
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("new_bench") && l.contains("new")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("gone_bench") && l.contains("gone")));
+    }
+
+    #[test]
+    fn compare_with_no_overlap_counts_zero() {
+        let old = snap(&[("a", 10.0)]);
+        let new = snap(&[("b", 20.0)]);
+        let out = compare_snapshots(&old, &new);
+        assert_eq!(out.compared, 0);
+        assert!(out.worst.is_none());
+        assert_eq!(out.lines.len(), 2); // one "new" + one "gone" row
+    }
+
+    #[test]
+    fn compare_flags_worst_regression() {
+        let old = snap(&[("fast", 100.0), ("slow", 100.0)]);
+        let new = snap(&[("fast", 90.0), ("slow", 130.0)]);
+        let out = compare_snapshots(&old, &new);
+        assert_eq!(out.compared, 2);
+        let (pct, id) = out.worst.expect("comparable benchmarks");
+        assert_eq!(id, "slow");
+        assert!(pct > REGRESSION_LIMIT_PCT);
     }
 }

@@ -186,6 +186,33 @@ impl CryptoPim {
         Ok((product, self.report()?, trace))
     }
 
+    /// Multiplies two polynomials, returning only the product.
+    ///
+    /// The hot-path variant for batched serving: per-call report
+    /// construction (architecture derivation plus pipeline-model math)
+    /// and the functional trace are skipped entirely, because a batch
+    /// prices its timing once at burst level, not per job. Engine
+    /// output is canonical by construction, so the product also skips
+    /// the `from_coeffs` reduction sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CryptoPim::multiply_with_trace`].
+    pub fn multiply_product(&self, a: &Polynomial, b: &Polynomial) -> Result<Polynomial> {
+        let n = self.params().n;
+        if a.degree_bound() != n || b.degree_bound() != n {
+            return Err(PimError::LengthMismatch {
+                left: a.degree_bound(),
+                right: b.degree_bound(),
+            });
+        }
+        let engine = Engine::new(&self.mapping)
+            .with_multiplier(self.multiplier)
+            .with_threads(self.threads);
+        let (coeffs, _) = engine.multiply(a.coeffs(), b.coeffs())?;
+        Ok(Polynomial::from_canonical_coeffs(coeffs, self.params().q)?)
+    }
+
     /// Multiplies two polynomials, returning the product and the report.
     ///
     /// # Errors
@@ -312,6 +339,18 @@ mod tests {
         assert_eq!(compute, acc.model().expected_engine_compute_cycles());
         // Pipelined latency exceeds any single phase.
         assert!(report.pipelined.cycles > trace.pointwise.cycles);
+    }
+
+    #[test]
+    fn product_only_path_matches_full_path() {
+        let p = ParamSet::for_degree(512).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let a = rand_poly(512, p.q, 5);
+        let b = rand_poly(512, p.q, 6);
+        let (full, _, _) = acc.multiply_with_trace(&a, &b).unwrap();
+        assert_eq!(acc.multiply_product(&a, &b).unwrap(), full);
+        let short = rand_poly(256, p.q, 7);
+        assert!(acc.multiply_product(&short, &b).is_err());
     }
 
     #[test]

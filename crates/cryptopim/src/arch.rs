@@ -40,13 +40,16 @@ pub struct ArchConfig {
 }
 
 impl ArchConfig {
-    /// Derives the configuration for a degree under an organization.
+    /// Independent multiplications a 32k-provisioned chip packs side by
+    /// side at degree `n` — the `32k/n` packing capacity of §III-D,
+    /// derived purely from the bank geometry (no pipeline model needed,
+    /// so batch formers can size batches without building one).
     ///
     /// # Errors
     ///
     /// Returns [`PimError::VectorTooLong`] when `n` is not a power of two
     /// of at least 4 (there is no valid NTT mapping to configure for).
-    pub fn for_degree(n: usize, model: &PipelineModel, org: Organization) -> Result<Self> {
+    pub fn packed_lanes(n: usize) -> Result<usize> {
         if !n.is_power_of_two() || n < 4 {
             return Err(PimError::VectorTooLong {
                 len: n,
@@ -55,7 +58,19 @@ impl ArchConfig {
         }
         let native = n.min(MAX_NATIVE_DEGREE);
         let banks = native.div_ceil(BLOCK_DIM).max(1);
-        let parallel = (BANKS_PER_SOFTBANK / banks).max(1);
+        Ok((BANKS_PER_SOFTBANK / banks).max(1))
+    }
+
+    /// Derives the configuration for a degree under an organization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::VectorTooLong`] when `n` is not a power of two
+    /// of at least 4 (there is no valid NTT mapping to configure for).
+    pub fn for_degree(n: usize, model: &PipelineModel, org: Organization) -> Result<Self> {
+        let parallel = Self::packed_lanes(n)?;
+        let native = n.min(MAX_NATIVE_DEGREE);
+        let banks = native.div_ceil(BLOCK_DIM).max(1);
         let passes = n.div_ceil(MAX_NATIVE_DEGREE);
         Ok(ArchConfig {
             n,
@@ -159,6 +174,18 @@ mod tests {
             }
             assert_eq!(covered, n);
         }
+    }
+
+    #[test]
+    fn packed_lanes_matches_full_configuration() {
+        for n in [256usize, 512, 1024, 4096, 32768, 65536] {
+            assert_eq!(
+                ArchConfig::packed_lanes(n).unwrap(),
+                config(n).parallel_multiplications,
+                "n = {n}"
+            );
+        }
+        assert!(ArchConfig::packed_lanes(100).is_err());
     }
 
     #[test]

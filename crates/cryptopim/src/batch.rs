@@ -43,32 +43,10 @@ pub struct BatchReport {
 ///
 /// # Errors
 ///
-/// Propagates per-pair execution failures; [`PimError::LengthMismatch`]
-/// when the batch is empty.
+/// Propagates per-pair execution failures; [`PimError::EmptyBatch`]
+/// when the batch holds zero jobs.
 pub fn multiply_batch(acc: &CryptoPim, pairs: &[(Polynomial, Polynomial)]) -> Result<BatchReport> {
-    if pairs.is_empty() {
-        return Err(PimError::LengthMismatch { left: 0, right: 0 });
-    }
-    // Pairs are independent superbank slots: fan them out across host
-    // threads at job granularity. Inner engines run single-threaded to
-    // avoid nested fan-out; results land in input order either way.
-    let workers = acc.threads().resolve().min(pairs.len());
-    let products = if workers > 1 {
-        let seq = acc.clone().with_threads(Threads::Fixed(1));
-        par::map_jobs(pairs, workers, |(a, b)| {
-            seq.multiply_with_trace(a, b).map(|(p, _, _)| p)
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>>>()?
-    } else {
-        let mut products = Vec::with_capacity(pairs.len());
-        for (a, b) in pairs {
-            let (p, _, _) = acc.multiply_with_trace(a, b)?;
-            products.push(p);
-        }
-        products
-    };
-
+    let products = multiply_batch_products(acc, pairs)?;
     let arch = ArchConfig::for_degree(acc.params().n, acc.model(), acc.organization())?;
     let lanes = arch.parallel_multiplications.max(1);
     let jobs_per_lane = pairs.len().div_ceil(lanes);
@@ -80,6 +58,46 @@ pub fn multiply_batch(acc: &CryptoPim, pairs: &[(Polynomial, Polynomial)]) -> Re
         effective_throughput: pairs.len() as f64 / (makespan_us / 1e6),
         packed_lanes: lanes,
     })
+}
+
+/// Multiplies a batch of pairs, returning only the products in input
+/// order — the serving hot path.
+///
+/// The analytic burst timing of [`multiply_batch`] (a discrete-event
+/// walk of the pipeline occupancy model, tens of µs per call) is
+/// skipped: a live service measures batch wall-clock itself, and under
+/// low occupancy that fixed cost would be paid for every one- or
+/// two-job batch.
+///
+/// # Errors
+///
+/// Same as [`multiply_batch`].
+pub fn multiply_batch_products(
+    acc: &CryptoPim,
+    pairs: &[(Polynomial, Polynomial)],
+) -> Result<Vec<Polynomial>> {
+    if pairs.is_empty() {
+        return Err(PimError::EmptyBatch);
+    }
+    // Pairs are independent superbank slots: fan them out across host
+    // threads at job granularity. Inner engines run single-threaded to
+    // avoid nested fan-out; results land in input order either way.
+    // Per pair, only the product is computed (`multiply_product`); the
+    // per-job report and trace of the one-at-a-time API are skipped —
+    // a batch prices its timing once at batch level, not per job.
+    let workers = acc.threads().resolve().min(pairs.len());
+    if workers > 1 {
+        let seq = acc.clone().with_threads(Threads::Fixed(1));
+        par::map_jobs(pairs, workers, |(a, b)| seq.multiply_product(a, b))
+            .into_iter()
+            .collect::<Result<Vec<_>>>()
+    } else {
+        let mut products = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            products.push(acc.multiply_product(a, b)?);
+        }
+        Ok(products)
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +192,24 @@ mod tests {
     fn empty_batch_errors() {
         let p = ParamSet::for_degree(256).unwrap();
         let acc = CryptoPim::new(&p).unwrap();
-        assert!(multiply_batch(&acc, &[]).is_err());
+        assert!(matches!(
+            multiply_batch(&acc, &[]),
+            Err(PimError::EmptyBatch)
+        ));
+        assert!(matches!(
+            multiply_batch_products(&acc, &[]),
+            Err(PimError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn products_only_path_matches_full_report() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let acc = CryptoPim::new(&p).unwrap();
+        let batch = pairs(256, p.q, 7);
+        let report = multiply_batch(&acc, &batch).unwrap();
+        let products = multiply_batch_products(&acc, &batch).unwrap();
+        assert_eq!(products, report.products);
     }
 
     #[test]

@@ -61,6 +61,31 @@ impl Polynomial {
         Ok(Polynomial { coeffs, q })
     }
 
+    /// Builds a polynomial from coefficients that are already canonical
+    /// (`< q`), skipping the reduction pass of [`from_coeffs`].
+    ///
+    /// For hot paths (e.g. wrapping engine output, which is canonical
+    /// by construction) where the O(n) `%` sweep is measurable.
+    /// Canonicity is the caller's contract — debug builds assert it.
+    ///
+    /// [`from_coeffs`]: Polynomial::from_coeffs
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when the length is not a power
+    /// of two of at least 2.
+    pub fn from_canonical_coeffs(coeffs: Vec<u64>, q: u64) -> Result<Self, Error> {
+        let n = coeffs.len();
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::InvalidDegree { n });
+        }
+        debug_assert!(
+            coeffs.iter().all(|&c| c < q),
+            "from_canonical_coeffs requires coefficients in [0, q)"
+        );
+        Ok(Polynomial { coeffs, q })
+    }
+
     /// Builds a polynomial from signed coefficients (e.g. sampled noise),
     /// mapping negatives to `q − |c|`.
     ///
@@ -232,6 +257,20 @@ mod tests {
         assert!(Polynomial::zero(1, 17).is_err());
         assert!(Polynomial::zero(3, 17).is_err());
         assert!(Polynomial::from_coeffs(vec![1, 2, 3], 17).is_err());
+    }
+
+    #[test]
+    fn canonical_construction_skips_reduction() {
+        let p = Polynomial::from_canonical_coeffs(vec![3, 0, 16, 1], 17).unwrap();
+        assert_eq!(p.coeffs(), &[3, 0, 16, 1]);
+        assert!(Polynomial::from_canonical_coeffs(vec![1, 2, 3], 17).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "requires coefficients in [0, q)")]
+    fn canonical_construction_asserts_canonicity() {
+        let _ = Polynomial::from_canonical_coeffs(vec![17, 0, 0, 0], 17);
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub enum PimError {
         /// The modulus.
         q: u64,
     },
+    /// A batched operation was invoked with zero jobs. Batch entry
+    /// points (`cryptopim::batch::multiply_batch`, the service batch
+    /// former) have no meaningful occupancy or timing for an empty
+    /// batch, so they refuse it explicitly instead of reporting a
+    /// bogus length mismatch.
+    EmptyBatch,
     /// An underlying modular-arithmetic error (bad degree, composite
     /// modulus, …) surfaced through the PIM layer.
     Math(modmath::Error),
@@ -70,6 +76,9 @@ impl fmt::Display for PimError {
             }
             PimError::UnsupportedModulus { q } => {
                 write!(f, "no in-memory reduction sequence for modulus {q}")
+            }
+            PimError::EmptyBatch => {
+                write!(f, "batched operation invoked with zero jobs")
             }
             PimError::Math(e) => write!(f, "modular arithmetic error: {e}"),
         }

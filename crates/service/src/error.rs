@@ -1,0 +1,108 @@
+//! Typed failures of the serving layer.
+//!
+//! Admission failures ([`ServiceError::Overloaded`],
+//! [`ServiceError::ShuttingDown`], [`ServiceError::UnsupportedJob`]) are
+//! returned synchronously from [`crate::Service::submit`]; execution
+//! failures surface asynchronously through
+//! [`crate::JobTicket::wait`] wrapped as [`ServiceError::Pim`].
+
+use pim::PimError;
+use std::fmt;
+
+/// Errors produced by the job scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The bounded admission queue is full and the service runs the
+    /// [`crate::Backpressure::Reject`] policy. The job was **not**
+    /// admitted; the caller may retry later.
+    Overloaded {
+        /// Configured admission-queue capacity (jobs).
+        capacity: usize,
+    },
+    /// The service is draining for shutdown and admits no new jobs.
+    ShuttingDown,
+    /// The job's `(n, q)` pair has no accelerator configuration (the
+    /// degree is outside the paper table, or the modulus does not match
+    /// the paper's assignment for that degree).
+    UnsupportedJob {
+        /// Degree of the submitted pair.
+        n: usize,
+        /// Modulus of the submitted pair.
+        q: u64,
+    },
+    /// The operands of one submitted pair disagree in degree.
+    PairMismatch {
+        /// Degree of the left operand.
+        left: usize,
+        /// Degree of the right operand.
+        right: usize,
+    },
+    /// An accelerator-level failure while executing the formed batch.
+    Pim(PimError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} jobs); job rejected")
+            }
+            ServiceError::ShuttingDown => {
+                write!(f, "service is shutting down; job rejected")
+            }
+            ServiceError::UnsupportedJob { n, q } => {
+                write!(f, "no accelerator configuration for n = {n}, q = {q}")
+            }
+            ServiceError::PairMismatch { left, right } => {
+                write!(f, "pair operand degrees differ: {left} vs {right}")
+            }
+            ServiceError::Pim(e) => write!(f, "accelerator failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Pim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PimError> for ServiceError {
+    fn from(e: PimError) -> Self {
+        ServiceError::Pim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ServiceError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains("8 jobs"));
+        assert!(ServiceError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServiceError::UnsupportedJob { n: 100, q: 17 }
+            .to_string()
+            .contains("n = 100"));
+        assert!(ServiceError::PairMismatch { left: 4, right: 8 }
+            .to_string()
+            .contains("4 vs 8"));
+        assert!(ServiceError::Pim(PimError::EmptyBatch)
+            .to_string()
+            .contains("zero jobs"));
+    }
+
+    #[test]
+    fn pim_source_is_chained() {
+        use std::error::Error;
+        let e = ServiceError::Pim(PimError::EmptyBatch);
+        assert!(e.source().is_some());
+        assert!(ServiceError::ShuttingDown.source().is_none());
+    }
+}

@@ -1,0 +1,342 @@
+//! Deterministic open- and closed-loop load generation against a
+//! [`Service`], with bit-exact verification against the direct engine
+//! path.
+//!
+//! The job stream is derived entirely from a seed (degrees drawn from a
+//! configured mix, coefficients from the workspace's deterministic
+//! `rand` shim), so two runs with the same seed submit identical work —
+//! the wall-clock numbers vary with the host, the products never do.
+//! [`run`] optionally replays the same jobs one-at-a-time through
+//! [`CryptoPim::multiply`] to (a) verify every service product
+//! bit-for-bit and (b) measure the serving layer's throughput win over
+//! unbatched, unscheduled submission.
+
+use crate::scheduler::{Service, ServiceConfig};
+use crate::stats::ServiceStats;
+use cryptopim::accelerator::CryptoPim;
+use modmath::params::ParamSet;
+use ntt::negacyclic::PolyMultiplier;
+use ntt::poly::Polynomial;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How jobs arrive at the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// `clients` threads each keep exactly one job outstanding
+    /// (submit → wait → repeat): throughput-oriented, never overloads.
+    Closed {
+        /// Concurrent client threads.
+        clients: usize,
+    },
+    /// One submitter paces jobs at a fixed arrival rate regardless of
+    /// completions: latency/overload-oriented (pair with
+    /// [`crate::Backpressure::Reject`] to measure shed load).
+    Open {
+        /// Target arrivals per second.
+        rate_per_s: f64,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Seed for the deterministic job stream.
+    pub seed: u64,
+    /// Total jobs to generate.
+    pub jobs: usize,
+    /// Degree mix; each job draws uniformly from this set.
+    pub degrees: Vec<usize>,
+    /// Arrival process.
+    pub mode: LoadMode,
+    /// Service under test.
+    pub service: ServiceConfig,
+    /// Also run the direct one-at-a-time baseline and bit-compare every
+    /// product against it.
+    pub verify_direct: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            seed: 7,
+            jobs: 256,
+            degrees: vec![256, 512, 1024],
+            mode: LoadMode::Closed { clients: 4 },
+            service: ServiceConfig::default(),
+            verify_direct: true,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Jobs generated.
+    pub jobs: usize,
+    /// Tickets that resolved to a product.
+    pub ok: usize,
+    /// Jobs refused at admission (Reject backpressure).
+    pub rejected: usize,
+    /// Tickets that resolved to an execution error.
+    pub failed: usize,
+    /// Service products that differed from the direct engine path
+    /// (must be 0; checked only when `verify_direct`).
+    pub mismatches: usize,
+    /// Admitted jobs that never completed (must be 0 after drain).
+    pub dropped: u64,
+    /// Wall-clock of the service run, seconds.
+    pub wall_s: f64,
+    /// Completed multiplications per second through the service.
+    pub throughput: f64,
+    /// Wall-clock of the direct one-at-a-time baseline, seconds
+    /// (0 when not measured).
+    pub direct_wall_s: f64,
+    /// Multiplications per second issuing jobs one-at-a-time through
+    /// `CryptoPim::multiply` (0 when not measured).
+    pub direct_throughput: f64,
+    /// `throughput / direct_throughput` (0 when not measured).
+    pub speedup: f64,
+    /// Final service statistics (post-drain).
+    pub stats: ServiceStats,
+}
+
+impl LoadgenReport {
+    /// True when no product mismatched and no admitted job was dropped.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches == 0 && self.dropped == 0 && self.failed == 0
+    }
+}
+
+/// Generates the deterministic job stream for `(seed, jobs, degrees)`.
+pub fn generate_jobs(seed: u64, jobs: usize, degrees: &[usize]) -> Vec<(Polynomial, Polynomial)> {
+    assert!(!degrees.is_empty(), "need at least one degree");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..jobs)
+        .map(|_| {
+            let n = degrees[rng.gen_range(0..degrees.len())];
+            let q = ParamSet::for_degree(n).expect("paper degree").q;
+            let mut draw = || -> Vec<u64> { (0..n).map(|_| rng.gen_range(0..q)).collect() };
+            let (ca, cb) = (draw(), draw());
+            let a = Polynomial::from_coeffs(ca, q).expect("in-range coeffs");
+            let b = Polynomial::from_coeffs(cb, q).expect("in-range coeffs");
+            (a, b)
+        })
+        .collect()
+}
+
+/// Chunks the stream is split into when racing the direct baseline:
+/// service and direct alternate per chunk so slow host-speed drift
+/// (frequency ramp, neighbour steal) lands evenly on both sides.
+const MEASURE_CHUNKS: usize = 4;
+
+/// Runs the load generator: submits the seeded job stream under the
+/// configured arrival process, drains the service, and (optionally)
+/// verifies and races the direct path.
+///
+/// When the direct baseline is enabled the two sides are measured as
+/// alternating chunks over the same stream — a service chunk, then the
+/// identical chunk one-at-a-time — rather than as two back-to-back
+/// phases, so neither side systematically collects the warmer half of
+/// the run.
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let jobs = generate_jobs(config.seed, config.jobs, &config.degrees);
+    let service = Service::start(config.service.clone());
+    let results: Mutex<Vec<Option<Result<Polynomial, ()>>>> = Mutex::new(vec![None; jobs.len()]);
+    let rejected = Mutex::new(0usize);
+
+    let serve_slice = |lo: usize, hi: usize| match config.mode {
+        LoadMode::Closed { clients } => {
+            let clients = clients.max(1);
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let service = &service;
+                    let slice = &jobs[lo..hi];
+                    let results = &results;
+                    let rejected = &rejected;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut shed = 0usize;
+                        for (j, (a, b)) in slice.iter().enumerate().skip(c).step_by(clients) {
+                            let outcome = match service.submit(a.clone(), b.clone()) {
+                                Ok(ticket) => match ticket.wait() {
+                                    Ok(done) => Some(Ok(done.product)),
+                                    Err(_) => Some(Err(())),
+                                },
+                                Err(_) => {
+                                    shed += 1;
+                                    None
+                                }
+                            };
+                            local.push((lo + j, outcome));
+                        }
+                        // One lock per client per slice keeps result
+                        // bookkeeping off the per-job timed path.
+                        let mut results = results.lock().expect("results");
+                        for (i, outcome) in local {
+                            results[i] = outcome;
+                        }
+                        *rejected.lock().expect("rejected count") += shed;
+                    });
+                }
+            });
+        }
+        LoadMode::Open { rate_per_s } => {
+            let interval = Duration::from_secs_f64(1.0 / rate_per_s.max(1e-3));
+            let slice_start = Instant::now();
+            let mut tickets = Vec::with_capacity(hi - lo);
+            for (j, (a, b)) in jobs[lo..hi].iter().enumerate() {
+                let target = slice_start + interval * j as u32;
+                if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(sleep);
+                }
+                match service.submit(a.clone(), b.clone()) {
+                    Ok(ticket) => tickets.push((lo + j, ticket)),
+                    Err(_) => *rejected.lock().expect("rejected count") += 1,
+                }
+            }
+            let mut results = results.lock().expect("results");
+            for (i, ticket) in tickets {
+                let outcome = match ticket.wait() {
+                    Ok(done) => Ok(done.product),
+                    Err(_) => Err(()),
+                };
+                results[i] = Some(outcome);
+            }
+        }
+    };
+
+    let mut wall_s = 0.0;
+    let (mut direct_wall_s, mut direct_throughput) = (0.0, 0.0);
+    let mut direct: Vec<Polynomial> = Vec::new();
+    if config.verify_direct {
+        let mut accelerators: HashMap<usize, CryptoPim> = HashMap::new();
+        for &n in &config.degrees {
+            let p = ParamSet::for_degree(n).expect("paper degree");
+            accelerators.insert(n, CryptoPim::new(&p).expect("paper parameters"));
+        }
+        let chunk = jobs.len().div_ceil(MEASURE_CHUNKS).max(1);
+        let mut lo = 0;
+        while lo < jobs.len() {
+            let hi = (lo + chunk).min(jobs.len());
+            let t = Instant::now();
+            serve_slice(lo, hi);
+            wall_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            direct.extend(jobs[lo..hi].iter().map(|(a, b)| {
+                accelerators[&a.degree_bound()]
+                    .multiply(a, b)
+                    .expect("direct multiply")
+            }));
+            direct_wall_s += t.elapsed().as_secs_f64();
+            lo = hi;
+        }
+        direct_throughput = jobs.len() as f64 / direct_wall_s;
+    } else {
+        let t = Instant::now();
+        serve_slice(0, jobs.len());
+        wall_s = t.elapsed().as_secs_f64();
+    }
+    let stats = service.shutdown();
+
+    let results = results.into_inner().expect("results");
+    let rejected = rejected.into_inner().expect("rejected count");
+    let ok = results.iter().filter(|r| matches!(r, Some(Ok(_)))).count();
+    let failed = results
+        .iter()
+        .filter(|r| matches!(r, Some(Err(()))))
+        .count();
+
+    let mut mismatches = 0;
+    for (r, d) in results.iter().zip(&direct) {
+        if let Some(Ok(p)) = r {
+            if p != d {
+                mismatches += 1;
+            }
+        }
+    }
+
+    let throughput = ok as f64 / wall_s;
+    LoadgenReport {
+        jobs: jobs.len(),
+        ok,
+        rejected,
+        failed,
+        mismatches,
+        dropped: stats.admitted - stats.completed,
+        wall_s,
+        throughput,
+        direct_wall_s,
+        direct_throughput,
+        speedup: if direct_throughput > 0.0 {
+            throughput / direct_throughput
+        } else {
+            0.0
+        },
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Backpressure;
+
+    #[test]
+    fn job_stream_is_deterministic() {
+        let a = generate_jobs(42, 20, &[256, 512]);
+        let b = generate_jobs(42, 20, &[256, 512]);
+        assert_eq!(a, b);
+        let c = generate_jobs(43, 20, &[256, 512]);
+        assert_ne!(a, c, "different seed, different stream");
+        for (x, y) in &a {
+            assert_eq!(x.degree_bound(), y.degree_bound());
+            assert!([256, 512].contains(&x.degree_bound()));
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_is_clean() {
+        let report = run(&LoadgenConfig {
+            seed: 11,
+            jobs: 24,
+            degrees: vec![256, 512],
+            mode: LoadMode::Closed { clients: 3 },
+            service: ServiceConfig {
+                workers: 2,
+                linger: Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+            verify_direct: true,
+        });
+        assert_eq!(report.ok, 24);
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.speedup > 0.0);
+        assert_eq!(report.stats.admitted, 24);
+    }
+
+    #[test]
+    fn open_loop_reject_sheds_load_without_drops() {
+        // Arrival rate far above what tiny queue + one worker can take:
+        // some jobs must be rejected, but every admitted one completes.
+        let report = run(&LoadgenConfig {
+            seed: 5,
+            jobs: 60,
+            degrees: vec![256],
+            mode: LoadMode::Open { rate_per_s: 1e6 },
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                backpressure: Backpressure::Reject,
+                linger: Duration::from_millis(2),
+            },
+            verify_direct: false,
+        });
+        assert_eq!(report.ok + report.rejected + report.failed, 60);
+        assert_eq!(report.dropped, 0, "admitted jobs never vanish");
+        assert_eq!(report.stats.rejected as usize, report.rejected);
+    }
+}

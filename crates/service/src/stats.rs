@@ -1,0 +1,170 @@
+//! Service observability: counters, occupancy, and a fixed-bucket
+//! latency histogram.
+//!
+//! The histogram uses power-of-two microsecond buckets (bucket `i`
+//! covers `[2^i, 2^{i+1})` µs, with bucket 0 absorbing sub-µs jobs and
+//! the last bucket absorbing everything past ~2147 s). Fixed buckets
+//! keep recording O(1) and allocation-free on the worker hot path; the
+//! price is that a reported percentile is the *upper bound* of its
+//! bucket, i.e. conservative by at most 2×. That resolution is plenty
+//! for the linger/occupancy trade-off the scheduler exposes, where the
+//! interesting differences are order-of-magnitude.
+
+/// Number of power-of-two buckets (covers 1 µs .. ~2147 s).
+const BUCKETS: usize = 32;
+
+/// Fixed-bucket latency histogram (microsecond resolution).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample, in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing it, in microseconds. Returns 0 with no samples.
+    pub fn quantile_us(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1).min(63)) as f64;
+            }
+        }
+        (1u64 << 63) as f64
+    }
+}
+
+/// A point-in-time snapshot of the service's health, returned by
+/// [`crate::Service::stats`].
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Jobs admitted but not yet handed to a superbank worker
+    /// (pending in the batch former plus formed-but-unclaimed).
+    pub queue_depth: usize,
+    /// Jobs currently executing on the worker fleet.
+    pub in_flight: usize,
+    /// Jobs accepted by `submit` since startup.
+    pub admitted: u64,
+    /// Jobs turned away by the `Reject` backpressure policy.
+    pub rejected: u64,
+    /// Jobs whose tickets have been fulfilled (success or failure).
+    pub completed: u64,
+    /// Batches flushed to the fleet.
+    pub batches: u64,
+    /// Batches flushed because they reached the packed-lane capacity.
+    pub full_batches: u64,
+    /// Batches flushed by the max-linger deadline (partial occupancy,
+    /// fleet saturated).
+    pub lingered_batches: u64,
+    /// Partial batches flushed immediately because a worker was idle
+    /// with nothing queued (the work-conserving path).
+    pub eager_batches: u64,
+    /// Mean jobs per flushed batch — the realized packed-lane occupancy
+    /// (1.0 means no packing; the `32k/n` capacity is the ceiling).
+    pub mean_occupancy: f64,
+    /// Median end-to-end job latency (submit → ticket fulfilled), µs.
+    pub p50_us: f64,
+    /// 95th-percentile end-to-end job latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile end-to-end job latency, µs.
+    pub p99_us: f64,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queue depth {} (+{} in flight) | admitted {} rejected {} completed {}",
+            self.queue_depth, self.in_flight, self.admitted, self.rejected, self.completed
+        )?;
+        writeln!(
+            f,
+            "batches {} ({} full, {} lingered, {} eager) | mean occupancy {:.2} jobs/batch",
+            self.batches,
+            self.full_batches,
+            self.lingered_batches,
+            self.eager_batches,
+            self.mean_occupancy
+        )?;
+        write!(
+            f,
+            "latency p50 ≤ {:.0} µs, p95 ≤ {:.0} µs, p99 ≤ {:.0} µs",
+            self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record_us(3); // bucket [2, 4)
+        }
+        h.record_us(1000); // bucket [512, 1024)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 4.0);
+        assert_eq!(h.quantile_us(0.95), 4.0);
+        assert_eq!(h.quantile_us(1.0), 1024.0);
+    }
+
+    #[test]
+    fn sub_microsecond_and_huge_samples_clamp() {
+        let mut h = LatencyHistogram::default();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.0), 2.0);
+        assert_eq!(h.quantile_us(1.0), (1u64 << 32) as f64);
+    }
+
+    #[test]
+    fn quantiles_monotone_in_p() {
+        let mut h = LatencyHistogram::default();
+        for us in [1u64, 5, 9, 33, 70, 200, 900, 5000, 40000] {
+            h.record_us(us);
+        }
+        let mut last = 0.0;
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let q = h.quantile_us(p);
+            assert!(q >= last, "p = {p}");
+            last = q;
+        }
+    }
+}

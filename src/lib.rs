@@ -4,3 +4,4 @@ pub use modmath;
 pub use ntt;
 pub use pim;
 pub use rlwe;
+pub use service;
