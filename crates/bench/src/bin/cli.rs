@@ -9,15 +9,19 @@
 //! cargo run -p cryptopim-bench --bin cli -- bench --json [--threads N] [--degrees 256,1024] [--out PATH]
 //! cargo run -p cryptopim-bench --bin cli -- bench --compare OLD.json NEW.json
 //! cargo run -p cryptopim-bench --bin cli -- serve-loadgen --seed 7 --jobs 1920 --clients 4
+//! cargo run -p cryptopim-bench --bin cli -- fault-campaign --seed 9 --rates 1e-4,1e-3
 //! cargo run -p cryptopim-bench --bin cli -- --json              # shorthand for bench --json
 //! ```
 //!
-//! `bench --json` writes `BENCH_<date>.json` (or `--out PATH`) in the
-//! working directory: median ns/op for the software NTT and the
-//! functional accelerator at the paper degrees, plus the worker count
-//! and the git commit. `bench --compare` diffs two such snapshots and
-//! exits non-zero when any common benchmark regressed by more than 10 %
-//! — the CI `bench-smoke` job runs it against the committed baseline.
+//! `bench --json` writes `BENCH_<date>T<hhmmss>.json` (or `--out PATH`)
+//! in the working directory: median ns/op for the software NTT and the
+//! functional accelerator at the paper degrees, plus the RNG seed, the
+//! worker count, and the git commit. The timestamped default keeps
+//! same-day snapshots from clobbering each other; committed baselines
+//! (like `BENCH_2026-08-06.json`) are written with an explicit `--out`.
+//! `bench --compare` diffs two such snapshots and exits non-zero when
+//! any common benchmark regressed by more than 10 % — the CI
+//! `bench-smoke` job runs it against the committed baseline.
 //!
 //! `serve-loadgen` drives the `service` crate's job scheduler with a
 //! deterministic seeded workload, bit-verifies every product against
@@ -25,6 +29,13 @@
 //! and packed-lane occupancy. It exits non-zero when any product
 //! mismatches or any admitted job is dropped — the CI `service-smoke`
 //! job relies on that.
+//!
+//! `fault-campaign` sweeps seeded fault injections (kind × rate ×
+//! degree) through the recover-or-quarantine serving stack under the
+//! sound recompute referee, verifies every served product bit-exactly
+//! against the fault-free path, measures the residue screen's empirical
+//! coverage, and exits non-zero if any corrupt product was served — the
+//! CI `fault-smoke` job relies on that.
 
 use baselines::bp::PimDesign;
 use cryptopim::accelerator::CryptoPim;
@@ -34,9 +45,11 @@ use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
 use ntt::poly::Polynomial;
 use pim::block::MultiplierKind;
 use pim::device::DeviceParams;
+use pim::fault::splitmix64;
 use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::variation::{run_monte_carlo, MonteCarloConfig};
+use reliability::campaign::{self, CampaignConfig, CampaignKind};
 use service::loadgen::{self, LoadMode, LoadgenConfig};
 use service::{Backpressure, ServiceConfig};
 use std::time::{Duration, Instant};
@@ -50,7 +63,7 @@ fn usage() -> ! {
          \x20 baseline    --design bp1|bp2|bp3|cryptopim [--degree N] Fig.6 design point\n\
          \x20 verify      [--degree N] [--threads N]                  functional check vs software NTT\n\
          \x20 montecarlo  [--samples N] [--variation PCT]             device robustness study\n\
-         \x20 bench       [--json] [--threads N] [--degrees A,B] [--out PATH]\n\
+         \x20 bench       [--json] [--seed N] [--threads N] [--degrees A,B] [--out PATH]\n\
          \x20                                                         host-side ns/op benchmarks\n\
          \x20 bench       --compare OLD.json NEW.json                 diff two snapshots; exit 1 on >10 % regression\n\
          \x20 serve-loadgen [--seed N] [--jobs N] [--degrees A,B]     drive the batch-forming job scheduler\n\
@@ -58,6 +71,11 @@ fn usage() -> ! {
          \x20             [--workers S] [--queue-cap N] [--linger-us U]\n\
          \x20             [--backpressure block|reject] [--no-verify]\n\
          \x20             [--min-speedup X] [--json] [--out PATH]     exit 1 on mismatch/drop\n\
+         \x20 fault-campaign [--seed N] [--degrees A,B] [--rates R1,R2]\n\
+         \x20             [--kinds stuck0,stuck1,transient,wearout]\n\
+         \x20             [--jobs N] [--points P] [--max-attempts N]\n\
+         \x20             [--quarantine-after N] [--json] [--out PATH]\n\
+         \x20                                                         seeded fault sweep; exit 1 if a corrupt product was served\n\
          \n\
          --threads N pins the lane fan-out (default: CRYPTOPIM_THREADS\n\
          or the machine's available parallelism; results are identical\n\
@@ -131,6 +149,22 @@ fn today_utc() -> String {
     let m = if mp < 10 { mp + 3 } else { mp - 9 };
     let y = yoe + era * 400 + i64::from(m <= 2);
     format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Now as `YYYY-MM-DDThhmmss` UTC — default snapshot filenames carry
+/// the time of day so same-day runs never clobber each other.
+fn utc_timestamp() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{}T{:02}{:02}{:02}",
+        today_utc(),
+        (secs / 3600) % 24,
+        (secs / 60) % 60,
+        secs % 60
+    )
 }
 
 fn git_commit() -> String {
@@ -317,16 +351,29 @@ fn run_bench(args: &[String]) {
     let threads = parse_threads(args);
     let workers = threads.resolve();
     let json = args.iter().any(|a| a == "--json");
+    let seed: u64 = match opt(args, "--seed") {
+        None => 7,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --seed: {v}");
+            std::process::exit(2);
+        }),
+    };
     let mut results: Vec<(String, f64)> = Vec::new();
 
     for n in parse_degrees(args) {
         let params = ParamSet::for_degree(n).expect("paper degree");
         let q = params.q;
         let sw = NttMultiplier::new(&params).expect("paper parameters");
-        let a = Polynomial::from_coeffs((0..n as u64).map(|i| i * 31 % q).collect(), q)
-            .expect("valid degree");
-        let b = Polynomial::from_coeffs((0..n as u64).map(|i| (i * 17 + 5) % q).collect(), q)
-            .expect("valid degree");
+        let operand = |salt: u64| {
+            Polynomial::from_coeffs(
+                (0..n as u64)
+                    .map(|i| splitmix64(seed ^ (salt << 32) ^ i) % q)
+                    .collect(),
+                q,
+            )
+            .expect("valid degree")
+        };
+        let (a, b) = (operand(1), operand(2));
 
         results.push((
             format!("ntt_forward/{n}"),
@@ -359,10 +406,11 @@ fn run_bench(args: &[String]) {
     println!("workers: {workers}");
 
     if json {
-        let path = opt(args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
+        let path = opt(args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", utc_timestamp()));
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
         out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
         out.push_str(&format!("  \"workers\": {workers},\n"));
         out.push_str("  \"benches\": [\n");
         for (i, (id, ns)) in results.iter().enumerate() {
@@ -443,6 +491,7 @@ fn run_serve_loadgen(args: &[String]) {
             queue_capacity: queue_cap,
             backpressure,
             linger: Duration::from_micros(linger_us),
+            ..ServiceConfig::default()
         },
         verify_direct: verify,
     };
@@ -467,7 +516,7 @@ fn run_serve_loadgen(args: &[String]) {
 
     if args.iter().any(|a| a == "--json") {
         let path =
-            opt(args, "--out").unwrap_or_else(|| format!("BENCH_service_{}.json", today_utc()));
+            opt(args, "--out").unwrap_or_else(|| format!("BENCH_service_{}.json", utc_timestamp()));
         let s = &report.stats;
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
@@ -482,6 +531,23 @@ fn run_serve_loadgen(args: &[String]) {
                 .join(", ")
         ));
         out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            match mode {
+                LoadMode::Closed { .. } => "closed",
+                LoadMode::Open { .. } => "open",
+            }
+        ));
+        out.push_str(&format!("  \"clients\": {clients},\n"));
+        out.push_str(&format!("  \"queue_capacity\": {queue_cap},\n"));
+        out.push_str(&format!(
+            "  \"backpressure\": \"{}\",\n",
+            match backpressure {
+                Backpressure::Block => "block",
+                Backpressure::Reject => "reject",
+            }
+        ));
+        out.push_str(&format!("  \"linger_us\": {linger_us},\n"));
         out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
         out.push_str(&format!("  \"ok\": {},\n", report.ok));
         out.push_str(&format!("  \"rejected\": {},\n", report.rejected));
@@ -501,6 +567,7 @@ fn run_serve_loadgen(args: &[String]) {
             s.lingered_batches
         ));
         out.push_str(&format!("  \"eager_batches\": {},\n", s.eager_batches));
+        out.push_str(&format!("  \"latency_samples\": {},\n", s.latency_samples));
         out.push_str(&format!("  \"p50_us\": {:.1},\n", s.p50_us));
         out.push_str(&format!("  \"p95_us\": {:.1},\n", s.p95_us));
         out.push_str(&format!("  \"p99_us\": {:.1}\n", s.p99_us));
@@ -531,6 +598,193 @@ fn run_serve_loadgen(args: &[String]) {
     }
 }
 
+/// `fault-campaign`: seeded fault-injection sweep over the
+/// recover-or-quarantine serving stack. Prints a per-cell table and the
+/// aggregate coverage/overhead, optionally writes a `BENCH_faults_*`
+/// JSON snapshot, and exits 1 when the campaign is unsound (a corrupt
+/// product was served, or a job failed outside the fault machinery).
+fn run_fault_campaign(args: &[String]) {
+    let parse_num = |name: &str, default: u64| -> u64 {
+        match opt(args, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let defaults = CampaignConfig::default();
+    let seed = parse_num("--seed", defaults.seed);
+    let jobs = parse_num("--jobs", defaults.jobs_per_cell as u64).max(1) as usize;
+    let points = parse_num("--points", u64::from(defaults.check_points)).min(255) as u8;
+    let max_attempts = parse_num("--max-attempts", u64::from(defaults.max_attempts)) as u32;
+    let quarantine_after =
+        parse_num("--quarantine-after", u64::from(defaults.quarantine_after)) as u32;
+    let degrees = if opt(args, "--degrees").is_some() {
+        parse_degrees(args)
+    } else {
+        defaults.degrees.clone()
+    };
+    let kinds = match opt(args, "--kinds") {
+        None => defaults.kinds.clone(),
+        Some(v) => v
+            .split(',')
+            .map(|s| match s.trim() {
+                "stuck0" => CampaignKind::StuckAt0,
+                "stuck1" => CampaignKind::StuckAt1,
+                "transient" => CampaignKind::Transient,
+                "wearout" => CampaignKind::WearOut,
+                other => {
+                    eprintln!("unknown fault kind: {other}");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+    };
+    let rates: Vec<f64> = match opt(args, "--rates") {
+        None => defaults.rates.clone(),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --rates entry: {s}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+
+    let config = CampaignConfig {
+        seed,
+        degrees: degrees.clone(),
+        kinds,
+        rates,
+        jobs_per_cell: jobs,
+        check_points: points,
+        max_attempts,
+        quarantine_after,
+    };
+    println!(
+        "fault-campaign: seed {seed}, {jobs} jobs/cell over n ∈ {degrees:?}, \
+         {} kinds × {} rates, {points}-point screen, \
+         {max_attempts} attempts, quarantine after {quarantine_after}",
+        config.kinds.len(),
+        config.rates.len()
+    );
+    let report = campaign::run(&config);
+
+    println!(
+        "{:<10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>7} {:>9} {:>8} {:>10} {:>5} {:>13}",
+        "kind",
+        "n",
+        "rate",
+        "served",
+        "wrong",
+        "unrec",
+        "refused",
+        "detected",
+        "retries",
+        "recovered",
+        "quar",
+        "screen"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<10} {:>6} {:>8.0e} {:>6} {:>6} {:>6} {:>7} {:>9} {:>8} {:>10} {:>5} {:>6}/{:<6}",
+            c.kind.label(),
+            c.degree,
+            c.rate,
+            c.served,
+            c.wrong,
+            c.unrecovered,
+            c.refused,
+            c.detected,
+            c.retries,
+            c.recovered,
+            c.quarantined_banks,
+            c.screen_detected,
+            c.screen_corrupted,
+        );
+    }
+    println!(
+        "referee detection coverage: {:.3} ({} detected, {} wrong)",
+        report.detection_coverage, report.detected, report.wrong
+    );
+    println!(
+        "residue screen coverage:    {:.3} (probabilistic {points}-point check, measured)",
+        report.residue_coverage
+    );
+    println!(
+        "recovery overhead:          {:.2}× over the fault-free direct path",
+        report.recovery_overhead
+    );
+
+    if args.iter().any(|a| a == "--json") {
+        let path =
+            opt(args, "--out").unwrap_or_else(|| format!("BENCH_faults_{}.json", utc_timestamp()));
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
+        out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"jobs_per_cell\": {jobs},\n"));
+        out.push_str(&format!("  \"check_points\": {points},\n"));
+        out.push_str(&format!("  \"max_attempts\": {max_attempts},\n"));
+        out.push_str(&format!("  \"quarantine_after\": {quarantine_after},\n"));
+        out.push_str(&format!(
+            "  \"detection_coverage\": {:.4},\n",
+            report.detection_coverage
+        ));
+        out.push_str(&format!(
+            "  \"residue_coverage\": {:.4},\n",
+            report.residue_coverage
+        ));
+        out.push_str(&format!(
+            "  \"recovery_overhead\": {:.4},\n",
+            report.recovery_overhead
+        ));
+        out.push_str(&format!("  \"detected\": {},\n", report.detected));
+        out.push_str(&format!("  \"wrong\": {},\n", report.wrong));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in report.cells.iter().enumerate() {
+            let sep = if i + 1 == report.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"degree\": {}, \"rate\": {:e}, \"jobs\": {}, \
+                 \"served\": {}, \"wrong\": {}, \"unrecovered\": {}, \"refused\": {}, \
+                 \"detected\": {}, \"retries\": {}, \"recovered\": {}, \
+                 \"quarantined_banks\": {}, \"screen_corrupted\": {}, \
+                 \"screen_detected\": {}, \"residue_coverage\": {:.4}}}{sep}\n",
+                c.kind.label(),
+                c.degree,
+                c.rate,
+                c.jobs,
+                c.served,
+                c.wrong,
+                c.unrecovered,
+                c.refused,
+                c.detected,
+                c.retries,
+                c.recovered,
+                c.quarantined_banks,
+                c.screen_corrupted,
+                c.screen_detected,
+                c.residue_coverage(),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write fault-campaign JSON");
+        println!("wrote {path}");
+    }
+
+    if !report.is_sound() {
+        eprintln!(
+            "FAILED: campaign unsound — {} corrupt products served, {} non-fault failures",
+            report.wrong,
+            report.cells.iter().map(|c| c.failed).sum::<usize>()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -543,6 +797,10 @@ fn main() {
         }
         "serve-loadgen" => {
             run_serve_loadgen(&args);
+            return;
+        }
+        "fault-campaign" => {
+            run_fault_campaign(&args);
             return;
         }
         _ => {}

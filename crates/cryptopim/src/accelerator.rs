@@ -12,18 +12,21 @@
 //! so repeat multiplies skip straight to the datapath.
 
 use crate::arch::{ArchConfig, MAX_NATIVE_DEGREE};
+use crate::check::{self, CheckPolicy};
 use crate::engine::{Engine, EngineTrace};
 use crate::mapping::NttMapping;
 use crate::pipeline::{Organization, PipelineModel};
 use crate::report::ExecutionReport;
 use crate::Result;
 use modmath::params::ParamSet;
-use ntt::negacyclic::PolyMultiplier;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
 use ntt::poly::Polynomial;
 use pim::block::MultiplierKind;
+use pim::fault::{FaultReport, WritePath};
 use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::PimError;
+use std::sync::Arc;
 
 /// The CryptoPIM accelerator for one parameter set.
 ///
@@ -53,6 +56,11 @@ pub struct CryptoPim {
     organization: Organization,
     multiplier: MultiplierKind,
     threads: Threads,
+    writes: Option<Arc<dyn WritePath>>,
+    check: CheckPolicy,
+    /// Independent software-NTT datapath backing
+    /// [`CheckPolicy::Recompute`]; built by [`CryptoPim::with_check`].
+    referee: Option<Arc<NttMultiplier>>,
 }
 
 impl CryptoPim {
@@ -93,6 +101,9 @@ impl CryptoPim {
             organization,
             multiplier,
             threads: Threads::Auto,
+            writes: None,
+            check: CheckPolicy::Disabled,
+            referee: None,
         })
     }
 
@@ -107,6 +118,45 @@ impl CryptoPim {
     /// The configured thread policy.
     pub fn threads(&self) -> Threads {
         self.threads
+    }
+
+    /// Installs a bank write path (fault injection). Every multiply on
+    /// this accelerator routes its phase writes through the hook; with
+    /// `None` (the default) the datapath is the unchanged fault-free
+    /// hot path. See [`pim::fault::WritePath`].
+    pub fn with_write_path(mut self, writes: Option<Arc<dyn WritePath>>) -> Self {
+        self.writes = writes;
+        self
+    }
+
+    /// Selects the result-integrity policy for
+    /// [`CryptoPim::multiply_product`]. [`CheckPolicy::Disabled`] (the
+    /// default) keeps the historical unchecked hot path;
+    /// [`CheckPolicy::Recompute`] also builds the independent software
+    /// referee datapath here, once, so multiplies only pay the compare.
+    pub fn with_check(mut self, check: CheckPolicy) -> Self {
+        self.referee = match check {
+            CheckPolicy::Recompute => Some(Arc::new(
+                NttMultiplier::new(self.params()).expect("params already validated by the mapping"),
+            )),
+            _ => None,
+        };
+        self.check = check;
+        self
+    }
+
+    /// The configured result-integrity policy.
+    pub fn check_policy(&self) -> CheckPolicy {
+        self.check
+    }
+
+    /// The functional engine for this configuration, with the write
+    /// path (if any) attached.
+    fn engine(&self) -> Engine<'_> {
+        Engine::new(&self.mapping)
+            .with_multiplier(self.multiplier)
+            .with_threads(self.threads)
+            .with_write_path(self.writes.as_deref())
     }
 
     /// The parameter set.
@@ -178,10 +228,7 @@ impl CryptoPim {
                 right: b.degree_bound(),
             });
         }
-        let engine = Engine::new(&self.mapping)
-            .with_multiplier(self.multiplier)
-            .with_threads(self.threads);
-        let (coeffs, trace) = engine.multiply(a.coeffs(), b.coeffs())?;
+        let (coeffs, trace) = self.engine().multiply(a.coeffs(), b.coeffs())?;
         let product = Polynomial::from_coeffs(coeffs, self.params().q)?;
         Ok((product, self.report()?, trace))
     }
@@ -192,12 +239,25 @@ impl CryptoPim {
     /// construction (architecture derivation plus pipeline-model math)
     /// and the functional trace are skipped entirely, because a batch
     /// prices its timing once at burst level, not per job. Engine
-    /// output is canonical by construction, so the product also skips
-    /// the `from_coeffs` reduction sweep.
+    /// output is canonical by construction — also under an armed write
+    /// path, which re-canonicalizes faulted words — so the product also
+    /// skips the `from_coeffs` reduction sweep.
+    ///
+    /// When a [`CheckPolicy::Residue`] policy is configured
+    /// ([`CryptoPim::with_check`]), the product is verified at the
+    /// seeded evaluation points before it is returned; under
+    /// [`CheckPolicy::Recompute`] it is instead compared bit for bit
+    /// against the independent software-NTT referee. A disagreement
+    /// fails with [`PimError::CorruptResult`] localizing the fault to
+    /// this accelerator's bank (and suspect block, when a write path is
+    /// installed). A checked corrupt product is **never** returned —
+    /// with certainty under `Recompute`, probabilistically under
+    /// `Residue` (see [`crate::check`] for the coverage analysis).
     ///
     /// # Errors
     ///
-    /// Same as [`CryptoPim::multiply_with_trace`].
+    /// Same as [`CryptoPim::multiply_with_trace`], plus
+    /// [`PimError::CorruptResult`] under a failing check.
     pub fn multiply_product(&self, a: &Polynomial, b: &Polynomial) -> Result<Polynomial> {
         let n = self.params().n;
         if a.degree_bound() != n || b.degree_bound() != n {
@@ -206,11 +266,51 @@ impl CryptoPim {
                 right: b.degree_bound(),
             });
         }
-        let engine = Engine::new(&self.mapping)
-            .with_multiplier(self.multiplier)
-            .with_threads(self.threads);
-        let (coeffs, _) = engine.multiply(a.coeffs(), b.coeffs())?;
+        let (coeffs, _) = self.engine().multiply(a.coeffs(), b.coeffs())?;
+        match self.check {
+            CheckPolicy::Disabled => {}
+            CheckPolicy::Residue { points, seed } => {
+                if let Err((failed, checked)) = check::verify_product(
+                    &self.mapping,
+                    a.coeffs(),
+                    b.coeffs(),
+                    &coeffs,
+                    points,
+                    seed,
+                ) {
+                    return Err(PimError::CorruptResult(self.fault_report(failed, checked)));
+                }
+            }
+            CheckPolicy::Recompute => {
+                let referee = self
+                    .referee
+                    .as_ref()
+                    .expect("with_check builds the referee");
+                let expected = referee.multiply(a, b)?;
+                if expected.coeffs() != coeffs.as_slice() {
+                    let failed = coeffs
+                        .iter()
+                        .zip(expected.coeffs())
+                        .filter(|(got, want)| got != want)
+                        .count();
+                    return Err(PimError::CorruptResult(
+                        self.fault_report(failed as u32, n as u32),
+                    ));
+                }
+            }
+        }
         Ok(Polynomial::from_canonical_coeffs(coeffs, self.params().q)?)
+    }
+
+    /// A [`FaultReport`] blaming this accelerator's bank (and the write
+    /// path's suspect block, when one is installed).
+    fn fault_report(&self, failed_points: u32, checked_points: u32) -> FaultReport {
+        FaultReport {
+            bank: self.writes.as_ref().map_or(0, |w| w.bank()),
+            block: self.writes.as_ref().and_then(|w| w.suspect_block()),
+            failed_points,
+            checked_points,
+        }
     }
 
     /// Multiplies two polynomials, returning the product and the report.
@@ -351,6 +451,81 @@ mod tests {
         assert_eq!(acc.multiply_product(&a, &b).unwrap(), full);
         let short = rand_poly(256, p.q, 7);
         assert!(acc.multiply_product(&short, &b).is_err());
+    }
+
+    /// Transform-domain fault: ORs bit 15 into row 0 of one block. For
+    /// `q = 7681 < 2^13` the bit is never set in a canonical word, so
+    /// every operation corrupts — but only a single NTT bin, the class
+    /// of fault a few-point residue screen is likely to miss.
+    #[derive(Debug)]
+    struct PointwiseBitPath {
+        block: u32,
+    }
+
+    impl WritePath for PointwiseBitPath {
+        fn armed(&self) -> bool {
+            true
+        }
+        fn begin_op(&self) {}
+        fn store(&self, block: u32, row: u32, value: u64) -> u64 {
+            if block == self.block && row == 0 {
+                value | (1 << 15)
+            } else {
+                value
+            }
+        }
+        fn bank(&self) -> u32 {
+            4
+        }
+        fn suspect_block(&self) -> Option<u32> {
+            Some(self.block)
+        }
+    }
+
+    #[test]
+    fn recompute_referee_catches_transform_domain_fault() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let block = pim::fault::layout::pointwise(8);
+        let a = rand_poly(256, p.q, 31);
+        let b = rand_poly(256, p.q, 32);
+        // The fault really corrupts the product…
+        let unchecked = CryptoPim::new(&p)
+            .unwrap()
+            .with_write_path(Some(Arc::new(PointwiseBitPath { block })));
+        let clean = CryptoPim::new(&p).unwrap();
+        assert_ne!(
+            unchecked.multiply_product(&a, &b).unwrap(),
+            clean.multiply_product(&a, &b).unwrap()
+        );
+        // …and the referee refuses to serve it, localizing the fault.
+        let checked = CryptoPim::new(&p)
+            .unwrap()
+            .with_write_path(Some(Arc::new(PointwiseBitPath { block })))
+            .with_check(CheckPolicy::Recompute);
+        match checked.multiply_product(&a, &b) {
+            Err(PimError::CorruptResult(report)) => {
+                assert_eq!(report.bank, 4);
+                assert_eq!(report.block, Some(block));
+                assert!(report.failed_points >= 1);
+                assert_eq!(report.checked_points, 256);
+            }
+            other => panic!("expected CorruptResult, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recompute_clean_path_is_bit_exact() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let checked = CryptoPim::new(&p)
+            .unwrap()
+            .with_check(CheckPolicy::Recompute);
+        let clean = CryptoPim::new(&p).unwrap();
+        let a = rand_poly(256, p.q, 33);
+        let b = rand_poly(256, p.q, 34);
+        assert_eq!(
+            checked.multiply_product(&a, &b).unwrap(),
+            clean.multiply_product(&a, &b).unwrap()
+        );
     }
 
     #[test]

@@ -76,6 +76,28 @@ pub fn multiply_batch_products(
     acc: &CryptoPim,
     pairs: &[(Polynomial, Polynomial)],
 ) -> Result<Vec<Polynomial>> {
+    multiply_batch_outcomes(acc, pairs)?.into_iter().collect()
+}
+
+/// Multiplies a batch of pairs, returning a **per-job** outcome in
+/// input order — the fault-aware serving path.
+///
+/// Where [`multiply_batch_products`] fails the whole batch on the first
+/// error, this variant isolates each job's result: under an armed fault
+/// injector with a residue [`crate::check::CheckPolicy`], one corrupted
+/// lane surfaces as that job's [`PimError::CorruptResult`] while its
+/// batch-mates still return their (verified) products. The serving
+/// layer retries exactly the failed jobs instead of re-running the
+/// whole batch.
+///
+/// # Errors
+///
+/// [`PimError::EmptyBatch`] for a zero-job batch; per-job failures are
+/// inside the vector, never an outer error.
+pub fn multiply_batch_outcomes(
+    acc: &CryptoPim,
+    pairs: &[(Polynomial, Polynomial)],
+) -> Result<Vec<Result<Polynomial>>> {
     if pairs.is_empty() {
         return Err(PimError::EmptyBatch);
     }
@@ -88,15 +110,14 @@ pub fn multiply_batch_products(
     let workers = acc.threads().resolve().min(pairs.len());
     if workers > 1 {
         let seq = acc.clone().with_threads(Threads::Fixed(1));
-        par::map_jobs(pairs, workers, |(a, b)| seq.multiply_product(a, b))
-            .into_iter()
-            .collect::<Result<Vec<_>>>()
+        Ok(par::map_jobs(pairs, workers, |(a, b)| {
+            seq.multiply_product(a, b)
+        }))
     } else {
-        let mut products = Vec::with_capacity(pairs.len());
-        for (a, b) in pairs {
-            products.push(acc.multiply_product(a, b)?);
-        }
-        Ok(products)
+        Ok(pairs
+            .iter()
+            .map(|(a, b)| acc.multiply_product(a, b))
+            .collect())
     }
 }
 

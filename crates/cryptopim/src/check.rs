@@ -1,0 +1,220 @@
+//! Residue spot checks: cheap algebraic verification of a multiply
+//! result.
+//!
+//! The negacyclic product `c = a·b` in `Z_q[x]/(x^n + 1)` satisfies the
+//! *exact* scalar identity `c(r) = a(r)·b(r) mod q` at every point `r`
+//! with `r^n ≡ −1 (mod q)` — i.e. at the `n` odd powers of the
+//! primitive `2n`-th root ψ the NTT is already built on. Evaluating the
+//! three polynomials by Horner costs `O(n)` multiplies per point versus
+//! `O(n log n)` heavier block operations for the multiply itself, so a
+//! handful of points is a ~few-percent overhead.
+//!
+//! **Coverage analysis — the residue check is a screen, not a proof.**
+//! If `c ≠ a·b`, the error polynomial `e = c − a·b` is nonzero of
+//! degree `< n`, so it vanishes on at most `n − 1` of the `n`
+//! admissible points — but *which* points catch it depends entirely on
+//! where the fault struck, because the admissible evaluations of `e`
+//! are exactly the bins of its negacyclic NTT `ê`:
+//!
+//! * **Coefficient-domain faults** (premul input writes, postmul output
+//!   writes): `e` has one (or a few) nonzero coefficients, `ê` is dense
+//!   — every admissible point catches a single flipped output
+//!   coefficient, and a corrupted input coefficient escapes a drawn
+//!   point only when the *other* operand's transform is zero in that
+//!   bin (probability `≈ 1/q` per point).
+//! * **Transform-domain faults** (pointwise block, late forward / early
+//!   inverse stages): a single corrupted value lands in as little as
+//!   **one** NTT bin of `ê`, and only the one admissible point indexed
+//!   by that bin sees it. A `k`-point check catches an `m`-bin error
+//!   with probability `1 − (1 − m/n)^k` — for `m = 1` that is `≈ k/n`,
+//!   nowhere near certainty.
+//!
+//! The serving layer therefore treats [`CheckPolicy::Residue`] as the
+//! cheap screen it is and offers [`CheckPolicy::Recompute`] — a full
+//! software-NTT recompute-and-compare on an independent (host) datapath,
+//! `O(n log n)` — as the *sound* referee: it flags every corrupt
+//! product, whatever block the fault hit. The fault campaigns measure
+//! the residue screen's empirical coverage per fault class against that
+//! referee, and CI pins the recover-or-quarantine guarantee (no wrong
+//! answer served) under the sound policy.
+//!
+//! Evaluation points are drawn deterministically from a seed
+//! ([`CheckPolicy::Residue`]), keeping the recover-or-quarantine
+//! pipeline above this crate fully replayable.
+
+use crate::mapping::NttMapping;
+use modmath::zq;
+use pim::fault::splitmix64;
+
+/// Result-integrity policy applied by
+/// [`crate::accelerator::CryptoPim::multiply_product`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckPolicy {
+    /// No checking (the default): the historical hot path, bit-for-bit.
+    #[default]
+    Disabled,
+    /// Verify `c(r) = a(r)·b(r) mod q` at `points` seeded-random
+    /// negacyclic evaluation points; a disagreement fails the multiply
+    /// with [`pim::PimError::CorruptResult`]. Probabilistic: catches
+    /// coefficient-domain corruption essentially always, but a fault in
+    /// a transform-domain pipeline block escapes with probability up to
+    /// `≈ 1 − points/n` (see the module docs).
+    Residue {
+        /// Evaluation points per product (clamped to ≥ 1 when checked).
+        points: u8,
+        /// Seed the points are derived from.
+        seed: u64,
+    },
+    /// Recompute the product on the independent software-NTT datapath
+    /// and compare bit for bit — the sound referee (`O(n log n)`,
+    /// roughly doubling the work): **every** corrupt product fails the
+    /// multiply with [`pim::PimError::CorruptResult`], whatever pipeline
+    /// block the fault struck.
+    Recompute,
+}
+
+impl CheckPolicy {
+    /// Shorthand for [`CheckPolicy::Residue`].
+    pub fn residue(points: u8, seed: u64) -> Self {
+        CheckPolicy::Residue { points, seed }
+    }
+
+    /// Whether any checking is performed.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, CheckPolicy::Disabled)
+    }
+}
+
+/// Horner evaluation of a coefficient vector at `r`, mod `q`.
+fn eval(coeffs: &[u64], r: u64, q: u64) -> u64 {
+    coeffs
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &c| zq::add(zq::mul(acc, r, q), c, q))
+}
+
+/// Verifies `c = a·b` in the ring at `points` seeded evaluation points.
+///
+/// Returns `Ok(())` when every point agrees, otherwise
+/// `Err((failed, checked))`. The points are `r_i = ψ^{d_i}` with odd
+/// `d_i` derived from the seed, so `r_i^n ≡ −1` and the identity is
+/// exact — a correct product can never fail.
+pub(crate) fn verify_product(
+    mapping: &NttMapping,
+    a: &[u64],
+    b: &[u64],
+    c: &[u64],
+    points: u8,
+    seed: u64,
+) -> Result<(), (u32, u32)> {
+    let q = mapping.params().q;
+    let n = mapping.params().n as u64;
+    let phi = mapping.tables().phi();
+    let checked = u32::from(points.max(1));
+    let mut failed = 0u32;
+    for i in 0..checked {
+        let draw = splitmix64(seed ^ (u64::from(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let r = zq::pow(phi, 2 * (draw % n) + 1, q);
+        let ea = eval(a, r, q);
+        let eb = eval(b, r, q);
+        let ec = eval(c, r, q);
+        if zq::mul(ea, eb, q) != ec {
+            failed += 1;
+        }
+    }
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err((failed, checked))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::params::ParamSet;
+    use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+    use ntt::poly::Polynomial;
+    use pim::reduce::ReductionStyle;
+
+    fn setup(n: usize) -> (NttMapping, Vec<u64>, Vec<u64>, Vec<u64>) {
+        let p = ParamSet::for_degree(n).unwrap();
+        let mapping = NttMapping::new(&p, ReductionStyle::CryptoPim).unwrap();
+        let mk = |seed: u64| {
+            let mut state = seed;
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 16) % p.q
+                })
+                .collect::<Vec<u64>>()
+        };
+        let (a, b) = (mk(5), mk(6));
+        let sw = NttMultiplier::new(&p).unwrap();
+        let c = sw
+            .multiply(
+                &Polynomial::from_coeffs(a.clone(), p.q).unwrap(),
+                &Polynomial::from_coeffs(b.clone(), p.q).unwrap(),
+            )
+            .unwrap();
+        (mapping, a, b, c.coeffs().to_vec())
+    }
+
+    #[test]
+    fn correct_product_always_passes() {
+        for n in [64usize, 256, 1024] {
+            let (mapping, a, b, c) = setup(n);
+            for seed in 0..20u64 {
+                assert_eq!(verify_product(&mapping, &a, &b, &c, 3, seed), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn single_coefficient_corruption_is_always_caught() {
+        // e = δ·x^i fails at *every* admissible point (r is invertible),
+        // so even a one-point check must flag all of these.
+        let (mapping, a, b, c) = setup(256);
+        let q = mapping.params().q;
+        for i in [0usize, 1, 17, 128, 255] {
+            for delta in [1u64, q / 2, q - 1] {
+                let mut bad = c.clone();
+                bad[i] = (bad[i] + delta) % q;
+                for seed in 0..10u64 {
+                    let r = verify_product(&mapping, &a, &b, &bad, 1, seed);
+                    assert_eq!(r, Err((1, 1)), "i = {i}, delta = {delta}, seed = {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_corruption_is_caught() {
+        let (mapping, a, b, c) = setup(512);
+        let q = mapping.params().q;
+        let bad: Vec<u64> = c.iter().map(|&x| (x + 1) % q).collect();
+        let r = verify_product(&mapping, &a, &b, &bad, 3, 42);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_points_clamps_to_one() {
+        let (mapping, a, b, c) = setup(64);
+        assert_eq!(verify_product(&mapping, &a, &b, &c, 0, 7), Ok(()));
+        let mut bad = c;
+        bad[3] = (bad[3] + 1) % mapping.params().q;
+        assert_eq!(verify_product(&mapping, &a, &b, &bad, 0, 7), Err((1, 1)));
+    }
+
+    #[test]
+    fn policy_accessors() {
+        assert!(!CheckPolicy::default().is_enabled());
+        assert!(CheckPolicy::residue(3, 9).is_enabled());
+        assert_eq!(
+            CheckPolicy::residue(3, 9),
+            CheckPolicy::Residue { points: 3, seed: 9 }
+        );
+    }
+}

@@ -25,6 +25,7 @@ use crate::mapping::NttMapping;
 use crate::plan::StagePlan;
 use crate::scratch::Scratch;
 use pim::block::{MemoryBlock, MultiplierKind};
+use pim::fault::{layout, WritePath};
 use pim::par::{self, Threads};
 use pim::reduce::Reducer;
 use pim::stats::Tally;
@@ -71,6 +72,7 @@ pub struct Engine<'m> {
     mapping: &'m NttMapping,
     multiplier: MultiplierKind,
     threads: Threads,
+    writes: Option<&'m dyn WritePath>,
 }
 
 impl<'m> Engine<'m> {
@@ -81,6 +83,7 @@ impl<'m> Engine<'m> {
             mapping,
             multiplier: MultiplierKind::CryptoPim,
             threads: Threads::Auto,
+            writes: None,
         }
     }
 
@@ -97,6 +100,21 @@ impl<'m> Engine<'m> {
     /// always replayed in sequential order (see [`pim::par`]).
     pub fn with_threads(mut self, threads: Threads) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs a (possibly faulty) block write path.
+    ///
+    /// Every phase write is routed through the hook while the path is
+    /// armed, so injected faults become functional corruption of the
+    /// product. With `None` (the default) or an unarmed path the
+    /// datapath is byte-for-byte the fault-free hot path — the cost of
+    /// the hook is one `Option` check per phase. An armed path forces
+    /// the sequential datapath: per-word store order is part of the
+    /// deterministic-replay contract, and wear-out epochs must not race
+    /// host threads.
+    pub fn with_write_path(mut self, writes: Option<&'m dyn WritePath>) -> Self {
+        self.writes = writes;
         self
     }
 
@@ -147,11 +165,19 @@ impl<'m> Engine<'m> {
         let mut scratch = Scratch::checkout(n);
         out.clear();
         out.resize(n, 0);
-        let workers = self.threads.resolve_for(n);
+        let faults = self.writes.filter(|w| w.armed());
+        if let Some(w) = faults {
+            w.begin_op();
+        }
+        let workers = if faults.is_some() {
+            1
+        } else {
+            self.threads.resolve_for(n)
+        };
         if workers > 1 {
             self.datapath_parallel(&plan, &mut scratch, a, b, out, workers);
         } else {
-            self.datapath_sequential(&plan, &mut scratch, a, b, out);
+            self.datapath_sequential(&plan, &mut scratch, a, b, out, faults);
         }
         Ok(replay_trace(&plan))
     }
@@ -167,8 +193,10 @@ impl<'m> Engine<'m> {
         a: &[u64],
         b: &[u64],
         out: &mut [u64],
+        faults: Option<&dyn WritePath>,
     ) {
         let n = plan.n();
+        let log_n = plan.log_n();
         let q = self.mapping.params().q;
         let red = self.mapping.reducer();
         let rev = plan.rev();
@@ -182,12 +210,14 @@ impl<'m> Engine<'m> {
             xa[k] = red.montgomery(a[i] * phi_a[i]);
             xb[k] = red.montgomery(b[i] * phi_b[i]);
         }
+        corrupt_writes(faults, q, layout::premul(), xa);
 
         // --- forward NTT stages (the two inputs in parallel banks). ---
-        for stage in 0..plan.log_n() {
+        for stage in 0..log_n {
             let tw = self.mapping.twiddle_fwd_stage(stage);
             stage_rows(red, q, xa, xa2, stage, tw);
             stage_rows(red, q, xb, xb2, stage, tw);
+            corrupt_writes(faults, q, layout::forward(stage), xa2);
             std::mem::swap(&mut xa, &mut xa2);
             std::mem::swap(&mut xb, &mut xb2);
         }
@@ -198,10 +228,11 @@ impl<'m> Engine<'m> {
             let i = rev[k] as usize;
             xa2[k] = red.montgomery(xa[i] * xb[i]);
         }
+        corrupt_writes(faults, q, layout::pointwise(log_n), xa2);
         let (mut xc, mut xc2) = (xa2, xb2);
 
         // --- inverse NTT stages. ---
-        for stage in 0..plan.log_n() {
+        for stage in 0..log_n {
             stage_rows(
                 red,
                 q,
@@ -210,6 +241,7 @@ impl<'m> Engine<'m> {
                 stage,
                 self.mapping.twiddle_inv_stage(stage),
             );
+            corrupt_writes(faults, q, layout::inverse(log_n, stage), xc2);
             std::mem::swap(&mut xc, &mut xc2);
         }
 
@@ -218,6 +250,7 @@ impl<'m> Engine<'m> {
         for k in 0..n {
             out[k] = red.montgomery(xc[k] * phi_post[k]);
         }
+        corrupt_writes(faults, q, layout::postmul(log_n), out);
     }
 
     /// Lane-parallel datapath: the same phase structure as
@@ -310,6 +343,25 @@ fn replay_trace(plan: &StagePlan) -> EngineTrace {
     }
     trace.postmul.absorb(plan.scale());
     trace
+}
+
+/// Routes one phase's freshly written vector through the bank's write
+/// path, materializing injected faults. A corrupted word is
+/// re-canonicalized mod `q` before it re-enters the pipeline: the cell
+/// array stores whatever bits the fault left, but the next phase's
+/// sense amplifiers interpret them as a residue, and the engine's
+/// reduction microprograms carry `< 2q` input contracts that physical
+/// values must keep satisfying. Reduction never masks a fault — a flip
+/// of bit `i` changes the residue by `±2^i mod q ≠ 0`.
+fn corrupt_writes(faults: Option<&dyn WritePath>, q: u64, block: u32, data: &mut [u64]) {
+    if let Some(w) = faults {
+        for (row, v) in data.iter_mut().enumerate() {
+            let stored = w.store(block, row as u32, *v);
+            if stored != *v {
+                *v = stored % q;
+            }
+        }
+    }
 }
 
 /// One fused Gentleman–Sande stage in row-centric order: butterfly block

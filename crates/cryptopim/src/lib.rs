@@ -46,6 +46,7 @@ pub mod accelerator;
 pub mod arch;
 pub mod area;
 pub mod batch;
+pub mod check;
 pub mod controller;
 pub mod engine;
 pub mod exchange;

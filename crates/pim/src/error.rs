@@ -1,3 +1,4 @@
+use crate::fault::FaultReport;
 use std::fmt;
 
 /// Errors produced by the PIM simulator.
@@ -51,6 +52,13 @@ pub enum PimError {
     /// batch, so they refuse it explicitly instead of reporting a
     /// bogus length mismatch.
     EmptyBatch,
+    /// A result-integrity check rejected a computed product: it is not
+    /// the ring product of its operands. Raised by the opt-in residue
+    /// spot check (`cryptopim::check`); the report localizes the
+    /// corruption to a bank (and block, when a fault injector is
+    /// installed). The *caller* decides what to do — the serving layer
+    /// retries on a different attempt or quarantines the bank.
+    CorruptResult(FaultReport),
     /// An underlying modular-arithmetic error (bad degree, composite
     /// modulus, …) surfaced through the PIM layer.
     Math(modmath::Error),
@@ -79,6 +87,9 @@ impl fmt::Display for PimError {
             }
             PimError::EmptyBatch => {
                 write!(f, "batched operation invoked with zero jobs")
+            }
+            PimError::CorruptResult(report) => {
+                write!(f, "corrupt product detected: {report}")
             }
             PimError::Math(e) => write!(f, "modular arithmetic error: {e}"),
         }

@@ -1,0 +1,232 @@
+//! Functional fault injection on the block write path.
+//!
+//! The paper's robustness analysis (§IV-A) is analytic — a Monte Carlo
+//! sweep of sensing margins in [`crate::variation`] — but never makes a
+//! fault *happen*. This module defines the hook through which faults
+//! become functional: every vector-wide write a datapath phase performs
+//! can be routed through a [`WritePath`], which returns the word as the
+//! (possibly corrupted) memory array would actually hold it.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** The engine consults the hook with a
+//!    single `Option`/`armed()` check per phase; when no write path is
+//!    installed (the default everywhere) the datapath is untouched and
+//!    the steady state stays allocation-free and branch-predictable.
+//! 2. **Determinism.** Implementations must derive every fault decision
+//!    from their seed and the *logical* write address/epoch — never from
+//!    wall-clock time or global RNG — so a seeded campaign replays
+//!    bit-identically.
+//! 3. **Addressability.** Faults name `(bank, block, row, bit)` cells
+//!    ([`CellAddr`]), with the block index taken from the fixed
+//!    per-phase [`layout`] below, so campaigns can target the ψ
+//!    pre-multiply block, one butterfly stage, or the post-multiply
+//!    output specifically.
+//!
+//! The trait lives in `pim` (the substrate owns the write path); the
+//! concrete seeded fault-plan implementation lives in the
+//! `cryptopim-reliability` crate.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Address of a single memory cell in the fleet.
+///
+/// `bank` is the virtual superbank a service worker drives, `block` a
+/// pipeline block from [`layout`], `row` the coefficient index within
+/// the vector-wide write (lane-stacked: physical row `row % 512` of
+/// lane `row / 512`), and `bit` the cell's bit position in the word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellAddr {
+    /// Virtual superbank index.
+    pub bank: u32,
+    /// Pipeline block index (see [`layout`]).
+    pub block: u32,
+    /// Coefficient row within the vector-wide write.
+    pub row: u32,
+    /// Bit position within the stored word.
+    pub bit: u8,
+}
+
+/// One bank's view of the (possibly faulty) block write path.
+///
+/// The engine calls [`WritePath::store`] for every word of every phase
+/// write while [`WritePath::armed`] is true; an implementation returns
+/// the word as the array would hold it after the write. A returned word
+/// may exceed the canonical range `[0, q)` — the engine re-canonicalizes
+/// before the value re-enters the arithmetic pipeline, mirroring the
+/// sense-amplifier re-interpreting whatever charge the cells hold.
+pub trait WritePath: fmt::Debug + Send + Sync {
+    /// Whether any fault can fire on this bank. When false the engine
+    /// skips the per-word hook entirely (the zero-cost-when-disabled
+    /// contract).
+    fn armed(&self) -> bool;
+
+    /// Marks the start of one multiply operation on this bank.
+    /// Implementations advance their write-epoch counter here; epochs
+    /// drive endurance wear-out and transient-fault sampling.
+    fn begin_op(&self);
+
+    /// Stores one word at `(block, row)` and returns what the cells
+    /// actually hold afterwards.
+    fn store(&self, block: u32, row: u32, value: u64) -> u64;
+
+    /// The bank this view addresses (for fault localization).
+    fn bank(&self) -> u32;
+
+    /// The lowest faulted block on this bank, if any — the best a
+    /// residue check can localize a detected corruption to without a
+    /// per-block readback pass.
+    fn suspect_block(&self) -> Option<u32>;
+}
+
+/// A fleet-level fault injector: hands each virtual superbank worker its
+/// own [`WritePath`] view. Implementations must be cheap to share
+/// (`Arc`) and must keep per-bank state (write epochs) inside the
+/// returned view so banks age independently.
+pub trait Injector: fmt::Debug + Send + Sync {
+    /// The write-path view for one bank.
+    fn bank_writes(&self, bank: u32) -> Arc<dyn WritePath>;
+}
+
+/// Localization of a detected result corruption, carried by
+/// [`crate::PimError::CorruptResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Bank the corrupt product was computed on.
+    pub bank: u32,
+    /// Faulted block the corruption localizes to, when the bank's write
+    /// path knows one (`None` when the check fired without an installed
+    /// injector — a genuine hardware fault would land here).
+    pub block: Option<u32>,
+    /// Residue evaluation points that disagreed.
+    pub failed_points: u32,
+    /// Residue evaluation points checked in total.
+    pub checked_points: u32,
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bank {} ({}), {}/{} residue points failed",
+            self.bank,
+            match self.block {
+                Some(b) => format!("block {b}"),
+                None => "block unknown".to_string(),
+            },
+            self.failed_points,
+            self.checked_points
+        )
+    }
+}
+
+/// The fixed block index of each datapath phase, as a function of the
+/// transform size `log_n = log2(n)`.
+///
+/// The engine pipelines a multiply through `2·log_n + 3` logical blocks:
+/// the ψ pre-multiply block, `log_n` forward-stage blocks, the
+/// point-wise block, `log_n` inverse-stage blocks, and the ψ⁻¹·n⁻¹
+/// post-multiply block. The two operand pipelines travel mirrored
+/// softbanks; fault addresses cover the A-operand pipeline plus the
+/// shared product blocks (point-wise onward) — the mirror adds no new
+/// failure modes, only a second copy of the same blocks.
+pub mod layout {
+    /// ψ pre-multiply block.
+    #[inline]
+    pub fn premul() -> u32 {
+        0
+    }
+
+    /// Forward NTT stage `stage ∈ [0, log_n)`.
+    #[inline]
+    pub fn forward(stage: u32) -> u32 {
+        1 + stage
+    }
+
+    /// Point-wise multiplication block.
+    #[inline]
+    pub fn pointwise(log_n: u32) -> u32 {
+        1 + log_n
+    }
+
+    /// Inverse NTT stage `stage ∈ [0, log_n)`.
+    #[inline]
+    pub fn inverse(log_n: u32, stage: u32) -> u32 {
+        2 + log_n + stage
+    }
+
+    /// ψ⁻¹·n⁻¹ post-multiply (output) block.
+    #[inline]
+    pub fn postmul(log_n: u32) -> u32 {
+        2 + 2 * log_n
+    }
+
+    /// Total pipeline blocks a degree-`2^log_n` multiply writes.
+    #[inline]
+    pub fn blocks(log_n: u32) -> u32 {
+        3 + 2 * log_n
+    }
+}
+
+/// SplitMix64 finalizer: the deterministic hash every fault decision in
+/// the workspace derives from (site sampling, transient firing, residue
+/// evaluation points). Pure, allocation-free, and stable across
+/// platforms — the backbone of the replayable-campaign contract.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_blocks_are_distinct_and_dense() {
+        for log_n in [3u32, 8, 15] {
+            let mut seen = vec![false; layout::blocks(log_n) as usize];
+            let mut mark = |b: u32| {
+                assert!(!seen[b as usize], "block {b} assigned twice");
+                seen[b as usize] = true;
+            };
+            mark(layout::premul());
+            for s in 0..log_n {
+                mark(layout::forward(s));
+            }
+            mark(layout::pointwise(log_n));
+            for s in 0..log_n {
+                mark(layout::inverse(log_n, s));
+            }
+            mark(layout::postmul(log_n));
+            assert!(seen.iter().all(|&s| s), "every block index covered");
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // A weak avalanche sanity check: flipping one input bit flips
+        // many output bits.
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "avalanche too weak: {d} bits");
+    }
+
+    #[test]
+    fn fault_report_displays_localization() {
+        let r = FaultReport {
+            bank: 3,
+            block: Some(7),
+            failed_points: 2,
+            checked_points: 3,
+        };
+        assert!(r.to_string().contains("bank 3"));
+        assert!(r.to_string().contains("block 7"));
+        let unknown = FaultReport { block: None, ..r };
+        assert!(unknown.to_string().contains("block unknown"));
+    }
+}

@@ -43,6 +43,7 @@ pub mod cost;
 pub mod crossbar;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod logic;
 pub mod par;
 pub(crate) mod pool;

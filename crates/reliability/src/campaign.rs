@@ -1,0 +1,481 @@
+//! Seeded fault-injection campaigns over the recover-or-quarantine
+//! serving stack.
+//!
+//! A campaign sweeps a grid of cells — fault kind × injection rate ×
+//! polynomial degree — and each cell makes two passes over the same
+//! seeded job stream:
+//!
+//! 1. **Serving pass.** A fresh one-bank [`Service`] with the cell's
+//!    [`FaultPlan`] armed serves every job under the *sound*
+//!    [`CheckPolicy::Recompute`] referee, and every answer the service
+//!    did return is held against the fault-free direct engine path,
+//!    bit for bit. The safety claim under test is exactly the serving
+//!    layer's contract: a corrupt product never leaves `wait()` — it
+//!    is either detected-and-retried, surfaced as
+//!    [`service::ServiceError::FaultUnrecovered`], or refused outright
+//!    by a quarantined fleet. [`CellResult::wrong`] counts the
+//!    violations (served products that differ from the reference) and
+//!    must be 0.
+//! 2. **Screen pass.** The same plan (fresh write epochs) drives a
+//!    direct accelerator under the cheap probabilistic
+//!    [`CheckPolicy::Residue`] screen, measuring how many of the
+//!    fault-corrupted products the `O(n)`-per-point check actually
+//!    flags ([`CellResult::screen_detected`] out of
+//!    [`CellResult::screen_corrupted`]). Transform-domain faults
+//!    concentrate the error in few NTT bins and routinely escape a
+//!    few-point screen — see `cryptopim::check` — which is why the
+//!    serving pass uses the referee and the screen's coverage is
+//!    *reported*, not assumed.
+//!
+//! Everything is derived from [`CampaignConfig::seed`]: fault sites,
+//! residue points, transient firings, and the job stream. Cells run on
+//! a single worker with jobs submitted serially, so the operation
+//! epochs the transient/wear-out processes key on replay exactly —
+//! rerunning a campaign reproduces every count.
+
+use crate::plan::{FaultKind, FaultPlan};
+use cryptopim::accelerator::CryptoPim;
+use cryptopim::check::CheckPolicy;
+use modmath::params::ParamSet;
+use ntt::negacyclic::PolyMultiplier;
+use pim::fault::{layout, splitmix64, Injector};
+use service::loadgen::generate_jobs;
+use service::{Backpressure, Service, ServiceConfig, ServiceError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fault families a campaign can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// Permanent stuck-at-0 cells.
+    StuckAt0,
+    /// Permanent stuck-at-1 cells.
+    StuckAt1,
+    /// Transient per-write single-bit flips.
+    Transient,
+    /// Endurance wear-out: cells stick at 0 halfway through the cell's
+    /// job budget.
+    WearOut,
+}
+
+impl CampaignKind {
+    /// Stable short label (JSON field values, report rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CampaignKind::StuckAt0 => "stuck0",
+            CampaignKind::StuckAt1 => "stuck1",
+            CampaignKind::Transient => "transient",
+            CampaignKind::WearOut => "wearout",
+        }
+    }
+}
+
+/// Campaign grid and per-cell serving parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; every cell derives its own sites/points/jobs seed.
+    pub seed: u64,
+    /// Degrees swept (paper-table degrees).
+    pub degrees: Vec<usize>,
+    /// Fault kinds swept.
+    pub kinds: Vec<CampaignKind>,
+    /// Injection rates swept. For permanent/wear-out kinds this is the
+    /// fraction of pipeline words carrying a faulty bit; for transient
+    /// it is the per-write flip probability.
+    pub rates: Vec<f64>,
+    /// Jobs served per cell.
+    pub jobs_per_cell: usize,
+    /// Residue evaluation points per product in the screen pass (the
+    /// serving pass always uses the sound recompute referee).
+    pub check_points: u8,
+    /// Execution attempts per job before `FaultUnrecovered`.
+    pub max_attempts: u32,
+    /// Consecutive faulted batches that quarantine the bank.
+    pub quarantine_after: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xC0FFEE,
+            degrees: vec![256, 1024],
+            kinds: vec![
+                CampaignKind::StuckAt0,
+                CampaignKind::StuckAt1,
+                CampaignKind::Transient,
+                CampaignKind::WearOut,
+            ],
+            rates: vec![1e-4, 1e-3],
+            jobs_per_cell: 24,
+            check_points: 3,
+            max_attempts: 3,
+            quarantine_after: 3,
+        }
+    }
+}
+
+/// Outcome of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Fault family injected.
+    pub kind: CampaignKind,
+    /// Polynomial degree served.
+    pub degree: usize,
+    /// Injection rate (see [`CampaignConfig::rates`]).
+    pub rate: f64,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs served with a product (all verified against the reference).
+    pub served: usize,
+    /// Served products that differed from the fault-free reference —
+    /// escaped corruptions. The whole point: this must be 0.
+    pub wrong: usize,
+    /// Jobs failed as `FaultUnrecovered` after exhausting attempts.
+    pub unrecovered: usize,
+    /// Jobs refused (`Overloaded`) by a degraded/quarantined fleet.
+    pub refused: usize,
+    /// Jobs failed with any other error (must be 0).
+    pub failed: usize,
+    /// Corrupt products flagged by the serving pass's recompute referee.
+    pub detected: u64,
+    /// Detected-fault retries.
+    pub retries: u64,
+    /// Jobs that recovered on a retry.
+    pub recovered: u64,
+    /// Banks quarantined by the cell's end.
+    pub quarantined_banks: usize,
+    /// Wall-clock of the checked, fault-injected service run, seconds.
+    pub service_wall_s: f64,
+    /// Wall-clock of the fault-free direct reference run, seconds.
+    pub direct_wall_s: f64,
+    /// Screen pass: products the fault plan actually corrupted
+    /// (referee'd against the fault-free reference).
+    pub screen_corrupted: usize,
+    /// Screen pass: corrupted products the residue check flagged.
+    pub screen_detected: usize,
+}
+
+impl CellResult {
+    /// Fraction of corrupted products the residue screen caught in this
+    /// cell (1.0 when the fault plan corrupted nothing).
+    pub fn residue_coverage(&self) -> f64 {
+        if self.screen_corrupted == 0 {
+            1.0
+        } else {
+            self.screen_detected as f64 / self.screen_corrupted as f64
+        }
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-cell results, grid order (kind, degree, rate).
+    pub cells: Vec<CellResult>,
+    /// Total serving-pass referee detections.
+    pub detected: u64,
+    /// Total escaped corruptions (served ≠ reference) — must be 0.
+    pub wrong: usize,
+    /// Serving-pass detections over result-corrupting activations that
+    /// reached a served-or-detected verdict:
+    /// `detected / (detected + wrong)`, 1.0 when nothing corrupted.
+    /// Under the sound recompute referee this is 1.0 by construction;
+    /// `wrong > 0` would mean the referee itself is broken.
+    pub detection_coverage: f64,
+    /// Screen pass, aggregated: fraction of fault-corrupted products
+    /// the probabilistic residue check flagged (1.0 when no product
+    /// was corrupted). Expect high values for coefficient-domain fault
+    /// mixes and as low as `≈ check_points/n` for single-bin
+    /// transform-domain faults.
+    pub residue_coverage: f64,
+    /// Checked-and-recovered serving wall-clock over the fault-free
+    /// direct path: the price of the reliability machinery.
+    pub recovery_overhead: f64,
+}
+
+impl CampaignReport {
+    /// True when no corrupt product escaped and nothing failed for
+    /// non-fault reasons.
+    pub fn is_sound(&self) -> bool {
+        self.wrong == 0 && self.cells.iter().all(|c| c.failed == 0)
+    }
+}
+
+/// Builds the fault plan for one cell.
+fn cell_plan(kind: CampaignKind, rate: f64, n: usize, q: u64, jobs: usize, seed: u64) -> FaultPlan {
+    let log_n = n.trailing_zeros();
+    let blocks = layout::blocks(log_n);
+    let bits = (64 - q.leading_zeros()) as u8;
+    let words = f64::from(blocks) * n as f64;
+    let sites = ((rate * words).round() as usize).max(1);
+    match kind {
+        CampaignKind::StuckAt0 => {
+            FaultPlan::seeded(seed, FaultKind::StuckAt0, sites, 0, blocks, n as u32, bits)
+        }
+        CampaignKind::StuckAt1 => {
+            FaultPlan::seeded(seed, FaultKind::StuckAt1, sites, 0, blocks, n as u32, bits)
+        }
+        CampaignKind::WearOut => FaultPlan::seeded(
+            seed,
+            FaultKind::WearOut {
+                write_budget: (jobs as u64 / 2).max(1),
+            },
+            sites,
+            0,
+            blocks,
+            n as u32,
+            bits,
+        ),
+        CampaignKind::Transient => FaultPlan::new(seed).with_transient(rate, u32::from(bits)),
+    }
+}
+
+/// Runs one cell: serve the seeded stream through a one-bank
+/// referee-checked service under the cell's fault plan, hold every
+/// answer against the fault-free direct path, then measure the residue
+/// screen's detection rate on the same stream.
+fn run_cell(config: &CampaignConfig, kind: CampaignKind, degree: usize, rate: f64) -> CellResult {
+    let cell_seed = splitmix64(
+        config.seed
+            ^ splitmix64(
+                (kind.label().len() as u64) << 48
+                    | (degree as u64) << 20
+                    | rate.to_bits() >> 44
+                    | u64::from(kind.label().as_bytes()[0]),
+            ),
+    );
+    let params = ParamSet::for_degree(degree).expect("campaign degree is a paper degree");
+    let jobs = generate_jobs(cell_seed, config.jobs_per_cell, &[degree]);
+
+    // Fault-free reference (and the overhead baseline).
+    let reference_acc = CryptoPim::new(&params).expect("paper parameters");
+    let t = Instant::now();
+    let reference: Vec<_> = jobs
+        .iter()
+        .map(|(a, b)| reference_acc.multiply(a, b).expect("fault-free multiply"))
+        .collect();
+    let direct_wall_s = t.elapsed().as_secs_f64();
+
+    let plan = Arc::new(cell_plan(
+        kind,
+        rate,
+        degree,
+        params.q,
+        config.jobs_per_cell,
+        cell_seed,
+    ));
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        backpressure: Backpressure::Block,
+        // Serial submit→wait keeps batches single-job and operation
+        // epochs replayable; linger would only add idle waiting.
+        linger: Duration::ZERO,
+        check: CheckPolicy::Recompute,
+        max_attempts: config.max_attempts,
+        quarantine_after: config.quarantine_after,
+        injector: Some(plan.clone()),
+        ..ServiceConfig::default()
+    });
+
+    let (mut served, mut wrong, mut unrecovered, mut refused, mut failed) = (0, 0, 0, 0, 0);
+    let t = Instant::now();
+    for (k, (a, b)) in jobs.iter().enumerate() {
+        match svc.submit(a.clone(), b.clone()).map(|t| t.wait()) {
+            Ok(Ok(done)) => {
+                served += 1;
+                if done.product != reference[k] {
+                    wrong += 1;
+                }
+            }
+            Ok(Err(ServiceError::FaultUnrecovered { .. })) => unrecovered += 1,
+            Ok(Err(ServiceError::Overloaded { .. })) | Err(ServiceError::Overloaded { .. }) => {
+                refused += 1;
+            }
+            Ok(Err(_)) | Err(_) => failed += 1,
+        }
+    }
+    let service_wall_s = t.elapsed().as_secs_f64();
+    let stats = svc.shutdown();
+
+    // Screen pass: same plan on fresh write epochs, direct datapath,
+    // probabilistic residue check — how good is the cheap screen?
+    let screen_acc = CryptoPim::new(&params)
+        .expect("paper parameters")
+        .with_write_path(Some(plan.bank_writes(0)))
+        .with_check(CheckPolicy::residue(config.check_points, cell_seed));
+    let (mut screen_corrupted, mut screen_detected) = (0, 0);
+    for (k, (a, b)) in jobs.iter().enumerate() {
+        match screen_acc.multiply_product(a, b) {
+            Ok(product) => {
+                // The residue identity is exact, so a passed check can
+                // still hide a transform-domain escape — the reference
+                // is the referee here.
+                if product != reference[k] {
+                    screen_corrupted += 1;
+                }
+            }
+            Err(pim::PimError::CorruptResult(_)) => {
+                screen_corrupted += 1;
+                screen_detected += 1;
+            }
+            Err(e) => panic!("screen pass failed outside the check: {e}"),
+        }
+    }
+
+    CellResult {
+        kind,
+        degree,
+        rate,
+        jobs: config.jobs_per_cell,
+        served,
+        wrong,
+        unrecovered,
+        refused,
+        failed,
+        detected: stats.faults_detected,
+        retries: stats.retries,
+        recovered: stats.recovered,
+        quarantined_banks: stats.quarantined_banks,
+        service_wall_s,
+        direct_wall_s,
+        screen_corrupted,
+        screen_detected,
+    }
+}
+
+/// Runs the full campaign grid.
+pub fn run(config: &CampaignConfig) -> CampaignReport {
+    assert!(
+        !config.degrees.is_empty() && !config.kinds.is_empty() && !config.rates.is_empty(),
+        "campaign grid must be non-empty"
+    );
+    let mut cells = Vec::new();
+    for &kind in &config.kinds {
+        for &degree in &config.degrees {
+            for &rate in &config.rates {
+                cells.push(run_cell(config, kind, degree, rate));
+            }
+        }
+    }
+    let detected: u64 = cells.iter().map(|c| c.detected).sum();
+    let wrong: usize = cells.iter().map(|c| c.wrong).sum();
+    let service_wall: f64 = cells.iter().map(|c| c.service_wall_s).sum();
+    let direct_wall: f64 = cells.iter().map(|c| c.direct_wall_s).sum();
+    let screen_corrupted: usize = cells.iter().map(|c| c.screen_corrupted).sum();
+    let screen_detected: usize = cells.iter().map(|c| c.screen_detected).sum();
+    CampaignReport {
+        detection_coverage: if detected == 0 && wrong == 0 {
+            1.0
+        } else {
+            detected as f64 / (detected as f64 + wrong as f64)
+        },
+        residue_coverage: if screen_corrupted == 0 {
+            1.0
+        } else {
+            screen_detected as f64 / screen_corrupted as f64
+        },
+        recovery_overhead: if direct_wall > 0.0 {
+            service_wall / direct_wall
+        } else {
+            0.0
+        },
+        cells,
+        detected,
+        wrong,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            seed: 77,
+            degrees: vec![256],
+            kinds: vec![CampaignKind::StuckAt1, CampaignKind::Transient],
+            rates: vec![1e-3],
+            jobs_per_cell: 6,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_sound_and_deterministic() {
+        let a = run(&tiny());
+        assert!(a.is_sound(), "escaped corruption: {a:?}");
+        assert_eq!(a.wrong, 0);
+        assert_eq!(a.cells.len(), 2);
+        for c in &a.cells {
+            assert_eq!(
+                c.served + c.unrecovered + c.refused,
+                c.jobs,
+                "every job accounted for: {c:?}"
+            );
+        }
+        let b = run(&tiny());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(
+                (x.served, x.wrong, x.unrecovered, x.refused, x.detected),
+                (y.served, y.wrong, y.unrecovered, y.refused, y.detected),
+                "replay diverged at {} n={} rate={}",
+                x.kind.label(),
+                x.degree,
+                x.rate
+            );
+            assert_eq!(
+                (x.screen_corrupted, x.screen_detected),
+                (y.screen_corrupted, y.screen_detected),
+                "screen pass replay diverged at {} n={} rate={}",
+                x.kind.label(),
+                x.degree,
+                x.rate
+            );
+            assert!(x.screen_detected <= x.screen_corrupted);
+        }
+    }
+
+    #[test]
+    fn low_rate_transients_never_serve_wrong() {
+        // The regression that motivated the recompute referee: rare
+        // transient flips land in single NTT bins (pointwise block,
+        // stage outputs) and slip past a few-point residue screen. The
+        // serving pass must stay sound regardless of what the screen
+        // coverage turns out to be.
+        let report = run(&CampaignConfig {
+            seed: 99,
+            kinds: vec![CampaignKind::Transient],
+            degrees: vec![256],
+            rates: vec![5e-5],
+            jobs_per_cell: 48,
+            ..CampaignConfig::default()
+        });
+        assert!(report.is_sound(), "escaped corruption: {report:?}");
+        assert_eq!(report.wrong, 0);
+        assert_eq!(report.detection_coverage, 1.0);
+        let cell = &report.cells[0];
+        assert!(cell.screen_detected <= cell.screen_corrupted);
+        assert!(cell.residue_coverage() <= 1.0);
+    }
+
+    #[test]
+    fn clean_campaign_detects_nothing() {
+        // Rate 0 still arms the permanent planner with one site via the
+        // max(1) floor, so use a transient-only grid at rate 0.
+        let report = run(&CampaignConfig {
+            kinds: vec![CampaignKind::Transient],
+            degrees: vec![256],
+            rates: vec![0.0],
+            jobs_per_cell: 4,
+            ..CampaignConfig::default()
+        });
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.wrong, 0);
+        assert_eq!(report.detection_coverage, 1.0);
+        assert_eq!(report.residue_coverage, 1.0);
+        assert!(report.is_sound());
+        assert_eq!(report.cells[0].served, 4);
+        assert_eq!(report.cells[0].screen_corrupted, 0);
+        assert_eq!(report.cells[0].screen_detected, 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Seeded, deterministic fault plans for the pim block write path.
+//!
+//! A [`FaultPlan`] is a pure description: which cells misbehave
+//! ([`FaultKind::StuckAt0`] / [`FaultKind::StuckAt1`] /
+//! [`FaultKind::WearOut`]) plus an optional transient bit-flip process.
+//! It implements [`pim::fault::Injector`], so it plugs directly into
+//! [`service::ServiceConfig::injector`] or
+//! [`cryptopim::accelerator::CryptoPim::with_write_path`].
+//!
+//! **Determinism.** Everything a plan does is a function of its seed
+//! and the write stream — permanent sites are sampled by a splitmix64
+//! chain, and a transient flip at operation `e`, block `b`, row `r`
+//! fires iff `hash(seed, bank, e, b, r)` clears the rate threshold.
+//! There is no RNG state shared across cells: replaying the same
+//! operation sequence replays the same faults, which is what lets the
+//! fault campaigns (and CI) pin exact detection counts.
+
+use pim::fault::{splitmix64, CellAddr, Injector, WritePath};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a faulty cell misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The bit reads back 0 regardless of what was written.
+    StuckAt0,
+    /// The bit reads back 1 regardless of what was written.
+    StuckAt1,
+    /// Endurance exhaustion: the cell behaves until `write_budget`
+    /// operations have written it, then sticks at 0 (the common ReRAM
+    /// end-of-life failure mode). One accelerator operation writes each
+    /// pipeline cell once, so the budget counts operations.
+    WearOut {
+        /// Operations the cell survives before sticking.
+        write_budget: u64,
+    },
+}
+
+/// One faulty cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The cell.
+    pub addr: CellAddr,
+    /// Its failure mode.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault plan: permanent/wear-out sites plus an
+/// optional transient bit-flip process, all derived from a seed.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<Fault>,
+    /// Per-write transient flip probability (0.0 disables).
+    transient: f64,
+    /// Bit positions transient flips draw from (`[0, transient_bits)`).
+    transient_bits: u32,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+            transient: 0.0,
+            transient_bits: 1,
+        }
+    }
+
+    /// Adds one faulty cell.
+    pub fn with_site(mut self, addr: CellAddr, kind: FaultKind) -> FaultPlan {
+        self.sites.push(Fault { addr, kind });
+        self
+    }
+
+    /// Enables transient single-bit flips: each written word is flipped
+    /// in one of the low `bits` bit positions with probability
+    /// `per_write` (clamped to `[0, 1]`), decided deterministically
+    /// from the plan seed and the write's `(operation, block, row)`.
+    pub fn with_transient(mut self, per_write: f64, bits: u32) -> FaultPlan {
+        self.transient = per_write.clamp(0.0, 1.0);
+        self.transient_bits = bits.clamp(1, 64);
+        self
+    }
+
+    /// Samples `count` distinct faulty cells of one `kind` on `bank`,
+    /// uniformly over the `blocks × rows × bits` cell cuboid, entirely
+    /// from `seed` — the same arguments always yield the same sites.
+    pub fn seeded(
+        seed: u64,
+        kind: FaultKind,
+        count: usize,
+        bank: u32,
+        blocks: u32,
+        rows: u32,
+        bits: u8,
+    ) -> FaultPlan {
+        assert!(blocks > 0 && rows > 0 && bits > 0, "empty cell cuboid");
+        let capacity = blocks as u64 * rows as u64 * u64::from(bits);
+        let count = count.min(capacity as usize);
+        let mut plan = FaultPlan::new(seed);
+        let mut taken: HashSet<(u32, u32, u8)> = HashSet::new();
+        let mut x = seed;
+        while taken.len() < count {
+            x = x.wrapping_add(1);
+            let h = splitmix64(seed ^ splitmix64(x));
+            let cell = h % capacity;
+            let bit = (cell % u64::from(bits)) as u8;
+            let row = ((cell / u64::from(bits)) % u64::from(rows)) as u32;
+            let block = (cell / (u64::from(bits) * u64::from(rows))) as u32;
+            if taken.insert((block, row, bit)) {
+                plan.sites.push(Fault {
+                    addr: CellAddr {
+                        bank,
+                        block,
+                        row,
+                        bit,
+                    },
+                    kind,
+                });
+            }
+        }
+        plan
+    }
+
+    /// The plan's permanent/wear-out sites.
+    pub fn sites(&self) -> &[Fault] {
+        &self.sites
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_armed(&self) -> bool {
+        !self.sites.is_empty() || self.transient > 0.0
+    }
+}
+
+impl Injector for FaultPlan {
+    fn bank_writes(&self, bank: u32) -> Arc<dyn WritePath> {
+        let mut sites: HashMap<(u32, u32), Vec<(u8, FaultKind)>> = HashMap::new();
+        let mut suspect: Option<u32> = None;
+        for f in &self.sites {
+            if f.addr.bank == bank {
+                sites
+                    .entry((f.addr.block, f.addr.row))
+                    .or_default()
+                    .push((f.addr.bit, f.kind));
+                suspect = Some(suspect.map_or(f.addr.block, |b| b.min(f.addr.block)));
+            }
+        }
+        Arc::new(BankWrites {
+            bank,
+            seed: splitmix64(self.seed ^ u64::from(bank)),
+            sites,
+            suspect,
+            transient: self.transient,
+            transient_threshold: threshold(self.transient),
+            transient_bits: self.transient_bits,
+            epoch: AtomicU64::new(0),
+        })
+    }
+}
+
+/// `p` as a 64-bit fixed-point acceptance threshold (`h < t` fires).
+fn threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * (u64::MAX as f64)) as u64
+    }
+}
+
+/// One bank's view of a [`FaultPlan`]: the write path handed to the
+/// engine via [`Injector::bank_writes`].
+#[derive(Debug)]
+struct BankWrites {
+    bank: u32,
+    seed: u64,
+    sites: HashMap<(u32, u32), Vec<(u8, FaultKind)>>,
+    suspect: Option<u32>,
+    transient: f64,
+    transient_threshold: u64,
+    transient_bits: u32,
+    epoch: AtomicU64,
+}
+
+impl WritePath for BankWrites {
+    fn armed(&self) -> bool {
+        !self.sites.is_empty() || self.transient > 0.0
+    }
+
+    fn begin_op(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn store(&self, block: u32, row: u32, value: u64) -> u64 {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let mut out = value;
+        if let Some(bits) = self.sites.get(&(block, row)) {
+            for &(bit, kind) in bits {
+                let mask = 1u64 << bit;
+                match kind {
+                    FaultKind::StuckAt0 => out &= !mask,
+                    FaultKind::StuckAt1 => out |= mask,
+                    FaultKind::WearOut { write_budget } => {
+                        if epoch > write_budget {
+                            out &= !mask;
+                        }
+                    }
+                }
+            }
+        }
+        if self.transient > 0.0 {
+            let h = splitmix64(
+                self.seed
+                    ^ splitmix64(epoch)
+                    ^ splitmix64((u64::from(block) << 32) | u64::from(row)),
+            );
+            if h < self.transient_threshold {
+                out ^= 1u64 << (splitmix64(h) % u64::from(self.transient_bits));
+            }
+        }
+        out
+    }
+
+    fn bank(&self) -> u32 {
+        self.bank
+    }
+
+    fn suspect_block(&self) -> Option<u32> {
+        self.suspect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_sampling_is_deterministic_and_distinct() {
+        let a = FaultPlan::seeded(9, FaultKind::StuckAt1, 40, 0, 19, 256, 13);
+        let b = FaultPlan::seeded(9, FaultKind::StuckAt1, 40, 0, 19, 256, 13);
+        assert_eq!(a.sites(), b.sites());
+        assert_eq!(a.sites().len(), 40);
+        let mut seen = HashSet::new();
+        for f in a.sites() {
+            assert!(f.addr.block < 19 && f.addr.row < 256 && f.addr.bit < 13);
+            assert!(seen.insert(f.addr), "duplicate site {:?}", f.addr);
+        }
+        let c = FaultPlan::seeded(10, FaultKind::StuckAt1, 40, 0, 19, 256, 13);
+        assert_ne!(a.sites(), c.sites(), "different seed, different sites");
+    }
+
+    #[test]
+    fn stuck_bits_pin_and_wearout_ages() {
+        let addr = CellAddr {
+            bank: 0,
+            block: 2,
+            row: 7,
+            bit: 3,
+        };
+        let p0 = FaultPlan::new(1).with_site(addr, FaultKind::StuckAt0);
+        let w = p0.bank_writes(0);
+        assert!(w.armed());
+        assert_eq!(w.store(2, 7, 0b1111), 0b0111);
+        assert_eq!(w.store(2, 8, 0b1111), 0b1111, "other rows untouched");
+        assert_eq!(w.suspect_block(), Some(2));
+
+        let p1 = FaultPlan::new(1).with_site(addr, FaultKind::StuckAt1);
+        assert_eq!(p1.bank_writes(0).store(2, 7, 0), 0b1000);
+        assert!(!p1.bank_writes(1).armed(), "other banks clean");
+
+        let pw = FaultPlan::new(1).with_site(addr, FaultKind::WearOut { write_budget: 2 });
+        let w = pw.bank_writes(0);
+        for expect_ok in [true, true] {
+            w.begin_op();
+            assert_eq!(w.store(2, 7, 0b1000) == 0b1000, expect_ok);
+        }
+        w.begin_op();
+        assert_eq!(w.store(2, 7, 0b1000), 0, "worn out after the budget");
+    }
+
+    #[test]
+    fn transient_flips_replay_and_respect_rate() {
+        let plan = FaultPlan::new(42).with_transient(0.25, 13);
+        assert!(plan.is_armed());
+        let (wa, wb) = (plan.bank_writes(0), plan.bank_writes(0));
+        let mut flips = 0usize;
+        let total = 4000usize;
+        for e in 0..10u64 {
+            wa.begin_op();
+            wb.begin_op();
+            for i in 0..(total as u64 / 10) {
+                let (block, row) = ((i % 7) as u32, (e * 400 + i) as u32 % 512);
+                let a = wa.store(block, row, 0);
+                assert_eq!(a, wb.store(block, row, 0), "same seed, same flips");
+                if a != 0 {
+                    assert_eq!(a.count_ones(), 1, "single-bit flip");
+                    assert!(a.trailing_zeros() < 13);
+                    flips += 1;
+                }
+            }
+        }
+        let rate = flips as f64 / total as f64;
+        assert!((0.15..0.35).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn empty_plan_is_disarmed_passthrough() {
+        let plan = FaultPlan::new(5);
+        assert!(!plan.is_armed());
+        let w = plan.bank_writes(0);
+        assert!(!w.armed());
+        assert_eq!(w.store(0, 0, 12345), 12345);
+        assert_eq!(w.suspect_block(), None);
+    }
+}

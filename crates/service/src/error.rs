@@ -40,6 +40,19 @@ pub enum ServiceError {
     },
     /// An accelerator-level failure while executing the formed batch.
     Pim(PimError),
+    /// Residue checking flagged the job's product as corrupt on every
+    /// one of its execution attempts
+    /// ([`crate::ServiceConfig::max_attempts`]). The corrupt products
+    /// were discarded — a wrong answer is never returned — and the
+    /// faulting bank is a quarantine candidate. Note that a fully
+    /// quarantined fleet surfaces as [`ServiceError::Overloaded`], not
+    /// as this variant: the job was refused, not executed.
+    FaultUnrecovered {
+        /// Bank that executed (and corrupted) the final attempt.
+        bank: u32,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -58,6 +71,12 @@ impl fmt::Display for ServiceError {
                 write!(f, "pair operand degrees differ: {left} vs {right}")
             }
             ServiceError::Pim(e) => write!(f, "accelerator failure: {e}"),
+            ServiceError::FaultUnrecovered { bank, attempts } => {
+                write!(
+                    f,
+                    "corrupt product on bank {bank} persisted through {attempts} attempts; result discarded"
+                )
+            }
         }
     }
 }
@@ -96,6 +115,12 @@ mod tests {
         assert!(ServiceError::Pim(PimError::EmptyBatch)
             .to_string()
             .contains("zero jobs"));
+        assert!(ServiceError::FaultUnrecovered {
+            bank: 3,
+            attempts: 2
+        }
+        .to_string()
+        .contains("bank 3"));
     }
 
     #[test]

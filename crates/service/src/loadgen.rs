@@ -332,6 +332,7 @@ mod tests {
                 queue_capacity: 4,
                 backpressure: Backpressure::Reject,
                 linger: Duration::from_millis(2),
+                ..ServiceConfig::default()
             },
             verify_direct: false,
         });

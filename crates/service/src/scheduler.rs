@@ -36,10 +36,13 @@ use crate::error::ServiceError;
 use crate::stats::{LatencyHistogram, ServiceStats};
 use cryptopim::accelerator::CryptoPim;
 use cryptopim::arch::ArchConfig;
-use cryptopim::batch::multiply_batch_products;
+use cryptopim::batch::multiply_batch_outcomes;
+use cryptopim::check::CheckPolicy;
 use modmath::params::ParamSet;
 use ntt::poly::Polynomial;
+use pim::fault::{Injector, WritePath};
 use pim::par::Threads;
+use pim::PimError;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -77,6 +80,31 @@ pub struct ServiceConfig {
     /// waiting buys packed-lane occupancy (§III-D) for free. Larger
     /// values trade saturated-load latency for occupancy.
     pub linger: Duration,
+    /// Result-integrity policy every worker applies to every product
+    /// ([`CheckPolicy::Residue`] enables the cheap probabilistic
+    /// residue screen, [`CheckPolicy::Recompute`] the sound software
+    /// referee; the default [`CheckPolicy::Disabled`] is the historical
+    /// unchecked hot path). With checking on, a detected-corrupt
+    /// product never reaches a ticket: the job is retried up to
+    /// [`ServiceConfig::max_attempts`] times and otherwise fails with
+    /// [`ServiceError::FaultUnrecovered`].
+    pub check: CheckPolicy,
+    /// Execution attempts per job before a detected-corrupt result is
+    /// surfaced as [`ServiceError::FaultUnrecovered`] (min 1). Retries
+    /// requeue the job at the front of the formed queue, so transient
+    /// faults recover with one extra batch trip.
+    pub max_attempts: u32,
+    /// Consecutive faulted batches after which a bank (worker) is
+    /// quarantined — removed from the fleet for the service's lifetime
+    /// (min 1). When every bank is quarantined the service degrades
+    /// gracefully: queued jobs fail and new submissions return
+    /// [`ServiceError::Overloaded`], never a wrong answer.
+    pub quarantine_after: u32,
+    /// Optional fault injector (campaigns and tests): each worker
+    /// routes its block writes through
+    /// [`Injector::bank_writes`]`(worker_index)`. `None` — the default
+    /// and the production setting — leaves the write path untouched.
+    pub injector: Option<Arc<dyn Injector>>,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +114,10 @@ impl Default for ServiceConfig {
             queue_capacity: 4096,
             backpressure: Backpressure::Block,
             linger: Duration::from_micros(500),
+            check: CheckPolicy::Disabled,
+            max_attempts: 3,
+            quarantine_after: 3,
+            injector: None,
         }
     }
 }
@@ -107,6 +139,9 @@ pub struct CompletedJob {
     pub batch_jobs: usize,
     /// Packed-lane capacity of the hardware at this degree (`32k/n`).
     pub packed_lanes: usize,
+    /// Execution attempts this job took (1 = first try; > 1 means a
+    /// detected-corrupt result was retried and the job *recovered*).
+    pub attempts: u32,
 }
 
 struct TicketState {
@@ -145,6 +180,9 @@ struct Job {
     b: Polynomial,
     ticket: Arc<TicketState>,
     submitted: Instant,
+    /// Execution attempts so far, counting the upcoming one (starts
+    /// at 1; bumped on each detected-fault requeue).
+    attempts: u32,
 }
 
 struct Group {
@@ -191,13 +229,28 @@ struct State {
     lingered_batches: u64,
     eager_batches: u64,
     occupancy_jobs: u64,
+    faults_detected: u64,
+    retries: u64,
+    recovered: u64,
+    /// Per-bank run of consecutive faulted batches (reset by any clean
+    /// batch on that bank) — the quarantine trigger.
+    bank_streak: Vec<u32>,
+    /// Banks removed from the fleet after `quarantine_after`
+    /// consecutive faulted batches.
+    quarantined: Vec<bool>,
+    /// Workers still serving (fleet size minus quarantined banks).
+    active_workers: usize,
+    /// Every bank quarantined: queued jobs failed, new submissions
+    /// refused with `Overloaded`.
+    degraded: bool,
     hist: LatencyHistogram,
 }
 
 struct Shared {
     state: Mutex<State>,
-    /// Fleet size (for the idle-capacity computation).
-    workers: usize,
+    /// The started configuration (workers/attempts/quarantine already
+    /// clamped); workers read their check policy and injector here.
+    cfg: ServiceConfig,
     /// Space freed in the admission queue (Block-mode submitters wait).
     admit: Condvar,
     /// Deadline scheduling for the former (first pending group under a
@@ -229,12 +282,32 @@ impl Shared {
     }
 
     /// Workers the fleet could put to work right now beyond what the
-    /// formed queue will already occupy.
+    /// formed queue will already occupy (quarantined banks excluded).
     fn idle_capacity(&self, st: &State) -> usize {
-        self.workers
+        st.active_workers
             .saturating_sub(st.busy_workers + st.formed.len())
     }
 }
+
+/// Resolves the parameter set a `(n, q)` job runs under, or `None` when
+/// the pair is unsupported. Paper-table degrees must carry the paper's
+/// modulus assignment; degrees above the native 32k (which segment
+/// across hardware passes, §III-D) are accepted with the paper's
+/// large-degree modulus — the only specialized modulus whose `q − 1`
+/// keeps the `2n | q − 1` NTT divisibility at those sizes.
+fn params_for(n: usize, q: u64) -> Option<ParamSet> {
+    if let Ok(p) = ParamSet::for_degree(n) {
+        return (p.q == q).then_some(p);
+    }
+    if n > CryptoPim::max_native_degree() && q == SEGMENTED_Q {
+        return ParamSet::custom(n, q, 32).ok();
+    }
+    None
+}
+
+/// Modulus serving segmented (> 32k) degrees: the paper's large-degree
+/// assignment `3·2^18 + 1`.
+const SEGMENTED_Q: u64 = 786_433;
 
 /// A long-running, multi-tenant serving front end for the accelerator.
 ///
@@ -255,6 +328,8 @@ impl Service {
         let config = ServiceConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
+            max_attempts: config.max_attempts.max(1),
+            quarantine_after: config.quarantine_after.max(1),
             ..config
         };
         let shared = Arc::new(Shared {
@@ -275,9 +350,16 @@ impl Service {
                 lingered_batches: 0,
                 eager_batches: 0,
                 occupancy_jobs: 0,
+                faults_detected: 0,
+                retries: 0,
+                recovered: 0,
+                bank_streak: vec![0; config.workers],
+                quarantined: vec![false; config.workers],
+                active_workers: config.workers,
+                degraded: false,
                 hist: LatencyHistogram::default(),
             }),
-            workers: config.workers,
+            cfg: config.clone(),
             admit: Condvar::new(),
             former: Condvar::new(),
             work: Condvar::new(),
@@ -295,7 +377,7 @@ impl Service {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("cryptopim-svc-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn superbank worker")
             })
             .collect();
@@ -319,10 +401,11 @@ impl Service {
     /// # Errors
     ///
     /// * [`ServiceError::PairMismatch`] — operand degrees differ.
-    /// * [`ServiceError::UnsupportedJob`] — no paper parameter set for
-    ///   the pair's `(n, q)`.
+    /// * [`ServiceError::UnsupportedJob`] — no parameter set for the
+    ///   pair's `(n, q)`: outside the paper table and not a segmented
+    ///   (> 32k) degree under the large-degree modulus.
     /// * [`ServiceError::Overloaded`] — queue full under
-    ///   [`Backpressure::Reject`].
+    ///   [`Backpressure::Reject`], or every bank quarantined.
     /// * [`ServiceError::ShuttingDown`] — submitted during drain.
     pub fn submit(&self, a: Polynomial, b: Polynomial) -> Result<JobTicket, ServiceError> {
         let n = a.degree_bound();
@@ -332,12 +415,11 @@ impl Service {
                 right: b.degree_bound(),
             });
         }
-        let params = ParamSet::for_degree(n)
-            .map_err(|_| ServiceError::UnsupportedJob { n, q: a.modulus() })?;
-        for q in [a.modulus(), b.modulus()] {
-            if q != params.q {
-                return Err(ServiceError::UnsupportedJob { n, q });
-            }
+        let Some(params) = params_for(n, a.modulus()) else {
+            return Err(ServiceError::UnsupportedJob { n, q: a.modulus() });
+        };
+        if b.modulus() != params.q {
+            return Err(ServiceError::UnsupportedJob { n, q: b.modulus() });
         }
         let lanes = ArchConfig::packed_lanes(n).expect("validated degree");
         let key: ParamKey = (n, params.q);
@@ -350,6 +432,15 @@ impl Service {
         loop {
             if st.shutdown {
                 return Err(ServiceError::ShuttingDown);
+            }
+            if st.degraded {
+                // Graceful degradation: with the whole fleet
+                // quarantined no admitted job could ever execute, so
+                // even Block-mode submitters are turned away.
+                st.rejected += 1;
+                return Err(ServiceError::Overloaded {
+                    capacity: self.config.queue_capacity,
+                });
             }
             if st.pending_jobs + st.formed_jobs < self.config.queue_capacity {
                 break;
@@ -382,6 +473,7 @@ impl Service {
             b,
             ticket: Arc::clone(&ticket),
             submitted: now,
+            attempts: 1,
         });
         if group.jobs.len() >= lanes {
             // Full-occupancy batch: flush immediately, no linger paid.
@@ -465,9 +557,15 @@ fn snapshot(st: &State) -> ServiceStats {
         } else {
             st.occupancy_jobs as f64 / st.batches as f64
         },
-        p50_us: st.hist.quantile_us(0.50),
-        p95_us: st.hist.quantile_us(0.95),
-        p99_us: st.hist.quantile_us(0.99),
+        faults_detected: st.faults_detected,
+        retries: st.retries,
+        recovered: st.recovered,
+        quarantined_banks: st.quarantined.iter().filter(|&&b| b).count(),
+        active_workers: st.active_workers,
+        latency_samples: st.hist.count(),
+        p50_us: st.hist.quantile_us(0.50).unwrap_or(0.0),
+        p95_us: st.hist.quantile_us(0.95).unwrap_or(0.0),
+        p99_us: st.hist.quantile_us(0.99).unwrap_or(0.0),
     }
 }
 
@@ -520,9 +618,17 @@ fn former_loop(shared: &Shared, linger: Duration) {
 }
 
 /// One virtual superbank: claims formed batches and runs them through
-/// the verified `multiply_batch_products` engine path, single-threaded
-/// (the fleet is the parallelism), then fulfills every ticket.
-fn worker_loop(shared: &Shared) {
+/// the verified `multiply_batch_outcomes` engine path, single-threaded
+/// (the fleet is the parallelism), then fulfills every ticket. Returns
+/// (permanently) once its bank is quarantined.
+fn worker_loop(shared: &Shared, bank: usize) {
+    // Each bank gets its own write-path view from the injector so
+    // wear-out epochs age per bank, not per fleet.
+    let writes: Option<Arc<dyn WritePath>> = shared
+        .cfg
+        .injector
+        .as_ref()
+        .map(|i| i.bank_writes(bank as u32));
     let mut accelerators: HashMap<ParamKey, CryptoPim> = HashMap::new();
     loop {
         let batch = {
@@ -557,68 +663,185 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work.wait(st).expect("service state poisoned");
             }
         };
-        run_batch(shared, &mut accelerators, batch);
+        if run_batch(shared, &mut accelerators, &writes, batch, bank) {
+            // Quarantined: this bank leaves the fleet. Remaining (or
+            // requeued) work belongs to the surviving workers.
+            return;
+        }
     }
 }
 
-fn run_batch(shared: &Shared, accelerators: &mut HashMap<ParamKey, CryptoPim>, batch: FormedBatch) {
+/// Executes one formed batch: per-job outcomes, detected-fault retry
+/// bookkeeping, and the quarantine decision. Returns whether this bank
+/// was quarantined by the batch.
+fn run_batch(
+    shared: &Shared,
+    accelerators: &mut HashMap<ParamKey, CryptoPim>,
+    writes: &Option<Arc<dyn WritePath>>,
+    batch: FormedBatch,
+    bank: usize,
+) -> bool {
     let dispatch = Instant::now();
     let count = batch.jobs.len();
+    let key = batch.key;
     let mut pairs = Vec::with_capacity(count);
     let mut metas = Vec::with_capacity(count);
     for job in batch.jobs {
         pairs.push((job.a, job.b));
-        metas.push((job.ticket, job.submitted));
+        metas.push((job.ticket, job.submitted, job.attempts));
     }
 
-    let acc = match accelerators.entry(batch.key) {
+    let acc = match accelerators.entry(key) {
         std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
-        std::collections::hash_map::Entry::Vacant(e) => ParamSet::for_degree(batch.key.0)
-            .map_err(pim::PimError::from)
+        std::collections::hash_map::Entry::Vacant(e) => params_for(key.0, key.1)
+            .ok_or(PimError::Math(modmath::Error::InvalidDegree { n: key.0 }))
             .and_then(|p| CryptoPim::new(&p))
             // Workers run their engine sequentially: the fleet supplies
             // the host parallelism, and nested fan-out would let worker
             // counts contend for the same cores.
-            .map(|acc| e.insert(acc.with_threads(Threads::Fixed(1)))),
+            .map(|acc| {
+                e.insert(
+                    acc.with_threads(Threads::Fixed(1))
+                        .with_check(shared.cfg.check)
+                        .with_write_path(writes.clone()),
+                )
+            }),
     };
-    // Products only: batch wall-clock is measured right here, so the
+    // Per-job outcomes: batch wall-clock is measured right here, so the
     // analytic burst simulation of `multiply_batch` (a fixed tens-of-µs
-    // cost per batch, painful at low occupancy) is skipped.
-    let outcome = acc.and_then(|acc| multiply_batch_products(acc, &pairs));
+    // cost per batch, painful at low occupancy) is skipped, and one
+    // corrupt lane fails alone instead of failing its batch-mates.
+    let outcome = acc.and_then(|acc| multiply_batch_outcomes(acc, &pairs));
     let done = Instant::now();
     let service_us = done.duration_since(dispatch).as_secs_f64() * 1e6;
+    let lanes = ArchConfig::packed_lanes(key.0).expect("validated at submit");
+
+    let mut requeue: Vec<Job> = Vec::new();
+    let mut fulfilled_at: Vec<Instant> = Vec::with_capacity(count);
+    let mut faults = 0u64;
+    let mut recovered = 0u64;
 
     match outcome {
-        Ok(products) => {
-            let lanes = ArchConfig::packed_lanes(batch.key.0).expect("validated at submit");
-            for (product, (ticket, submitted)) in products.into_iter().zip(&metas) {
-                fulfill(
-                    ticket,
-                    Ok(CompletedJob {
-                        product,
-                        queue_us: dispatch.duration_since(*submitted).as_secs_f64() * 1e6,
-                        service_us,
-                        batch_jobs: count,
-                        packed_lanes: lanes,
-                    }),
-                );
+        Ok(outcomes) => {
+            for ((result, (a, b)), (ticket, submitted, attempts)) in
+                outcomes.into_iter().zip(pairs).zip(metas)
+            {
+                match result {
+                    Ok(product) => {
+                        if attempts > 1 {
+                            recovered += 1;
+                        }
+                        fulfilled_at.push(submitted);
+                        fulfill(
+                            &ticket,
+                            Ok(CompletedJob {
+                                product,
+                                queue_us: dispatch.duration_since(submitted).as_secs_f64() * 1e6,
+                                service_us,
+                                batch_jobs: count,
+                                packed_lanes: lanes,
+                                attempts,
+                            }),
+                        );
+                    }
+                    Err(PimError::CorruptResult(report)) => {
+                        faults += 1;
+                        if attempts < shared.cfg.max_attempts {
+                            // Requeue at the front: the retry beats any
+                            // newly formed work, bounding its added
+                            // latency to one batch trip per attempt.
+                            requeue.push(Job {
+                                a,
+                                b,
+                                ticket,
+                                submitted,
+                                attempts: attempts + 1,
+                            });
+                        } else {
+                            fulfilled_at.push(submitted);
+                            fulfill(
+                                &ticket,
+                                Err(ServiceError::FaultUnrecovered {
+                                    bank: report.bank,
+                                    attempts,
+                                }),
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        fulfilled_at.push(submitted);
+                        fulfill(&ticket, Err(ServiceError::Pim(e)));
+                    }
+                }
             }
         }
         Err(e) => {
-            for (ticket, _) in &metas {
+            for (ticket, submitted, _) in &metas {
+                fulfilled_at.push(*submitted);
                 fulfill(ticket, Err(ServiceError::Pim(e.clone())));
             }
         }
     }
 
+    let retried = requeue.len();
     let mut st = shared.state.lock().expect("service state poisoned");
     st.in_flight -= count;
     st.busy_workers -= 1;
-    st.completed += count as u64;
-    for (_, submitted) in &metas {
+    st.completed += (count - retried) as u64;
+    st.faults_detected += faults;
+    st.retries += retried as u64;
+    st.recovered += recovered;
+    for submitted in &fulfilled_at {
         st.hist
             .record_us(done.duration_since(*submitted).as_micros() as u64);
     }
+    if !requeue.is_empty() {
+        st.formed_jobs += retried;
+        st.formed.push_front(FormedBatch { key, jobs: requeue });
+        shared.work.notify_one();
+    }
+    // Quarantine policy: K consecutive faulted batches retire the bank.
+    if faults > 0 {
+        st.bank_streak[bank] += 1;
+        if st.bank_streak[bank] >= shared.cfg.quarantine_after && !st.quarantined[bank] {
+            st.quarantined[bank] = true;
+            st.active_workers -= 1;
+            if st.active_workers == 0 {
+                degrade(shared, &mut st);
+            }
+            // Wake Block-mode submitters (capacity changed or degraded)
+            // and idle workers (requeued work may need a new owner).
+            shared.admit.notify_all();
+            shared.work.notify_all();
+            return true;
+        }
+    } else {
+        st.bank_streak[bank] = 0;
+    }
+    false
+}
+
+/// Last bank quarantined: fail everything queued (no bank can ever run
+/// it) and refuse future submissions — the service still answers, it
+/// just answers `Overloaded`. It never returns a wrong product.
+fn degrade(shared: &Shared, st: &mut State) {
+    st.degraded = true;
+    let capacity = shared.cfg.queue_capacity;
+    for batch in st.formed.drain(..) {
+        for job in batch.jobs {
+            fulfill(&job.ticket, Err(ServiceError::Overloaded { capacity }));
+            st.completed += 1;
+        }
+    }
+    st.formed_jobs = 0;
+    for (_, group) in st.pending.drain() {
+        for job in group.jobs {
+            fulfill(&job.ticket, Err(ServiceError::Overloaded { capacity }));
+            st.completed += 1;
+        }
+    }
+    st.pending_jobs = 0;
+    shared.former.notify_all();
 }
 
 fn fulfill(ticket: &Arc<TicketState>, result: Result<CompletedJob, ServiceError>) {
@@ -630,6 +853,58 @@ fn fulfill(ticket: &Arc<TicketState>, result: Result<CompletedJob, ServiceError>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pim::fault::{Injector, WritePath as WritePathTrait};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Test injector: bank 0 corrupts bit 15 of the first premul write
+    /// for its first `bad_ops` operations (`u64::MAX` = forever); other
+    /// banks are clean. At the test degrees `q < 2^13`, so OR-ing bit 15
+    /// always changes the stored word, and `2^15 mod q ≠ 0` keeps the
+    /// corruption alive through re-canonicalization — every faulted op
+    /// yields a wrong product.
+    #[derive(Debug)]
+    struct StuckBitInjector {
+        bad_ops: u64,
+    }
+
+    #[derive(Debug)]
+    struct StuckBitPath {
+        bank: u32,
+        bad_ops: u64,
+        epoch: AtomicU64,
+    }
+
+    impl Injector for StuckBitInjector {
+        fn bank_writes(&self, bank: u32) -> Arc<dyn WritePathTrait> {
+            Arc::new(StuckBitPath {
+                bank,
+                bad_ops: if bank == 0 { self.bad_ops } else { 0 },
+                epoch: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl WritePathTrait for StuckBitPath {
+        fn armed(&self) -> bool {
+            self.bad_ops > 0
+        }
+        fn begin_op(&self) {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        fn store(&self, block: u32, row: u32, value: u64) -> u64 {
+            if block == 0 && row == 0 && self.epoch.load(Ordering::Relaxed) <= self.bad_ops {
+                value | (1 << 15)
+            } else {
+                value
+            }
+        }
+        fn bank(&self) -> u32 {
+            self.bank
+        }
+        fn suspect_block(&self) -> Option<u32> {
+            Some(0)
+        }
+    }
 
     fn poly(n: usize, q: u64, seed: u64) -> Polynomial {
         Polynomial::from_coeffs(
@@ -771,6 +1046,7 @@ mod tests {
             queue_capacity: 1,
             backpressure: Backpressure::Reject,
             linger: Duration::from_secs(3600),
+            ..ServiceConfig::default()
         });
         // Saturate the worker so the next job stays queued: eager
         // flushing needs idle capacity, and the linger is an hour.
@@ -830,6 +1106,115 @@ mod tests {
         assert_eq!(
             svc2.submit(poly(256, q, 1), poly(256, q, 2)).err(),
             Some(ServiceError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn transient_fault_is_detected_retried_and_recovered() {
+        // Bank 0 corrupts exactly its first operation; the residue
+        // check catches it, the job requeues, and attempt 2 runs clean.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            check: CheckPolicy::residue(4, 0xFEED),
+            max_attempts: 3,
+            quarantine_after: 10,
+            injector: Some(Arc::new(StuckBitInjector { bad_ops: 1 })),
+            ..ServiceConfig::default()
+        });
+        let p = ParamSet::for_degree(256).unwrap();
+        use ntt::negacyclic::PolyMultiplier;
+        let direct = CryptoPim::new(&p)
+            .unwrap()
+            .multiply(&poly(256, p.q, 1), &poly(256, p.q, 2))
+            .unwrap();
+        let done = svc
+            .submit(poly(256, p.q, 1), poly(256, p.q, 2))
+            .expect("admitted")
+            .wait()
+            .expect("recovered on retry");
+        assert_eq!(done.product, direct, "recovered product is bit-exact");
+        assert_eq!(done.attempts, 2);
+        let stats = svc.shutdown();
+        assert_eq!(stats.faults_detected, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.quarantined_banks, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn permanent_fault_quarantines_and_degrades() {
+        // One worker, permanently corrupt: attempts exhaust into
+        // FaultUnrecovered, the bank quarantines, and the degraded
+        // service turns new submissions away instead of lying.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            check: CheckPolicy::residue(4, 0xBEEF),
+            max_attempts: 2,
+            quarantine_after: 2,
+            injector: Some(Arc::new(StuckBitInjector { bad_ops: u64::MAX })),
+            ..ServiceConfig::default()
+        });
+        let q = ParamSet::for_degree(256).unwrap().q;
+        let err = svc
+            .submit(poly(256, q, 1), poly(256, q, 2))
+            .expect("admitted")
+            .wait()
+            .expect_err("corruption persists through every attempt");
+        assert_eq!(
+            err,
+            ServiceError::FaultUnrecovered {
+                bank: 0,
+                attempts: 2
+            }
+        );
+        // Quarantine bookkeeping lands just after ticket fulfillment;
+        // wait for it before probing the degraded admission path.
+        while svc.stats().active_workers > 0 {
+            std::thread::yield_now();
+        }
+        let refused = svc.submit(poly(256, q, 3), poly(256, q, 4)).err();
+        assert!(
+            matches!(refused, Some(ServiceError::Overloaded { .. })),
+            "degraded fleet refuses instead of corrupting: {refused:?}"
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.faults_detected, 2, "both attempts flagged");
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.quarantined_banks, 1);
+        assert_eq!(stats.active_workers, 0);
+    }
+
+    #[test]
+    fn surviving_banks_absorb_a_quarantined_banks_work() {
+        // Two banks, only bank 0 faulty, hair-trigger quarantine: every
+        // job must still come back with the correct product — retries
+        // migrate to the clean bank once bank 0 is out.
+        let svc = Service::start(ServiceConfig {
+            workers: 2,
+            check: CheckPolicy::residue(4, 0xACE),
+            max_attempts: 3,
+            quarantine_after: 1,
+            injector: Some(Arc::new(StuckBitInjector { bad_ops: u64::MAX })),
+            ..ServiceConfig::default()
+        });
+        let p = ParamSet::for_degree(256).unwrap();
+        use ntt::negacyclic::PolyMultiplier;
+        let acc = CryptoPim::new(&p).unwrap();
+        for k in 0..8u64 {
+            let (a, b) = (poly(256, p.q, k), poly(256, p.q, k + 50));
+            let direct = acc.multiply(&a, &b).unwrap();
+            let done = svc.submit(a, b).expect("admitted").wait().expect("served");
+            assert_eq!(done.product, direct, "job {k}");
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert!(stats.quarantined_banks <= 1);
+        assert!(stats.active_workers >= 1);
+        assert_eq!(
+            stats.faults_detected, stats.recovered,
+            "every detected fault was recovered: {stats}"
         );
     }
 

@@ -43,20 +43,22 @@ impl LatencyHistogram {
     }
 
     /// The `p`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
-    /// containing it, in microseconds. Returns 0 with no samples.
-    pub fn quantile_us(&self, p: f64) -> f64 {
+    /// containing it, in microseconds. Returns `None` with no samples —
+    /// an empty histogram has no quantiles, and folding that case into
+    /// `0.0` would read as "instantaneous" in dashboards.
+    pub fn quantile_us(&self, p: f64) -> Option<f64> {
         if self.total == 0 {
-            return 0.0;
+            return None;
         }
         let rank = (p.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return (1u64 << (i + 1).min(63)) as f64;
+                return Some((1u64 << (i + 1).min(63)) as f64);
             }
         }
-        (1u64 << 63) as f64
+        Some((1u64 << 63) as f64)
     }
 }
 
@@ -88,11 +90,30 @@ pub struct ServiceStats {
     /// Mean jobs per flushed batch — the realized packed-lane occupancy
     /// (1.0 means no packing; the `32k/n` capacity is the ceiling).
     pub mean_occupancy: f64,
+    /// Corrupt products flagged by residue checking (each is either
+    /// retried or surfaced as `FaultUnrecovered`, never returned).
+    pub faults_detected: u64,
+    /// Jobs requeued for another attempt after a detected fault.
+    pub retries: u64,
+    /// Jobs that succeeded on a retry attempt (detected fault, then a
+    /// verified product — the recover half of recover-or-quarantine).
+    pub recovered: u64,
+    /// Banks removed from the fleet by the quarantine policy.
+    pub quarantined_banks: usize,
+    /// Workers still serving (configured fleet minus quarantined).
+    pub active_workers: usize,
+    /// Latency samples behind the percentiles below. When 0 the
+    /// percentile fields read 0.0 — that means *no data*, not
+    /// instantaneous service.
+    pub latency_samples: u64,
     /// Median end-to-end job latency (submit → ticket fulfilled), µs.
+    /// 0.0 when [`ServiceStats::latency_samples`] is 0.
     pub p50_us: f64,
-    /// 95th-percentile end-to-end job latency, µs.
+    /// 95th-percentile end-to-end job latency, µs. 0.0 when
+    /// [`ServiceStats::latency_samples`] is 0.
     pub p95_us: f64,
-    /// 99th-percentile end-to-end job latency, µs.
+    /// 99th-percentile end-to-end job latency, µs. 0.0 when
+    /// [`ServiceStats::latency_samples`] is 0.
     pub p99_us: f64,
 }
 
@@ -112,11 +133,24 @@ impl std::fmt::Display for ServiceStats {
             self.eager_batches,
             self.mean_occupancy
         )?;
-        write!(
+        writeln!(
             f,
-            "latency p50 ≤ {:.0} µs, p95 ≤ {:.0} µs, p99 ≤ {:.0} µs",
-            self.p50_us, self.p95_us, self.p99_us
-        )
+            "faults detected {} | retries {} recovered {} | quarantined {} ({} active workers)",
+            self.faults_detected,
+            self.retries,
+            self.recovered,
+            self.quarantined_banks,
+            self.active_workers
+        )?;
+        if self.latency_samples == 0 {
+            write!(f, "latency: no samples")
+        } else {
+            write!(
+                f,
+                "latency p50 ≤ {:.0} µs, p95 ≤ {:.0} µs, p99 ≤ {:.0} µs ({} samples)",
+                self.p50_us, self.p95_us, self.p99_us, self.latency_samples
+            )
+        }
     }
 }
 
@@ -125,10 +159,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_reports_zero() {
+    fn empty_histogram_has_no_quantiles() {
         let h = LatencyHistogram::default();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.quantile_us(1.0), None);
     }
 
     #[test]
@@ -139,9 +174,9 @@ mod tests {
         }
         h.record_us(1000); // bucket [512, 1024)
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.5), 4.0);
-        assert_eq!(h.quantile_us(0.95), 4.0);
-        assert_eq!(h.quantile_us(1.0), 1024.0);
+        assert_eq!(h.quantile_us(0.5), Some(4.0));
+        assert_eq!(h.quantile_us(0.95), Some(4.0));
+        assert_eq!(h.quantile_us(1.0), Some(1024.0));
     }
 
     #[test]
@@ -150,8 +185,8 @@ mod tests {
         h.record_us(0);
         h.record_us(u64::MAX);
         assert_eq!(h.count(), 2);
-        assert_eq!(h.quantile_us(0.0), 2.0);
-        assert_eq!(h.quantile_us(1.0), (1u64 << 32) as f64);
+        assert_eq!(h.quantile_us(0.0), Some(2.0));
+        assert_eq!(h.quantile_us(1.0), Some((1u64 << 32) as f64));
     }
 
     #[test]
@@ -162,7 +197,7 @@ mod tests {
         }
         let mut last = 0.0;
         for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let q = h.quantile_us(p);
+            let q = h.quantile_us(p).expect("non-empty");
             assert!(q >= last, "p = {p}");
             last = q;
         }

@@ -3,5 +3,6 @@ pub use cryptopim;
 pub use modmath;
 pub use ntt;
 pub use pim;
+pub use reliability;
 pub use rlwe;
 pub use service;

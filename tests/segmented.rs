@@ -7,6 +7,7 @@ use cryptopim::accelerator::CryptoPim;
 use modmath::params::ParamSet;
 use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
 use ntt::poly::Polynomial;
+use service::{Service, ServiceConfig};
 
 fn rand_poly(n: usize, q: u64, seed: u64) -> Polynomial {
     let mut state = seed;
@@ -47,6 +48,31 @@ fn degree_65536_multiplies_correctly_in_two_passes() {
     let ratio = native.pipelined.throughput / report.pipelined.throughput;
     assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
     assert!(report.pipelined.latency_us > native.pipelined.latency_us);
+}
+
+#[test]
+fn degree_65536_serves_through_the_scheduler() {
+    // The scheduler's parameter resolver covers segmented degrees
+    // (q = 786433) too, so >32k jobs ride the same submit→batch→wait
+    // pipeline as paper-table degrees.
+    let params = ParamSet::custom(65536, 786433, 32).expect("NTT-friendly");
+    let sw = NttMultiplier::new(&params).expect("parameters");
+    let a = rand_poly(65536, params.q, 5);
+    let b = rand_poly(65536, params.q, 6);
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let done = svc
+        .submit(a.clone(), b.clone())
+        .expect("admitted")
+        .wait()
+        .expect("served");
+    assert_eq!(done.product, sw.multiply(&a, &b).expect("software"));
+    assert_eq!(done.attempts, 1);
+    assert_eq!(done.packed_lanes, 1, "a 2-pass degree packs no lane-mates");
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 1);
 }
 
 #[test]

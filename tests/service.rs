@@ -101,6 +101,7 @@ fn reject_policy_surfaces_typed_overload() {
         // flush (eager needs an idle worker), so the overload on the
         // third queued submit is deterministic.
         linger: Duration::from_secs(3600),
+        ..ServiceConfig::default()
     });
     let p = ParamSet::for_degree(1024).expect("valid degree");
     let mk = |c: u64| Polynomial::from_coeffs(vec![c % p.q; 1024], p.q).expect("valid poly");
@@ -144,6 +145,7 @@ fn block_policy_never_drops_under_overload() {
         queue_capacity: 4,
         backpressure: Backpressure::Block,
         linger: Duration::from_micros(100),
+        ..ServiceConfig::default()
     });
     std::thread::scope(|s| {
         for client in 0..CLIENTS {
@@ -177,6 +179,7 @@ fn shutdown_drains_every_admitted_job() {
         queue_capacity: 1024,
         backpressure: Backpressure::Block,
         linger: Duration::from_secs(60),
+        ..ServiceConfig::default()
     });
     let stream = generate_jobs(3, 30, &[64, 256]);
     let expected = direct_products(&stream);
