@@ -20,8 +20,10 @@
 //! same-day snapshots from clobbering each other; committed baselines
 //! (like `BENCH_2026-08-06.json`) are written with an explicit `--out`.
 //! `bench --compare` diffs two such snapshots and exits non-zero when
-//! any common benchmark regressed by more than 10 % — the CI
-//! `bench-smoke` job runs it against the committed baseline.
+//! any common benchmark regressed by more than 10 %; `--filter A,B`
+//! restricts the diff to ids containing one of the substrings — the CI
+//! `bench-smoke` job gates hard on `poly_multiply,engine_multiply`
+//! against the committed baseline.
 //!
 //! `serve-loadgen` drives the `service` crate's job scheduler with a
 //! deterministic seeded workload, bit-verifies every product against
@@ -39,6 +41,8 @@
 
 use baselines::bp::PimDesign;
 use cryptopim::accelerator::CryptoPim;
+use cryptopim::check::CheckPolicy;
+use cryptopim::phase::PhaseSnapshot;
 use cryptopim::pipeline::Organization;
 use modmath::params::ParamSet;
 use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
@@ -65,11 +69,12 @@ fn usage() -> ! {
          \x20 montecarlo  [--samples N] [--variation PCT]             device robustness study\n\
          \x20 bench       [--json] [--seed N] [--threads N] [--degrees A,B] [--out PATH]\n\
          \x20                                                         host-side ns/op benchmarks\n\
-         \x20 bench       --compare OLD.json NEW.json                 diff two snapshots; exit 1 on >10 % regression\n\
+         \x20 bench       --compare OLD.json NEW.json [--filter A,B]  diff two snapshots; exit 1 on >10 % regression\n\
          \x20 serve-loadgen [--seed N] [--jobs N] [--degrees A,B]     drive the batch-forming job scheduler\n\
          \x20             [--mode closed|open] [--clients C] [--rate R]\n\
          \x20             [--workers S] [--queue-cap N] [--linger-us U]\n\
          \x20             [--backpressure block|reject] [--no-verify]\n\
+         \x20             [--check off|residue[:points[:seed]]|recompute]\n\
          \x20             [--min-speedup X] [--json] [--out PATH]     exit 1 on mismatch/drop\n\
          \x20 fault-campaign [--seed N] [--degrees A,B] [--rates R1,R2]\n\
          \x20             [--kinds stuck0,stuck1,transient,wearout]\n\
@@ -271,9 +276,13 @@ fn compare_snapshots(old: &[(String, f64)], new: &[(String, f64)]) -> CompareOut
     out
 }
 
-/// `bench --compare OLD NEW`: prints per-benchmark deltas over the
-/// common ids and exits 1 when any regressed by more than 10 %.
-fn run_compare(old_path: &str, new_path: &str) {
+/// `bench --compare OLD NEW [--filter A,B]`: prints per-benchmark
+/// deltas over the common ids and exits 1 when any regressed by more
+/// than 10 %. With `--filter`, only ids containing one of the
+/// comma-separated substrings participate — CI gates hard on the stable
+/// series (`poly_multiply`, `engine_multiply`) without tripping on
+/// noisier microbenchmarks.
+fn run_compare(old_path: &str, new_path: &str, filter: Option<&str>) {
     let load = |path: &str| -> Vec<(String, f64)> {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
@@ -286,8 +295,18 @@ fn run_compare(old_path: &str, new_path: &str) {
         }
         benches
     };
-    let old = load(old_path);
-    let new = load(new_path);
+    let mut old = load(old_path);
+    let mut new = load(new_path);
+    if let Some(filter) = filter {
+        let needles: Vec<&str> = filter.split(',').map(str::trim).collect();
+        let keep = |id: &str| needles.iter().any(|needle| id.contains(needle));
+        old.retain(|(id, _)| keep(id));
+        new.retain(|(id, _)| keep(id));
+        if old.is_empty() && new.is_empty() {
+            eprintln!("--filter {filter} matches no benchmarks in either snapshot");
+            std::process::exit(2);
+        }
+    }
 
     let outcome = compare_snapshots(&old, &new);
     println!(
@@ -345,7 +364,7 @@ fn run_bench(args: &[String]) {
             eprintln!("--compare needs two snapshot paths");
             std::process::exit(2);
         };
-        run_compare(old_path, new_path);
+        run_compare(old_path, new_path, opt(args, "--filter").as_deref());
         return;
     }
     let threads = parse_threads(args);
@@ -361,9 +380,14 @@ fn run_bench(args: &[String]) {
     let mut results: Vec<(String, f64)> = Vec::new();
 
     for n in parse_degrees(args) {
-        let params = ParamSet::for_degree(n).expect("paper degree");
+        // Degrees past the paper table (65536) fall back to the largest
+        // paper modulus, 786433 = 3·2^18 + 1, whose 2^19-smooth order
+        // supports negacyclic transforms up to n = 2^18.
+        let params = ParamSet::for_degree(n)
+            .or_else(|_| ParamSet::custom(n, 786433, 32))
+            .expect("bench degree");
         let q = params.q;
-        let sw = NttMultiplier::new(&params).expect("paper parameters");
+        let sw = NttMultiplier::new(&params).expect("bench parameters");
         let operand = |salt: u64| {
             Polynomial::from_coeffs(
                 (0..n as u64)
@@ -381,22 +405,55 @@ fn run_bench(args: &[String]) {
                 std::hint::black_box(sw.forward(std::hint::black_box(&a)).unwrap());
             }),
         ));
+        // Inverse kernel on a warm in-place buffer (batch API, B = 1):
+        // canonical output is valid lazy input, so repeated calls keep
+        // transforming in-range data with no per-iteration copy.
+        let mut inv_buf = a.coeffs().to_vec();
+        sw.forward_batch(&mut inv_buf).expect("degree-n buffer");
+        results.push((
+            format!("ntt_inverse/{n}"),
+            time_ns(|| {
+                sw.inverse_batch(std::hint::black_box(&mut inv_buf))
+                    .expect("degree-n buffer");
+            }),
+        ));
         results.push((
             format!("poly_multiply/{n}"),
             time_ns(|| {
                 std::hint::black_box(sw.multiply(&a, &b).unwrap());
             }),
         ));
-
-        let acc = CryptoPim::new(&params)
-            .expect("paper parameters")
-            .with_threads(threads);
+        // Batch-fused transform path: B jobs share one twiddle-table
+        // walk. ns/op is normalized PER JOB so the series reads directly
+        // against poly_multiply/{n}.
+        const BATCH: usize = 4;
+        let mut ba: Vec<u64> = (0..BATCH).flat_map(|_| a.coeffs().to_vec()).collect();
+        let mut bb: Vec<u64> = (0..BATCH).flat_map(|_| b.coeffs().to_vec()).collect();
+        let mut bout = vec![0u64; BATCH * n];
         results.push((
-            format!("engine_multiply/{n}"),
+            format!("ntt_batch/{BATCH}x{n}"),
             time_ns(|| {
-                std::hint::black_box(acc.multiply_with_trace(&a, &b).unwrap());
-            }),
+                sw.multiply_batch_into(
+                    std::hint::black_box(&mut ba),
+                    std::hint::black_box(&mut bb),
+                    std::hint::black_box(&mut bout),
+                )
+                .unwrap();
+            }) / BATCH as f64,
         ));
+
+        // The functional engine models hardware provisioned for the
+        // paper's degrees; skip the series where no architecture exists
+        // (e.g. the 65536 NTT-coverage point).
+        if let Ok(acc) = CryptoPim::new(&params) {
+            let acc = acc.with_threads(threads);
+            results.push((
+                format!("engine_multiply/{n}"),
+                time_ns(|| {
+                    std::hint::black_box(acc.multiply_with_trace(&a, &b).unwrap());
+                }),
+            ));
+        }
     }
 
     println!("{:<24} {:>14}", "benchmark", "ns/op (median)");
@@ -480,6 +537,31 @@ fn run_serve_loadgen(args: &[String]) {
         }
     };
     let verify = !args.iter().any(|a| a == "--no-verify");
+    // --check off | residue[:points[:seed]] | recompute
+    let check_arg = opt(args, "--check").unwrap_or_else(|| "off".into());
+    let check = match check_arg.as_str() {
+        "off" => CheckPolicy::Disabled,
+        "recompute" => CheckPolicy::Recompute,
+        other => {
+            let mut parts = other.split(':');
+            if parts.next() != Some("residue") {
+                eprintln!("unknown check policy: {other}");
+                std::process::exit(2);
+            }
+            let points: u8 = parts.next().map_or(Ok(3), str::parse).unwrap_or_else(|_| {
+                eprintln!("invalid residue point count in --check {other}");
+                std::process::exit(2);
+            });
+            let pt_seed: u64 = parts
+                .next()
+                .map_or(Ok(seed), str::parse)
+                .unwrap_or_else(|_| {
+                    eprintln!("invalid residue seed in --check {other}");
+                    std::process::exit(2);
+                });
+            CheckPolicy::residue(points, pt_seed)
+        }
+    };
 
     let config = LoadgenConfig {
         seed,
@@ -491,13 +573,15 @@ fn run_serve_loadgen(args: &[String]) {
             queue_capacity: queue_cap,
             backpressure,
             linger: Duration::from_micros(linger_us),
+            check,
             ..ServiceConfig::default()
         },
         verify_direct: verify,
     };
     println!(
         "serve-loadgen: seed {seed}, {jobs} jobs over n ∈ {degrees:?}, {mode:?}, \
-         {workers} superbank workers, queue {queue_cap} ({backpressure:?}), linger {linger_us} µs"
+         {workers} superbank workers, queue {queue_cap} ({backpressure:?}), linger {linger_us} µs, \
+         check {check_arg}"
     );
     let report = loadgen::run(&config);
 
@@ -513,6 +597,22 @@ fn run_serve_loadgen(args: &[String]) {
         );
     }
     println!("{}", report.stats);
+    let phase_line = |label: &str, p: &PhaseSnapshot| {
+        if p.engine_ns + p.check_total_ns() > 0 {
+            println!(
+                "{label} phases: engine {:.1} ms, check transform {:.1} ms, \
+                 pointwise {:.1} ms, compare {:.1} ms",
+                p.engine_ns as f64 / 1e6,
+                p.check_transform_ns as f64 / 1e6,
+                p.check_pointwise_ns as f64 / 1e6,
+                p.check_compare_ns as f64 / 1e6,
+            );
+        }
+    };
+    phase_line("service", &report.phase);
+    if verify {
+        phase_line("direct", &report.direct_phase);
+    }
 
     if args.iter().any(|a| a == "--json") {
         let path =
@@ -570,7 +670,20 @@ fn run_serve_loadgen(args: &[String]) {
         out.push_str(&format!("  \"latency_samples\": {},\n", s.latency_samples));
         out.push_str(&format!("  \"p50_us\": {:.1},\n", s.p50_us));
         out.push_str(&format!("  \"p95_us\": {:.1},\n", s.p95_us));
-        out.push_str(&format!("  \"p99_us\": {:.1}\n", s.p99_us));
+        out.push_str(&format!("  \"p99_us\": {:.1},\n", s.p99_us));
+        out.push_str(&format!("  \"check\": \"{check_arg}\",\n"));
+        let phase_json = |p: &PhaseSnapshot| {
+            format!(
+                "{{ \"engine_ns\": {}, \"check_transform_ns\": {}, \
+                 \"check_pointwise_ns\": {}, \"check_compare_ns\": {} }}",
+                p.engine_ns, p.check_transform_ns, p.check_pointwise_ns, p.check_compare_ns
+            )
+        };
+        out.push_str(&format!("  \"phase\": {},\n", phase_json(&report.phase)));
+        out.push_str(&format!(
+            "  \"direct_phase\": {}\n",
+            phase_json(&report.direct_phase)
+        ));
         out.push_str("}\n");
         std::fs::write(&path, out).expect("write service JSON");
         println!("wrote {path}");

@@ -15,8 +15,10 @@ use crate::arch::{ArchConfig, MAX_NATIVE_DEGREE};
 use crate::check::{self, CheckPolicy};
 use crate::engine::{Engine, EngineTrace};
 use crate::mapping::NttMapping;
+use crate::phase;
 use crate::pipeline::{Organization, PipelineModel};
 use crate::report::ExecutionReport;
+use crate::scratch::BatchScratch;
 use crate::Result;
 use modmath::params::ParamSet;
 use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
@@ -27,6 +29,7 @@ use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::PimError;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The CryptoPIM accelerator for one parameter set.
 ///
@@ -150,6 +153,13 @@ impl CryptoPim {
         self.check
     }
 
+    /// The software referee datapath, when [`CheckPolicy::Recompute`]
+    /// is configured (the batch path fuses referee transforms across
+    /// whole chunks instead of going job by job).
+    pub(crate) fn referee(&self) -> Option<&NttMultiplier> {
+        self.referee.as_deref()
+    }
+
     /// The functional engine for this configuration, with the write
     /// path (if any) attached.
     fn engine(&self) -> Engine<'_> {
@@ -266,18 +276,23 @@ impl CryptoPim {
                 right: b.degree_bound(),
             });
         }
+        let engine_start = Instant::now();
         let (coeffs, _) = self.engine().multiply(a.coeffs(), b.coeffs())?;
+        phase::record_engine(engine_start.elapsed());
         match self.check {
             CheckPolicy::Disabled => {}
             CheckPolicy::Residue { points, seed } => {
-                if let Err((failed, checked)) = check::verify_product(
+                let compare_start = Instant::now();
+                let verdict = check::verify_product(
                     &self.mapping,
                     a.coeffs(),
                     b.coeffs(),
                     &coeffs,
                     points,
                     seed,
-                ) {
+                );
+                phase::record_check(0, 0, compare_start.elapsed().as_nanos() as u64);
+                if let Err((failed, checked)) = verdict {
                     return Err(PimError::CorruptResult(self.fault_report(failed, checked)));
                 }
             }
@@ -286,13 +301,26 @@ impl CryptoPim {
                     .referee
                     .as_ref()
                     .expect("with_check builds the referee");
-                let expected = referee.multiply(a, b)?;
-                if expected.coeffs() != coeffs.as_slice() {
-                    let failed = coeffs
-                        .iter()
-                        .zip(expected.coeffs())
-                        .filter(|(got, want)| got != want)
-                        .count();
+                // The single-job case of the batch-fused referee: same
+                // kernels (bit-identical to `NttMultiplier::multiply`),
+                // pooled scratch, and a per-phase timing split.
+                let mut scratch = BatchScratch::checkout(n, 1);
+                let (fa, fb, out) = scratch.buffers();
+                fa.copy_from_slice(a.coeffs());
+                fb.copy_from_slice(b.coeffs());
+                let timing = referee.multiply_batch_into(fa, fb, out)?;
+                let compare_start = Instant::now();
+                let failed = coeffs
+                    .iter()
+                    .zip(out.iter())
+                    .filter(|(got, want)| got != want)
+                    .count();
+                phase::record_check(
+                    timing.transform_ns,
+                    timing.pointwise_ns,
+                    compare_start.elapsed().as_nanos() as u64,
+                );
+                if failed > 0 {
                     return Err(PimError::CorruptResult(
                         self.fault_report(failed as u32, n as u32),
                     ));
@@ -304,7 +332,7 @@ impl CryptoPim {
 
     /// A [`FaultReport`] blaming this accelerator's bank (and the write
     /// path's suspect block, when one is installed).
-    fn fault_report(&self, failed_points: u32, checked_points: u32) -> FaultReport {
+    pub(crate) fn fault_report(&self, failed_points: u32, checked_points: u32) -> FaultReport {
         FaultReport {
             bank: self.writes.as_ref().map_or(0, |w| w.bank()),
             block: self.writes.as_ref().and_then(|w| w.suspect_block()),

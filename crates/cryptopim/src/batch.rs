@@ -15,11 +15,15 @@
 
 use crate::accelerator::CryptoPim;
 use crate::arch::ArchConfig;
+use crate::check::CheckPolicy;
+use crate::phase;
 use crate::schedule::simulate_burst;
+use crate::scratch::BatchScratch;
 use crate::Result;
 use ntt::poly::Polynomial;
 use pim::par::{self, Threads};
 use pim::{PimError, CYCLE_TIME_NS};
+use std::time::Instant;
 
 /// Outcome of a batched run.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +105,9 @@ pub fn multiply_batch_outcomes(
     if pairs.is_empty() {
         return Err(PimError::EmptyBatch);
     }
+    if matches!(acc.check_policy(), CheckPolicy::Recompute) {
+        return recompute_outcomes(acc, pairs);
+    }
     // Pairs are independent superbank slots: fan them out across host
     // threads at job granularity. Inner engines run single-threaded to
     // avoid nested fan-out; results land in input order either way.
@@ -119,6 +126,100 @@ pub fn multiply_batch_outcomes(
             .map(|(a, b)| acc.multiply_product(a, b))
             .collect())
     }
+}
+
+/// Jobs fused into one referee pass. Twiddle-walk amortization
+/// saturates after a handful of polynomials, while scratch grows as
+/// `3·B·n` words — this caps the memory at a size that stays
+/// cache-friendly for every paper degree.
+const MAX_FUSED_JOBS: usize = 16;
+
+/// The [`CheckPolicy::Recompute`] batch path: engine products run
+/// unchecked, then the software referee re-derives whole chunks in one
+/// batch-fused NTT pass (`multiply_batch_into` walks the twiddle tables
+/// once per chunk instead of once per job) and compares bit for bit.
+/// Per-job outcomes are identical to the job-at-a-time path: a corrupt
+/// lane fails alone with [`PimError::CorruptResult`] while its
+/// batch-mates return verified products.
+fn recompute_outcomes(
+    acc: &CryptoPim,
+    pairs: &[(Polynomial, Polynomial)],
+) -> Result<Vec<Result<Polynomial>>> {
+    let workers = acc.threads().resolve().min(pairs.len()).max(1);
+    // The engine side runs unchecked — the chunk referee is the check.
+    let unchecked = acc
+        .clone()
+        .with_threads(Threads::Fixed(1))
+        .with_check(CheckPolicy::Disabled);
+    let chunk_len = pairs.len().div_ceil(workers).clamp(1, MAX_FUSED_JOBS);
+    let chunks: Vec<&[(Polynomial, Polynomial)]> = pairs.chunks(chunk_len).collect();
+    let outcomes: Vec<Vec<Result<Polynomial>>> = if workers > 1 && chunks.len() > 1 {
+        par::map_jobs(&chunks, workers, |chunk| {
+            recompute_chunk(&unchecked, acc, chunk)
+        })
+    } else {
+        chunks
+            .iter()
+            .map(|chunk| recompute_chunk(&unchecked, acc, chunk))
+            .collect()
+    };
+    Ok(outcomes.into_iter().flatten().collect())
+}
+
+/// Runs one chunk: unchecked engine products, one fused referee pass,
+/// per-job bit-for-bit compare.
+fn recompute_chunk(
+    seq: &CryptoPim,
+    acc: &CryptoPim,
+    chunk: &[(Polynomial, Polynomial)],
+) -> Vec<Result<Polynomial>> {
+    let n = seq.params().n;
+    let referee = acc.referee().expect("with_check builds the referee");
+    // `seq` runs with checks disabled, so this is pure engine time
+    // (recorded per call inside `multiply_product`).
+    let engine: Vec<Result<Polynomial>> = chunk
+        .iter()
+        .map(|(a, b)| seq.multiply_product(a, b))
+        .collect();
+    let mut scratch = BatchScratch::checkout(n, chunk.len());
+    let (fa, fb, out) = scratch.buffers();
+    for (i, (a, b)) in chunk.iter().enumerate() {
+        fa[i * n..(i + 1) * n].copy_from_slice(a.coeffs());
+        fb[i * n..(i + 1) * n].copy_from_slice(b.coeffs());
+    }
+    let timing = match referee.multiply_batch_into(fa, fb, out) {
+        Ok(t) => t,
+        Err(e) => return engine.into_iter().map(|_| Err(e.clone().into())).collect(),
+    };
+    let compare_start = Instant::now();
+    let results = engine
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            job.and_then(|product| {
+                let want = &out[i * n..(i + 1) * n];
+                if product.coeffs() == want {
+                    Ok(product)
+                } else {
+                    let failed = product
+                        .coeffs()
+                        .iter()
+                        .zip(want)
+                        .filter(|(got, expect)| got != expect)
+                        .count();
+                    Err(PimError::CorruptResult(
+                        acc.fault_report(failed as u32, n as u32),
+                    ))
+                }
+            })
+        })
+        .collect();
+    phase::record_check(
+        timing.transform_ns,
+        timing.pointwise_ns,
+        compare_start.elapsed().as_nanos() as u64,
+    );
+    results
 }
 
 #[cfg(test)]
@@ -231,6 +332,113 @@ mod tests {
         let report = multiply_batch(&acc, &batch).unwrap();
         let products = multiply_batch_products(&acc, &batch).unwrap();
         assert_eq!(products, report.products);
+    }
+
+    #[test]
+    fn recompute_batch_fused_referee_matches_unchecked_products() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = pairs(256, p.q, 9);
+        let want = multiply_batch_products(&CryptoPim::new(&p).unwrap(), &batch).unwrap();
+        for workers in [1usize, 2, 4] {
+            let acc = CryptoPim::new(&p)
+                .unwrap()
+                .with_threads(Threads::Fixed(workers))
+                .with_check(CheckPolicy::Recompute);
+            let got: Vec<Polynomial> = multiply_batch_outcomes(&acc, &batch)
+                .unwrap()
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(got, want, "workers = {workers}");
+        }
+    }
+
+    /// Corrupts pointwise-block row-0 stores during exactly one multiply
+    /// (`begin_op` counts ops), so one batch lane goes bad.
+    #[derive(Debug)]
+    struct OneOpBitPath {
+        block: u32,
+        target_op: u32,
+        op: std::sync::atomic::AtomicU32,
+    }
+
+    impl pim::fault::WritePath for OneOpBitPath {
+        fn armed(&self) -> bool {
+            true
+        }
+        fn begin_op(&self) {
+            self.op.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+        fn store(&self, block: u32, row: u32, value: u64) -> u64 {
+            let current = self.op.load(std::sync::atomic::Ordering::SeqCst);
+            if current == self.target_op + 1 && block == self.block && row == 0 {
+                value | (1 << 15)
+            } else {
+                value
+            }
+        }
+        fn bank(&self) -> u32 {
+            2
+        }
+        fn suspect_block(&self) -> Option<u32> {
+            Some(self.block)
+        }
+    }
+
+    #[test]
+    fn recompute_batch_isolates_the_corrupt_lane() {
+        use std::sync::Arc;
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = pairs(256, p.q, 5);
+        let clean = multiply_batch_products(&CryptoPim::new(&p).unwrap(), &batch).unwrap();
+        // Third job corrupted; q = 7681 < 2^13 so bit 15 always flips.
+        let path = OneOpBitPath {
+            block: pim::fault::layout::pointwise(8),
+            target_op: 2,
+            op: std::sync::atomic::AtomicU32::new(0),
+        };
+        let acc = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_write_path(Some(Arc::new(path)))
+            .with_check(CheckPolicy::Recompute);
+        let outcomes = multiply_batch_outcomes(&acc, &batch).unwrap();
+        assert_eq!(outcomes.len(), 5);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                match outcome {
+                    Err(PimError::CorruptResult(report)) => {
+                        assert_eq!(report.bank, 2);
+                        assert!(report.failed_points >= 1);
+                    }
+                    other => panic!("lane 2 should fail, got {other:?}"),
+                }
+            } else {
+                assert_eq!(outcome.as_ref().unwrap(), &clean[i], "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_batch_records_phase_split() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let acc = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_check(CheckPolicy::Recompute);
+        let before = phase::snapshot();
+        multiply_batch_outcomes(&acc, &pairs(256, p.q, 4)).unwrap();
+        let delta = phase::snapshot().since(&before);
+        assert!(delta.engine_ns > 0, "engine phase must be recorded");
+        assert!(
+            delta.check_transform_ns > 0,
+            "transform phase must be recorded"
+        );
+        assert!(
+            delta.check_pointwise_ns > 0,
+            "pointwise phase must be recorded"
+        );
+        assert!(delta.check_compare_ns > 0, "compare phase must be recorded");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod controller;
 pub mod engine;
 pub mod exchange;
 pub mod mapping;
+pub mod phase;
 pub mod pipeline;
 pub mod plan;
 pub mod report;

@@ -1,0 +1,120 @@
+//! Process-wide phase timing counters for the checked serving path.
+//!
+//! A Recompute-checked multiply spends its time in three places: the
+//! simulated engine datapath, the software-NTT referee's transforms
+//! (forward ×2 + inverse), and the referee's pointwise multiply plus the
+//! bit-for-bit compare. Tuning the referee (the point of the batch-fused
+//! kernels) only shows up in an end-to-end benchmark if those phases can
+//! be told apart, so the accelerator and batch paths accumulate
+//! nanoseconds here and `serve-loadgen --json` embeds the split.
+//!
+//! Counters are process-wide relaxed atomics: workers on many threads
+//! add to them concurrently, readers take [`snapshot`]s and difference
+//! them ([`PhaseSnapshot::since`]) around the measured window. The
+//! counters monotonically increase; nothing resets them behind a
+//! reader's back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static ENGINE_NS: AtomicU64 = AtomicU64::new(0);
+static CHECK_TRANSFORM_NS: AtomicU64 = AtomicU64::new(0);
+static CHECK_POINTWISE_NS: AtomicU64 = AtomicU64::new(0);
+static CHECK_COMPARE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds one engine (simulated datapath) execution to the tally.
+pub fn record_engine(elapsed: Duration) {
+    ENGINE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Adds one referee pass to the tally, split into its NTT phases.
+pub fn record_check(transform_ns: u64, pointwise_ns: u64, compare_ns: u64) {
+    CHECK_TRANSFORM_NS.fetch_add(transform_ns, Ordering::Relaxed);
+    CHECK_POINTWISE_NS.fetch_add(pointwise_ns, Ordering::Relaxed);
+    CHECK_COMPARE_NS.fetch_add(compare_ns, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the cumulative phase counters, ns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Simulated engine datapath time.
+    pub engine_ns: u64,
+    /// Referee forward + inverse transform time.
+    pub check_transform_ns: u64,
+    /// Referee pointwise-multiply time.
+    pub check_pointwise_ns: u64,
+    /// Bit-for-bit (or residue-point) compare time.
+    pub check_compare_ns: u64,
+}
+
+impl PhaseSnapshot {
+    /// The phase time accumulated between `earlier` and `self`.
+    pub fn since(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
+        PhaseSnapshot {
+            engine_ns: self.engine_ns.saturating_sub(earlier.engine_ns),
+            check_transform_ns: self
+                .check_transform_ns
+                .saturating_sub(earlier.check_transform_ns),
+            check_pointwise_ns: self
+                .check_pointwise_ns
+                .saturating_sub(earlier.check_pointwise_ns),
+            check_compare_ns: self
+                .check_compare_ns
+                .saturating_sub(earlier.check_compare_ns),
+        }
+    }
+
+    /// Total checking overhead (everything but the engine), ns.
+    pub fn check_total_ns(&self) -> u64 {
+        self.check_transform_ns + self.check_pointwise_ns + self.check_compare_ns
+    }
+
+    /// Folds another reading (typically a [`PhaseSnapshot::since`]
+    /// delta) into this one — for accumulating a split over alternating
+    /// measurement windows.
+    pub fn add(&mut self, other: &PhaseSnapshot) {
+        self.engine_ns += other.engine_ns;
+        self.check_transform_ns += other.check_transform_ns;
+        self.check_pointwise_ns += other.check_pointwise_ns;
+        self.check_compare_ns += other.check_compare_ns;
+    }
+}
+
+/// Reads the cumulative counters.
+pub fn snapshot() -> PhaseSnapshot {
+    PhaseSnapshot {
+        engine_ns: ENGINE_NS.load(Ordering::Relaxed),
+        check_transform_ns: CHECK_TRANSFORM_NS.load(Ordering::Relaxed),
+        check_pointwise_ns: CHECK_POINTWISE_NS.load(Ordering::Relaxed),
+        check_compare_ns: CHECK_COMPARE_NS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_difference() {
+        let before = snapshot();
+        record_engine(Duration::from_nanos(1_000));
+        record_check(500, 200, 100);
+        let delta = snapshot().since(&before);
+        assert!(delta.engine_ns >= 1_000);
+        assert!(delta.check_transform_ns >= 500);
+        assert!(delta.check_pointwise_ns >= 200);
+        assert!(delta.check_compare_ns >= 100);
+        assert_eq!(
+            delta.check_total_ns(),
+            delta.check_transform_ns + delta.check_pointwise_ns + delta.check_compare_ns
+        );
+    }
+
+    #[test]
+    fn since_saturates_rather_than_underflows() {
+        let late = snapshot();
+        record_check(10, 10, 10);
+        let later = snapshot();
+        assert_eq!(late.since(&later), PhaseSnapshot::default());
+    }
+}

@@ -86,6 +86,69 @@ pub fn pooled_slabs() -> usize {
     POOL.with(|p| p.borrow().len())
 }
 
+thread_local! {
+    static BATCH_POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A checked-out `3·B·n`-word slab for the batch-fused referee: three
+/// disjoint `B·n` buffers (operand A spectra, operand B spectra,
+/// products) that [`ntt::negacyclic::NttMultiplier::multiply_batch_into`]
+/// walks in one fused pass.
+///
+/// Pooled separately from [`Scratch`] because batch sizes vary call to
+/// call: a pooled slab is reused whenever its capacity covers the
+/// request (the view is trimmed), so a worker thread that has seen its
+/// largest batch once reaches the same zero-allocation steady state as
+/// the engine's fixed-size slabs.
+#[derive(Debug)]
+pub struct BatchScratch {
+    slab: Vec<u64>,
+    lane: usize,
+}
+
+impl BatchScratch {
+    /// Checks out a slab for `batch` degree-`n` jobs, allocating only
+    /// when no pooled slab is large enough.
+    pub fn checkout(n: usize, batch: usize) -> BatchScratch {
+        let lane = n * batch.max(1);
+        let want = 3 * lane;
+        let mut slab = BATCH_POOL
+            .with(|p| {
+                let mut p = p.borrow_mut();
+                p.iter()
+                    .position(|s| s.capacity() >= want)
+                    .map(|i| p.swap_remove(i))
+            })
+            .unwrap_or_default();
+        slab.clear();
+        slab.resize(want, 0);
+        BatchScratch { slab, lane }
+    }
+
+    /// The three disjoint `B·n`-word buffers: (a, b, out).
+    pub fn buffers(&mut self) -> (&mut [u64], &mut [u64], &mut [u64]) {
+        let (a, rest) = self.slab.split_at_mut(self.lane);
+        let (b, out) = rest.split_at_mut(self.lane);
+        (a, b, &mut out[..self.lane])
+    }
+}
+
+impl Drop for BatchScratch {
+    fn drop(&mut self) {
+        let slab = std::mem::take(&mut self.slab);
+        if slab.capacity() == 0 {
+            return;
+        }
+        let _ = BATCH_POOL.try_with(|p| {
+            if let Ok(mut p) = p.try_borrow_mut() {
+                if p.len() < MAX_POOLED {
+                    p.push(slab);
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +192,29 @@ mod tests {
         let many: Vec<Scratch> = (0..2 * MAX_POOLED).map(|_| Scratch::checkout(4)).collect();
         drop(many);
         assert!(pooled_slabs() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn batch_scratch_reuses_capacity_for_smaller_batches() {
+        let big_ptr = {
+            let s = BatchScratch::checkout(64, 8);
+            s.slab.as_ptr() as usize
+        };
+        // A smaller request rides the pooled large slab (trimmed view).
+        let mut small = BatchScratch::checkout(64, 2);
+        assert_eq!(small.slab.as_ptr() as usize, big_ptr);
+        let (a, b, out) = small.buffers();
+        assert_eq!([a.len(), b.len(), out.len()], [128, 128, 128]);
+        assert!(a.iter().chain(b.iter()).chain(out.iter()).all(|&w| w == 0));
+    }
+
+    #[test]
+    fn batch_scratch_buffers_are_disjoint() {
+        let mut s = BatchScratch::checkout(4, 2);
+        let (a, b, out) = s.buffers();
+        a[0] = 1;
+        b[0] = 2;
+        out[0] = 3;
+        assert_eq!((a[0], b[0], out[0]), (1, 2, 3));
     }
 }

@@ -117,6 +117,35 @@ impl BarrettReducer {
     }
 }
 
+/// Precomputes the 64-bit Barrett constant `µ = ⌊2^64 / q⌋` used by
+/// [`mul_lazy_mu`]. Valid for any `q ≥ 2`.
+#[inline]
+pub fn precompute_mu(q: u64) -> u64 {
+    debug_assert!(q >= 2, "modulus must be at least 2");
+    ((1u128 << 64) / q as u128) as u64
+}
+
+/// Lazy Barrett product: `a · b mod q` in `[0, 2q)` without `u128`
+/// division, for operands whose full product fits a `u64`.
+///
+/// With `µ = ⌊2^64/q⌋` and `x = a·b < 2^64`, the quotient estimate
+/// `h = ⌊µ·x / 2^64⌋` satisfies `h ≤ x/q` and `h > x/q − x/2^64 − 1`,
+/// so `r = x − h·q ∈ [0, q + q·x/2^64) ⊂ [0, 2q)`. Unlike the Shoup
+/// form, *neither* operand needs a precomputed companion — this is the
+/// pointwise-stage workhorse, where both operands are spectrum values.
+///
+/// Requires `a·b < 2^64` (e.g. lazy `[0, 2q)` operands with `q < 2^31`).
+#[inline]
+pub fn mul_lazy_mu(a: u64, b: u64, mu: u64, q: u64) -> u64 {
+    debug_assert!(
+        (a as u128) * (b as u128) < 1 << 64,
+        "operand product must fit u64"
+    );
+    let x = a * b;
+    let h = ((mu as u128 * x as u128) >> 64) as u64;
+    x.wrapping_sub(h.wrapping_mul(q))
+}
+
 /// Applies the paper's shift-add Barrett sequence for `q`, returning the
 /// *partial* result exactly as the hardware sequence produces it (no final
 /// conditional subtraction).
@@ -323,6 +352,21 @@ mod tests {
                 let partial = shift_add_reduce_partial(a, q).unwrap();
                 assert_eq!(partial % q, a % q, "partial congruence, q = {q}, a = {a}");
                 assert!(partial < 2 * q, "partial bound, q = {q}, a = {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn mu_lazy_matches_residue_and_bound() {
+        for q in [3u64, 17, 7681, 12289, 786433, (1 << 31) - 1] {
+            let mu = precompute_mu(q);
+            let lazy_max = 2 * q - 1;
+            for a in [0u64, 1, q - 1, q, lazy_max] {
+                for b in [0u64, 1, q - 1, q, lazy_max] {
+                    let r = mul_lazy_mu(a, b, mu, q);
+                    assert!(r < 2 * q, "q={q} a={a} b={b} r={r}");
+                    assert_eq!(r % q, (a as u128 * b as u128 % q as u128) as u64);
+                }
             }
         }
     }

@@ -97,6 +97,10 @@ pub struct NttTables {
     phi_inv_powers: Vec<u64>,
     phi_inv_n_inv_powers: Vec<u64>,
     phi_inv_n_inv_powers_shoup: Vec<u64>,
+    phi_powers_bitrev: Vec<u64>,
+    phi_powers_bitrev_shoup: Vec<u64>,
+    phi_inv_powers_bitrev: Vec<u64>,
+    phi_inv_powers_bitrev_shoup: Vec<u64>,
     n_inv: u64,
     n_inv_shoup: u64,
 }
@@ -164,10 +168,25 @@ impl NttTables {
             .map(|&p| zq::mul(p, n_inv, q))
             .collect();
 
+        // Merged-twiddle (Longa–Naehrig style) tables: entry i holds
+        // φ^{±rev(i, log2 n)}. The merged negacyclic kernels index these
+        // as `table[m + i]` for the i-th block of the m-block stage, so
+        // each stage reads entries `m..2m` sequentially and the φ
+        // pre/post-scaling passes disappear into the butterflies.
+        let n_bits = bitrev::log2_exact(n).expect("validated power of two");
+        let phi_powers_bitrev: Vec<u64> = (0..n)
+            .map(|i| phi_powers[bitrev::reverse_bits(i, n_bits)])
+            .collect();
+        let phi_inv_powers_bitrev: Vec<u64> = (0..n)
+            .map(|i| phi_inv_powers[bitrev::reverse_bits(i, n_bits)])
+            .collect();
+
         let omega_powers_shoup = shoup::precompute_table(&omega_powers, q);
         let omega_inv_powers_shoup = shoup::precompute_table(&omega_inv_powers, q);
         let phi_powers_shoup = shoup::precompute_table(&phi_powers, q);
         let phi_inv_n_inv_powers_shoup = shoup::precompute_table(&phi_inv_n_inv_powers, q);
+        let phi_powers_bitrev_shoup = shoup::precompute_table(&phi_powers_bitrev, q);
+        let phi_inv_powers_bitrev_shoup = shoup::precompute_table(&phi_inv_powers_bitrev, q);
         let n_inv_shoup = shoup::precompute(n_inv, q);
 
         Ok(NttTables {
@@ -184,6 +203,10 @@ impl NttTables {
             phi_inv_powers,
             phi_inv_n_inv_powers,
             phi_inv_n_inv_powers_shoup,
+            phi_powers_bitrev,
+            phi_powers_bitrev_shoup,
+            phi_inv_powers_bitrev,
+            phi_inv_powers_bitrev_shoup,
             n_inv,
             n_inv_shoup,
         })
@@ -266,6 +289,36 @@ impl NttTables {
     #[inline]
     pub fn phi_inv_n_inv_powers_shoup(&self) -> &[u64] {
         &self.phi_inv_n_inv_powers_shoup
+    }
+
+    /// `φ^{rev(i, log2 n)}` for `i ∈ [0, n)` — the merged forward
+    /// negacyclic twiddles. The CT stage with `m` blocks reads entries
+    /// `m..2m` (one per block), which folds the `φ ⊙ a` pre-scaling into
+    /// the butterflies.
+    #[inline]
+    pub fn phi_powers_bitrev(&self) -> &[u64] {
+        &self.phi_powers_bitrev
+    }
+
+    /// Shoup companions of [`NttTables::phi_powers_bitrev`].
+    #[inline]
+    pub fn phi_powers_bitrev_shoup(&self) -> &[u64] {
+        &self.phi_powers_bitrev_shoup
+    }
+
+    /// `φ^{-rev(i, log2 n)}` for `i ∈ [0, n)` — the merged inverse
+    /// negacyclic twiddles (GS stage with `h` blocks reads entries
+    /// `h..2h`), folding the `φ̄` post-scaling into the butterflies; only
+    /// the `n⁻¹` factor remains as a final pass.
+    #[inline]
+    pub fn phi_inv_powers_bitrev(&self) -> &[u64] {
+        &self.phi_inv_powers_bitrev
+    }
+
+    /// Shoup companions of [`NttTables::phi_inv_powers_bitrev`].
+    #[inline]
+    pub fn phi_inv_powers_bitrev_shoup(&self) -> &[u64] {
+        &self.phi_inv_powers_bitrev_shoup
     }
 
     /// `n⁻¹ mod q`.
@@ -385,6 +438,33 @@ mod tests {
             );
         }
         assert_eq!(t.n_inv_shoup(), shoup::precompute(t.n_inv(), q));
+    }
+
+    #[test]
+    fn merged_twiddle_tables_layout() {
+        let n = 16;
+        let q = 7681u64;
+        let t = NttTables::for_degree_modulus(n, q).unwrap();
+        assert_eq!(t.phi_powers_bitrev().len(), n);
+        assert_eq!(t.phi_inv_powers_bitrev().len(), n);
+        let bits = bitrev::log2_exact(n).unwrap();
+        for i in 0..n {
+            let r = bitrev::reverse_bits(i, bits) as u64;
+            assert_eq!(t.phi_powers_bitrev()[i], zq::pow(t.phi(), r, q), "i={i}");
+            assert_eq!(
+                zq::mul(t.phi_powers_bitrev()[i], t.phi_inv_powers_bitrev()[i], q),
+                1,
+                "inverse entry at i={i}"
+            );
+            assert_eq!(
+                t.phi_powers_bitrev_shoup()[i],
+                shoup::precompute(t.phi_powers_bitrev()[i], q)
+            );
+            assert_eq!(
+                t.phi_inv_powers_bitrev_shoup()[i],
+                shoup::precompute(t.phi_inv_powers_bitrev()[i], q)
+            );
+        }
     }
 
     #[test]

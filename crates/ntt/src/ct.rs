@@ -16,7 +16,7 @@
 
 use crate::{dif, gs, Result};
 use modmath::roots::NttTables;
-use modmath::{bitrev, zq};
+use modmath::{bitrev, shoup, zq};
 
 /// In-place Cooley–Tukey kernel: bit-reversed input → natural output.
 ///
@@ -32,19 +32,29 @@ pub fn ct_kernel_in_place(data: &mut [u64], omega_pows: &[u64], q: u64) {
     assert!(n >= 2, "transform length must be at least 2");
     assert_eq!(omega_pows.len(), n / 2, "need n/2 natural-order powers");
 
+    // Chunked branch-free lazy form: coefficients ride in [0, 2q)
+    // between stages (every butterfly intermediate stays below 4q and
+    // is masked back down), with a single normalization at the end.
+    // The Shoup companions cost n/2 divisions, amortized over
+    // n/2 · log n butterflies.
+    let omega_shoup = shoup::precompute_table(omega_pows, q);
+    let two_q = q << 1;
     for s in 0..log_n {
         let half = 1usize << s; // butterfly distance
         let stride = n >> (s + 1); // twiddle exponent step
-        for block in (0..n).step_by(2 * half) {
-            for j in 0..half {
-                let w = omega_pows[j * stride];
-                let u = data[block + j];
-                let v = zq::mul(w, data[block + j + half], q);
-                data[block + j] = zq::add(u, v, q);
-                data[block + j + half] = zq::sub(u, v, q);
+        for chunk in data.chunks_exact_mut(2 * half) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            for (j, (u, v)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let (a, b) = (*u, *v);
+                debug_assert!(a < two_q && b < two_q, "lazy inputs must be < 2q");
+                let k = j * stride;
+                let t = shoup::mul_lazy(b, omega_pows[k], omega_shoup[k], q);
+                *u = shoup::lazy_sub_2q(a + t, two_q);
+                *v = shoup::lazy_sub_2q(a + two_q - t, two_q);
             }
         }
     }
+    shoup::normalize_slice(data, q);
 }
 
 /// Forward cyclic NTT via CT: natural input and output (explicit

@@ -33,18 +33,16 @@ pub fn dif_forward_in_place(data: &mut [u64], omega_pows: &[u64], q: u64) {
     for s in 0..log_n {
         let dist = n >> (s + 1);
         let stride = 1usize << s; // twiddle exponent step within a block
-        for block in (0..n).step_by(2 * dist) {
-            for j in 0..dist {
-                let u = data[block + j];
-                let v = data[block + j + dist];
-                let mut sum = u + v; // < 4q, fits u64 for q ≤ 2^62
-                if sum >= two_q {
-                    sum -= two_q;
-                }
-                data[block + j] = sum;
+        for chunk in data.chunks_exact_mut(2 * dist) {
+            let (lo, hi) = chunk.split_at_mut(dist);
+            for (j, (u, v)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let (a, b) = (*u, *v);
+                debug_assert!(a < two_q && b < two_q, "lazy inputs must be < 2q");
                 let k = j * stride;
-                data[block + j + dist] =
-                    shoup::mul_lazy(u + two_q - v, omega_pows[k], omega_shoup[k], q);
+                // Branch-free: the sum (< 4q) is folded with a mask, the
+                // difference rides through the lazy Shoup multiply.
+                *u = shoup::lazy_sub_2q(a + b, two_q);
+                *v = shoup::mul_lazy(a + two_q - b, omega_pows[k], omega_shoup[k], q);
             }
         }
     }

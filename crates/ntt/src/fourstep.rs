@@ -1,0 +1,458 @@
+//! Four-step (segmented) NTT for large degrees, with cache-blocked
+//! transposes.
+//!
+//! At `n ≥ 16384` a polynomial no longer fits in L1/L2, and the early
+//! radix stages of an in-place transform stride across the whole
+//! buffer, missing cache on every butterfly. The classic four-step
+//! decomposition (Bailey) turns one size-`n` transform into cache-sized
+//! pieces: with `n = n1·n2` and `j = j1 + n1·j2`, `k = k2 + n2·k1`,
+//!
+//! ```text
+//! X[k2 + n2·k1] = Σ_{j1} ω1^{j1·k1} · ( ω^{j1·k2} · Σ_{j2} a[j1 + n1·j2] · ω2^{j2·k2} )
+//! ```
+//!
+//! where `ω1 = ω^{n2}` (order `n1`) and `ω2 = ω^{n1}` (order `n2`) are
+//! *derived from the same big root* — that is what keeps the result
+//! exactly the size-`n` transform, hence bit-identical canonical
+//! outputs. The five passes:
+//!
+//! 1. transpose the `n2 × n1` view into `n1` contiguous rows of `n2`,
+//! 2. a size-`n2` NTT on each row (in cache),
+//! 3. the `ω^{j1·k2}` twiddle correction (one lazy multiply/element;
+//!    `j1·k2 < n`, so the exponent indexes a flat `ω^i` table directly,
+//!    no reduction),
+//! 4. transpose to `n2` contiguous rows of `n1`,
+//! 5. a size-`n1` NTT on each row, and a final transpose back to
+//!    natural order.
+//!
+//! Transposes are tiled ([`TILE`]`×`[`TILE`]) so both the read and the
+//! write side of every tile stay resident — the straightforward loop
+//! would miss on one side for every element.
+//!
+//! The negacyclic wrapper scales by `φ` / `φ̄·n⁻¹` in natural order
+//! (tables already carried by [`NttTables`]), so the segmented multiply
+//! composes exactly like Algorithm 1 and produces bit-identical
+//! products to the merged-kernel path.
+
+use crate::gs;
+use modmath::roots::NttTables;
+use modmath::{barrett, bitrev, shoup, zq};
+
+use crate::Result;
+
+/// Tile edge for the blocked transpose. 32×32 `u64` tiles are two 8KiB
+/// panels — comfortably L1-resident on anything current.
+const TILE: usize = 32;
+
+/// Degree at which the segmented path becomes *available* through
+/// [`crate::negacyclic::NttMultiplier::multiply_segmented`].
+///
+/// Measured on the reference host (AVX-512, 1.25 MiB L2): the merged
+/// in-place kernels beat the four-step form at every paper degree up to
+/// 65536 (≈ 1.9 ms vs ≈ 5.5 ms for a 65536 multiply), because a 512 KiB
+/// operand still lives in L2 — the three transposes cost more than the
+/// cache misses they avoid. The default multiply therefore stays on the
+/// merged path; this constant gates where the explicit segmented entry
+/// point engages for hosts (or future degrees) past their cache cliff.
+pub const FOUR_STEP_MIN_DEGREE: usize = 16384;
+
+/// Cache-blocked out-of-place transpose: `dst[c·rows + r] = src[r·cols + c]`.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` are not both `rows·cols` long.
+pub fn transpose_blocked(src: &[u64], dst: &mut [u64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "source shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "destination shape mismatch");
+    for r0 in (0..rows).step_by(TILE) {
+        let r1 = (r0 + TILE).min(rows);
+        for c0 in (0..cols).step_by(TILE) {
+            let c1 = (c0 + TILE).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// Precomputed plan for a four-step transform of degree `n = n1 · n2`.
+///
+/// Holds the flat `ω^i` power table (with Shoup companions) that serves
+/// the twiddle-correction pass *and*, strided, the two sub-transform
+/// twiddle sets, plus the natural-order sub-twiddles the row kernels
+/// walk.
+#[derive(Debug, Clone)]
+pub struct FourStepPlan {
+    n1: usize,
+    n2: usize,
+    q: u64,
+    /// `ω^i` for `i ∈ [0, n)`, canonical (twiddle-correction pass).
+    omega_table: Vec<u64>,
+    omega_table_shoup: Vec<u64>,
+    /// `ω2 = ω^{n1}` powers in the GS kernel's bit-reversed layout
+    /// (`table[rev(j)] = ω2^j`, `n2/2` entries) — row transforms ride
+    /// [`crate::gs::gs_kernel_lazy_batch`] and its SIMD dispatch.
+    omega2_bitrev: Vec<u64>,
+    omega2_bitrev_shoup: Vec<u64>,
+    /// `ω1 = ω^{n2}` powers, same layout, `n1/2` entries.
+    omega1_bitrev: Vec<u64>,
+    omega1_bitrev_shoup: Vec<u64>,
+    /// Same four sets for the inverse direction (`ω → ω⁻¹`).
+    omega_inv_table: Vec<u64>,
+    omega_inv_table_shoup: Vec<u64>,
+    omega2_inv_bitrev: Vec<u64>,
+    omega2_inv_bitrev_shoup: Vec<u64>,
+    omega1_inv_bitrev: Vec<u64>,
+    omega1_inv_bitrev_shoup: Vec<u64>,
+}
+
+/// Splits `n` into `n1 · n2` with `n1 ≥ n2`, both powers of two, as
+/// square as possible (`n1/n2 ∈ {1, 2}`).
+fn split(n: usize) -> (usize, usize) {
+    let log_n = n.trailing_zeros();
+    let log_n2 = (log_n / 2) as usize;
+    (n >> log_n2, 1 << log_n2)
+}
+
+impl FourStepPlan {
+    /// Builds the plan from the multiplier's tables (same `ω`, hence
+    /// bit-identical transforms).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`modmath::Error::InvalidDegree`] when the degree is too
+    /// small to split (below 4).
+    pub fn new(tables: &NttTables) -> Result<Self> {
+        let n = tables.degree();
+        if n < 4 {
+            return Err(modmath::Error::InvalidDegree { n });
+        }
+        let (n1, n2) = split(n);
+        let q = tables.modulus();
+        let omega = tables.omega();
+        let omega_inv = zq::inv(omega, q).expect("omega invertible");
+
+        let power_table = |base: u64| -> Vec<u64> {
+            let mut t = Vec::with_capacity(n);
+            let mut acc = 1u64;
+            for _ in 0..n {
+                t.push(acc);
+                acc = zq::mul(acc, base, q);
+            }
+            t
+        };
+        let omega_table = power_table(omega);
+        let omega_inv_table = power_table(omega_inv);
+
+        // Sub-root powers in the GS kernel's bit-reversed layout
+        // (`table[rev(j)] = base^j`), matching `NttTables`'
+        // `omega_powers` convention so the batch kernel reads
+        // block-constant twiddles.
+        let bitrev_powers = |t: &[u64], stride: usize, len: usize| -> Vec<u64> {
+            let bits = bitrev::log2_exact(len).map_or(0, |b| b);
+            let mut out = vec![0u64; len.max(1)];
+            for j in 0..len.max(1) {
+                let slot = if len > 1 {
+                    bitrev::reverse_bits(j, bits)
+                } else {
+                    0
+                };
+                out[slot] = t[j * stride];
+            }
+            out
+        };
+        let omega2_bitrev = bitrev_powers(&omega_table, n1, n2 / 2);
+        let omega1_bitrev = bitrev_powers(&omega_table, n2, n1 / 2);
+        let omega2_inv_bitrev = bitrev_powers(&omega_inv_table, n1, n2 / 2);
+        let omega1_inv_bitrev = bitrev_powers(&omega_inv_table, n2, n1 / 2);
+
+        Ok(FourStepPlan {
+            n1,
+            n2,
+            q,
+            omega_table_shoup: shoup::precompute_table(&omega_table, q),
+            omega2_bitrev_shoup: shoup::precompute_table(&omega2_bitrev, q),
+            omega1_bitrev_shoup: shoup::precompute_table(&omega1_bitrev, q),
+            omega_inv_table_shoup: shoup::precompute_table(&omega_inv_table, q),
+            omega2_inv_bitrev_shoup: shoup::precompute_table(&omega2_inv_bitrev, q),
+            omega1_inv_bitrev_shoup: shoup::precompute_table(&omega1_inv_bitrev, q),
+            omega_table,
+            omega2_bitrev,
+            omega1_bitrev,
+            omega_inv_table,
+            omega2_inv_bitrev,
+            omega1_inv_bitrev,
+        })
+    }
+
+    /// The transform degree this plan serves.
+    pub fn degree(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    /// The `(n1, n2)` split.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// Forward cyclic NTT, natural-order input and output, canonical in
+    /// and out. `scratch` must be another `n`-length buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length differs from the plan degree.
+    pub fn forward(&self, data: &mut [u64], scratch: &mut [u64]) {
+        self.run(data, scratch, Dir::Forward);
+    }
+
+    /// Inverse cyclic NTT (including the `n⁻¹` scale), natural-order
+    /// input and output, canonical in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length differs from the plan degree.
+    pub fn inverse(&self, data: &mut [u64], scratch: &mut [u64]) {
+        self.run(data, scratch, Dir::Inverse);
+        // n⁻¹ = n1⁻¹ · n2⁻¹; the row kernels are scale-free, so apply
+        // the whole factor once.
+        let n = self.degree() as u64;
+        let n_inv = zq::inv(n % self.q, self.q).expect("n invertible");
+        let n_inv_shoup = shoup::precompute(n_inv, self.q);
+        for c in data.iter_mut() {
+            *c = shoup::mul(*c, n_inv, n_inv_shoup, self.q);
+        }
+    }
+
+    fn run(&self, data: &mut [u64], scratch: &mut [u64], dir: Dir) {
+        let (n1, n2, q) = (self.n1, self.n2, self.q);
+        let n = n1 * n2;
+        assert_eq!(data.len(), n, "data length mismatch");
+        assert_eq!(scratch.len(), n, "scratch length mismatch");
+        let (table, table_shoup, w1, w1s, w2, w2s) = match dir {
+            Dir::Forward => (
+                &self.omega_table,
+                &self.omega_table_shoup,
+                &self.omega1_bitrev,
+                &self.omega1_bitrev_shoup,
+                &self.omega2_bitrev,
+                &self.omega2_bitrev_shoup,
+            ),
+            Dir::Inverse => (
+                &self.omega_inv_table,
+                &self.omega_inv_table_shoup,
+                &self.omega1_inv_bitrev,
+                &self.omega1_inv_bitrev_shoup,
+                &self.omega2_inv_bitrev,
+                &self.omega2_inv_bitrev_shoup,
+            ),
+        };
+
+        // Step 1: gather the decimated sequences — scratch row j1 holds
+        // a[j1 + n1·j2] for j2 ∈ [0, n2). This is the transpose of the
+        // n2 × n1 row-major view of `data`.
+        transpose_blocked(data, scratch, n2, n1);
+
+        // Step 2: size-n2 row transforms (batch GS kernel — one twiddle
+        // walk per stage for all n1 rows, SIMD-dispatched); step 3:
+        // twiddle-correct row j1 by ω^{j1·k2} via a running power.
+        rows_transform(scratch, n2, w2, w2s, q);
+        correct_rows(scratch, n2, table, table_shoup, q);
+
+        // Step 4: transpose so each size-n1 transform is contiguous.
+        transpose_blocked(scratch, data, n1, n2);
+
+        // Step 5: size-n1 row transforms, then transpose back so that
+        // X[k2 + n2·k1] lands at index k2 + n2·k1 (natural order).
+        rows_transform(data, n1, w1, w1s, q);
+        transpose_blocked(data, scratch, n2, n1);
+        data.copy_from_slice(scratch);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Dir {
+    Forward,
+    Inverse,
+}
+
+/// Cyclic NTT of every `n_row`-length row: per-row bit-reversal (rows
+/// are cache-resident) followed by the batch GS kernel — which walks
+/// each stage's twiddles once for *all* rows and carries the half-width
+/// SIMD dispatch — and a branch-free normalization.
+fn rows_transform(data: &mut [u64], n_row: usize, w_bitrev: &[u64], ws: &[u64], q: u64) {
+    for row in data.chunks_exact_mut(n_row) {
+        bitrev::permute_in_place(row);
+    }
+    gs::gs_kernel_lazy_batch(data, n_row, w_bitrev, ws, q);
+    for c in data.iter_mut() {
+        let mask = ((*c >= q) as u64).wrapping_neg();
+        *c -= q & mask;
+    }
+}
+
+/// The four-step twiddle correction: row `j1` is scaled by `ω^{j1·k2}`
+/// at column `k2`, computed as a running power of `ω^{j1}` (contiguous
+/// table access) rather than a stride-`j1` gather through the `n`-entry
+/// table, which would miss cache on every element for large `j1`.
+fn correct_rows(data: &mut [u64], n_row: usize, table: &[u64], table_shoup: &[u64], q: u64) {
+    let mu = barrett::precompute_mu(q);
+    for (j1, row) in data.chunks_exact_mut(n_row).enumerate().skip(1) {
+        let (base, base_shoup) = (table[j1], table_shoup[j1]);
+        let mut acc = base;
+        if q < 1 << 31 {
+            // µ-Barrett: the running power needs no Shoup companion of
+            // its own.
+            for c in row.iter_mut().skip(1) {
+                *c = shoup::reduce_2q(barrett::mul_lazy_mu(*c, acc, mu, q), q);
+                acc = shoup::mul(acc, base, base_shoup, q);
+            }
+        } else {
+            for c in row.iter_mut().skip(1) {
+                *c = zq::mul(*c, acc, q);
+                acc = shoup::mul(acc, base, base_shoup, q);
+            }
+        }
+    }
+}
+
+/// Segmented negacyclic multiply: `φ`-scale, four-step forward on both
+/// operands, pointwise, four-step inverse, fused `φ̄·n⁻¹` post-scale —
+/// exactly Algorithm 1 with the transforms swapped for the cache-blocked
+/// form, hence bit-identical products.
+///
+/// `a` and `b` are consumed as scratch; the product lands in `a`'s
+/// buffer, returned canonically. `scratch` must be `n`-length.
+///
+/// # Errors
+///
+/// Returns [`modmath::Error::InvalidDegree`] on any length mismatch.
+pub fn multiply_into(
+    plan: &FourStepPlan,
+    tables: &NttTables,
+    a: &mut [u64],
+    b: &mut [u64],
+    scratch: &mut [u64],
+) -> Result<()> {
+    let n = plan.degree();
+    if a.len() != n || b.len() != n || scratch.len() != n || tables.degree() != n {
+        return Err(modmath::Error::InvalidDegree { n: a.len() });
+    }
+    let q = tables.modulus();
+    let phi = tables.phi_powers();
+    let phi_shoup = tables.phi_powers_shoup();
+    for (x, (&p, &ps)) in a.iter_mut().zip(phi.iter().zip(phi_shoup)) {
+        *x = shoup::mul(*x, p, ps, q);
+    }
+    for (x, (&p, &ps)) in b.iter_mut().zip(phi.iter().zip(phi_shoup)) {
+        *x = shoup::mul(*x, p, ps, q);
+    }
+    plan.forward(a, scratch);
+    plan.forward(b, scratch);
+    if q < 1 << 31 {
+        let mu = barrett::precompute_mu(q);
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x = shoup::reduce_2q(barrett::mul_lazy_mu(*x, y, mu, q), q);
+        }
+    } else {
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x = zq::mul(*x, y, q);
+        }
+    }
+    // Scale-free inverse stages, then the fused φ^{-i}·n⁻¹ table — one
+    // post-scale pass covers both factors, mirroring Algorithm 1.
+    plan.run(a, scratch, Dir::Inverse);
+    let fused = tables.phi_inv_n_inv_powers();
+    let fused_shoup = tables.phi_inv_n_inv_powers_shoup();
+    for (x, (&p, &ps)) in a.iter_mut().zip(fused.iter().zip(fused_shoup)) {
+        *x = shoup::mul(*x, p, ps, q);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gs;
+
+    fn tables(n: usize, q: u64) -> NttTables {
+        NttTables::for_degree_modulus(n, q).unwrap()
+    }
+
+    #[test]
+    fn blocked_transpose_round_trips() {
+        for (rows, cols) in [(4usize, 8usize), (32, 32), (64, 16), (33, 7)] {
+            let src: Vec<u64> = (0..rows as u64 * cols as u64).collect();
+            let mut t = vec![0u64; src.len()];
+            let mut back = vec![0u64; src.len()];
+            transpose_blocked(&src, &mut t, rows, cols);
+            transpose_blocked(&t, &mut back, cols, rows);
+            assert_eq!(back, src, "{rows}x{cols}");
+            // Spot-check the mapping itself.
+            assert_eq!(t[rows], src[1], "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn split_is_square_ish() {
+        assert_eq!(split(16384), (128, 128));
+        assert_eq!(split(32768), (256, 128));
+        assert_eq!(split(65536), (256, 256));
+        assert_eq!(split(64), (8, 8));
+    }
+
+    #[test]
+    fn forward_matches_direct_ntt() {
+        for (n, q) in [(16usize, 7681u64), (64, 12289), (1024, 786433)] {
+            let t = tables(n, q);
+            let plan = FourStepPlan::new(&t).unwrap();
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 7) % q).collect();
+
+            let mut via_four = a.clone();
+            let mut scratch = vec![0u64; n];
+            plan.forward(&mut via_four, &mut scratch);
+
+            let mut direct = a.clone();
+            gs::forward(&mut direct, &t);
+            assert_eq!(via_four, direct, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let n = 256usize;
+        let q = 786433u64;
+        let t = tables(n, q);
+        let plan = FourStepPlan::new(&t).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 97 + 3) % q).collect();
+        let mut data = a.clone();
+        let mut scratch = vec![0u64; n];
+        plan.forward(&mut data, &mut scratch);
+        plan.inverse(&mut data, &mut scratch);
+        assert_eq!(data, a);
+    }
+
+    #[test]
+    fn segmented_multiply_matches_merged_multiply() {
+        use crate::negacyclic::{NttMultiplier, PolyMultiplier};
+        use crate::poly::Polynomial;
+        for (n, q) in [(64usize, 12289u64), (1024, 786433)] {
+            let t = tables(n, q);
+            let plan = FourStepPlan::new(&t).unwrap();
+            let m = NttMultiplier::for_degree_modulus(n, q).unwrap();
+            let av: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 1) % q).collect();
+            let bv: Vec<u64> = (0..n as u64).map(|i| (i * 29 + 11) % q).collect();
+
+            let mut a = av.clone();
+            let mut b = bv.clone();
+            let mut scratch = vec![0u64; n];
+            multiply_into(&plan, &t, &mut a, &mut b, &mut scratch).unwrap();
+
+            let pa = Polynomial::from_coeffs(av, q).unwrap();
+            let pb = Polynomial::from_coeffs(bv, q).unwrap();
+            let expect = m.multiply(&pa, &pb).unwrap();
+            assert_eq!(a, expect.coeffs(), "n = {n}");
+        }
+    }
+}

@@ -26,6 +26,35 @@
 //! single normalization pass at the end of the transform restores
 //! canonical form. [`gs_kernel_in_place`] remains the strict
 //! canonical-in/canonical-out kernel for cross-checks.
+//!
+//! # Kernel shape
+//!
+//! The lazy kernel is written for the autovectorizer, not the paper's
+//! index arithmetic:
+//!
+//! * **Branch-free butterflies.** The conditional subtraction is a mask
+//!   ([`shoup::lazy_sub_2q`]), so the inner loops contain no
+//!   data-dependent branches and no `%`.
+//! * **Radix-4 (merged two-stage) passes.** Stages `i` and `i+1` are
+//!   fused: each `4·2^i`-element chunk loads its three twiddles once and
+//!   runs four butterflies per iteration, halving twiddle-table walks
+//!   and loop overhead. When `log2 n` is odd the leftover radix-2 stage
+//!   runs last (distance `n/2`, a single chunk — the most vectorizable
+//!   stage). The per-element operation sequence is unchanged, so lazy
+//!   values stay bit-identical to the classic stage-by-stage schedule.
+//! * **Half-width multiplies for small moduli.** For
+//!   `q < `[`shoup::HALF_MODULUS_LIMIT`] (every paper modulus) the
+//!   butterfly uses [`shoup::mul_lazy_half`]: three 32×32→64 multiplies
+//!   that SSE2/AVX2 can lower to packed `pmuludq`, instead of two
+//!   128-bit-producing multiplies. The half-width companion is the high
+//!   word of the regular Shoup table, so no extra tables are carried.
+//!   Intermediate *representatives* may differ from the wide path, but
+//!   every value stays in `[0, 2q)` and residues are identical, so all
+//!   canonical (normalized) outputs are bit-identical.
+//!
+//! [`gs_kernel_lazy_batch`] applies the same passes stage-outer across
+//! a batch of B stacked transforms, so one twiddle-table walk stays
+//! cache-hot across all B polynomials.
 
 use modmath::roots::NttTables;
 use modmath::{bitrev, shoup, zq};
@@ -93,28 +122,343 @@ pub fn gs_kernel_lazy_in_place(data: &mut [u64], twiddle: &[u64], twiddle_shoup:
     let two_q = q << 1;
     debug_assert!(data.iter().all(|&c| c < two_q), "inputs must be < 2q");
 
-    for i in 0..log_n {
-        let dist = 1usize << i;
-        // Stage i visits n / 2^(i+1) blocks of 2·dist coefficients; the
-        // block at position t uses twiddle[t] (the tables are stored in
-        // bit-reversed order precisely so stages read them
-        // sequentially). Iterating blocks via chunks keeps the twiddle
-        // in a register and lets the compiler drop all bounds checks.
-        for (chunk, (&w, &ws)) in data
-            .chunks_exact_mut(2 * dist)
-            .zip(twiddle.iter().zip(twiddle_shoup))
+    if q < shoup::HALF_MODULUS_LIMIT {
+        simd::run_gs_half(data, twiddle, twiddle_shoup, log_n, HalfBfly { q, two_q });
+    } else {
+        run_gs(data, twiddle, twiddle_shoup, log_n, WideBfly { q, two_q });
+    }
+}
+
+/// Runs B independent lazy GS transforms stacked in one flat buffer.
+///
+/// `data.len()` must be a multiple of `n`; each `n`-length block is one
+/// bit-reversed-order transform input. The stage loop is *outer* and the
+/// per-polynomial loop *inner*, so every stage's twiddle reads stay hot
+/// in cache across the whole batch — one effective table walk per batch
+/// instead of one per polynomial. Outputs are bit-identical (as lazy
+/// values) to calling [`gs_kernel_lazy_in_place`] on each block.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two of at least 2, `data.len()` is
+/// not a positive multiple of `n`, or the twiddle tables do not have
+/// `n / 2` entries each.
+pub fn gs_kernel_lazy_batch(
+    data: &mut [u64],
+    n: usize,
+    twiddle: &[u64],
+    twiddle_shoup: &[u64],
+    q: u64,
+) {
+    let log_n = bitrev::log2_exact(n).expect("transform length must be a power of two");
+    assert!(n >= 2, "transform length must be at least 2");
+    assert!(
+        !data.is_empty() && data.len().is_multiple_of(n),
+        "batch buffer must be a positive multiple of n"
+    );
+    assert_eq!(twiddle.len(), n / 2, "twiddle table must have n/2 entries");
+    assert_eq!(
+        twiddle_shoup.len(),
+        n / 2,
+        "Shoup table must have n/2 entries"
+    );
+    let two_q = q << 1;
+    debug_assert!(data.iter().all(|&c| c < two_q), "inputs must be < 2q");
+
+    if q < shoup::HALF_MODULUS_LIMIT {
+        simd::run_gs_batch_half(
+            data,
+            n,
+            twiddle,
+            twiddle_shoup,
+            log_n,
+            HalfBfly { q, two_q },
+        );
+    } else {
+        run_gs_batch(
+            data,
+            n,
+            twiddle,
+            twiddle_shoup,
+            log_n,
+            WideBfly { q, two_q },
+        );
+    }
+}
+
+/// Runtime-dispatched compilations of the half-width kernel.
+///
+/// The half-width butterfly is pure 32×32→64 arithmetic, which the loop
+/// vectorizer only lowers to packed multiplies (`vpmuludq`) when wide
+/// enough registers make it profitable. `#[target_feature]` recompiles
+/// the *same* generic passes with the AVX-512/AVX2 cost models; the
+/// arithmetic is identical, so results are bit-identical across paths
+/// and the portable scalar build remains the fallback (and the only
+/// path off x86-64).
+mod simd {
+    #[allow(unused_imports)]
+    use super::{run_gs, run_gs_batch, HalfBfly};
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn run_gs_half_avx512(
+        data: &mut [u64],
+        twiddle: &[u64],
+        twiddle_shoup: &[u64],
+        log_n: u32,
+        bf: HalfBfly,
+    ) {
+        run_gs(data, twiddle, twiddle_shoup, log_n, bf);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_gs_half_avx2(
+        data: &mut [u64],
+        twiddle: &[u64],
+        twiddle_shoup: &[u64],
+        log_n: u32,
+        bf: HalfBfly,
+    ) {
+        run_gs(data, twiddle, twiddle_shoup, log_n, bf);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn run_gs_batch_half_avx512(
+        data: &mut [u64],
+        n: usize,
+        twiddle: &[u64],
+        twiddle_shoup: &[u64],
+        log_n: u32,
+        bf: HalfBfly,
+    ) {
+        run_gs_batch(data, n, twiddle, twiddle_shoup, log_n, bf);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_gs_batch_half_avx2(
+        data: &mut [u64],
+        n: usize,
+        twiddle: &[u64],
+        twiddle_shoup: &[u64],
+        log_n: u32,
+        bf: HalfBfly,
+    ) {
+        run_gs_batch(data, n, twiddle, twiddle_shoup, log_n, bf);
+    }
+
+    pub(super) fn run_gs_half(
+        data: &mut [u64],
+        twiddle: &[u64],
+        twiddle_shoup: &[u64],
+        log_n: u32,
+        bf: HalfBfly,
+    ) {
+        #[cfg(target_arch = "x86_64")]
         {
-            let (lo, hi) = chunk.split_at_mut(dist);
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let u = *a;
-                let v = *b;
-                let mut s = u + v; // < 4q, fits u64 for q ≤ 2^62
-                if s >= two_q {
-                    s -= two_q;
-                }
-                *a = s;
-                *b = shoup::mul_lazy(u + two_q - v, w, ws, q);
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                // SAFETY: feature presence checked at runtime just above.
+                unsafe { run_gs_half_avx512(data, twiddle, twiddle_shoup, log_n, bf) };
+                return;
             }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence checked at runtime just above.
+                unsafe { run_gs_half_avx2(data, twiddle, twiddle_shoup, log_n, bf) };
+                return;
+            }
+        }
+        run_gs(data, twiddle, twiddle_shoup, log_n, bf);
+    }
+
+    pub(super) fn run_gs_batch_half(
+        data: &mut [u64],
+        n: usize,
+        twiddle: &[u64],
+        twiddle_shoup: &[u64],
+        log_n: u32,
+        bf: HalfBfly,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                // SAFETY: feature presence checked at runtime just above.
+                unsafe { run_gs_batch_half_avx512(data, n, twiddle, twiddle_shoup, log_n, bf) };
+                return;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence checked at runtime just above.
+                unsafe { run_gs_batch_half_avx2(data, n, twiddle, twiddle_shoup, log_n, bf) };
+                return;
+            }
+        }
+        run_gs_batch(data, n, twiddle, twiddle_shoup, log_n, bf);
+    }
+}
+
+/// One lazy GS butterfly strategy. Both implementations take lazy inputs
+/// `a, b < 2q` and return lazy outputs `< 2q`: the sum path is a masked
+/// conditional subtraction of `2q`, the difference path a Shoup multiply
+/// of `a − b + 2q ∈ (0, 4q)`.
+trait Butterfly: Copy {
+    fn eval(self, a: u64, b: u64, w: u64, ws: u64) -> (u64, u64);
+}
+
+/// Full-width butterfly: exactly the classic `shoup::mul_lazy` sequence,
+/// valid for any `q ≤ 2^62`. Lazy values are bit-identical to the
+/// pre-radix-4 kernel (the masked subtract computes the same value as
+/// the old branch).
+#[derive(Clone, Copy)]
+struct WideBfly {
+    q: u64,
+    two_q: u64,
+}
+
+impl Butterfly for WideBfly {
+    #[inline(always)]
+    fn eval(self, a: u64, b: u64, w: u64, ws: u64) -> (u64, u64) {
+        debug_assert!(a < self.two_q && b < self.two_q, "lazy inputs must be < 2q");
+        let s = shoup::lazy_sub_2q(a + b, self.two_q); // a + b < 4q
+        let d = shoup::mul_lazy(a + self.two_q - b, w, ws, self.q);
+        (s, d)
+    }
+}
+
+/// Half-width butterfly for `q < 2^30`: three 32×32→64 multiplies via
+/// [`shoup::mul_lazy_half`]. `ws` is the *full* 64-bit Shoup companion;
+/// its high word is the half-width companion (loop-invariant shift, the
+/// compiler hoists it out of the butterfly loop).
+#[derive(Clone, Copy)]
+struct HalfBfly {
+    q: u64,
+    two_q: u64,
+}
+
+impl Butterfly for HalfBfly {
+    #[inline(always)]
+    fn eval(self, a: u64, b: u64, w: u64, ws: u64) -> (u64, u64) {
+        debug_assert!(a < self.two_q && b < self.two_q, "lazy inputs must be < 2q");
+        let s = shoup::lazy_sub_2q(a + b, self.two_q); // a + b < 4q < 2^32
+        let d = shoup::mul_lazy_half(a + self.two_q - b, w, ws >> 32, self.q);
+        (s, d)
+    }
+}
+
+/// Full transform: radix-4 passes over stage pairs, with the leftover
+/// radix-2 stage (odd `log2 n`) run last — at distance `n/2` it is a
+/// single chunk with one twiddle, the most vectorizer-friendly stage.
+#[inline(always)]
+fn run_gs<B: Butterfly>(
+    data: &mut [u64],
+    twiddle: &[u64],
+    twiddle_shoup: &[u64],
+    log_n: u32,
+    bf: B,
+) {
+    let mut i = 0;
+    while i + 2 <= log_n {
+        radix4_pass(data, twiddle, twiddle_shoup, i, bf);
+        i += 2;
+    }
+    if i < log_n {
+        radix2_pass(data, twiddle, twiddle_shoup, i, bf);
+    }
+}
+
+/// Stage-outer batch variant of [`run_gs`]: each pass streams all
+/// stacked polynomials before advancing, keeping the twiddles cache-hot.
+#[inline(always)]
+fn run_gs_batch<B: Butterfly>(
+    data: &mut [u64],
+    n: usize,
+    twiddle: &[u64],
+    twiddle_shoup: &[u64],
+    log_n: u32,
+    bf: B,
+) {
+    let mut i = 0;
+    while i + 2 <= log_n {
+        for poly in data.chunks_exact_mut(n) {
+            radix4_pass(poly, twiddle, twiddle_shoup, i, bf);
+        }
+        i += 2;
+    }
+    if i < log_n {
+        for poly in data.chunks_exact_mut(n) {
+            radix2_pass(poly, twiddle, twiddle_shoup, i, bf);
+        }
+    }
+}
+
+/// Merged stages `i` and `i+1` over chunks of `4·2^i` coefficients.
+///
+/// Chunk `c` covers the stage-`i` blocks `2c` and `2c+1` (twiddles
+/// `twiddle[2c]`, `twiddle[2c+1]`) and the stage-`i+1` block `c`
+/// (twiddle `twiddle[c]`) — the bit-reversed table layout makes all
+/// three reads sequential-ish. Four butterflies per iteration, three
+/// twiddle loads per chunk instead of per stage walk.
+#[inline(always)]
+fn radix4_pass<B: Butterfly>(
+    data: &mut [u64],
+    twiddle: &[u64],
+    twiddle_shoup: &[u64],
+    stage: u32,
+    bf: B,
+) {
+    let d = 1usize << stage;
+    for (c, chunk) in data.chunks_exact_mut(4 * d).enumerate() {
+        let (w0, ws0) = (twiddle[2 * c], twiddle_shoup[2 * c]);
+        let (w1, ws1) = (twiddle[2 * c + 1], twiddle_shoup[2 * c + 1]);
+        let (w2, ws2) = (twiddle[c], twiddle_shoup[c]);
+        let (lo, hi) = chunk.split_at_mut(2 * d);
+        let (q0, q1) = lo.split_at_mut(d);
+        let (q2, q3) = hi.split_at_mut(d);
+        for (((x0, x1), x2), x3) in q0
+            .iter_mut()
+            .zip(q1.iter_mut())
+            .zip(q2.iter_mut())
+            .zip(q3.iter_mut())
+        {
+            // Stage i: pairs (q0, q1) and (q2, q3).
+            let (a0, a1) = bf.eval(*x0, *x1, w0, ws0);
+            let (b0, b1) = bf.eval(*x2, *x3, w1, ws1);
+            // Stage i+1 (distance 2d): pairs (q0, q2) and (q1, q3).
+            let (y0, y2) = bf.eval(a0, b0, w2, ws2);
+            let (y1, y3) = bf.eval(a1, b1, w2, ws2);
+            *x0 = y0;
+            *x1 = y1;
+            *x2 = y2;
+            *x3 = y3;
+        }
+    }
+}
+
+/// One classic radix-2 stage, chunked and branch-free.
+#[inline(always)]
+fn radix2_pass<B: Butterfly>(
+    data: &mut [u64],
+    twiddle: &[u64],
+    twiddle_shoup: &[u64],
+    stage: u32,
+    bf: B,
+) {
+    let d = 1usize << stage;
+    for (chunk, (&w, &ws)) in data
+        .chunks_exact_mut(2 * d)
+        .zip(twiddle.iter().zip(twiddle_shoup))
+    {
+        let (lo, hi) = chunk.split_at_mut(d);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (s, t) = bf.eval(*a, *b, w, ws);
+            *a = s;
+            *b = t;
         }
     }
 }
@@ -259,6 +603,111 @@ mod tests {
         modmath::shoup::normalize_slice(&mut b, q);
 
         assert_eq!(a, b);
+    }
+
+    /// Largest prime `q ≡ 1 (mod 2n)` at or below `limit`.
+    fn ntt_prime_below(limit: u64, two_n: u64) -> u64 {
+        let mut q = limit - ((limit - 1) % two_n);
+        while !modmath::primes::is_prime(q) {
+            q -= two_n;
+        }
+        q
+    }
+
+    #[test]
+    fn lazy_kernel_worst_case_half_width_modulus() {
+        // The largest NTT-friendly prime below the half-width limit:
+        // butterfly sums approach 4q < 2^32 and the 32×32→64 multiply
+        // operands approach their bounds. Inputs at the lazy maximum
+        // 2q − 1 stress the [0, 4q) intermediate range.
+        let n = 64usize;
+        let q = ntt_prime_below(shoup::HALF_MODULUS_LIMIT - 1, 2 * n as u64);
+        assert!(q < shoup::HALF_MODULUS_LIMIT);
+        let t = tables_nq(n, q);
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    2 * q - 1
+                } else {
+                    (i * 7919) % (2 * q)
+                }
+            })
+            .collect();
+
+        let mut lazy = data.clone();
+        gs_kernel_lazy_in_place(&mut lazy, t.omega_powers(), t.omega_powers_shoup(), q);
+        assert!(lazy.iter().all(|&c| c < 2 * q), "outputs stay below 2q");
+        modmath::shoup::normalize_slice(&mut lazy, q);
+
+        let mut strict: Vec<u64> = data.iter().map(|&c| c % q).collect();
+        gs_kernel_in_place(&mut strict, t.omega_powers(), q);
+        assert_eq!(lazy, strict);
+    }
+
+    #[test]
+    fn lazy_kernel_worst_case_wide_modulus() {
+        // A prime near 2^62 forces the full-width butterfly path and the
+        // extreme end of the u64 headroom analysis (sums just below 4q).
+        let n = 64usize;
+        let q = ntt_prime_below(1 << 62, 2 * n as u64);
+        assert!(q >= shoup::HALF_MODULUS_LIMIT);
+        let t = tables_nq(n, q);
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    2 * q - 1
+                } else {
+                    (i * 7919) % (2 * q)
+                }
+            })
+            .collect();
+
+        let mut lazy = data.clone();
+        gs_kernel_lazy_in_place(&mut lazy, t.omega_powers(), t.omega_powers_shoup(), q);
+        assert!(lazy.iter().all(|&c| c < 2 * q), "outputs stay below 2q");
+        modmath::shoup::normalize_slice(&mut lazy, q);
+
+        let mut strict: Vec<u64> = data.iter().map(|&c| c % q).collect();
+        gs_kernel_in_place(&mut strict, t.omega_powers(), q);
+        assert_eq!(lazy, strict);
+    }
+
+    #[test]
+    fn lazy_kernel_all_small_sizes_match_strict() {
+        // Covers every radix-4/radix-2 pass combination: even and odd
+        // log2 n, including the degenerate n = 2 (pure radix-2).
+        for n in [2usize, 4, 8, 16, 32, 64, 128] {
+            let t = tables_nq(n, 7681);
+            let q = 7681u64;
+            let data: Vec<u64> = (0..n as u64).map(|i| (i * 131 + 7) % q).collect();
+
+            let mut strict = data.clone();
+            gs_kernel_in_place(&mut strict, t.omega_powers(), q);
+
+            let mut lazy = data.clone();
+            gs_kernel_lazy_in_place(&mut lazy, t.omega_powers(), t.omega_powers_shoup(), q);
+            modmath::shoup::normalize_slice(&mut lazy, q);
+            assert_eq!(lazy, strict, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn batch_kernel_bit_identical_to_sequential() {
+        for (n, q) in [(8usize, 7681u64), (64, 12289), (256, 786433)] {
+            let t = tables_nq(n, q);
+            for b in 1..=5usize {
+                let mut flat: Vec<u64> = (0..(b * n) as u64)
+                    .map(|i| (i * 2654435761) % (2 * q))
+                    .collect();
+                let mut seq = flat.clone();
+                gs_kernel_lazy_batch(&mut flat, n, t.omega_powers(), t.omega_powers_shoup(), q);
+                for poly in seq.chunks_exact_mut(n) {
+                    gs_kernel_lazy_in_place(poly, t.omega_powers(), t.omega_powers_shoup(), q);
+                }
+                // Lazy values (not just residues) must agree exactly.
+                assert_eq!(flat, seq, "n = {n}, q = {q}, b = {b}");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   butterfly distance, bit-reversed twiddle table).
 //! * [`dif`] — a textbook decimation-in-frequency NTT (natural input,
 //!   bit-reversed output) used as a cross-check and ablation comparator.
+//! * [`merged`] — merged-twiddle (`ψ`-folded) CT/GS kernels: the
+//!   scale-free, permute-free hot path the multiplier runs on.
 //! * [`negacyclic`] — the full NTT-based negacyclic multiplier of
 //!   Algorithm 1, plus the [`negacyclic::PolyMultiplier`] trait that lets
 //!   callers swap in the PIM-backed multiplier.
@@ -44,8 +46,10 @@ pub mod cache;
 pub mod ct;
 pub mod dft;
 pub mod dif;
+pub mod fourstep;
 pub mod gs;
 pub mod karatsuba;
+pub mod merged;
 pub mod negacyclic;
 pub mod poly;
 pub mod rns;

@@ -15,10 +15,31 @@
 //! PIM-backed accelerator both implement, so schemes can swap backends.
 
 use crate::poly::Polynomial;
-use crate::{gs, Result};
+use crate::{fourstep, gs, merged, Result};
 use modmath::params::ParamSet;
 use modmath::roots::NttTables;
 use modmath::{bitrev, shoup, zq, Error};
+use std::time::Instant;
+
+/// Wall-clock split of a batch multiply, reported by
+/// [`NttMultiplier::multiply_batch_into`] so callers (the service
+/// loadgen, the reliability referee) can attribute time to transform
+/// work vs pointwise work without re-instrumenting the kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchPhaseTiming {
+    /// Nanoseconds spent in forward + inverse transforms.
+    pub transform_ns: u64,
+    /// Nanoseconds spent in the pointwise product pass.
+    pub pointwise_ns: u64,
+}
+
+impl BatchPhaseTiming {
+    /// Accumulates another timing split into this one.
+    pub fn accumulate(&mut self, other: BatchPhaseTiming) {
+        self.transform_ns += other.transform_ns;
+        self.pointwise_ns += other.pointwise_ns;
+    }
+}
 
 /// Anything that can multiply two polynomials in `Z_q[x]/(x^n + 1)`.
 ///
@@ -66,6 +87,10 @@ pub trait PolyMultiplier {
 #[derive(Debug, Clone)]
 pub struct NttMultiplier {
     tables: NttTables,
+    /// Lazily built four-step plan for the segmented multiply path
+    /// (plan construction walks `2n` root powers, so it only happens on
+    /// first use).
+    four_step: std::sync::OnceLock<fourstep::FourStepPlan>,
 }
 
 impl NttMultiplier {
@@ -78,6 +103,7 @@ impl NttMultiplier {
     pub fn new(params: &ParamSet) -> Result<Self> {
         Ok(NttMultiplier {
             tables: NttTables::new(params)?,
+            four_step: std::sync::OnceLock::new(),
         })
     }
 
@@ -89,6 +115,7 @@ impl NttMultiplier {
     pub fn for_degree_modulus(n: usize, q: u64) -> Result<Self> {
         Ok(NttMultiplier {
             tables: NttTables::for_degree_modulus(n, q)?,
+            four_step: std::sync::OnceLock::new(),
         })
     }
 
@@ -177,6 +204,171 @@ impl NttMultiplier {
         Ok(a.iter().zip(b).map(|(&x, &y)| zq::mul(x, y, q)).collect())
     }
 
+    /// Batch forward transform over a flat buffer of stacked
+    /// natural-order polynomials (`data.len()` a positive multiple of
+    /// the degree), **in place**, leaving each block in the merged
+    /// kernels' internal frequency domain: bit-reversed order, lazy
+    /// `[0, 2q)` values.
+    ///
+    /// The batch kernels walk the twiddle tables once per stage for the
+    /// whole batch, so B stacked transforms cost close to B× the inner
+    /// loop of one — not B full table walks. The output layout is only
+    /// meaningful to [`pointwise_batch`] / [`inverse_batch`]; use
+    /// [`forward`] for cache-friendly natural-order spectra.
+    ///
+    /// [`pointwise_batch`]: NttMultiplier::pointwise_batch
+    /// [`inverse_batch`]: NttMultiplier::inverse_batch
+    /// [`forward`]: NttMultiplier::forward
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when `data.len()` is not a
+    /// positive multiple of the degree.
+    pub fn forward_batch(&self, data: &mut [u64]) -> Result<()> {
+        self.check_batch(data.len())?;
+        merged::forward_lazy_batch_in_place(data, &self.tables);
+        Ok(())
+    }
+
+    /// Batch inverse of [`forward_batch`]'s frequency domain: each block
+    /// comes back in natural order, canonical, with `φ̄` and `n⁻¹`
+    /// applied — the finished negacyclic coefficients.
+    ///
+    /// [`forward_batch`]: NttMultiplier::forward_batch
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] when `data.len()` is not a
+    /// positive multiple of the degree.
+    pub fn inverse_batch(&self, data: &mut [u64]) -> Result<()> {
+        self.check_batch(data.len())?;
+        merged::inverse_batch_in_place(data, &self.tables);
+        Ok(())
+    }
+
+    /// Batch pointwise product in the merged frequency domain:
+    /// `a[i] ← a[i]·b[i] mod q`, lazy in and out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on a length mismatch or when the
+    /// length is not a positive multiple of the degree.
+    pub fn pointwise_batch(&self, a: &mut [u64], b: &[u64]) -> Result<()> {
+        self.check_batch(a.len())?;
+        if a.len() != b.len() {
+            return Err(Error::InvalidDegree { n: b.len() });
+        }
+        merged::pointwise_lazy_in_place(a, b, self.tables.modulus());
+        Ok(())
+    }
+
+    /// Batch-fused negacyclic multiply: `out[k] = a[k] · b[k]` for each
+    /// stacked polynomial pair, walking every twiddle table once per
+    /// stage across the whole batch. `a` and `b` are consumed as
+    /// scratch (left in an unspecified state); `out` receives canonical
+    /// natural-order products. No allocation.
+    ///
+    /// Returns the wall-clock [`BatchPhaseTiming`] split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on a length mismatch or when the
+    /// length is not a positive multiple of the degree.
+    pub fn multiply_batch_into(
+        &self,
+        a: &mut [u64],
+        b: &mut [u64],
+        out: &mut [u64],
+    ) -> Result<BatchPhaseTiming> {
+        self.check_batch(a.len())?;
+        if a.len() != b.len() || a.len() != out.len() {
+            return Err(Error::InvalidDegree { n: b.len() });
+        }
+        let t0 = Instant::now();
+        merged::forward_lazy_batch_in_place(a, &self.tables);
+        merged::forward_lazy_batch_in_place(b, &self.tables);
+        let t1 = Instant::now();
+        merged::pointwise_lazy(a, b, out, self.tables.modulus());
+        let t2 = Instant::now();
+        merged::inverse_batch_in_place(out, &self.tables);
+        let t3 = Instant::now();
+        Ok(BatchPhaseTiming {
+            transform_ns: (t1 - t0).as_nanos() as u64 + (t3 - t2).as_nanos() as u64,
+            pointwise_ns: (t2 - t1).as_nanos() as u64,
+        })
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`NttMultiplier::multiply_batch_into`] for `Polynomial` slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on a length mismatch between the
+    /// operand slices or any operand and the configured degree.
+    pub fn multiply_batch(&self, a: &[Polynomial], b: &[Polynomial]) -> Result<Vec<Polynomial>> {
+        if a.len() != b.len() || a.is_empty() {
+            return Err(Error::InvalidDegree { n: a.len() });
+        }
+        let n = self.tables.degree();
+        let q = self.tables.modulus();
+        for p in a.iter().chain(b) {
+            if p.degree_bound() != n {
+                return Err(Error::InvalidDegree {
+                    n: p.degree_bound(),
+                });
+            }
+        }
+        let mut fa: Vec<u64> = a.iter().flat_map(|p| p.coeffs().iter().copied()).collect();
+        let mut fb: Vec<u64> = b.iter().flat_map(|p| p.coeffs().iter().copied()).collect();
+        let mut out = vec![0u64; fa.len()];
+        self.multiply_batch_into(&mut fa, &mut fb, &mut out)?;
+        out.chunks_exact(n)
+            .map(|c| Polynomial::from_canonical_coeffs(c.to_vec(), q))
+            .collect()
+    }
+
+    /// Segmented (four-step) negacyclic multiply: cache-blocked
+    /// transposes plus in-cache row transforms instead of one in-place
+    /// transform over the whole buffer. Bit-identical to
+    /// [`PolyMultiplier::multiply`] (same root, exact arithmetic).
+    ///
+    /// The plan is built on first use and cached. See
+    /// [`fourstep::FOUR_STEP_MIN_DEGREE`] for when this path is worth
+    /// taking — on hosts whose L2 holds the operands, the merged
+    /// in-place path measures faster at every paper degree, which is
+    /// why the default `multiply` does not switch automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on operand mismatch or a degree
+    /// too small to split.
+    pub fn multiply_segmented(&self, a: &Polynomial, b: &Polynomial) -> Result<Polynomial> {
+        let n = self.tables.degree();
+        if a.degree_bound() != n || b.degree_bound() != n {
+            return Err(Error::InvalidDegree {
+                n: a.degree_bound(),
+            });
+        }
+        if self.four_step.get().is_none() {
+            let plan = fourstep::FourStepPlan::new(&self.tables)?;
+            let _ = self.four_step.set(plan);
+        }
+        let plan = self.four_step.get().expect("plan just installed");
+        let mut fa = a.coeffs().to_vec();
+        let mut fb = b.coeffs().to_vec();
+        let mut scratch = vec![0u64; n];
+        fourstep::multiply_into(plan, &self.tables, &mut fa, &mut fb, &mut scratch)?;
+        Polynomial::from_canonical_coeffs(fa, self.tables.modulus())
+    }
+
+    fn check_batch(&self, len: usize) -> Result<()> {
+        let n = self.tables.degree();
+        if len == 0 || !len.is_multiple_of(n) {
+            return Err(Error::InvalidDegree { n: len });
+        }
+        Ok(())
+    }
+
     /// Pointwise product where `a` comes with precomputed Shoup
     /// companions (`a_shoup[i] = ⌊a[i]·2^64/q⌋`) — the fast path for
     /// cached operands, avoiding the `u128` remainder entirely.
@@ -208,10 +400,24 @@ impl PolyMultiplier for NttMultiplier {
     }
 
     fn multiply(&self, a: &Polynomial, b: &Polynomial) -> Result<Polynomial> {
-        let fa = self.forward(a)?;
-        let fb = self.forward(b)?;
-        let fc = self.pointwise(&fa, &fb)?;
-        self.inverse(fc)
+        let n = self.tables.degree();
+        if a.degree_bound() != n || b.degree_bound() != n {
+            return Err(Error::InvalidDegree {
+                n: a.degree_bound(),
+            });
+        }
+        // Merged-twiddle pipeline: no φ-scaling passes, no bit-reversal
+        // permutations — both spectra stay in the same bit-reversed lazy
+        // domain, where the pointwise product commutes with the
+        // permutation, so the canonical output is bit-identical to the
+        // classic pipeline's.
+        let mut fa = a.coeffs().to_vec();
+        let mut fb = b.coeffs().to_vec();
+        merged::forward_lazy_in_place(&mut fa, &self.tables);
+        merged::forward_lazy_in_place(&mut fb, &self.tables);
+        merged::pointwise_lazy_in_place(&mut fa, &fb, self.tables.modulus());
+        merged::inverse_in_place(&mut fa, &self.tables);
+        Polynomial::from_canonical_coeffs(fa, self.tables.modulus())
     }
 }
 
@@ -290,6 +496,21 @@ mod tests {
             let sq = m.multiply(&h, &h).unwrap();
             assert_eq!(sq.coeff(0), q - 1, "n = {n}");
             assert!(sq.coeffs()[1..].iter().all(|&c| c == 0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn segmented_multiply_bit_identical_to_default() {
+        for n in [64usize, 256, 1024] {
+            let m = mult(n);
+            let q = m.modulus();
+            let a = rand_poly(n, q, 21);
+            let b = rand_poly(n, q, 23);
+            let merged = m.multiply(&a, &b).unwrap();
+            let segmented = m.multiply_segmented(&a, &b).unwrap();
+            assert_eq!(segmented, merged, "n = {n}");
+            // Second call exercises the cached plan.
+            assert_eq!(m.multiply_segmented(&a, &b).unwrap(), merged, "n = {n}");
         }
     }
 

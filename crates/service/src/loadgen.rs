@@ -14,8 +14,8 @@
 use crate::scheduler::{Service, ServiceConfig};
 use crate::stats::ServiceStats;
 use cryptopim::accelerator::CryptoPim;
+use cryptopim::phase::{self, PhaseSnapshot};
 use modmath::params::ParamSet;
-use ntt::negacyclic::PolyMultiplier;
 use ntt::poly::Polynomial;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,6 +102,14 @@ pub struct LoadgenReport {
     pub speedup: f64,
     /// Final service statistics (post-drain).
     pub stats: ServiceStats,
+    /// Per-phase time accumulated inside the service measurement
+    /// windows: simulated engine vs referee transform / pointwise /
+    /// compare (all zero under `CheckPolicy::Disabled` except the
+    /// engine).
+    pub phase: PhaseSnapshot,
+    /// The same split for the direct one-at-a-time baseline windows
+    /// (zero when the baseline is not measured).
+    pub direct_phase: PhaseSnapshot,
 }
 
 impl LoadgenReport {
@@ -211,34 +219,51 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
 
     let mut wall_s = 0.0;
     let (mut direct_wall_s, mut direct_throughput) = (0.0, 0.0);
+    let mut service_phase = PhaseSnapshot::default();
+    let mut direct_phase = PhaseSnapshot::default();
     let mut direct: Vec<Polynomial> = Vec::new();
     if config.verify_direct {
+        // The baseline runs under the *same* check policy as the
+        // service, so the speedup compares like with like (a checked
+        // service against an unchecked baseline would fold the referee
+        // cost into the scheduling comparison).
         let mut accelerators: HashMap<usize, CryptoPim> = HashMap::new();
         for &n in &config.degrees {
             let p = ParamSet::for_degree(n).expect("paper degree");
-            accelerators.insert(n, CryptoPim::new(&p).expect("paper parameters"));
+            accelerators.insert(
+                n,
+                CryptoPim::new(&p)
+                    .expect("paper parameters")
+                    .with_check(config.service.check),
+            );
         }
         let chunk = jobs.len().div_ceil(MEASURE_CHUNKS).max(1);
         let mut lo = 0;
         while lo < jobs.len() {
             let hi = (lo + chunk).min(jobs.len());
+            let before = phase::snapshot();
             let t = Instant::now();
             serve_slice(lo, hi);
             wall_s += t.elapsed().as_secs_f64();
+            service_phase.add(&phase::snapshot().since(&before));
+            let before = phase::snapshot();
             let t = Instant::now();
             direct.extend(jobs[lo..hi].iter().map(|(a, b)| {
                 accelerators[&a.degree_bound()]
-                    .multiply(a, b)
+                    .multiply_product(a, b)
                     .expect("direct multiply")
             }));
             direct_wall_s += t.elapsed().as_secs_f64();
+            direct_phase.add(&phase::snapshot().since(&before));
             lo = hi;
         }
         direct_throughput = jobs.len() as f64 / direct_wall_s;
     } else {
+        let before = phase::snapshot();
         let t = Instant::now();
         serve_slice(0, jobs.len());
         wall_s = t.elapsed().as_secs_f64();
+        service_phase.add(&phase::snapshot().since(&before));
     }
     let stats = service.shutdown();
 
@@ -277,6 +302,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             0.0
         },
         stats,
+        phase: service_phase,
+        direct_phase,
     }
 }
 
@@ -316,6 +343,38 @@ mod tests {
         assert!(report.is_clean(), "{report:?}");
         assert!(report.speedup > 0.0);
         assert_eq!(report.stats.admitted, 24);
+        assert!(report.phase.engine_ns > 0, "service engine phase recorded");
+        assert!(
+            report.direct_phase.engine_ns > 0,
+            "direct engine phase recorded"
+        );
+        // (No zero-assertions on the referee phases here: the counters
+        // are process-wide, and a checked run in a sibling test thread
+        // may legitimately bump them inside this window.)
+    }
+
+    #[test]
+    fn recompute_checked_run_records_referee_phases() {
+        let report = run(&LoadgenConfig {
+            seed: 19,
+            jobs: 16,
+            degrees: vec![256],
+            mode: LoadMode::Closed { clients: 2 },
+            service: ServiceConfig {
+                workers: 2,
+                linger: Duration::from_micros(200),
+                check: cryptopim::check::CheckPolicy::Recompute,
+                ..ServiceConfig::default()
+            },
+            verify_direct: true,
+        });
+        assert!(report.is_clean(), "{report:?}");
+        for (side, split) in [("service", &report.phase), ("direct", &report.direct_phase)] {
+            assert!(split.engine_ns > 0, "{side}: engine phase");
+            assert!(split.check_transform_ns > 0, "{side}: transform phase");
+            assert!(split.check_pointwise_ns > 0, "{side}: pointwise phase");
+            assert!(split.check_compare_ns > 0, "{side}: compare phase");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use cryptopim::engine::Engine;
 use cryptopim::mapping::NttMapping;
 use modmath::params::ParamSet;
+use ntt::negacyclic::NttMultiplier;
 use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -85,4 +86,51 @@ fn steady_state_multiply_is_allocation_free() {
     assert_eq!(out, reference, "products must stay correct");
     assert_eq!(allocs, 0, "steady-state multiply must not allocate");
     assert_eq!(deallocs, 0, "steady-state multiply must not deallocate");
+}
+
+#[test]
+fn batch_fused_multiply_is_allocation_free() {
+    // The batch-fused referee path (`multiply_batch_into`) runs entirely
+    // in caller buffers: once the multiplier and the three B·n slabs
+    // exist, a whole batch of transforms touches the heap zero times.
+    let n = 1024usize;
+    let batch = 4usize;
+    let params = ParamSet::for_degree(n).expect("paper degree");
+    let q = params.q;
+    let m = NttMultiplier::new(&params).expect("paper parameters");
+    let fill = |buf: &mut [u64], seed: u64| {
+        let mut state = seed;
+        for c in buf.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *c = (state >> 16) % q;
+        }
+    };
+    let mut a = vec![0u64; batch * n];
+    let mut b = vec![0u64; batch * n];
+    let mut out = vec![0u64; batch * n];
+    fill(&mut a, 3);
+    fill(&mut b, 4);
+    let (a0, b0) = (a.clone(), b.clone());
+
+    // Warm-up (also produces the reference products).
+    m.multiply_batch_into(&mut a, &mut b, &mut out)
+        .expect("warm-up");
+    let reference = out.clone();
+
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        a.copy_from_slice(&a0);
+        b.copy_from_slice(&b0);
+        m.multiply_batch_into(&mut a, &mut b, &mut out)
+            .expect("steady state");
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - deallocs_before;
+
+    assert_eq!(out, reference, "products must stay correct");
+    assert_eq!(allocs, 0, "batch-fused multiply must not allocate");
+    assert_eq!(deallocs, 0, "batch-fused multiply must not deallocate");
 }
