@@ -22,8 +22,9 @@
 //! `bench --compare` diffs two such snapshots and exits non-zero when
 //! any common benchmark regressed by more than 10 %; `--filter A,B`
 //! restricts the diff to ids containing one of the substrings — the CI
-//! `bench-smoke` job gates hard on `poly_multiply,engine_multiply`
-//! against the committed baseline.
+//! `bench-smoke` job gates hard on
+//! `poly_multiply,engine_multiply,engine_batch` against the committed
+//! baseline.
 //!
 //! `serve-loadgen` drives the `service` crate's job scheduler with a
 //! deterministic seeded workload, bit-verifies every product against
@@ -41,6 +42,7 @@
 
 use baselines::bp::PimDesign;
 use cryptopim::accelerator::CryptoPim;
+use cryptopim::batch;
 use cryptopim::check::CheckPolicy;
 use cryptopim::phase::PhaseSnapshot;
 use cryptopim::pipeline::Organization;
@@ -75,11 +77,13 @@ fn usage() -> ! {
          \x20             [--workers S] [--queue-cap N] [--linger-us U]\n\
          \x20             [--backpressure block|reject] [--no-verify]\n\
          \x20             [--check off|residue[:points[:seed]]|recompute]\n\
+         \x20             [--hot-keys K]                              reuse K seeded `a` keys + hot cache\n\
          \x20             [--min-speedup X] [--json] [--out PATH]     exit 1 on mismatch/drop\n\
          \x20 fault-campaign [--seed N] [--degrees A,B] [--rates R1,R2]\n\
          \x20             [--kinds stuck0,stuck1,transient,wearout]\n\
          \x20             [--jobs N] [--points P] [--max-attempts N]\n\
-         \x20             [--quarantine-after N] [--json] [--out PATH]\n\
+         \x20             [--quarantine-after N] [--hot-keys K]\n\
+         \x20             [--json] [--out PATH]\n\
          \x20                                                         seeded fault sweep; exit 1 if a corrupt product was served\n\
          \n\
          --threads N pins the lane fan-out (default: CRYPTOPIM_THREADS\n\
@@ -172,15 +176,33 @@ fn utc_timestamp() -> String {
     )
 }
 
+/// The commit a snapshot was actually taken at: `git rev-parse --short
+/// HEAD` *at run time*, with a `-dirty` suffix when the working tree
+/// has uncommitted changes. The suffix matters for provenance — a
+/// snapshot recorded before its code lands would otherwise claim the
+/// previous commit reproduced numbers it never produced.
 fn git_commit() -> String {
-    std::process::Command::new("git")
+    let head = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
         .ok()
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
+        .map(|s| s.trim().to_string());
+    let Some(head) = head.filter(|s| !s.is_empty()) else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{head}-dirty")
+    } else {
+        head
+    }
 }
 
 /// Extracts `(id, ns_per_op)` pairs from a `bench --json` snapshot.
@@ -280,8 +302,8 @@ fn compare_snapshots(old: &[(String, f64)], new: &[(String, f64)]) -> CompareOut
 /// deltas over the common ids and exits 1 when any regressed by more
 /// than 10 %. With `--filter`, only ids containing one of the
 /// comma-separated substrings participate — CI gates hard on the stable
-/// series (`poly_multiply`, `engine_multiply`) without tripping on
-/// noisier microbenchmarks.
+/// series (`poly_multiply`, `engine_multiply`, `engine_batch`) without
+/// tripping on noisier microbenchmarks.
 fn run_compare(old_path: &str, new_path: &str, filter: Option<&str>) {
     let load = |path: &str| -> Vec<(String, f64)> {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -453,6 +475,21 @@ fn run_bench(args: &[String]) {
                     std::hint::black_box(acc.multiply_with_trace(&a, &b).unwrap());
                 }),
             ));
+            // Batch-fused engine path: B jobs share one StagePlan walk
+            // over the pooled scratch slab. Per-job ns, so the series
+            // reads directly against engine_multiply/{n}.
+            let pairs: Vec<(Polynomial, Polynomial)> = (0..BATCH as u64)
+                .map(|i| (operand(10 + i), operand(20 + i)))
+                .collect();
+            results.push((
+                format!("engine_batch/{BATCH}x{n}"),
+                time_ns(|| {
+                    std::hint::black_box(
+                        batch::multiply_batch_products(&acc, std::hint::black_box(&pairs))
+                            .unwrap(),
+                    );
+                }) / BATCH as f64,
+            ));
         }
     }
 
@@ -537,6 +574,10 @@ fn run_serve_loadgen(args: &[String]) {
         }
     };
     let verify = !args.iter().any(|a| a == "--no-verify");
+    // --hot-keys K: protocol-shaped workload — every job's `a` operand
+    // comes from a pool of K reused seeded keys, and the service runs
+    // with a hot-operand transform cache sized to hold all of them.
+    let hot_keys = parse_num("--hot-keys", 0) as usize;
     // --check off | residue[:points[:seed]] | recompute
     let check_arg = opt(args, "--check").unwrap_or_else(|| "off".into());
     let check = match check_arg.as_str() {
@@ -567,6 +608,7 @@ fn run_serve_loadgen(args: &[String]) {
         seed,
         jobs,
         degrees: degrees.clone(),
+        hot_keys,
         mode,
         service: ServiceConfig {
             workers,
@@ -574,6 +616,7 @@ fn run_serve_loadgen(args: &[String]) {
             backpressure,
             linger: Duration::from_micros(linger_us),
             check,
+            hot_capacity: hot_keys,
             ..ServiceConfig::default()
         },
         verify_direct: verify,
@@ -581,7 +624,7 @@ fn run_serve_loadgen(args: &[String]) {
     println!(
         "serve-loadgen: seed {seed}, {jobs} jobs over n ∈ {degrees:?}, {mode:?}, \
          {workers} superbank workers, queue {queue_cap} ({backpressure:?}), linger {linger_us} µs, \
-         check {check_arg}"
+         check {check_arg}, hot keys {hot_keys}"
     );
     let report = loadgen::run(&config);
 
@@ -672,6 +715,18 @@ fn run_serve_loadgen(args: &[String]) {
         out.push_str(&format!("  \"p95_us\": {:.1},\n", s.p95_us));
         out.push_str(&format!("  \"p99_us\": {:.1},\n", s.p99_us));
         out.push_str(&format!("  \"check\": \"{check_arg}\",\n"));
+        out.push_str(&format!("  \"hot_keys\": {hot_keys},\n"));
+        out.push_str(&format!("  \"hot_hits\": {},\n", s.hot_hits));
+        out.push_str(&format!("  \"hot_misses\": {},\n", s.hot_misses));
+        let lookups = s.hot_hits + s.hot_misses;
+        out.push_str(&format!(
+            "  \"hot_hit_rate\": {:.4},\n",
+            if lookups == 0 {
+                0.0
+            } else {
+                s.hot_hits as f64 / lookups as f64
+            }
+        ));
         let phase_json = |p: &PhaseSnapshot| {
             format!(
                 "{{ \"engine_ns\": {}, \"check_transform_ns\": {}, \
@@ -767,6 +822,8 @@ fn run_fault_campaign(args: &[String]) {
             .collect(),
     };
 
+    let hot_keys = parse_num("--hot-keys", 0) as usize;
+
     let config = CampaignConfig {
         seed,
         degrees: degrees.clone(),
@@ -776,11 +833,12 @@ fn run_fault_campaign(args: &[String]) {
         check_points: points,
         max_attempts,
         quarantine_after,
+        hot_keys,
     };
     println!(
         "fault-campaign: seed {seed}, {jobs} jobs/cell over n ∈ {degrees:?}, \
          {} kinds × {} rates, {points}-point screen, \
-         {max_attempts} attempts, quarantine after {quarantine_after}",
+         {max_attempts} attempts, quarantine after {quarantine_after}, hot keys {hot_keys}",
         config.kinds.len(),
         config.rates.len()
     );
@@ -831,6 +889,10 @@ fn run_fault_campaign(args: &[String]) {
         "recovery overhead:          {:.2}× over the fault-free direct path",
         report.recovery_overhead
     );
+    let hot_hits: u64 = report.cells.iter().map(|c| c.hot_hits).sum();
+    if hot_keys > 0 {
+        println!("hot cache hits:             {hot_hits} (reused-key workload, cache capacity {hot_keys})");
+    }
 
     if args.iter().any(|a| a == "--json") {
         let path =
@@ -843,6 +905,8 @@ fn run_fault_campaign(args: &[String]) {
         out.push_str(&format!("  \"check_points\": {points},\n"));
         out.push_str(&format!("  \"max_attempts\": {max_attempts},\n"));
         out.push_str(&format!("  \"quarantine_after\": {quarantine_after},\n"));
+        out.push_str(&format!("  \"hot_keys\": {hot_keys},\n"));
+        out.push_str(&format!("  \"hot_hits\": {hot_hits},\n"));
         out.push_str(&format!(
             "  \"detection_coverage\": {:.4},\n",
             report.detection_coverage
@@ -865,7 +929,8 @@ fn run_fault_campaign(args: &[String]) {
                  \"served\": {}, \"wrong\": {}, \"unrecovered\": {}, \"refused\": {}, \
                  \"detected\": {}, \"retries\": {}, \"recovered\": {}, \
                  \"quarantined_banks\": {}, \"screen_corrupted\": {}, \
-                 \"screen_detected\": {}, \"residue_coverage\": {:.4}}}{sep}\n",
+                 \"screen_detected\": {}, \"residue_coverage\": {:.4}, \
+                 \"hot_hits\": {}}}{sep}\n",
                 c.kind.label(),
                 c.degree,
                 c.rate,
@@ -881,6 +946,7 @@ fn run_fault_campaign(args: &[String]) {
                 c.screen_corrupted,
                 c.screen_detected,
                 c.residue_coverage(),
+                c.hot_hits,
             ));
         }
         out.push_str("  ]\n}\n");
@@ -894,6 +960,13 @@ fn run_fault_campaign(args: &[String]) {
             report.wrong,
             report.cells.iter().map(|c| c.failed).sum::<usize>()
         );
+        std::process::exit(1);
+    }
+    // A hot-keyed campaign that never hit the cache proved nothing
+    // about the cached datapath — fail loudly instead of passing
+    // vacuously (the CI fault-smoke hot cell relies on this).
+    if hot_keys > 0 && hot_hits == 0 {
+        eprintln!("FAILED: --hot-keys {hot_keys} requested but the hot cache was never hit");
         std::process::exit(1);
     }
 }

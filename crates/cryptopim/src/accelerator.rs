@@ -14,6 +14,7 @@
 use crate::arch::{ArchConfig, MAX_NATIVE_DEGREE};
 use crate::check::{self, CheckPolicy};
 use crate::engine::{Engine, EngineTrace};
+use crate::hotcache::HotCache;
 use crate::mapping::NttMapping;
 use crate::phase;
 use crate::pipeline::{Organization, PipelineModel};
@@ -64,6 +65,9 @@ pub struct CryptoPim {
     /// Independent software-NTT datapath backing
     /// [`CheckPolicy::Recompute`]; built by [`CryptoPim::with_check`].
     referee: Option<Arc<NttMultiplier>>,
+    /// Shared hot-operand transform cache (see [`crate::hotcache`]);
+    /// consulted by the batch paths for the `a` operand.
+    hot: Option<Arc<HotCache>>,
 }
 
 impl CryptoPim {
@@ -107,6 +111,7 @@ impl CryptoPim {
             writes: None,
             check: CheckPolicy::Disabled,
             referee: None,
+            hot: None,
         })
     }
 
@@ -153,6 +158,28 @@ impl CryptoPim {
         self.check
     }
 
+    /// Attaches a shared hot-operand transform cache. Batch multiplies
+    /// look up the `a` operand's forward-NTT image here and skip its
+    /// forward transform on a hit — on both the engine datapath and the
+    /// `Recompute` referee path. `None` (the default) disables caching.
+    pub fn with_hot_cache(mut self, hot: Option<Arc<HotCache>>) -> Self {
+        self.hot = hot;
+        self
+    }
+
+    /// The attached hot-operand cache, if any.
+    pub fn hot_cache(&self) -> Option<&Arc<HotCache>> {
+        self.hot.as_ref()
+    }
+
+    /// Whether an installed write path is currently injecting faults.
+    /// The batch paths refuse to insert engine-captured transforms into
+    /// the hot cache while armed (a possibly-faulted image must never
+    /// become the trusted copy both datapaths reuse).
+    pub(crate) fn faults_armed(&self) -> bool {
+        self.writes.as_ref().is_some_and(|w| w.armed())
+    }
+
     /// The software referee datapath, when [`CheckPolicy::Recompute`]
     /// is configured (the batch path fuses referee transforms across
     /// whole chunks instead of going job by job).
@@ -162,7 +189,7 @@ impl CryptoPim {
 
     /// The functional engine for this configuration, with the write
     /// path (if any) attached.
-    fn engine(&self) -> Engine<'_> {
+    pub(crate) fn engine(&self) -> Engine<'_> {
         Engine::new(&self.mapping)
             .with_multiplier(self.multiplier)
             .with_threads(self.threads)

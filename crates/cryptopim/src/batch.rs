@@ -15,7 +15,7 @@
 
 use crate::accelerator::CryptoPim;
 use crate::arch::ArchConfig;
-use crate::check::CheckPolicy;
+use crate::check::{self, CheckPolicy};
 use crate::phase;
 use crate::schedule::simulate_burst;
 use crate::scratch::BatchScratch;
@@ -23,6 +23,7 @@ use crate::Result;
 use ntt::poly::Polynomial;
 use pim::par::{self, Threads};
 use pim::{PimError, CYCLE_TIME_NS};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Outcome of a batched run.
@@ -108,12 +109,11 @@ pub fn multiply_batch_outcomes(
     if matches!(acc.check_policy(), CheckPolicy::Recompute) {
         return recompute_outcomes(acc, pairs);
     }
-    // Pairs are independent superbank slots: fan them out across host
-    // threads at job granularity. Inner engines run single-threaded to
-    // avoid nested fan-out; results land in input order either way.
-    // Per pair, only the product is computed (`multiply_product`); the
-    // per-job report and trace of the one-at-a-time API are skipped —
-    // a batch prices its timing once at batch level, not per job.
+    // With a multi-worker fleet, pairs fan out across host threads at
+    // job granularity (independent superbank slots; inner engines run
+    // single-threaded to avoid nested fan-out). A single worker instead
+    // takes the batch-fused engine path: one `StagePlan` walk per chunk
+    // rather than one per job. Results land in input order either way.
     let workers = acc.threads().resolve().min(pairs.len());
     if workers > 1 {
         let seq = acc.clone().with_threads(Threads::Fixed(1));
@@ -121,11 +121,106 @@ pub fn multiply_batch_outcomes(
             seq.multiply_product(a, b)
         }))
     } else {
-        Ok(pairs
+        Ok(fused_outcomes(acc, pairs))
+    }
+}
+
+/// The single-worker fast path for unchecked and residue-checked
+/// batches: chunks of up to [`MAX_FUSED_JOBS`] jobs run through
+/// `Engine::multiply_batch_cached` — one fused pass over the pooled
+/// `3·B·n` slab — with hot-operand reuse when a cache is attached
+/// ([`CryptoPim::with_hot_cache`]). Residue verification stays per job,
+/// so outcomes are identical to the job-at-a-time path.
+///
+/// Falls back to the per-job loop when operand degrees are mixed (the
+/// scheduler never forms such batches; direct callers get the same
+/// per-job errors as before).
+fn fused_outcomes(acc: &CryptoPim, pairs: &[(Polynomial, Polynomial)]) -> Vec<Result<Polynomial>> {
+    let n = acc.params().n;
+    let q = acc.params().q;
+    if pairs
+        .iter()
+        .any(|(a, b)| a.degree_bound() != n || b.degree_bound() != n)
+    {
+        return pairs
             .iter()
             .map(|(a, b)| acc.multiply_product(a, b))
-            .collect())
+            .collect();
     }
+    let engine = acc.engine();
+    let hot = acc.hot_cache();
+    let armed = acc.faults_armed();
+    let mut results = Vec::with_capacity(pairs.len());
+    let mut out = Vec::new();
+    let mut cap = Vec::new();
+    for chunk in pairs.chunks(MAX_FUSED_JOBS) {
+        let mut inputs = BatchScratch::checkout(n, chunk.len());
+        let (fa, fb, _) = inputs.buffers();
+        for (i, (a, b)) in chunk.iter().enumerate() {
+            fa[i * n..(i + 1) * n].copy_from_slice(a.coeffs());
+            fb[i * n..(i + 1) * n].copy_from_slice(b.coeffs());
+        }
+        let images: Vec<Option<Arc<Vec<u64>>>> = match hot {
+            Some(h) => chunk
+                .iter()
+                .map(|(a, _)| h.lookup(n, q, a.coeffs()))
+                .collect(),
+            None => Vec::new(),
+        };
+        let cached: Vec<Option<&[u64]>> = if images.is_empty() {
+            vec![None; chunk.len()]
+        } else {
+            images
+                .iter()
+                .map(|img| img.as_deref().map(Vec::as_slice))
+                .collect()
+        };
+        let any_miss = hot.is_some() && cached.iter().any(Option::is_none);
+        // Engine captures are only trustworthy fault-free: an armed
+        // write path may have corrupted the image, and a corrupt cached
+        // transform reused later would evade even the referee.
+        let capture = (any_miss && !armed).then_some(&mut cap);
+        let engine_start = Instant::now();
+        let run = engine.multiply_batch_cached(fa, fb, &mut out, &cached, capture);
+        phase::record_engine(engine_start.elapsed());
+        if let Err(e) = run {
+            results.extend(chunk.iter().map(|_| Err(e.clone())));
+            continue;
+        }
+        if let (Some(h), false, true) = (hot, armed, any_miss) {
+            for (i, (a, _)) in chunk.iter().enumerate() {
+                if cached[i].is_none() {
+                    h.insert(n, q, a.coeffs(), &cap[i * n..(i + 1) * n]);
+                }
+            }
+        }
+        for (i, (a, b)) in chunk.iter().enumerate() {
+            let coeffs = out[i * n..(i + 1) * n].to_vec();
+            let job = match acc.check_policy() {
+                CheckPolicy::Residue { points, seed } => {
+                    let compare_start = Instant::now();
+                    let verdict = check::verify_product(
+                        acc.mapping(),
+                        a.coeffs(),
+                        b.coeffs(),
+                        &coeffs,
+                        points,
+                        seed,
+                    );
+                    phase::record_check(0, 0, compare_start.elapsed().as_nanos() as u64);
+                    match verdict {
+                        Ok(()) => Polynomial::from_canonical_coeffs(coeffs, q).map_err(Into::into),
+                        Err((failed, checked)) => {
+                            Err(PimError::CorruptResult(acc.fault_report(failed, checked)))
+                        }
+                    }
+                }
+                _ => Polynomial::from_canonical_coeffs(coeffs, q).map_err(Into::into),
+            };
+            results.push(job);
+        }
+    }
+    results
 }
 
 /// Jobs fused into one referee pass. Twiddle-walk amortization
@@ -166,57 +261,161 @@ fn recompute_outcomes(
     Ok(outcomes.into_iter().flatten().collect())
 }
 
-/// Runs one chunk: unchecked engine products, one fused referee pass,
-/// per-job bit-for-bit compare.
+/// Runs one chunk: one fused engine pass (with hot-operand splice), one
+/// cache-aware fused referee pass, per-job bit-for-bit compare.
+///
+/// Cache soundness: engine-side captures are **never** inserted here —
+/// the referee's own forward spectra (computed in host memory, outside
+/// any fault path) populate the cache instead, so a faulted engine
+/// image can never become the trusted copy both datapaths reuse. On a
+/// hit the referee splices the content-verified cached spectrum and
+/// still recomputes the full product, so a corrupt engine lane through
+/// the cached path is still caught.
 fn recompute_chunk(
     seq: &CryptoPim,
     acc: &CryptoPim,
     chunk: &[(Polynomial, Polynomial)],
 ) -> Vec<Result<Polynomial>> {
     let n = seq.params().n;
-    let referee = acc.referee().expect("with_check builds the referee");
-    // `seq` runs with checks disabled, so this is pure engine time
-    // (recorded per call inside `multiply_product`).
-    let engine: Vec<Result<Polynomial>> = chunk
+    let q = seq.params().q;
+    if chunk
         .iter()
-        .map(|(a, b)| seq.multiply_product(a, b))
-        .collect();
-    let mut scratch = BatchScratch::checkout(n, chunk.len());
-    let (fa, fb, out) = scratch.buffers();
-    for (i, (a, b)) in chunk.iter().enumerate() {
-        fa[i * n..(i + 1) * n].copy_from_slice(a.coeffs());
-        fb[i * n..(i + 1) * n].copy_from_slice(b.coeffs());
+        .any(|(a, b)| a.degree_bound() != n || b.degree_bound() != n)
+    {
+        // Mixed degrees never come from the scheduler; direct callers
+        // get the per-job errors of the one-at-a-time path.
+        return chunk
+            .iter()
+            .map(|(a, b)| acc.multiply_product(a, b))
+            .collect();
     }
-    let timing = match referee.multiply_batch_into(fa, fb, out) {
-        Ok(t) => t,
-        Err(e) => return engine.into_iter().map(|_| Err(e.clone().into())).collect(),
+    let referee = acc.referee().expect("with_check builds the referee");
+    let hot = acc.hot_cache();
+    let fail_all = |e: PimError| -> Vec<Result<Polynomial>> {
+        chunk.iter().map(|_| Err(e.clone())).collect()
     };
+    let images: Vec<Option<Arc<Vec<u64>>>> = match hot {
+        Some(h) => chunk
+            .iter()
+            .map(|(a, _)| h.lookup(n, q, a.coeffs()))
+            .collect(),
+        None => Vec::new(),
+    };
+    let cached: Vec<Option<&[u64]>> = if images.is_empty() {
+        vec![None; chunk.len()]
+    } else {
+        images
+            .iter()
+            .map(|img| img.as_deref().map(Vec::as_slice))
+            .collect()
+    };
+
+    // Engine side: one fused pass over the chunk (`seq` runs with
+    // checks disabled — the chunk referee below is the check).
+    let mut eng_out = Vec::new();
+    let engine_run = {
+        let mut inputs = BatchScratch::checkout(n, chunk.len());
+        let (ea, eb, _) = inputs.buffers();
+        for (i, (a, b)) in chunk.iter().enumerate() {
+            ea[i * n..(i + 1) * n].copy_from_slice(a.coeffs());
+            eb[i * n..(i + 1) * n].copy_from_slice(b.coeffs());
+        }
+        let engine_start = Instant::now();
+        let run = seq
+            .engine()
+            .multiply_batch_cached(ea, eb, &mut eng_out, &cached, None);
+        phase::record_engine(engine_start.elapsed());
+        run
+    };
+    if let Err(e) = engine_run {
+        return fail_all(e);
+    }
+
+    // Referee side: splice cached spectra, forward-transform only the
+    // miss lanes (in contiguous runs, so hits genuinely skip work).
+    let mut scratch = BatchScratch::checkout(n, chunk.len());
+    let (fa, fb, _) = scratch.buffers();
+    let forward_start = Instant::now();
+    for (i, (a, b)) in chunk.iter().enumerate() {
+        fb[i * n..(i + 1) * n].copy_from_slice(b.coeffs());
+        let lane = &mut fa[i * n..(i + 1) * n];
+        match cached[i] {
+            // The cached image is the natural-order canonical spectrum;
+            // one bit-reversal permutation yields the merged layout,
+            // and canonical values are valid `< 2q` lazy inputs.
+            Some(image) => {
+                lane.copy_from_slice(image);
+                modmath::bitrev::permute_in_place(lane);
+            }
+            None => lane.copy_from_slice(a.coeffs()),
+        }
+    }
+    let forward = (|| {
+        let mut i = 0;
+        while i < chunk.len() {
+            if cached[i].is_some() {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < chunk.len() && cached[i].is_none() {
+                i += 1;
+            }
+            referee.forward_batch(&mut fa[start * n..i * n])?;
+        }
+        referee.forward_batch(fb)
+    })();
+    if let Err(e) = forward {
+        return fail_all(e.into());
+    }
+    let forward_ns = forward_start.elapsed().as_nanos() as u64;
+    if let Some(h) = hot {
+        // Populate the cache from the referee's own spectra — trusted
+        // even under armed faults — converted to the engine image form
+        // (bit-reversal back to natural order, normalized canonical).
+        let mut image = vec![0u64; n];
+        for (i, (a, _)) in chunk.iter().enumerate() {
+            if cached[i].is_some() {
+                continue;
+            }
+            image.copy_from_slice(&fa[i * n..(i + 1) * n]);
+            modmath::bitrev::permute_in_place(&mut image);
+            for v in image.iter_mut() {
+                *v -= q * u64::from(*v >= q);
+            }
+            h.insert(n, q, a.coeffs(), &image);
+        }
+    }
+    let pointwise_start = Instant::now();
+    if let Err(e) = referee.pointwise_batch(fa, fb) {
+        return fail_all(e.into());
+    }
+    let pointwise_ns = pointwise_start.elapsed().as_nanos() as u64;
+    let inverse_start = Instant::now();
+    if let Err(e) = referee.inverse_batch(fa) {
+        return fail_all(e.into());
+    }
+    let transform_ns = forward_ns + inverse_start.elapsed().as_nanos() as u64;
     let compare_start = Instant::now();
-    let results = engine
-        .into_iter()
+    let results = chunk
+        .iter()
         .enumerate()
-        .map(|(i, job)| {
-            job.and_then(|product| {
-                let want = &out[i * n..(i + 1) * n];
-                if product.coeffs() == want {
-                    Ok(product)
-                } else {
-                    let failed = product
-                        .coeffs()
-                        .iter()
-                        .zip(want)
-                        .filter(|(got, expect)| got != expect)
-                        .count();
-                    Err(PimError::CorruptResult(
-                        acc.fault_report(failed as u32, n as u32),
-                    ))
-                }
-            })
+        .map(|(i, _)| {
+            let got = &eng_out[i * n..(i + 1) * n];
+            let want = &fa[i * n..(i + 1) * n];
+            if got == want {
+                Polynomial::from_canonical_coeffs(got.to_vec(), q).map_err(Into::into)
+            } else {
+                let failed = got.iter().zip(want).filter(|(g, w)| g != w).count();
+                Err(PimError::CorruptResult(
+                    acc.fault_report(failed as u32, n as u32),
+                ))
+            }
         })
         .collect();
     phase::record_check(
-        timing.transform_ns,
-        timing.pointwise_ns,
+        transform_ns,
+        pointwise_ns,
         compare_start.elapsed().as_nanos() as u64,
     );
     results
@@ -419,6 +618,132 @@ mod tests {
         }
     }
 
+    /// Jobs sharing one hot `a` operand (the protocol key-reuse shape).
+    fn hot_pairs(n: usize, q: u64, count: usize) -> Vec<(Polynomial, Polynomial)> {
+        let base = pairs(n, q, count);
+        let a0 = base[0].0.clone();
+        base.into_iter().map(|(_, b)| (a0.clone(), b)).collect()
+    }
+
+    #[test]
+    fn hot_cache_batch_is_bit_identical_and_hits() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = hot_pairs(256, p.q, 5);
+        let want = multiply_batch_products(
+            &CryptoPim::new(&p).unwrap().with_threads(Threads::Fixed(1)),
+            &batch,
+        )
+        .unwrap();
+        let hot = Arc::new(crate::hotcache::HotCache::new(8));
+        let acc = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_hot_cache(Some(Arc::clone(&hot)));
+        // First pass: all lanes of the chunk are looked up before the
+        // engine runs, so they miss together and the key is inserted.
+        assert_eq!(multiply_batch_products(&acc, &batch).unwrap(), want);
+        assert_eq!(hot.hits(), 0);
+        assert_eq!(hot.misses(), 5);
+        assert_eq!(hot.len(), 1);
+        // Second pass: every lane hits, products stay bit-identical.
+        assert_eq!(multiply_batch_products(&acc, &batch).unwrap(), want);
+        assert_eq!(hot.hits(), 5);
+    }
+
+    #[test]
+    fn hot_cache_recompute_batch_is_bit_identical_and_hits() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = hot_pairs(256, p.q, 5);
+        let want = multiply_batch_products(
+            &CryptoPim::new(&p).unwrap().with_threads(Threads::Fixed(1)),
+            &batch,
+        )
+        .unwrap();
+        let hot = Arc::new(crate::hotcache::HotCache::new(8));
+        let acc = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_check(CheckPolicy::Recompute)
+            .with_hot_cache(Some(Arc::clone(&hot)));
+        assert_eq!(multiply_batch_products(&acc, &batch).unwrap(), want);
+        assert_eq!(hot.len(), 1, "referee spectra populate the cache");
+        assert_eq!(multiply_batch_products(&acc, &batch).unwrap(), want);
+        assert_eq!(hot.hits(), 5);
+    }
+
+    #[test]
+    fn recompute_catches_corrupt_lane_through_cached_path() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = hot_pairs(256, p.q, 5);
+        let hot = Arc::new(crate::hotcache::HotCache::new(8));
+        // Prime the cache through a clean recompute run.
+        let clean_acc = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_check(CheckPolicy::Recompute)
+            .with_hot_cache(Some(Arc::clone(&hot)));
+        let clean: Vec<Polynomial> = multiply_batch_outcomes(&clean_acc, &batch)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert!(!hot.is_empty());
+        // Third op corrupted; every lane now takes the cached-hit engine
+        // path, whose pointwise stores still route through the faulty
+        // write path — the referee must reject exactly lane 2.
+        let path = OneOpBitPath {
+            block: pim::fault::layout::pointwise(8),
+            target_op: 2,
+            op: std::sync::atomic::AtomicU32::new(0),
+        };
+        let armed = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_write_path(Some(Arc::new(path)))
+            .with_check(CheckPolicy::Recompute)
+            .with_hot_cache(Some(Arc::clone(&hot)));
+        let before_hits = hot.hits();
+        let outcomes = multiply_batch_outcomes(&armed, &batch).unwrap();
+        assert!(
+            hot.hits() > before_hits,
+            "armed run must exercise the cached path"
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                match outcome {
+                    Err(PimError::CorruptResult(report)) => {
+                        assert_eq!(report.bank, 2);
+                        assert!(report.failed_points >= 1);
+                    }
+                    other => panic!("cached lane 2 should fail, got {other:?}"),
+                }
+            } else {
+                assert_eq!(outcome.as_ref().unwrap(), &clean[i], "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn armed_fused_batch_never_inserts_engine_captures() {
+        let p = ParamSet::for_degree(256).unwrap();
+        let batch = hot_pairs(256, p.q, 3);
+        let hot = Arc::new(crate::hotcache::HotCache::new(8));
+        // Unchecked armed run: the corrupted engine image must not
+        // become a cache entry (it would poison every later hit).
+        let path = OneOpBitPath {
+            block: pim::fault::layout::pointwise(8),
+            target_op: 0,
+            op: std::sync::atomic::AtomicU32::new(0),
+        };
+        let armed = CryptoPim::new(&p)
+            .unwrap()
+            .with_threads(Threads::Fixed(1))
+            .with_write_path(Some(Arc::new(path)))
+            .with_hot_cache(Some(Arc::clone(&hot)));
+        multiply_batch_products(&armed, &batch).unwrap();
+        assert!(hot.is_empty(), "armed captures must never be inserted");
+    }
+
     #[test]
     fn recompute_batch_records_phase_split() {
         let p = ParamSet::for_degree(256).unwrap();
@@ -450,5 +775,90 @@ mod tests {
         let small = multiply_batch(&acc, &pairs(512, p.q, 8)).unwrap();
         let large = multiply_batch(&acc, &pairs(512, p.q, 64)).unwrap();
         assert!(large.makespan_us < small.makespan_us * 1.01);
+    }
+
+    /// Seeded hot batch (every job shares its `a`), batch width `count`.
+    fn seeded_hot_pairs(n: usize, q: u64, count: usize, seed: u64) -> Vec<(Polynomial, Polynomial)> {
+        let mut state = seed | 1;
+        let mut draw = || -> Vec<u64> {
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 11) % q
+                })
+                .collect()
+        };
+        let a = Polynomial::from_coeffs(draw(), q).unwrap();
+        (0..count)
+            .map(|_| (a.clone(), Polynomial::from_coeffs(draw(), q).unwrap()))
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Cache-hit and cache-miss serving must be bit-identical even
+        /// under an armed fault plan: a primed (clean) cache entry never
+        /// masks a corrupt result — the referee still isolates exactly
+        /// the faulted lane, and every other lane matches the fault-free
+        /// run whether its forward transform was cached or not.
+        #[test]
+        fn prop_cached_path_never_masks_faults(
+            batch in 2usize..=6,
+            target in 0usize..6,
+            seed in 0u64..u64::MAX,
+        ) {
+            let target = target % batch;
+            let p = ParamSet::for_degree(256).unwrap();
+            let jobs = seeded_hot_pairs(256, p.q, batch, seed);
+            let clean = multiply_batch_products(
+                &CryptoPim::new(&p).unwrap().with_threads(Threads::Fixed(1)),
+                &jobs,
+            )
+            .unwrap();
+            let hot = Arc::new(crate::hotcache::HotCache::new(4));
+            // Prime the cache from a clean recompute pass (referee
+            // spectra), then serve the same batch with one op faulted.
+            let prime = CryptoPim::new(&p)
+                .unwrap()
+                .with_threads(Threads::Fixed(1))
+                .with_check(CheckPolicy::Recompute)
+                .with_hot_cache(Some(Arc::clone(&hot)));
+            multiply_batch_products(&prime, &jobs).unwrap();
+            proptest::prop_assert!(!hot.is_empty());
+            let path = OneOpBitPath {
+                block: pim::fault::layout::pointwise(8),
+                target_op: target as u32,
+                op: std::sync::atomic::AtomicU32::new(0),
+            };
+            let armed = CryptoPim::new(&p)
+                .unwrap()
+                .with_threads(Threads::Fixed(1))
+                .with_write_path(Some(Arc::new(path)))
+                .with_check(CheckPolicy::Recompute)
+                .with_hot_cache(Some(Arc::clone(&hot)));
+            let before_hits = hot.hits();
+            let outcomes = multiply_batch_outcomes(&armed, &jobs).unwrap();
+            proptest::prop_assert!(hot.hits() > before_hits, "cached path exercised");
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == target {
+                    proptest::prop_assert!(
+                        matches!(outcome, Err(PimError::CorruptResult(_))),
+                        "faulted lane {} must be rejected, got {:?}",
+                        i,
+                        outcome
+                    );
+                } else {
+                    proptest::prop_assert_eq!(
+                        outcome.as_ref().unwrap(),
+                        &clean[i],
+                        "lane {} must match the fault-free product",
+                        i
+                    );
+                }
+            }
+        }
     }
 }

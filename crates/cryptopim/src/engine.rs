@@ -23,7 +23,7 @@
 
 use crate::mapping::NttMapping;
 use crate::plan::StagePlan;
-use crate::scratch::Scratch;
+use crate::scratch::{BatchScratch, Scratch};
 use pim::block::{MemoryBlock, MultiplierKind};
 use pim::fault::{layout, WritePath};
 use pim::par::{self, Threads};
@@ -63,6 +63,18 @@ impl EngineTrace {
             t.absorb(part);
         }
         t
+    }
+
+    /// Accumulates another trace phase-wise (batch accounting: a batch
+    /// trace is the phase-wise sum of its per-job traces, absorbed in
+    /// job order so the f64 energy sums are reproducible bit for bit).
+    pub fn merge(&mut self, other: &EngineTrace) {
+        self.premul.absorb(&other.premul);
+        self.forward.absorb(&other.forward);
+        self.pointwise.absorb(&other.pointwise);
+        self.inverse.absorb(&other.inverse);
+        self.postmul.absorb(&other.postmul);
+        self.transfers.absorb(&other.transfers);
     }
 }
 
@@ -177,9 +189,173 @@ impl<'m> Engine<'m> {
         if workers > 1 {
             self.datapath_parallel(&plan, &mut scratch, a, b, out, workers);
         } else {
-            self.datapath_sequential(&plan, &mut scratch, a, b, out, faults);
+            self.datapath_sequential(&plan, &mut scratch, a, b, out, faults, None);
         }
         Ok(replay_trace(&plan))
+    }
+
+    /// Batch-fused multiply: `out[j] = a[j] · b[j]` for `B` stacked
+    /// degree-`n` jobs in flat `B·n` buffers, walking the cached
+    /// [`StagePlan`] **once** for the whole batch — per stage the jobs
+    /// run in the inner loop over a pooled `3·B·n` scratch slab, so the
+    /// twiddle table and plan structure stay hot across jobs instead of
+    /// being re-walked per job.
+    ///
+    /// Products are bit-identical to `B` calls of
+    /// [`Engine::multiply_into`] (pinned by proptests), the returned
+    /// trace is the phase-wise sum of the `B` per-job traces (absorbed
+    /// in job order — see [`EngineTrace::merge`]), and an armed write
+    /// path preserves per-job reliability semantics exactly: each lane
+    /// runs the sequential one-job datapath with its own `begin_op` and
+    /// the one-job store order, so `(bank, block, row)` fault addressing
+    /// is unchanged.
+    ///
+    /// `out` is sized to `B·n` and fully overwritten; reusing it keeps
+    /// the steady state allocation- and memset-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::LengthMismatch`] when the buffers differ in
+    /// length or are not a positive multiple of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if inputs are not canonical (`>= q`).
+    pub fn multiply_batch_into(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<EngineTrace> {
+        self.multiply_batch_cached(a, b, out, &[], None)
+    }
+
+    /// [`Engine::multiply_batch_into`] with hot-operand images.
+    ///
+    /// `cached` is either empty (no reuse) or one entry per job: lane
+    /// `j` with `Some(image)` supplies `a[j]`'s forward spectrum (the
+    /// engine's post-forward row image, as captured below), and the
+    /// engine skips that lane's ψ pre-multiply and forward stages on
+    /// the `a` side — the rows are resident from the earlier operation,
+    /// so no stores happen for them (and under an armed write path they
+    /// therefore take no *new* write faults; the image itself carries
+    /// whatever the capturing operation stored). The trace accounts the
+    /// skipped work exactly: a hit lane charges one pre-multiply pass
+    /// (the `b` side) and one stage + one transfer per forward stage.
+    ///
+    /// With `capture` supplied, the buffer is sized to `B·n` and each
+    /// **miss** lane's post-forward `a` image is copied out, ready to be
+    /// inserted into a cache; hit lanes' slots are not written (zeros in
+    /// a fresh buffer, stale words in a reused one — read miss lanes
+    /// only).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::multiply_batch_into`], plus a mismatch when
+    /// `cached` is non-empty but not one entry per job or an image is
+    /// not `n` words.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if inputs are not canonical (`>= q`).
+    pub fn multiply_batch_cached(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        out: &mut Vec<u64>,
+        cached: &[Option<&[u64]>],
+        mut capture: Option<&mut Vec<u64>>,
+    ) -> Result<EngineTrace> {
+        let n = self.mapping.params().n;
+        let q = self.mapping.params().q;
+        if a.len() != b.len() || a.is_empty() || !a.len().is_multiple_of(n) {
+            return Err(PimError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
+        }
+        let batch = a.len() / n;
+        if !cached.is_empty() && cached.len() != batch {
+            return Err(PimError::LengthMismatch {
+                left: cached.len(),
+                right: batch,
+            });
+        }
+        if cached.iter().flatten().any(|img| img.len() != n) {
+            return Err(PimError::LengthMismatch {
+                left: n,
+                right: batch,
+            });
+        }
+        debug_assert!(a.iter().all(|&x| x < q) && b.iter().all(|&x| x < q));
+        let plan = StagePlan::cached(self.mapping, self.multiplier)?;
+        // Every datapath overwrites the full output, so a correctly
+        // sized buffer is reused as-is — no 8·B·n-byte memset per call.
+        if out.len() != batch * n {
+            out.clear();
+            out.resize(batch * n, 0);
+        }
+        if let Some(cap) = capture.as_deref_mut() {
+            if cap.len() != batch * n {
+                cap.clear();
+                cap.resize(batch * n, 0);
+            }
+        }
+        let faults = self.writes.filter(|w| w.armed());
+        if let Some(w) = faults {
+            // Per-job reliability semantics: every lane is its own
+            // operation with its own `begin_op` and the exact one-job
+            // store order, so injected-fault addressing and wear-out
+            // epochs are indistinguishable from per-job execution.
+            let mut scratch = Scratch::checkout(n);
+            for lane in 0..batch {
+                w.begin_op();
+                let la = &a[lane * n..(lane + 1) * n];
+                let lb = &b[lane * n..(lane + 1) * n];
+                let lout = &mut out[lane * n..(lane + 1) * n];
+                let lcap = capture
+                    .as_deref_mut()
+                    .map(|c| &mut c[lane * n..(lane + 1) * n]);
+                match cached.get(lane).copied().flatten() {
+                    Some(image) => {
+                        self.datapath_hit(&plan, &mut scratch, image, lb, lout, Some(w));
+                    }
+                    None => {
+                        self.datapath_sequential(&plan, &mut scratch, la, lb, lout, Some(w), lcap);
+                    }
+                }
+            }
+        } else {
+            let any_cached = cached.iter().any(Option::is_some);
+            let workers = if any_cached {
+                1
+            } else {
+                self.threads.resolve_for(batch * n)
+            };
+            let mut scratch = BatchScratch::checkout(n, batch);
+            if workers > 1 {
+                self.datapath_batch_parallel(
+                    &plan,
+                    &mut scratch,
+                    a,
+                    b,
+                    out,
+                    workers,
+                    capture.as_deref_mut().map(Vec::as_mut_slice),
+                );
+            } else {
+                self.datapath_batch_fast(
+                    &plan,
+                    &mut scratch,
+                    a,
+                    b,
+                    out,
+                    cached,
+                    capture.as_deref_mut().map(Vec::as_mut_slice),
+                );
+            }
+        }
+        Ok(replay_batch_trace(&plan, batch, cached))
     }
 
     /// The reference single-thread datapath (also the workers ≤ 1 path):
@@ -194,8 +370,8 @@ impl<'m> Engine<'m> {
         b: &[u64],
         out: &mut [u64],
         faults: Option<&dyn WritePath>,
+        capture: Option<&mut [u64]>,
     ) {
-        let n = plan.n();
         let log_n = plan.log_n();
         let q = self.mapping.params().q;
         let red = self.mapping.reducer();
@@ -205,11 +381,14 @@ impl<'m> Engine<'m> {
         // --- ψ pre-multiply, bit-reversed write folded in (free). ---
         let phi_a = self.mapping.phi_a();
         let phi_b = self.mapping.phi_b();
-        for k in 0..n {
+        redc_map(red, q, xa, |k| {
             let i = rev[k] as usize;
-            xa[k] = red.montgomery(a[i] * phi_a[i]);
-            xb[k] = red.montgomery(b[i] * phi_b[i]);
-        }
+            a[i] * phi_a[i]
+        });
+        redc_map(red, q, xb, |k| {
+            let i = rev[k] as usize;
+            b[i] * phi_b[i]
+        });
         corrupt_writes(faults, q, layout::premul(), xa);
 
         // --- forward NTT stages (the two inputs in parallel banks). ---
@@ -222,11 +401,20 @@ impl<'m> Engine<'m> {
             std::mem::swap(&mut xb, &mut xb2);
         }
 
+        // Post-forward `a` image — what the bank rows physically hold
+        // (faults included), so a later hit replays exactly these bits.
+        if let Some(cap) = capture {
+            cap.copy_from_slice(xa);
+        }
+
         // --- point-wise multiply, REDC(Â · B̂R) = Â·B̂; bit-reversed
         //     write into the inverse transform folded in (free). ---
-        for k in 0..n {
-            let i = rev[k] as usize;
-            xa2[k] = red.montgomery(xa[i] * xb[i]);
+        {
+            let (sa, sb) = (&*xa, &*xb);
+            redc_map(red, q, xa2, |k| {
+                let i = rev[k] as usize;
+                sa[i] * sb[i]
+            });
         }
         corrupt_writes(faults, q, layout::pointwise(log_n), xa2);
         let (mut xc, mut xc2) = (xa2, xb2);
@@ -247,10 +435,235 @@ impl<'m> Engine<'m> {
 
         // --- ψ⁻¹ · n⁻¹ post-multiply. ---
         let phi_post = self.mapping.phi_post();
-        for k in 0..n {
-            out[k] = red.montgomery(xc[k] * phi_post[k]);
+        {
+            let src = &*xc;
+            redc_map(red, q, out, |k| src[k] * phi_post[k]);
         }
         corrupt_writes(faults, q, layout::postmul(log_n), out);
+    }
+
+    /// The one-lane hit datapath for an armed write path: the `a` rows
+    /// are resident (their forward image `image` was stored by an
+    /// earlier operation), so the lane skips the `a`-side pre-multiply
+    /// and forward stages and — because those rows are not rewritten —
+    /// fires no store hooks for them. Everything from the point-wise
+    /// multiply on is the ordinary sequential path, store order
+    /// included.
+    fn datapath_hit(
+        &self,
+        plan: &StagePlan,
+        scratch: &mut Scratch,
+        image: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+        faults: Option<&dyn WritePath>,
+    ) {
+        let log_n = plan.log_n();
+        let q = self.mapping.params().q;
+        let red = self.mapping.reducer();
+        let rev = plan.rev();
+        let (mut xc, mut xc2, mut xb, mut xb2) = scratch.buffers();
+
+        // --- ψ pre-multiply, `b` side only. ---
+        let phi_b = self.mapping.phi_b();
+        redc_map(red, q, xb, |k| {
+            let i = rev[k] as usize;
+            b[i] * phi_b[i]
+        });
+
+        // --- forward NTT stages, `b` side only. ---
+        for stage in 0..log_n {
+            let tw = self.mapping.twiddle_fwd_stage(stage);
+            stage_rows(red, q, xb, xb2, stage, tw);
+            std::mem::swap(&mut xb, &mut xb2);
+        }
+
+        // --- point-wise multiply against the resident image. ---
+        {
+            let sb = &*xb;
+            redc_map(red, q, xc, |k| {
+                let i = rev[k] as usize;
+                image[i] * sb[i]
+            });
+        }
+        corrupt_writes(faults, q, layout::pointwise(log_n), xc);
+
+        // --- inverse NTT stages. ---
+        for stage in 0..log_n {
+            stage_rows(
+                red,
+                q,
+                xc,
+                xc2,
+                stage,
+                self.mapping.twiddle_inv_stage(stage),
+            );
+            corrupt_writes(faults, q, layout::inverse(log_n, stage), xc2);
+            std::mem::swap(&mut xc, &mut xc2);
+        }
+
+        // --- ψ⁻¹ · n⁻¹ post-multiply. ---
+        let phi_post = self.mapping.phi_post();
+        {
+            let src = &*xc;
+            redc_map(red, q, out, |k| src[k] * phi_post[k]);
+        }
+        corrupt_writes(faults, q, layout::postmul(log_n), out);
+    }
+
+    /// The fused batch datapath: walks the dataflow once for the whole
+    /// batch with the vectorized merged-ψ kernels ([`ntt::merged`]) over
+    /// the pooled slab, so each stage's twiddle table streams through
+    /// the cache once per batch and the butterflies run the half-width
+    /// lazy schedule the single-job row path cannot use (bank rows hold
+    /// canonical residues phase by phase; the host batch simulation only
+    /// has to reproduce the *products*, which are independent of the
+    /// `[0, 2q)` representatives the lazy kernels carry — canonical
+    /// residues are unique, so the final normalize lands on exactly the
+    /// per-job path's bits, pinned by the fused-vs-sequential tests).
+    ///
+    /// The merged forward stores spectrum value `X[k]` at index
+    /// `rev(k)`, while the engine's row image is natural-order canonical
+    /// `X[k]` (pinned by `engine_forward_image_is_the_merged_spectrum`),
+    /// so hit lanes splice their resident image in with one `rev` gather
+    /// — a canonical value is a valid `< 2q` lazy representative — and
+    /// miss-lane captures are the inverse gather plus one conditional
+    /// subtraction. Contiguous miss lanes go through the batch kernel as
+    /// one run.
+    #[allow(clippy::too_many_arguments)]
+    fn datapath_batch_fast(
+        &self,
+        plan: &StagePlan,
+        scratch: &mut BatchScratch,
+        a: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+        cached: &[Option<&[u64]>],
+        mut capture: Option<&mut [u64]>,
+    ) {
+        let n = plan.n();
+        let q = self.mapping.params().q;
+        let rev = plan.rev();
+        let tables = self.mapping.tables();
+        let batch = a.len() / n;
+        let (ba, bb, _) = scratch.buffers();
+        let hit = |lane: usize| cached.get(lane).copied().flatten();
+
+        // --- forward transforms (ψ merged into the twiddles). ---
+        ba.copy_from_slice(a);
+        bb.copy_from_slice(b);
+        let mut lane = 0;
+        while lane < batch {
+            if let Some(image) = hit(lane) {
+                let off = lane * n;
+                for (j, slot) in ba[off..off + n].iter_mut().enumerate() {
+                    *slot = image[rev[j] as usize];
+                }
+                lane += 1;
+                continue;
+            }
+            let start = lane;
+            while lane < batch && hit(lane).is_none() {
+                lane += 1;
+            }
+            ntt::merged::forward_lazy_batch_in_place(&mut ba[start * n..lane * n], tables);
+        }
+        if let Some(cap) = capture.as_deref_mut() {
+            for lane in 0..batch {
+                if hit(lane).is_some() {
+                    continue;
+                }
+                let off = lane * n;
+                let src = &ba[off..off + n];
+                for (k, slot) in cap[off..off + n].iter_mut().enumerate() {
+                    let v = src[rev[k] as usize];
+                    *slot = v - q * u64::from(v >= q);
+                }
+            }
+        }
+        ntt::merged::forward_lazy_batch_in_place(bb, tables);
+
+        // --- point-wise multiply + inverse transform, in the caller's
+        //     output buffer (n⁻¹ and ψ⁻¹ folded; output canonical). ---
+        ntt::merged::pointwise_lazy(ba, bb, out, q);
+        ntt::merged::inverse_batch_in_place(out, tables);
+    }
+
+    /// [`Engine::datapath_batch_sequential`] fanned out over the
+    /// persistent pool across the flat `B·n` index space (only taken
+    /// with no hit lanes). Lane-local indices are `k & (n−1)`; every
+    /// butterfly partner `k ± dist` stays inside its lane because
+    /// `dist < n`, and every output element is a pure gather, so any
+    /// worker count produces bit-identical products.
+    #[allow(clippy::too_many_arguments)]
+    fn datapath_batch_parallel(
+        &self,
+        plan: &StagePlan,
+        scratch: &mut BatchScratch,
+        a: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+        workers: usize,
+        capture: Option<&mut [u64]>,
+    ) {
+        let n = plan.n();
+        let mask = n - 1;
+        let q = self.mapping.params().q;
+        let red = self.mapping.reducer();
+        let rev = plan.rev();
+        let (mut ba, mut bb, mut sp) = scratch.buffers();
+
+        // --- ψ pre-multiply, bit-reversal folded into the gather. ---
+        let phi_a = self.mapping.phi_a();
+        let phi_b = self.mapping.phi_b();
+        par::map_indexed_into(ba, workers, |k| {
+            let i = rev[k & mask] as usize;
+            red.montgomery(a[(k & !mask) + i] * phi_a[i])
+        });
+        par::map_indexed_into(bb, workers, |k| {
+            let i = rev[k & mask] as usize;
+            red.montgomery(b[(k & !mask) + i] * phi_b[i])
+        });
+
+        // --- forward NTT stages over the rotating buffers. ---
+        for stage in 0..plan.log_n() {
+            let tw = self.mapping.twiddle_fwd_stage(stage);
+            stage_rows_batch_par(red, q, n, ba, sp, stage, tw, workers);
+            std::mem::swap(&mut ba, &mut sp);
+            stage_rows_batch_par(red, q, n, bb, sp, stage, tw, workers);
+            std::mem::swap(&mut bb, &mut sp);
+        }
+
+        if let Some(cap) = capture {
+            cap.copy_from_slice(ba);
+        }
+
+        // --- point-wise multiply into the spare. ---
+        {
+            let (sa, sb) = (&*ba, &*bb);
+            par::map_indexed_into(sp, workers, |k| {
+                let base = k & !mask;
+                let i = rev[k & mask] as usize;
+                red.montgomery(sa[base + i] * sb[base + i])
+            });
+        }
+
+        // --- inverse NTT stages. ---
+        let (mut xc, mut xc2) = (sp, ba);
+        for stage in 0..plan.log_n() {
+            let tw = self.mapping.twiddle_inv_stage(stage);
+            stage_rows_batch_par(red, q, n, xc, xc2, stage, tw, workers);
+            std::mem::swap(&mut xc, &mut xc2);
+        }
+
+        // --- ψ⁻¹ · n⁻¹ post-multiply. ---
+        let phi_post = self.mapping.phi_post();
+        {
+            let src = &*xc;
+            par::map_indexed_into(out, workers, |k| {
+                red.montgomery(src[k] * phi_post[k & mask])
+            });
+        }
     }
 
     /// Lane-parallel datapath: the same phase structure as
@@ -345,6 +758,44 @@ fn replay_trace(plan: &StagePlan) -> EngineTrace {
     trace
 }
 
+/// [`replay_trace`] for a hit lane: the `a` operand's rows are resident,
+/// so the pre-multiply is a single scale pass (the `b` side — same tally
+/// as the point-wise pass) and each forward stage charges one stage and
+/// one transfer instead of two of each. Everything downstream of the
+/// point-wise multiply is charged unchanged.
+fn replay_trace_hit(plan: &StagePlan) -> EngineTrace {
+    let mut trace = EngineTrace::default();
+    trace.premul.absorb(plan.scale());
+    for _ in 0..plan.log_n() {
+        trace.forward.absorb(plan.stage());
+        trace.transfers.absorb(plan.transfer());
+    }
+    trace.pointwise.absorb(plan.scale());
+    for _ in 0..plan.log_n() {
+        trace.inverse.absorb(plan.stage());
+        trace.transfers.absorb(plan.transfer());
+    }
+    trace.postmul.absorb(plan.scale());
+    trace
+}
+
+/// The batch trace: the phase-wise sum of the per-lane traces, merged in
+/// lane order. Like [`replay_trace`] this never touches per-op charging
+/// — every term is a cached plan tally — and the fold order makes the
+/// f64 energy sums bit-identical to merging `B` sequential per-job
+/// traces (pinned by `tests/batch_fused.rs`).
+fn replay_batch_trace(plan: &StagePlan, batch: usize, cached: &[Option<&[u64]>]) -> EngineTrace {
+    let mut trace = EngineTrace::default();
+    for lane in 0..batch {
+        let lane_trace = match cached.get(lane).copied().flatten() {
+            Some(_) => replay_trace_hit(plan),
+            None => replay_trace(plan),
+        };
+        trace.merge(&lane_trace);
+    }
+    trace
+}
+
 /// Routes one phase's freshly written vector through the bank's write
 /// path, materializing injected faults. A corrupted word is
 /// re-canonicalized mod `q` before it re-enters the pipeline: the cell
@@ -370,21 +821,37 @@ fn corrupt_writes(faults: Option<&dyn WritePath>, q: u64, block: u32, data: &mut
 /// round trip collapses into one pass with no index tables:
 /// `dst[j] = (t + u) mod q`, `dst[j+dist] = REDC(W_b · (t + q − u))`.
 fn stage_rows(red: &Reducer, q: u64, src: &[u64], dst: &mut [u64], stage: u32, twiddle: &[u64]) {
-    // Monomorphize on the paper moduli so the shift-add sequences fold
-    // to immediate-constant shifts inside the loop. The const paths call
-    // the exact functions `Reducer::{barrett, montgomery}` delegate to,
-    // so results are identical; only unspecialized moduli (none today —
-    // `Reducer::new` rejects them) would take the dynamic path.
+    // Monomorphize on the paper moduli so the REDC constants fold to
+    // immediates inside the loop. The const paths compute the same
+    // values as `Reducer::{barrett, montgomery}` (one conditional
+    // subtraction of a `< 2q` sum, and REDC with `q' = −q⁻¹ mod R` —
+    // the mul-based form is integer-identical to the shift-add
+    // sequences of Algorithm 3, which expand the same constants), so
+    // results are bit-identical; only unspecialized moduli (none today
+    // — `Reducer::new` rejects them) would take the dynamic path.
     match q {
-        7681 => stage_rows_const::<7681>(src, dst, stage, twiddle),
-        12289 => stage_rows_const::<12289>(src, dst, stage, twiddle),
-        786433 => stage_rows_const::<786433>(src, dst, stage, twiddle),
+        7681 => stage_rows_const::<7681, 7679, 18>(src, dst, stage, twiddle),
+        12289 => stage_rows_const::<12289, 12287, 18>(src, dst, stage, twiddle),
+        786433 => stage_rows_const::<786433, 786_431, 32>(src, dst, stage, twiddle),
         _ => stage_rows_dyn(red, q, src, dst, stage, twiddle),
     }
 }
 
-fn stage_rows_const<const Q: u64>(src: &[u64], dst: &mut [u64], stage: u32, twiddle: &[u64]) {
+/// Branch-free butterfly: `(t + u) mod q` via masked conditional
+/// subtraction, and `REDC(W·(t + q − u))` via the mul-based Montgomery
+/// form `m = x·q' mod R; (x + m·q)/R` — the exact integer the shift-add
+/// sequence computes (the shifts are just the expansion of `q'` and `q`
+/// as signed-digit constants), followed by the same single conditional
+/// subtraction. No data-dependent branches, no `Result` in the loop, so
+/// the compiler can pipeline/vectorize across rows.
+fn stage_rows_const<const Q: u64, const QPRIME: u64, const K: u32>(
+    src: &[u64],
+    dst: &mut [u64],
+    stage: u32,
+    twiddle: &[u64],
+) {
     let dist = 1usize << stage;
+    let mask = (1u64 << K) - 1;
     for ((s, d), &w) in src
         .chunks_exact(2 * dist)
         .zip(dst.chunks_exact_mut(2 * dist))
@@ -393,8 +860,48 @@ fn stage_rows_const<const Q: u64>(src: &[u64], dst: &mut [u64], stage: u32, twid
         let (s_lo, s_hi) = s.split_at(dist);
         let (d_lo, d_hi) = d.split_at_mut(dist);
         for ((&t, &u), (dl, dh)) in s_lo.iter().zip(s_hi).zip(d_lo.iter_mut().zip(d_hi)) {
-            *dl = modmath::barrett::shift_add_reduce(t + u, Q).expect("paper modulus");
-            *dh = modmath::montgomery::shift_add_redc((t + Q - u) * w, Q).expect("paper modulus");
+            let sum = t + u;
+            *dl = sum - Q * u64::from(sum >= Q);
+            let x = (t + Q - u) * w;
+            let m = (x & mask).wrapping_mul(QPRIME) & mask;
+            let r = (x + m * Q) >> K;
+            *dh = r - Q * u64::from(r >= Q);
+        }
+    }
+}
+
+/// One mul-based Montgomery REDC step plus conditional subtraction —
+/// the scalar core of [`stage_rows_const`], exposed for the gather
+/// loops (pre-multiply, point-wise, post-multiply). Integer-identical
+/// to [`Reducer::montgomery`] for the same modulus.
+#[inline(always)]
+fn redc_const<const Q: u64, const QPRIME: u64, const K: u32>(x: u64) -> u64 {
+    let mask = (1u64 << K) - 1;
+    let m = (x & mask).wrapping_mul(QPRIME) & mask;
+    let r = (x + m * Q) >> K;
+    r - Q * u64::from(r >= Q)
+}
+
+/// Fills `dst[k] = REDC(f(k))` with the REDC monomorphized on the paper
+/// moduli (same dispatch and same value-identity argument as
+/// [`stage_rows`]); unspecialized moduli fall back to the reducer.
+fn redc_map(red: &Reducer, q: u64, dst: &mut [u64], f: impl Fn(usize) -> u64) {
+    fn run<const Q: u64, const QPRIME: u64, const K: u32>(
+        dst: &mut [u64],
+        f: impl Fn(usize) -> u64,
+    ) {
+        for (k, d) in dst.iter_mut().enumerate() {
+            *d = redc_const::<Q, QPRIME, K>(f(k));
+        }
+    }
+    match q {
+        7681 => run::<7681, 7679, 18>(dst, f),
+        12289 => run::<12289, 12287, 18>(dst, f),
+        786433 => run::<786433, 786_431, 32>(dst, f),
+        _ => {
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = red.montgomery(f(k));
+            }
         }
     }
 }
@@ -441,6 +948,34 @@ fn stage_rows_par(
         } else {
             let j = k - dist;
             red.montgomery((src[j] + q - src[k]) * twiddle[j >> (stage + 1)])
+        }
+    });
+}
+
+/// [`stage_rows_par`] over `B` stacked lanes of length `n` in one flat
+/// index space: the lane-local index is `k & (n−1)`, the butterfly
+/// partner `k ± dist` never crosses a lane boundary (`dist < n`), and
+/// the twiddle index is taken lane-locally — elementwise identical to
+/// running [`stage_rows`] per lane.
+#[allow(clippy::too_many_arguments)]
+fn stage_rows_batch_par(
+    red: &Reducer,
+    q: u64,
+    n: usize,
+    src: &[u64],
+    dst: &mut [u64],
+    stage: u32,
+    twiddle: &[u64],
+    workers: usize,
+) {
+    let dist = 1usize << stage;
+    let mask = n - 1;
+    par::map_indexed_into(dst, workers, |k| {
+        let kk = k & mask;
+        if kk & dist == 0 {
+            red.barrett(src[k] + src[k + dist])
+        } else {
+            red.montgomery((src[k - dist] + q - src[k]) * twiddle[(kk - dist) >> (stage + 1)])
         }
     });
 }
@@ -657,6 +1192,197 @@ mod tests {
     }
 
     #[test]
+    fn batch_fused_matches_per_job_sequential() {
+        for n in [64usize, 256] {
+            let m = mapping(n);
+            let q = m.params().q;
+            let eng = Engine::new(&m).with_threads(Threads::Fixed(1));
+            for batch in 1..=4usize {
+                let a: Vec<u64> = (0..batch)
+                    .flat_map(|j| rand_vec(n, q, 100 + j as u64))
+                    .collect();
+                let b: Vec<u64> = (0..batch)
+                    .flat_map(|j| rand_vec(n, q, 200 + j as u64))
+                    .collect();
+                let mut fused = Vec::new();
+                let trace = eng.multiply_batch_into(&a, &b, &mut fused).unwrap();
+                let mut expect = EngineTrace::default();
+                for j in 0..batch {
+                    let (c, t) = eng
+                        .multiply(&a[j * n..(j + 1) * n], &b[j * n..(j + 1) * n])
+                        .unwrap();
+                    assert_eq!(
+                        &fused[j * n..(j + 1) * n],
+                        &c[..],
+                        "lane {j}, n = {n}, B = {batch}"
+                    );
+                    expect.merge(&t);
+                }
+                assert_eq!(trace, expect, "n = {n}, B = {batch}");
+                assert_eq!(
+                    trace.total().energy_pj.to_bits(),
+                    expect.total().energy_pj.to_bits(),
+                    "batch energy must match merged per-job energy to the bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_parallel_is_bit_identical_to_batch_sequential() {
+        let n = 256usize;
+        let batch = 4usize;
+        let m = mapping(n);
+        let q = m.params().q;
+        let a: Vec<u64> = (0..batch)
+            .flat_map(|j| rand_vec(n, q, 41 + j as u64))
+            .collect();
+        let b: Vec<u64> = (0..batch)
+            .flat_map(|j| rand_vec(n, q, 51 + j as u64))
+            .collect();
+        let mut seq = Vec::new();
+        let t_seq = Engine::new(&m)
+            .with_threads(Threads::Fixed(1))
+            .multiply_batch_into(&a, &b, &mut seq)
+            .unwrap();
+        for workers in [2usize, 3, 4, 8] {
+            let mut par_out = Vec::new();
+            let t_par = Engine::new(&m)
+                .with_threads(Threads::Fixed(workers))
+                .multiply_batch_into(&a, &b, &mut par_out)
+                .unwrap();
+            assert_eq!(par_out, seq, "products, workers = {workers}");
+            assert_eq!(t_par, t_seq, "trace, workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cached_hit_is_bit_identical_to_miss() {
+        let n = 256usize;
+        let m = mapping(n);
+        let q = m.params().q;
+        let eng = Engine::new(&m).with_threads(Threads::Fixed(1));
+        let a = rand_vec(n, q, 61);
+        let b = rand_vec(n, q, 62);
+        let mut miss_out = Vec::new();
+        let mut image = Vec::new();
+        let t_miss = eng
+            .multiply_batch_cached(&a, &b, &mut miss_out, &[], Some(&mut image))
+            .unwrap();
+        assert_eq!(image.len(), n, "miss lane must capture its image");
+        let cached = [Some(image.as_slice())];
+        let mut hit_out = Vec::new();
+        let t_hit = eng
+            .multiply_batch_cached(&a, &b, &mut hit_out, &cached, None)
+            .unwrap();
+        assert_eq!(hit_out, miss_out, "hit product must match miss product");
+        assert!(
+            t_hit.forward.cycles * 2 == t_miss.forward.cycles,
+            "hit lane charges half the forward work"
+        );
+        assert!(t_hit.premul.cycles < t_miss.premul.cycles);
+        assert_eq!(t_hit.pointwise, t_miss.pointwise);
+        assert_eq!(t_hit.inverse, t_miss.inverse);
+        assert_eq!(t_hit.postmul, t_miss.postmul);
+    }
+
+    #[test]
+    fn mixed_hit_miss_batch_matches_per_job() {
+        let n = 64usize;
+        let m = mapping(n);
+        let q = m.params().q;
+        let eng = Engine::new(&m).with_threads(Threads::Fixed(1));
+        let a0 = rand_vec(n, q, 71);
+        let a1 = rand_vec(n, q, 72);
+        let b: Vec<u64> = (0..2).flat_map(|j| rand_vec(n, q, 81 + j)).collect();
+        // Capture lane-0's image from a solo run.
+        let mut out = Vec::new();
+        let mut image = Vec::new();
+        eng.multiply_batch_cached(&a0, &b[..n], &mut out, &[], Some(&mut image))
+            .unwrap();
+        // Mixed batch: lane 0 hits, lane 1 misses (and captures).
+        let a: Vec<u64> = a0.iter().chain(a1.iter()).copied().collect();
+        let cached = [Some(image.as_slice()), None];
+        let mut cap = Vec::new();
+        let mut mixed = Vec::new();
+        eng.multiply_batch_cached(&a, &b, &mut mixed, &cached, Some(&mut cap))
+            .unwrap();
+        for j in 0..2 {
+            let (c, _) = eng
+                .multiply(&a[j * n..(j + 1) * n], &b[j * n..(j + 1) * n])
+                .unwrap();
+            assert_eq!(&mixed[j * n..(j + 1) * n], &c[..], "lane {j}");
+        }
+        // Hit lane's capture slot is untouched (zeros); miss lane's holds
+        // its forward image (usable as a future cache entry).
+        assert!(cap[..n].iter().all(|&x| x == 0));
+        let cached1 = [Some(&cap[n..])];
+        let mut hit1 = Vec::new();
+        eng.multiply_batch_cached(&a1, &b[n..], &mut hit1, &cached1, None)
+            .unwrap();
+        assert_eq!(&hit1[..], &mixed[n..], "captured image replays lane 1");
+    }
+
+    #[test]
+    fn engine_forward_image_is_the_merged_spectrum() {
+        // The engine's post-forward row image is the natural-order
+        // canonical spectrum `X[k]`, while the merged software transform
+        // stores `X[k]` (lazily) at index `rev(k)` — so normalizing and
+        // bit-reverse permuting the merged output must reproduce the
+        // image bit for bit (canonical representatives are unique). The
+        // hot cache stores *one* image form for the engine splice, the
+        // batch capture, and the checker's cached-transform path on the
+        // strength of this property.
+        for n in [64usize, 256, 1024] {
+            let m = mapping(n);
+            let q = m.params().q;
+            let eng = Engine::new(&m).with_threads(Threads::Fixed(1));
+            let a = rand_vec(n, q, 21);
+            let b = rand_vec(n, q, 22);
+            let mut out = Vec::new();
+            let mut image = Vec::new();
+            eng.multiply_batch_cached(&a, &b, &mut out, &[], Some(&mut image))
+                .unwrap();
+            let tables = modmath::roots::NttTables::for_degree_modulus(n, q).unwrap();
+            let mut sw = a.clone();
+            ntt::merged::forward_lazy_in_place(&mut sw, &tables);
+            for v in &mut sw {
+                if *v >= q {
+                    *v -= q;
+                }
+            }
+            modmath::bitrev::permute_in_place(&mut sw);
+            assert_eq!(sw, image, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes() {
+        let n = 64usize;
+        let m = mapping(n);
+        let q = m.params().q;
+        let eng = Engine::new(&m);
+        let a = rand_vec(2 * n, q, 91);
+        let b = rand_vec(2 * n, q, 92);
+        let mut out = Vec::new();
+        // Length not a multiple of n / mismatched lengths / empty.
+        assert!(eng.multiply_batch_into(&a[..n + 1], &b[..n + 1], &mut out).is_err());
+        assert!(eng.multiply_batch_into(&a, &b[..n], &mut out).is_err());
+        assert!(eng.multiply_batch_into(&[], &[], &mut out).is_err());
+        // `cached` must be one entry per job with n-word images.
+        let img = vec![0u64; n];
+        let one = [Some(img.as_slice())];
+        assert!(eng
+            .multiply_batch_cached(&a, &b, &mut out, &one, None)
+            .is_err());
+        let short = vec![0u64; n - 1];
+        let bad = [Some(short.as_slice()), None];
+        assert!(eng
+            .multiply_batch_cached(&a, &b, &mut out, &bad, None)
+            .is_err());
+    }
+
+    #[test]
     fn parallel_engine_rejects_wrong_length_inputs() {
         let m = mapping(256);
         let q = m.params().q;
@@ -680,6 +1406,111 @@ mod tests {
             let pb = Polynomial::from_coeffs(b, 7681).unwrap();
             let expect = schoolbook::multiply(&pa, &pb).unwrap();
             prop_assert_eq!(c, expect.coeffs());
+        }
+    }
+
+    /// Deterministic coefficient stream for the proptests below (the
+    /// strategy drives only the seed, so shrinking stays fast even for
+    /// `8·256`-word batches).
+    fn seeded_flat(n: usize, q: u64, batch: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut state = seed | 1;
+        let mut draw = |len: usize| -> Vec<u64> {
+            (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 11) % q
+                })
+                .collect()
+        };
+        (draw(batch * n), draw(batch * n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The batch-fused walk must be indistinguishable from `B`
+        /// sequential engine runs — products, per-phase charge tallies,
+        /// and the merged trace totals, bit for bit, for every batch
+        /// width the serving layer forms and every paper modulus.
+        #[test]
+        fn prop_batch_fused_matches_sequential_across_moduli(
+            batch in 1usize..=8,
+            q_sel in 0usize..3,
+            seed in 0u64..u64::MAX,
+        ) {
+            let n = 256usize;
+            let q = [7681u64, 12289, 786433][q_sel];
+            // Paper bitwidths: 16-bit datapath for the Kyber/NewHope
+            // moduli, 32-bit for the SEAL modulus.
+            let p = ParamSet::custom(n, q, if q < 1 << 16 { 16 } else { 32 }).unwrap();
+            let m = NttMapping::new(&p, ReductionStyle::CryptoPim).unwrap();
+            let eng = Engine::new(&m).with_threads(Threads::Fixed(1));
+            let (a, b) = seeded_flat(n, q, batch, seed);
+            let mut fused = Vec::new();
+            let trace = eng.multiply_batch_into(&a, &b, &mut fused).unwrap();
+            let mut expect = EngineTrace::default();
+            for j in 0..batch {
+                let (c, t) = eng
+                    .multiply(&a[j * n..(j + 1) * n], &b[j * n..(j + 1) * n])
+                    .unwrap();
+                prop_assert_eq!(
+                    &fused[j * n..(j + 1) * n],
+                    &c[..],
+                    "lane {} of {}, q = {}",
+                    j,
+                    batch,
+                    q
+                );
+                expect.merge(&t);
+            }
+            prop_assert_eq!(&trace, &expect, "trace, B = {}, q = {}", batch, q);
+            prop_assert_eq!(
+                trace.total().energy_pj.to_bits(),
+                expect.total().energy_pj.to_bits(),
+                "energy tally, B = {}, q = {}",
+                batch,
+                q
+            );
+        }
+
+        /// A cache hit replays the captured image; the products must be
+        /// bit-identical to the all-miss run for any batch shape and
+        /// any subset of hit lanes.
+        #[test]
+        fn prop_cached_hits_match_misses(
+            batch in 1usize..=6,
+            hit_mask in 0u8..64,
+            seed in 0u64..u64::MAX,
+        ) {
+            let n = 64usize;
+            let m = mapping(n);
+            let q = m.params().q;
+            let eng = Engine::new(&m).with_threads(Threads::Fixed(1));
+            let (a, b) = seeded_flat(n, q, batch, seed);
+            // All-miss reference, capturing every lane's forward image.
+            let mut miss_out = Vec::new();
+            let mut images = Vec::new();
+            eng.multiply_batch_cached(
+                &a,
+                &b,
+                &mut miss_out,
+                &vec![None; batch],
+                Some(&mut images),
+            )
+            .unwrap();
+            // Replay with an arbitrary subset of lanes served from the
+            // captured images.
+            let cached: Vec<Option<&[u64]>> = (0..batch)
+                .map(|j| {
+                    (hit_mask >> j & 1 == 1).then(|| &images[j * n..(j + 1) * n])
+                })
+                .collect();
+            let mut mixed_out = Vec::new();
+            eng.multiply_batch_cached(&a, &b, &mut mixed_out, &cached, None)
+                .unwrap();
+            prop_assert_eq!(mixed_out, miss_out, "hit mask {:#08b}", hit_mask);
         }
     }
 }

@@ -50,6 +50,7 @@ pub mod check;
 pub mod controller;
 pub mod engine;
 pub mod exchange;
+pub mod hotcache;
 pub mod mapping;
 pub mod phase;
 pub mod pipeline;

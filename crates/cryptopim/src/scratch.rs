@@ -27,6 +27,26 @@ use std::cell::RefCell;
 /// the engine); beyond that, extra slabs are freed rather than hoarded.
 const MAX_POOLED: usize = 4;
 
+/// Returns a slab to a full-or-not pool, preferring to keep the
+/// *largest* slabs: when the pool is at [`MAX_POOLED`], the smallest
+/// pooled slab is evicted if the returning one beats it. A workload
+/// cycling through degrees (the bench sweep, a mixed-`n` serving fleet)
+/// would otherwise fill the pool with small slabs first and then
+/// re-allocate + re-zero the expensive large slab on every single call
+/// — measured as a ~2× inflation of `engine_batch/4x4096` once the
+/// 256/1024 series had run.
+fn give_back(pool: &mut Vec<Vec<u64>>, slab: Vec<u64>) {
+    if pool.len() < MAX_POOLED {
+        pool.push(slab);
+        return;
+    }
+    if let Some(i) = (0..pool.len()).min_by_key(|&i| pool[i].capacity()) {
+        if pool[i].capacity() < slab.capacity() {
+            pool[i] = slab;
+        }
+    }
+}
+
 thread_local! {
     static POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
 }
@@ -73,9 +93,7 @@ impl Drop for Scratch {
         // be gone, in which case the slab is just freed.
         let _ = POOL.try_with(|p| {
             if let Ok(mut p) = p.try_borrow_mut() {
-                if p.len() < MAX_POOLED {
-                    p.push(slab);
-                }
+                give_back(&mut p, slab);
             }
         });
     }
@@ -109,6 +127,10 @@ pub struct BatchScratch {
 impl BatchScratch {
     /// Checks out a slab for `batch` degree-`n` jobs, allocating only
     /// when no pooled slab is large enough.
+    ///
+    /// A reused slab keeps its previous contents (zeroing `3·B·n` words
+    /// per checkout is pure memset traffic): every consumer fully
+    /// overwrites the buffers it reads, so treat them as uninitialized.
     pub fn checkout(n: usize, batch: usize) -> BatchScratch {
         let lane = n * batch.max(1);
         let want = 3 * lane;
@@ -120,8 +142,9 @@ impl BatchScratch {
                     .map(|i| p.swap_remove(i))
             })
             .unwrap_or_default();
-        slab.clear();
-        slab.resize(want, 0);
+        if slab.len() < want {
+            slab.resize(want, 0);
+        }
         BatchScratch { slab, lane }
     }
 
@@ -141,9 +164,7 @@ impl Drop for BatchScratch {
         }
         let _ = BATCH_POOL.try_with(|p| {
             if let Ok(mut p) = p.try_borrow_mut() {
-                if p.len() < MAX_POOLED {
-                    p.push(slab);
-                }
+                give_back(&mut p, slab);
             }
         });
     }
@@ -200,12 +221,35 @@ mod tests {
             let s = BatchScratch::checkout(64, 8);
             s.slab.as_ptr() as usize
         };
-        // A smaller request rides the pooled large slab (trimmed view).
+        // A smaller request rides the pooled large slab (trimmed view);
+        // contents are unspecified on reuse — consumers overwrite.
         let mut small = BatchScratch::checkout(64, 2);
         assert_eq!(small.slab.as_ptr() as usize, big_ptr);
         let (a, b, out) = small.buffers();
         assert_eq!([a.len(), b.len(), out.len()], [128, 128, 128]);
-        assert!(a.iter().chain(b.iter()).chain(out.iter()).all(|&w| w == 0));
+    }
+
+    #[test]
+    fn full_pool_keeps_the_largest_slabs() {
+        // Fill the batch pool to its bound with small slabs (the state a
+        // degree sweep leaves behind)...
+        let small: Vec<BatchScratch> = (0..MAX_POOLED)
+            .map(|_| BatchScratch::checkout(64, 1))
+            .collect();
+        drop(small);
+        // ...then return a large slab to the now-full pool: it must
+        // evict a small slab rather than be freed, so the next large
+        // checkout reuses it instead of re-allocating.
+        let big_ptr = {
+            let s = BatchScratch::checkout(1024, 4);
+            s.slab.as_ptr() as usize
+        };
+        let s = BatchScratch::checkout(1024, 4);
+        assert_eq!(
+            s.slab.as_ptr() as usize,
+            big_ptr,
+            "large slab must survive a full pool"
+        );
     }
 
     #[test]

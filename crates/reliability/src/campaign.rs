@@ -39,7 +39,7 @@ use cryptopim::check::CheckPolicy;
 use modmath::params::ParamSet;
 use ntt::negacyclic::PolyMultiplier;
 use pim::fault::{layout, splitmix64, Injector};
-use service::loadgen::generate_jobs;
+use service::loadgen::{generate_hot_jobs, generate_jobs};
 use service::{Backpressure, Service, ServiceConfig, ServiceError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -92,6 +92,12 @@ pub struct CampaignConfig {
     pub max_attempts: u32,
     /// Consecutive faulted batches that quarantine the bank.
     pub quarantine_after: u32,
+    /// When non-zero, each cell's `a` operands are drawn from a pool of
+    /// this many reused keys and the service runs with a hot-operand
+    /// transform cache of the same capacity — the campaign then also
+    /// proves the *cached* datapath serves zero wrong answers under
+    /// injected faults. 0 (the default) leaves the cache off.
+    pub hot_keys: usize,
 }
 
 impl Default for CampaignConfig {
@@ -110,6 +116,7 @@ impl Default for CampaignConfig {
             check_points: 3,
             max_attempts: 3,
             quarantine_after: 3,
+            hot_keys: 0,
         }
     }
 }
@@ -153,6 +160,9 @@ pub struct CellResult {
     pub screen_corrupted: usize,
     /// Screen pass: corrupted products the residue check flagged.
     pub screen_detected: usize,
+    /// Hot-operand cache hits during the serving pass (0 when
+    /// [`CampaignConfig::hot_keys`] is 0).
+    pub hot_hits: u64,
 }
 
 impl CellResult {
@@ -245,7 +255,11 @@ fn run_cell(config: &CampaignConfig, kind: CampaignKind, degree: usize, rate: f6
             ),
     );
     let params = ParamSet::for_degree(degree).expect("campaign degree is a paper degree");
-    let jobs = generate_jobs(cell_seed, config.jobs_per_cell, &[degree]);
+    let jobs = if config.hot_keys > 0 {
+        generate_hot_jobs(cell_seed, config.jobs_per_cell, &[degree], config.hot_keys)
+    } else {
+        generate_jobs(cell_seed, config.jobs_per_cell, &[degree])
+    };
 
     // Fault-free reference (and the overhead baseline).
     let reference_acc = CryptoPim::new(&params).expect("paper parameters");
@@ -274,6 +288,7 @@ fn run_cell(config: &CampaignConfig, kind: CampaignKind, degree: usize, rate: f6
         max_attempts: config.max_attempts,
         quarantine_after: config.quarantine_after,
         injector: Some(plan.clone()),
+        hot_capacity: config.hot_keys,
         ..ServiceConfig::default()
     });
 
@@ -340,6 +355,7 @@ fn run_cell(config: &CampaignConfig, kind: CampaignKind, degree: usize, rate: f6
         direct_wall_s,
         screen_corrupted,
         screen_detected,
+        hot_hits: stats.hot_hits,
     }
 }
 
@@ -433,6 +449,28 @@ mod tests {
             );
             assert!(x.screen_detected <= x.screen_corrupted);
         }
+    }
+
+    #[test]
+    fn hot_cached_cell_stays_sound_and_actually_hits() {
+        // The cached datapath under injected faults: reused `a` keys
+        // drive the hot-operand cache, and the campaign's own referee
+        // still holds every served product bit-exact against the
+        // fault-free reference. A stale or corrupt cached transform
+        // would show up here as `wrong > 0`.
+        let report = run(&CampaignConfig {
+            seed: 123,
+            kinds: vec![CampaignKind::Transient, CampaignKind::StuckAt1],
+            degrees: vec![256],
+            rates: vec![1e-3],
+            jobs_per_cell: 24,
+            hot_keys: 4,
+            ..CampaignConfig::default()
+        });
+        assert!(report.is_sound(), "cached path served wrong: {report:?}");
+        assert_eq!(report.wrong, 0);
+        let hits: u64 = report.cells.iter().map(|c| c.hot_hits).sum();
+        assert!(hits > 0, "hot cache never exercised: {:?}", report.cells);
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct LoadgenConfig {
     pub jobs: usize,
     /// Degree mix; each job draws uniformly from this set.
     pub degrees: Vec<usize>,
+    /// When non-zero, every job's `a` operand is drawn from a pool of
+    /// this many reused seeded keys (a protocol-shaped workload: many
+    /// ciphertexts against few public/evaluation keys) instead of being
+    /// freshly random. Pair with [`ServiceConfig::hot_capacity`] to
+    /// exercise the hot-operand transform cache; `b` stays fresh per
+    /// job either way.
+    pub hot_keys: usize,
     /// Arrival process.
     pub mode: LoadMode,
     /// Service under test.
@@ -65,6 +72,7 @@ impl Default for LoadgenConfig {
             seed: 7,
             jobs: 256,
             degrees: vec![256, 512, 1024],
+            hot_keys: 0,
             mode: LoadMode::Closed { clients: 4 },
             service: ServiceConfig::default(),
             verify_direct: true,
@@ -136,6 +144,37 @@ pub fn generate_jobs(seed: u64, jobs: usize, degrees: &[usize]) -> Vec<(Polynomi
         .collect()
 }
 
+/// Generates a job stream whose `a` operands are drawn from a pool of
+/// `hot_keys` reused seeded keys (each pool entry fixes its degree when
+/// drawn); `b` is fresh per job. Deterministic in `(seed, jobs,
+/// degrees, hot_keys)` like [`generate_jobs`].
+pub fn generate_hot_jobs(
+    seed: u64,
+    jobs: usize,
+    degrees: &[usize],
+    hot_keys: usize,
+) -> Vec<(Polynomial, Polynomial)> {
+    assert!(!degrees.is_empty(), "need at least one degree");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<Polynomial> = (0..hot_keys.max(1))
+        .map(|_| {
+            let n = degrees[rng.gen_range(0..degrees.len())];
+            let q = ParamSet::for_degree(n).expect("paper degree").q;
+            let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            Polynomial::from_coeffs(coeffs, q).expect("in-range coeffs")
+        })
+        .collect();
+    (0..jobs)
+        .map(|_| {
+            let a = pool[rng.gen_range(0..pool.len())].clone();
+            let (n, q) = (a.degree_bound(), a.modulus());
+            let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let b = Polynomial::from_coeffs(coeffs, q).expect("in-range coeffs");
+            (a, b)
+        })
+        .collect()
+}
+
 /// Chunks the stream is split into when racing the direct baseline:
 /// service and direct alternate per chunk so slow host-speed drift
 /// (frequency ramp, neighbour steal) lands evenly on both sides.
@@ -151,7 +190,11 @@ const MEASURE_CHUNKS: usize = 4;
 /// phases, so neither side systematically collects the warmer half of
 /// the run.
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
-    let jobs = generate_jobs(config.seed, config.jobs, &config.degrees);
+    let jobs = if config.hot_keys > 0 {
+        generate_hot_jobs(config.seed, config.jobs, &config.degrees, config.hot_keys)
+    } else {
+        generate_jobs(config.seed, config.jobs, &config.degrees)
+    };
     let service = Service::start(config.service.clone());
     let results: Mutex<Vec<Option<Result<Polynomial, ()>>>> = Mutex::new(vec![None; jobs.len()]);
     let rejected = Mutex::new(0usize);
@@ -331,6 +374,7 @@ mod tests {
             seed: 11,
             jobs: 24,
             degrees: vec![256, 512],
+            hot_keys: 0,
             mode: LoadMode::Closed { clients: 3 },
             service: ServiceConfig {
                 workers: 2,
@@ -359,6 +403,7 @@ mod tests {
             seed: 19,
             jobs: 16,
             degrees: vec![256],
+            hot_keys: 0,
             mode: LoadMode::Closed { clients: 2 },
             service: ServiceConfig {
                 workers: 2,
@@ -378,6 +423,39 @@ mod tests {
     }
 
     #[test]
+    fn hot_key_stream_reuses_operands_and_hits_the_cache() {
+        let jobs = generate_hot_jobs(13, 32, &[256], 4);
+        assert_eq!(jobs, generate_hot_jobs(13, 32, &[256], 4), "deterministic");
+        let distinct: std::collections::HashSet<&[u64]> =
+            jobs.iter().map(|(a, _)| a.coeffs()).collect();
+        assert!(distinct.len() <= 4, "a drawn from a 4-key pool");
+
+        let report = run(&LoadgenConfig {
+            seed: 13,
+            jobs: 32,
+            degrees: vec![256],
+            hot_keys: 4,
+            mode: LoadMode::Closed { clients: 2 },
+            service: ServiceConfig {
+                workers: 1,
+                linger: Duration::from_micros(200),
+                check: cryptopim::check::CheckPolicy::Recompute,
+                hot_capacity: 8,
+                ..ServiceConfig::default()
+            },
+            verify_direct: true,
+        });
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.ok, 32);
+        assert_eq!(report.mismatches, 0, "cached products stay bit-exact");
+        assert!(
+            report.stats.hot_hits > 0,
+            "reused keys must hit the cache: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
     fn open_loop_reject_sheds_load_without_drops() {
         // Arrival rate far above what tiny queue + one worker can take:
         // some jobs must be rejected, but every admitted one completes.
@@ -385,6 +463,7 @@ mod tests {
             seed: 5,
             jobs: 60,
             degrees: vec![256],
+            hot_keys: 0,
             mode: LoadMode::Open { rate_per_s: 1e6 },
             service: ServiceConfig {
                 workers: 1,

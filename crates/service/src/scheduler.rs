@@ -38,6 +38,7 @@ use cryptopim::accelerator::CryptoPim;
 use cryptopim::arch::ArchConfig;
 use cryptopim::batch::multiply_batch_outcomes;
 use cryptopim::check::CheckPolicy;
+use cryptopim::hotcache::HotCache;
 use modmath::params::ParamSet;
 use ntt::poly::Polynomial;
 use pim::fault::{Injector, WritePath};
@@ -105,6 +106,14 @@ pub struct ServiceConfig {
     /// [`Injector::bank_writes`]`(worker_index)`. `None` — the default
     /// and the production setting — leaves the write path untouched.
     pub injector: Option<Arc<dyn Injector>>,
+    /// Capacity of the fleet-wide hot-operand transform cache
+    /// ([`cryptopim::hotcache::HotCache`]): protocol-style workloads
+    /// that reuse `a` operands (public/evaluation keys) skip the
+    /// operand's forward NTT on both the engine and the `Recompute`
+    /// referee path when it hits. `0` (the default) disables the cache.
+    /// The cache is shared across workers and invalidated whenever a
+    /// bank is quarantined.
+    pub hot_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +127,7 @@ impl Default for ServiceConfig {
             max_attempts: 3,
             quarantine_after: 3,
             injector: None,
+            hot_capacity: 0,
         }
     }
 }
@@ -251,6 +261,9 @@ struct Shared {
     /// The started configuration (workers/attempts/quarantine already
     /// clamped); workers read their check policy and injector here.
     cfg: ServiceConfig,
+    /// Fleet-wide hot-operand transform cache (`None` when
+    /// [`ServiceConfig::hot_capacity`] is 0).
+    hot: Option<Arc<HotCache>>,
     /// Space freed in the admission queue (Block-mode submitters wait).
     admit: Condvar,
     /// Deadline scheduling for the former (first pending group under a
@@ -360,6 +373,7 @@ impl Service {
                 hist: LatencyHistogram::default(),
             }),
             cfg: config.clone(),
+            hot: (config.hot_capacity > 0).then(|| Arc::new(HotCache::new(config.hot_capacity))),
             admit: Condvar::new(),
             former: Condvar::new(),
             work: Condvar::new(),
@@ -501,7 +515,7 @@ impl Service {
     /// and latency percentiles.
     pub fn stats(&self) -> ServiceStats {
         let st = self.shared.state.lock().expect("service state poisoned");
-        snapshot(&st)
+        snapshot(&st, self.shared.hot.as_deref())
     }
 
     /// Graceful shutdown: stops admitting, flushes every pending
@@ -511,7 +525,7 @@ impl Service {
     pub fn shutdown(mut self) -> ServiceStats {
         self.drain_and_join();
         let st = self.shared.state.lock().expect("service state poisoned");
-        snapshot(&st)
+        snapshot(&st, self.shared.hot.as_deref())
     }
 
     fn drain_and_join(&mut self) {
@@ -541,7 +555,7 @@ impl Drop for Service {
     }
 }
 
-fn snapshot(st: &State) -> ServiceStats {
+fn snapshot(st: &State, hot: Option<&HotCache>) -> ServiceStats {
     ServiceStats {
         queue_depth: st.pending_jobs + st.formed_jobs,
         in_flight: st.in_flight,
@@ -562,6 +576,8 @@ fn snapshot(st: &State) -> ServiceStats {
         recovered: st.recovered,
         quarantined_banks: st.quarantined.iter().filter(|&&b| b).count(),
         active_workers: st.active_workers,
+        hot_hits: hot.map_or(0, HotCache::hits),
+        hot_misses: hot.map_or(0, HotCache::misses),
         latency_samples: st.hist.count(),
         p50_us: st.hist.quantile_us(0.50).unwrap_or(0.0),
         p95_us: st.hist.quantile_us(0.95).unwrap_or(0.0),
@@ -703,7 +719,8 @@ fn run_batch(
                 e.insert(
                     acc.with_threads(Threads::Fixed(1))
                         .with_check(shared.cfg.check)
-                        .with_write_path(writes.clone()),
+                        .with_write_path(writes.clone())
+                        .with_hot_cache(shared.hot.clone()),
                 )
             }),
     };
@@ -806,6 +823,11 @@ fn run_batch(
         if st.bank_streak[bank] >= shared.cfg.quarantine_after && !st.quarantined[bank] {
             st.quarantined[bank] = true;
             st.active_workers -= 1;
+            // Epoch bump: transforms the quarantined bank may have
+            // produced must never be replayed from the cache.
+            if let Some(hot) = &shared.hot {
+                hot.bump_epoch();
+            }
             if st.active_workers == 0 {
                 degrade(shared, &mut st);
             }
@@ -1216,6 +1238,32 @@ mod tests {
             stats.faults_detected, stats.recovered,
             "every detected fault was recovered: {stats}"
         );
+    }
+
+    #[test]
+    fn hot_cache_serves_reused_keys_bit_exact() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            hot_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let p = ParamSet::for_degree(256).unwrap();
+        use ntt::negacyclic::PolyMultiplier;
+        let acc = CryptoPim::new(&p).unwrap();
+        let a = poly(256, p.q, 9);
+        for k in 0..6u64 {
+            let b = poly(256, p.q, k + 40);
+            let direct = acc.multiply(&a, &b).unwrap();
+            let done = svc
+                .submit(a.clone(), b)
+                .expect("admitted")
+                .wait()
+                .expect("served");
+            assert_eq!(done.product, direct, "job {k}");
+        }
+        let stats = svc.shutdown();
+        assert!(stats.hot_hits >= 1, "reused key must hit: {stats}");
+        assert!(stats.hot_misses >= 1, "first sight of the key misses");
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub struct ServiceStats {
     pub quarantined_banks: usize,
     /// Workers still serving (configured fleet minus quarantined).
     pub active_workers: usize,
+    /// Hot-operand transform cache lookups that found the operand's
+    /// forward NTT (0 when the cache is disabled).
+    pub hot_hits: u64,
+    /// Hot-operand cache lookups that missed (0 when disabled).
+    pub hot_misses: u64,
     /// Latency samples behind the percentiles below. When 0 the
     /// percentile fields read 0.0 — that means *no data*, not
     /// instantaneous service.
@@ -142,6 +147,15 @@ impl std::fmt::Display for ServiceStats {
             self.quarantined_banks,
             self.active_workers
         )?;
+        if self.hot_hits + self.hot_misses > 0 {
+            writeln!(
+                f,
+                "hot cache: {} hits / {} misses ({:.1}% hit rate)",
+                self.hot_hits,
+                self.hot_misses,
+                100.0 * self.hot_hits as f64 / (self.hot_hits + self.hot_misses) as f64
+            )?;
+        }
         if self.latency_samples == 0 {
             write!(f, "latency: no samples")
         } else {

@@ -6,7 +6,8 @@
 //! vector's capacity, then asserts that further multiplies perform zero
 //! allocations and zero deallocations. This is its own test binary so
 //! the counter sees no interference from other tests (integration tests
-//! each link their own globals, and this file stays single-threaded).
+//! each link their own globals), and the tests in it serialize on a
+//! lock so they never pollute each other's counter windows.
 
 use cryptopim::engine::Engine;
 use cryptopim::mapping::NttMapping;
@@ -16,6 +17,12 @@ use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The counters are process-global while the harness runs tests on
+/// parallel threads — each test takes this lock so no other test's
+/// allocations land inside its measurement window.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -56,6 +63,7 @@ fn rand_vec(n: usize, q: u64, seed: u64) -> Vec<u64> {
 
 #[test]
 fn steady_state_multiply_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let n = 1024usize;
     let params = ParamSet::for_degree(n).expect("paper degree");
     let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("mapping");
@@ -89,7 +97,51 @@ fn steady_state_multiply_is_allocation_free() {
 }
 
 #[test]
+fn engine_batch_fused_multiply_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The batch-fused *engine* path: one `StagePlan` walk over the
+    // pooled `3·B·n` scratch slab per batch. After warm-up (plan cache,
+    // slab pool, `out` capacity) a whole fused batch — products plus
+    // the merged trace — performs zero heap operations.
+    let n = 1024usize;
+    let batch = 4usize;
+    let params = ParamSet::for_degree(n).expect("paper degree");
+    let mapping = NttMapping::new(&params, ReductionStyle::CryptoPim).expect("mapping");
+    let engine = Engine::new(&mapping).with_threads(Threads::Fixed(1));
+    let a: Vec<u64> = (0..batch as u64)
+        .flat_map(|j| rand_vec(n, params.q, 10 + j))
+        .collect();
+    let b: Vec<u64> = (0..batch as u64)
+        .flat_map(|j| rand_vec(n, params.q, 20 + j))
+        .collect();
+    let mut out = Vec::new();
+
+    for _ in 0..2 {
+        let trace = engine
+            .multiply_batch_into(&a, &b, &mut out)
+            .expect("warm-up");
+        assert!(trace.total().cycles > 0);
+    }
+    let reference = out.clone();
+
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        engine
+            .multiply_batch_into(&a, &b, &mut out)
+            .expect("steady state");
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - deallocs_before;
+
+    assert_eq!(out, reference, "products must stay correct");
+    assert_eq!(allocs, 0, "batch-fused engine multiply must not allocate");
+    assert_eq!(deallocs, 0, "batch-fused engine multiply must not deallocate");
+}
+
+#[test]
 fn batch_fused_multiply_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // The batch-fused referee path (`multiply_batch_into`) runs entirely
     // in caller buffers: once the multiplier and the three B·n slabs
     // exist, a whole batch of transforms touches the heap zero times.
