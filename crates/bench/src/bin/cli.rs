@@ -9,6 +9,8 @@
 //! cargo run -p cryptopim-bench --bin cli -- bench --json [--threads N] [--degrees 256,1024] [--out PATH]
 //! cargo run -p cryptopim-bench --bin cli -- bench --compare OLD.json NEW.json
 //! cargo run -p cryptopim-bench --bin cli -- serve-loadgen --seed 7 --jobs 1920 --clients 4
+//! cargo run -p cryptopim-bench --bin cli -- serve --listen 127.0.0.1:7681 --token secret
+//! cargo run -p cryptopim-bench --bin cli -- serve-loadgen --tcp --clients 64 --jobs 1024
 //! cargo run -p cryptopim-bench --bin cli -- fault-campaign --seed 9 --rates 1e-4,1e-3
 //! cargo run -p cryptopim-bench --bin cli -- --json              # shorthand for bench --json
 //! ```
@@ -33,6 +35,15 @@
 //! mismatches or any admitted job is dropped — the CI `service-smoke`
 //! job relies on that.
 //!
+//! `serve` binds the `net` crate's TCP front end (wire format:
+//! DESIGN.md §15) and serves until an operator client sends the
+//! `Shutdown` verb. `serve-loadgen --tcp` drives that socket path
+//! end-to-end — N client threads over loopback, every product
+//! bit-verified against the software NTT — and writes a `BENCH_tcp_*`
+//! snapshot with client-observed latency quantiles; `--max-p99-us`
+//! turns the p99 into a hard gate. The CI `net-smoke` job relies on
+//! both.
+//!
 //! `fault-campaign` sweeps seeded fault injections (kind × rate ×
 //! degree) through the recover-or-quarantine serving stack under the
 //! sound recompute referee, verifies every served product bit-exactly
@@ -47,6 +58,8 @@ use cryptopim::check::CheckPolicy;
 use cryptopim::phase::PhaseSnapshot;
 use cryptopim::pipeline::Organization;
 use modmath::params::ParamSet;
+use net::loadgen::{extract_object, TcpLoadConfig};
+use net::server::{Server, ServerConfig, TenantConfig};
 use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
 use ntt::poly::Polynomial;
 use pim::block::MultiplierKind;
@@ -79,6 +92,14 @@ fn usage() -> ! {
          \x20             [--check off|residue[:points[:seed]]|recompute]\n\
          \x20             [--hot-keys K]                              reuse K seeded `a` keys + hot cache\n\
          \x20             [--min-speedup X] [--json] [--out PATH]     exit 1 on mismatch/drop\n\
+         \x20             [--tcp]                                     drive a real loopback socket instead (see below)\n\
+         \x20 serve       --listen ADDR --token T [--quota N]         TCP front end; serves until Shutdown\n\
+         \x20             [--op-token T] [--max-conns N] [--max-wait-ms N]\n\
+         \x20             [--workers S] [--queue-cap N] [--linger-us U] [--check ...]\n\
+         \x20 serve-loadgen --tcp [--clients C] [--jobs N] [--degrees A,B]\n\
+         \x20             [--window W] [--quota N] [--wait-timeout-ms N]\n\
+         \x20             [--connect ADDR --token T]                  drive an external server (default: in-process)\n\
+         \x20             [--max-p99-us X] [--json] [--out PATH]      exit 1 on mismatch or p99 over gate\n\
          \x20 fault-campaign [--seed N] [--degrees A,B] [--rates R1,R2]\n\
          \x20             [--kinds stuck0,stuck1,transient,wearout]\n\
          \x20             [--jobs N] [--points P] [--max-attempts N]\n\
@@ -485,8 +506,7 @@ fn run_bench(args: &[String]) {
                 format!("engine_batch/{BATCH}x{n}"),
                 time_ns(|| {
                     std::hint::black_box(
-                        batch::multiply_batch_products(&acc, std::hint::black_box(&pairs))
-                            .unwrap(),
+                        batch::multiply_batch_products(&acc, std::hint::black_box(&pairs)).unwrap(),
                     );
                 }) / BATCH as f64,
             ));
@@ -519,10 +539,46 @@ fn run_bench(args: &[String]) {
     }
 }
 
+/// Parses `--check off | residue[:points[:seed]] | recompute`,
+/// returning the policy and the raw argument for report labels.
+fn parse_check_policy(args: &[String], default_seed: u64) -> (CheckPolicy, String) {
+    let check_arg = opt(args, "--check").unwrap_or_else(|| "off".into());
+    let check = match check_arg.as_str() {
+        "off" => CheckPolicy::Disabled,
+        "recompute" => CheckPolicy::Recompute,
+        other => {
+            let mut parts = other.split(':');
+            if parts.next() != Some("residue") {
+                eprintln!("unknown check policy: {other}");
+                std::process::exit(2);
+            }
+            let points: u8 = parts.next().map_or(Ok(3), str::parse).unwrap_or_else(|_| {
+                eprintln!("invalid residue point count in --check {other}");
+                std::process::exit(2);
+            });
+            let pt_seed: u64 = parts
+                .next()
+                .map_or(Ok(default_seed), str::parse)
+                .unwrap_or_else(|_| {
+                    eprintln!("invalid residue seed in --check {other}");
+                    std::process::exit(2);
+                });
+            CheckPolicy::residue(points, pt_seed)
+        }
+    };
+    (check, check_arg)
+}
+
 /// `serve-loadgen`: drives the batch-forming job scheduler with a
 /// seeded workload, verifies products against the direct engine path,
 /// and exits 1 on any mismatch, drop, or execution failure.
 fn run_serve_loadgen(args: &[String]) {
+    if args.iter().any(|a| a == "--tcp") {
+        // The socket-path variant lives in its own function: different
+        // loop structure, different report, different gate.
+        run_tcp_loadgen(args);
+        return;
+    }
     let parse_num = |name: &str, default: u64| -> u64 {
         match opt(args, name) {
             None => default,
@@ -578,31 +634,7 @@ fn run_serve_loadgen(args: &[String]) {
     // comes from a pool of K reused seeded keys, and the service runs
     // with a hot-operand transform cache sized to hold all of them.
     let hot_keys = parse_num("--hot-keys", 0) as usize;
-    // --check off | residue[:points[:seed]] | recompute
-    let check_arg = opt(args, "--check").unwrap_or_else(|| "off".into());
-    let check = match check_arg.as_str() {
-        "off" => CheckPolicy::Disabled,
-        "recompute" => CheckPolicy::Recompute,
-        other => {
-            let mut parts = other.split(':');
-            if parts.next() != Some("residue") {
-                eprintln!("unknown check policy: {other}");
-                std::process::exit(2);
-            }
-            let points: u8 = parts.next().map_or(Ok(3), str::parse).unwrap_or_else(|_| {
-                eprintln!("invalid residue point count in --check {other}");
-                std::process::exit(2);
-            });
-            let pt_seed: u64 = parts
-                .next()
-                .map_or(Ok(seed), str::parse)
-                .unwrap_or_else(|_| {
-                    eprintln!("invalid residue seed in --check {other}");
-                    std::process::exit(2);
-                });
-            CheckPolicy::residue(points, pt_seed)
-        }
-    };
+    let (check, check_arg) = parse_check_policy(args, seed);
 
     let config = LoadgenConfig {
         seed,
@@ -703,21 +735,12 @@ fn run_serve_loadgen(args: &[String]) {
             report.direct_throughput
         ));
         out.push_str(&format!("  \"speedup\": {:.3},\n", report.speedup));
-        out.push_str(&format!("  \"mean_occupancy\": {:.3},\n", s.mean_occupancy));
-        out.push_str(&format!("  \"full_batches\": {},\n", s.full_batches));
-        out.push_str(&format!(
-            "  \"lingered_batches\": {},\n",
-            s.lingered_batches
-        ));
-        out.push_str(&format!("  \"eager_batches\": {},\n", s.eager_batches));
-        out.push_str(&format!("  \"latency_samples\": {},\n", s.latency_samples));
-        out.push_str(&format!("  \"p50_us\": {:.1},\n", s.p50_us));
-        out.push_str(&format!("  \"p95_us\": {:.1},\n", s.p95_us));
-        out.push_str(&format!("  \"p99_us\": {:.1},\n", s.p99_us));
+        // The whole stats block in one shot — the same serializer the
+        // net crate's Stats verb uses, so every emitter agrees on
+        // field names and formatting.
+        out.push_str(&format!("  \"service_stats\": {},\n", s.to_json()));
         out.push_str(&format!("  \"check\": \"{check_arg}\",\n"));
         out.push_str(&format!("  \"hot_keys\": {hot_keys},\n"));
-        out.push_str(&format!("  \"hot_hits\": {},\n", s.hot_hits));
-        out.push_str(&format!("  \"hot_misses\": {},\n", s.hot_misses));
         let lookups = s.hot_hits + s.hot_misses;
         out.push_str(&format!(
             "  \"hot_hit_rate\": {:.4},\n",
@@ -930,7 +953,7 @@ fn run_fault_campaign(args: &[String]) {
                  \"detected\": {}, \"retries\": {}, \"recovered\": {}, \
                  \"quarantined_banks\": {}, \"screen_corrupted\": {}, \
                  \"screen_detected\": {}, \"residue_coverage\": {:.4}, \
-                 \"hot_hits\": {}}}{sep}\n",
+                 \"hot_hits\": {}, \"stats\": {}}}{sep}\n",
                 c.kind.label(),
                 c.degree,
                 c.rate,
@@ -947,6 +970,7 @@ fn run_fault_campaign(args: &[String]) {
                 c.screen_detected,
                 c.residue_coverage(),
                 c.hot_hits,
+                c.stats.to_json(),
             ));
         }
         out.push_str("  ]\n}\n");
@@ -971,6 +995,267 @@ fn run_fault_campaign(args: &[String]) {
     }
 }
 
+/// `serve`: binds the TCP front end on `--listen` and serves until an
+/// operator client sends the `Shutdown` verb (or the process is
+/// killed). Wire format: DESIGN.md §15.
+fn run_serve(args: &[String]) {
+    let parse_num = |name: &str, default: u64| -> u64 {
+        match opt(args, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let listen = opt(args, "--listen").unwrap_or_else(|| "127.0.0.1:7681".into());
+    let Some(token) = opt(args, "--token") else {
+        eprintln!("serve requires --token (the tenant auth token)");
+        std::process::exit(2);
+    };
+    let quota = parse_num("--quota", 64).max(1) as usize;
+    let workers = parse_num("--workers", 2).max(1) as usize;
+    let queue_cap = parse_num("--queue-cap", 4096).max(2) as usize;
+    let linger_us = parse_num("--linger-us", 500);
+    let max_conns = parse_num("--max-conns", 256).max(1) as usize;
+    let max_wait_ms = parse_num("--max-wait-ms", 30_000).max(1);
+    let hot_keys = parse_num("--hot-keys", 0) as usize;
+    let (check, check_arg) = parse_check_policy(args, 0);
+
+    // The --token tenant can stop the server; --op-token adds a
+    // separate operator identity when the serving tenant shouldn't
+    // hold that capability.
+    let mut tenants = vec![TenantConfig {
+        name: "default".into(),
+        token: token.clone(),
+        quota,
+        may_shutdown: opt(args, "--op-token").is_none(),
+    }];
+    if let Some(op) = opt(args, "--op-token") {
+        tenants.push(TenantConfig {
+            name: "operator".into(),
+            token: op,
+            quota: 1,
+            may_shutdown: true,
+        });
+    }
+
+    let config = ServerConfig {
+        tenants,
+        max_connections: max_conns,
+        max_wait: Duration::from_millis(max_wait_ms),
+        service: ServiceConfig {
+            workers,
+            queue_capacity: queue_cap,
+            linger: Duration::from_micros(linger_us),
+            check,
+            hot_capacity: hot_keys,
+            ..ServiceConfig::default()
+        },
+    };
+    let server = Server::start(listen.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "serving on {} — {workers} superbank workers, queue {queue_cap}, \
+         quota {quota}/tenant, {max_conns} connections max, check {check_arg}; \
+         send the Shutdown verb to stop",
+        server.local_addr()
+    );
+    let stats = server.wait();
+    println!("drained; final scheduler state:\n{stats}");
+}
+
+/// `serve-loadgen --tcp`: the socket-path load generator. Spins up an
+/// in-process server on loopback (or targets `--connect ADDR`), drives
+/// it with N client threads, bit-verifies every product against the
+/// software NTT, and gates on mismatches and (optionally) tail
+/// latency.
+fn run_tcp_loadgen(args: &[String]) {
+    let parse_num = |name: &str, default: u64| -> u64 {
+        match opt(args, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let seed = parse_num("--seed", 7);
+    let clients = parse_num("--clients", 64).max(1) as usize;
+    let jobs = parse_num("--jobs", 1024).max(1) as usize;
+    let jobs_per_client = jobs.div_ceil(clients);
+    let window = parse_num("--window", 4).max(1) as usize;
+    // Default tenant quota: room for every client's full window, so
+    // quota rejects only appear when the operator asks for them.
+    let quota = parse_num("--quota", (clients * window) as u64).max(1) as usize;
+    let wait_timeout_ms = parse_num("--wait-timeout-ms", 10_000).min(u64::from(u32::MAX)) as u32;
+    let workers = parse_num("--workers", 2).max(1) as usize;
+    let queue_cap = parse_num("--queue-cap", 4096).max(2) as usize;
+    let linger_us = parse_num("--linger-us", 500);
+    let degrees = if opt(args, "--degrees").is_some() {
+        parse_degrees(args)
+    } else {
+        vec![256, 512, 1024]
+    };
+
+    // Default: a self-contained run against an in-process server on an
+    // ephemeral loopback port. --connect targets an external `serve`.
+    let token = opt(args, "--token").unwrap_or_else(|| "loadgen".into());
+    let (server, addr) = match opt(args, "--connect") {
+        Some(external) => {
+            let addr = external.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --connect {external}: {e}");
+                std::process::exit(2);
+            });
+            (None, addr)
+        }
+        None => {
+            let server = Server::start(
+                "127.0.0.1:0",
+                ServerConfig {
+                    tenants: vec![TenantConfig::new("loadgen", &token, quota)],
+                    max_connections: clients + 8,
+                    max_wait: Duration::from_millis(u64::from(wait_timeout_ms)),
+                    service: ServiceConfig {
+                        workers,
+                        queue_capacity: queue_cap,
+                        linger: Duration::from_micros(linger_us),
+                        ..ServiceConfig::default()
+                    },
+                },
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind loopback: {e}");
+                std::process::exit(1);
+            });
+            let addr = server.local_addr();
+            (Some(server), addr)
+        }
+    };
+
+    let loop_kind = if window == 1 { "closed" } else { "open" };
+    println!(
+        "serve-loadgen --tcp: seed {seed}, {clients} clients × {jobs_per_client} jobs \
+         ({loop_kind} loop, window {window}, quota {quota}) over n ∈ {degrees:?} against {addr}"
+    );
+    let report = net::loadgen::run_against(
+        addr,
+        &token,
+        &TcpLoadConfig {
+            seed,
+            clients,
+            jobs_per_client,
+            degrees: degrees.clone(),
+            window,
+            wait_timeout_ms,
+        },
+    );
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    println!(
+        "tcp: {} of {} verified bit-exact, {} mismatches, {} failed in {:.3} s → {:.0} mult/s",
+        report.verified,
+        report.jobs,
+        report.mismatches,
+        report.failed,
+        report.wall_s,
+        report.throughput
+    );
+    println!(
+        "client-observed latency: p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs, max {} µs",
+        report.p50_us, report.p95_us, report.p99_us, report.max_us
+    );
+    println!(
+        "flow control: {} quota rejects, {} sheds, {} wait timeouts, {} fault-recovered",
+        report.quota_rejected, report.shed, report.wait_timeouts, report.recovered
+    );
+
+    if args.iter().any(|a| a == "--json") {
+        let path =
+            opt(args, "--out").unwrap_or_else(|| format!("BENCH_tcp_{}.json", utc_timestamp()));
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
+        out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"clients\": {clients},\n"));
+        out.push_str(&format!("  \"jobs_per_client\": {jobs_per_client},\n"));
+        out.push_str(&format!("  \"window\": {window},\n"));
+        out.push_str(&format!("  \"quota\": {quota},\n"));
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!(
+            "  \"degrees\": [{}],\n",
+            degrees
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
+        out.push_str(&format!("  \"verified\": {},\n", report.verified));
+        out.push_str(&format!("  \"mismatches\": {},\n", report.mismatches));
+        out.push_str(&format!("  \"failed\": {},\n", report.failed));
+        out.push_str(&format!(
+            "  \"quota_rejected\": {},\n",
+            report.quota_rejected
+        ));
+        out.push_str(&format!("  \"shed\": {},\n", report.shed));
+        out.push_str(&format!("  \"wait_timeouts\": {},\n", report.wait_timeouts));
+        out.push_str(&format!("  \"recovered\": {},\n", report.recovered));
+        out.push_str(&format!("  \"wall_s\": {:.3},\n", report.wall_s));
+        out.push_str(&format!("  \"throughput\": {:.1},\n", report.throughput));
+        out.push_str(&format!("  \"p50_us\": {:.1},\n", report.p50_us));
+        out.push_str(&format!("  \"p95_us\": {:.1},\n", report.p95_us));
+        out.push_str(&format!("  \"p99_us\": {:.1},\n", report.p99_us));
+        out.push_str(&format!("  \"max_us\": {},\n", report.max_us));
+        // The server's own Stats-verb document, verbatim: net counters
+        // plus the scheduler's ServiceStats::to_json object.
+        if report.stats_json.is_empty() {
+            out.push_str("  \"server\": null\n");
+        } else {
+            out.push_str(&format!("  \"server\": {}\n", report.stats_json.trim()));
+        }
+        out.push_str("}\n");
+        std::fs::write(&path, out).expect("write tcp loadgen JSON");
+        println!("wrote {path}");
+    }
+
+    // Sanity-check the Stats verb from the consumer side: the embedded
+    // service object must parse with the dependency-free reader.
+    if !report.stats_json.is_empty() {
+        let parsed = extract_object(&report.stats_json, "service")
+            .and_then(service::ServiceStats::from_json);
+        if parsed.is_none() {
+            eprintln!("FAILED: Stats verb returned an unparseable service object");
+            std::process::exit(1);
+        }
+    }
+
+    if !report.is_clean() {
+        eprintln!(
+            "FAILED: {} mismatches, {} failed, {} of {} verified",
+            report.mismatches, report.failed, report.verified, report.jobs
+        );
+        std::process::exit(1);
+    }
+    if let Some(max) = opt(args, "--max-p99-us") {
+        let max: f64 = max.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --max-p99-us");
+            std::process::exit(2);
+        });
+        if report.p99_us > max {
+            eprintln!(
+                "FAILED: client-observed p99 {:.0} µs above the {max:.0} µs gate",
+                report.p99_us
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -983,6 +1268,10 @@ fn main() {
         }
         "serve-loadgen" => {
             run_serve_loadgen(&args);
+            return;
+        }
+        "serve" => {
+            run_serve(&args);
             return;
         }
         "fault-campaign" => {

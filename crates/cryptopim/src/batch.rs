@@ -291,9 +291,8 @@ fn recompute_chunk(
     }
     let referee = acc.referee().expect("with_check builds the referee");
     let hot = acc.hot_cache();
-    let fail_all = |e: PimError| -> Vec<Result<Polynomial>> {
-        chunk.iter().map(|_| Err(e.clone())).collect()
-    };
+    let fail_all =
+        |e: PimError| -> Vec<Result<Polynomial>> { chunk.iter().map(|_| Err(e.clone())).collect() };
     let images: Vec<Option<Arc<Vec<u64>>>> = match hot {
         Some(h) => chunk
             .iter()
@@ -778,7 +777,12 @@ mod tests {
     }
 
     /// Seeded hot batch (every job shares its `a`), batch width `count`.
-    fn seeded_hot_pairs(n: usize, q: u64, count: usize, seed: u64) -> Vec<(Polynomial, Polynomial)> {
+    fn seeded_hot_pairs(
+        n: usize,
+        q: u64,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(Polynomial, Polynomial)> {
         let mut state = seed | 1;
         let mut draw = || -> Vec<u64> {
             (0..n)

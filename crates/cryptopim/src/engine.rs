@@ -341,7 +341,7 @@ impl<'m> Engine<'m> {
                     b,
                     out,
                     workers,
-                    capture.as_deref_mut().map(Vec::as_mut_slice),
+                    capture.map(Vec::as_mut_slice),
                 );
             } else {
                 self.datapath_batch_fast(
@@ -351,7 +351,7 @@ impl<'m> Engine<'m> {
                     b,
                     out,
                     cached,
-                    capture.as_deref_mut().map(Vec::as_mut_slice),
+                    capture.map(Vec::as_mut_slice),
                 );
             }
         }
@@ -362,6 +362,7 @@ impl<'m> Engine<'m> {
     /// bit-reversal folded into the ψ pre-multiply gather, then fused
     /// row-centric butterfly stages double-buffered through the scratch
     /// arena.
+    #[allow(clippy::too_many_arguments)]
     fn datapath_sequential(
         &self,
         plan: &StagePlan,
@@ -539,7 +540,7 @@ impl<'m> Engine<'m> {
         b: &[u64],
         out: &mut [u64],
         cached: &[Option<&[u64]>],
-        mut capture: Option<&mut [u64]>,
+        capture: Option<&mut [u64]>,
     ) {
         let n = plan.n();
         let q = self.mapping.params().q;
@@ -568,7 +569,7 @@ impl<'m> Engine<'m> {
             }
             ntt::merged::forward_lazy_batch_in_place(&mut ba[start * n..lane * n], tables);
         }
-        if let Some(cap) = capture.as_deref_mut() {
+        if let Some(cap) = capture {
             for lane in 0..batch {
                 if hit(lane).is_some() {
                     continue;
@@ -1366,7 +1367,9 @@ mod tests {
         let b = rand_vec(2 * n, q, 92);
         let mut out = Vec::new();
         // Length not a multiple of n / mismatched lengths / empty.
-        assert!(eng.multiply_batch_into(&a[..n + 1], &b[..n + 1], &mut out).is_err());
+        assert!(eng
+            .multiply_batch_into(&a[..n + 1], &b[..n + 1], &mut out)
+            .is_err());
         assert!(eng.multiply_batch_into(&a, &b[..n], &mut out).is_err());
         assert!(eng.multiply_batch_into(&[], &[], &mut out).is_err());
         // `cached` must be one entry per job with n-word images.

@@ -255,7 +255,11 @@ mod tests {
         let mut b = a.clone();
         assert_eq!(seahash(&a), seahash(&b));
         b[63] ^= 1;
-        assert_ne!(seahash(&a), seahash(&b), "single-bit flip must change the hash");
+        assert_ne!(
+            seahash(&a),
+            seahash(&b),
+            "single-bit flip must change the hash"
+        );
         assert_ne!(seahash(&a[..63]), seahash(&a), "length is part of the hash");
     }
 

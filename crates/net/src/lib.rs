@@ -1,0 +1,34 @@
+//! TCP front end for the CryptoPIM scheduler.
+//!
+//! Everything below `crates/service` speaks Rust types in one process;
+//! this crate puts a socket in front of it so the scheduler serves
+//! remote callers. Four modules:
+//!
+//! - [`wire`] — the versioned, checksummed, length-prefixed binary
+//!   frame format and its typed decode errors. Hostile bytes produce
+//!   a [`wire::WireError`], never a panic or an unbounded allocation.
+//! - [`server`] — a std-only TCP server (no async runtime): bounded
+//!   acceptor, thread-per-connection handlers, per-tenant auth tokens
+//!   and outstanding-job quotas layered over the scheduler's `Reject`
+//!   backpressure, and a `Stats` verb exposing scheduler + net
+//!   counters as JSON.
+//! - [`client`] — a blocking client speaking the same frames, with
+//!   server refusals surfaced as typed [`client::NetError::Server`]
+//!   values.
+//! - [`loadgen`] — N client threads driving a real server over
+//!   loopback, bit-verifying every product against the software NTT
+//!   and reporting exact client-observed latency quantiles. Backs
+//!   `cli serve-loadgen --tcp`.
+//!
+//! The wire format is specified in `DESIGN.md` §15; the README's
+//! "Networking" section has the two-command quickstart.
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, DoneJob, NetError};
+pub use loadgen::{TcpLoadConfig, TcpLoadReport};
+pub use server::{Server, ServerConfig, TenantConfig};
+pub use wire::{ErrorCode, Frame, JobState, WireError};

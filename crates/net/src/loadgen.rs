@@ -1,0 +1,391 @@
+//! Socket-path load generator: N client threads driving a real
+//! [`Server`](crate::server::Server) over loopback TCP, bit-verifying
+//! every returned product against the software NTT.
+//!
+//! This deliberately goes through the full stack — wire encode, TCP,
+//! frame decode, tenant auth, quota admission, scheduler, and back —
+//! so its latency numbers are what a remote caller would actually see,
+//! not the in-process numbers `service::loadgen` reports. Jobs are
+//! generated with the same deterministic
+//! [`service::loadgen::generate_jobs`] used by the in-process
+//! generator, so the two harnesses exercise identical workloads.
+//!
+//! Latency is recorded per job as submit-to-`Done` wall time, with
+//! exact samples (not log buckets) so the p99 gate in
+//! `cli serve-loadgen --tcp` measures what it claims to.
+
+use crate::client::Client;
+use crate::wire::ErrorCode;
+use ntt::negacyclic::{NttMultiplier, PolyMultiplier};
+use ntt::poly::Polynomial;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct TcpLoadConfig {
+    /// Workload seed (same meaning as `service::loadgen`).
+    pub seed: u64,
+    /// Concurrent client connections, one thread each.
+    pub clients: usize,
+    /// Jobs each client submits.
+    pub jobs_per_client: usize,
+    /// Degrees to draw operands from (round-robin per client).
+    pub degrees: Vec<usize>,
+    /// Outstanding jobs each client pipelines before collecting.
+    /// `1` is a closed loop (submit, wait, repeat); larger values are
+    /// an open loop bounded by this window and the tenant quota.
+    pub window: usize,
+    /// Per-`Wait` timeout sent to the server. Timed-out waits are
+    /// retried (and counted) — the job is still in flight, not lost.
+    pub wait_timeout_ms: u32,
+}
+
+impl Default for TcpLoadConfig {
+    fn default() -> Self {
+        TcpLoadConfig {
+            seed: 7,
+            clients: 8,
+            jobs_per_client: 32,
+            degrees: vec![256],
+            window: 1,
+            wait_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// Aggregated outcome of one TCP load run.
+#[derive(Debug, Clone)]
+pub struct TcpLoadReport {
+    /// Client connections that completed their workload.
+    pub clients: usize,
+    /// Jobs attempted (clients × jobs_per_client).
+    pub jobs: usize,
+    /// Products returned and bit-verified against the software NTT.
+    pub verified: usize,
+    /// Products that disagreed with the software NTT (must be 0).
+    pub mismatches: usize,
+    /// Jobs that ended in a typed failure frame (fault unrecovered,
+    /// internal error).
+    pub failed: usize,
+    /// `QuotaExceeded` refusals absorbed by collecting and retrying.
+    pub quota_rejected: u64,
+    /// `Overloaded` refusals absorbed by backoff and retrying.
+    pub shed: u64,
+    /// `WaitTimeout` refusals absorbed by re-waiting.
+    pub wait_timeouts: u64,
+    /// Jobs whose `attempts > 1` (transparent fault recovery ran).
+    pub recovered: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Verified jobs per second of wall clock.
+    pub throughput: f64,
+    /// Client-observed submit→Done latency quantiles, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// The server's `Stats`-verb JSON document, fetched after the run.
+    pub stats_json: String,
+}
+
+impl TcpLoadReport {
+    /// True when every job produced a bit-exact product.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches == 0 && self.failed == 0 && self.verified == self.jobs
+    }
+}
+
+#[derive(Default)]
+struct WorkerResult {
+    verified: usize,
+    mismatches: usize,
+    failed: usize,
+    quota_rejected: u64,
+    shed: u64,
+    wait_timeouts: u64,
+    recovered: u64,
+    latencies: Vec<u64>,
+}
+
+/// Verifies returned products against the software NTT, caching one
+/// multiplier per `(n, q)`.
+struct Verifier {
+    multipliers: HashMap<(usize, u64), NttMultiplier>,
+}
+
+impl Verifier {
+    fn new() -> Verifier {
+        Verifier {
+            multipliers: HashMap::new(),
+        }
+    }
+
+    fn expected(&mut self, a: &Polynomial, b: &Polynomial) -> Option<Polynomial> {
+        let key = (a.degree_bound(), a.modulus());
+        let multiplier = match self.multipliers.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(NttMultiplier::for_degree_modulus(key.0, key.1).ok()?),
+        };
+        multiplier.multiply(a, b).ok()
+    }
+}
+
+/// Runs `config.clients` threads against a server already listening at
+/// `addr`, authenticating with `token`.
+///
+/// # Panics
+///
+/// Panics if any client thread cannot connect or authenticate — the
+/// load generator's contract is a healthy server on loopback.
+pub fn run_against(
+    addr: std::net::SocketAddr,
+    token: &str,
+    config: &TcpLoadConfig,
+) -> TcpLoadReport {
+    let clients = config.clients.max(1);
+    let jobs_per_client = config.jobs_per_client.max(1);
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| {
+                let config = config.clone();
+                let token = token.to_string();
+                scope.spawn(move || client_worker(addr, &token, idx, &config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut merged = WorkerResult::default();
+    for r in results {
+        merged.verified += r.verified;
+        merged.mismatches += r.mismatches;
+        merged.failed += r.failed;
+        merged.quota_rejected += r.quota_rejected;
+        merged.shed += r.shed;
+        merged.wait_timeouts += r.wait_timeouts;
+        merged.recovered += r.recovered;
+        merged.latencies.extend(r.latencies);
+    }
+    merged.latencies.sort_unstable();
+    let quantile = |p: f64| -> f64 {
+        if merged.latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = (p * (merged.latencies.len() - 1) as f64).round() as usize;
+        merged.latencies[rank.min(merged.latencies.len() - 1)] as f64
+    };
+
+    let stats_json = match Client::connect(addr, token) {
+        Ok((mut client, _, _)) => client.stats_json().unwrap_or_default(),
+        Err(_) => String::new(),
+    };
+
+    let jobs = clients * jobs_per_client;
+    TcpLoadReport {
+        clients,
+        jobs,
+        verified: merged.verified,
+        mismatches: merged.mismatches,
+        failed: merged.failed,
+        quota_rejected: merged.quota_rejected,
+        shed: merged.shed,
+        wait_timeouts: merged.wait_timeouts,
+        recovered: merged.recovered,
+        wall_s,
+        throughput: if wall_s > 0.0 {
+            merged.verified as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: quantile(0.50),
+        p95_us: quantile(0.95),
+        p99_us: quantile(0.99),
+        max_us: merged.latencies.last().copied().unwrap_or(0),
+        stats_json,
+    }
+}
+
+/// One job in flight on a client connection.
+struct Inflight {
+    job_id: u64,
+    expected: Option<Polynomial>,
+    submitted_at: Instant,
+}
+
+fn client_worker(
+    addr: std::net::SocketAddr,
+    token: &str,
+    idx: usize,
+    config: &TcpLoadConfig,
+) -> WorkerResult {
+    let (mut client, _tenant, quota) =
+        Client::connect(addr, token).expect("loadgen client connect");
+    // Give every client a distinct deterministic stream.
+    let seed = config
+        .seed
+        .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let jobs =
+        service::loadgen::generate_jobs(seed, config.jobs_per_client.max(1), &config.degrees);
+    let window = config.window.max(1).min(quota.max(1) as usize);
+
+    let mut verifier = Verifier::new();
+    let mut result = WorkerResult::default();
+    let mut inflight: VecDeque<Inflight> = VecDeque::new();
+
+    for (job_id, (a, b)) in (1u64..).zip(jobs) {
+        let expected = verifier.expected(&a, &b);
+        let (q, ca, cb) = (a.modulus(), a.into_coeffs(), b.into_coeffs());
+        loop {
+            match client.submit(job_id, q, ca.clone(), cb.clone()) {
+                Ok(()) => {
+                    inflight.push_back(Inflight {
+                        job_id,
+                        expected: expected.clone(),
+                        submitted_at: Instant::now(),
+                    });
+                    break;
+                }
+                Err(e) => match e.code() {
+                    Some(ErrorCode::QuotaExceeded) => {
+                        result.quota_rejected += 1;
+                        // Collect the oldest outstanding job to free a
+                        // quota slot, then retry this submit.
+                        if !collect_one(&mut client, &mut inflight, config, &mut result) {
+                            // Nothing to collect: the quota is consumed
+                            // by another connection of this tenant.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    Some(ErrorCode::Overloaded) => {
+                        result.shed += 1;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    _ => panic!("loadgen submit failed: {e}"),
+                },
+            }
+        }
+        while inflight.len() >= window {
+            collect_one(&mut client, &mut inflight, config, &mut result);
+        }
+    }
+    while !inflight.is_empty() {
+        collect_one(&mut client, &mut inflight, config, &mut result);
+    }
+    result
+}
+
+/// Waits out the oldest in-flight job, verifying its product. Returns
+/// false when nothing was in flight.
+fn collect_one(
+    client: &mut Client,
+    inflight: &mut VecDeque<Inflight>,
+    config: &TcpLoadConfig,
+    result: &mut WorkerResult,
+) -> bool {
+    let Some(job) = inflight.pop_front() else {
+        return false;
+    };
+    loop {
+        match client.wait(job.job_id, config.wait_timeout_ms.max(1)) {
+            Ok(done) => {
+                result
+                    .latencies
+                    .push(job.submitted_at.elapsed().as_micros() as u64);
+                if done.attempts > 1 {
+                    result.recovered += 1;
+                }
+                let matches = job.expected.as_ref().is_some_and(|exp| {
+                    exp.modulus() == done.q && exp.coeffs() == done.product.as_slice()
+                });
+                if matches {
+                    result.verified += 1;
+                } else {
+                    result.mismatches += 1;
+                }
+                return true;
+            }
+            Err(e) if e.code() == Some(ErrorCode::WaitTimeout) => {
+                // Flow control, not failure: the job is still running.
+                result.wait_timeouts += 1;
+            }
+            Err(e) => {
+                result.failed += 1;
+                debug_assert!(
+                    e.code().is_some(),
+                    "loadgen wait hit a transport failure: {e}"
+                );
+                return true;
+            }
+        }
+    }
+}
+
+/// Extracts the balanced-brace JSON object under `"key"` from `text`.
+///
+/// Dependency-free helper for pulling the `"service"` object out of a
+/// `Stats` reply so it can be handed to
+/// [`service::ServiceStats::from_json`]. String-escape-aware; returns
+/// `None` when the key is missing or unbalanced.
+pub fn extract_object<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = &text[at..];
+    let open = rest.find('{')?;
+    // Nothing but whitespace and a colon may sit between key and brace.
+    if !rest[..open].chars().all(|c| c == ':' || c.is_whitespace()) {
+        return None;
+    }
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_object_finds_nested_and_escaped() {
+        let doc = r#"{"a": 1, "service": {"x": {"y": 2}, "s": "br{ace\"}"}, "b": 3}"#;
+        let obj = extract_object(doc, "service").unwrap();
+        assert_eq!(obj, r#"{"x": {"y": 2}, "s": "br{ace\"}"}"#);
+        assert!(extract_object(doc, "missing").is_none());
+        assert!(extract_object(r#"{"service": [1]}"#, "service").is_none());
+        assert!(extract_object(r#"{"service": {"open": 1"#, "service").is_none());
+    }
+}

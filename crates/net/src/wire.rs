@@ -1,0 +1,889 @@
+//! The length-prefixed binary wire protocol (version 1).
+//!
+//! Every frame on the socket has the same envelope:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        b"CPIM"
+//! 4       1     version      1
+//! 5       1     frame type   (one tag per Frame variant)
+//! 6       4     payload len  u32 LE, capped at MAX_PAYLOAD
+//! 10      len   payload      variant-specific, see below
+//! 10+len  8     checksum     FNV-1a 64 over (type byte ‖ payload), LE
+//! ```
+//!
+//! Payload primitives are all little-endian: `u32`, `u64`, strings as
+//! `u32` byte length + UTF-8 bytes, and `u64` vectors as `u32` element
+//! count + the elements. Every count is validated against the bytes
+//! actually present *before* any allocation, so a hostile length
+//! prefix cannot make the decoder reserve gigabytes; a frame that
+//! decodes with bytes left over is malformed (no smuggled trailers).
+//!
+//! Decoding never panics on adversarial input — every failure is a
+//! typed [`WireError`], and the server answers one in-band
+//! [`ErrorCode::Malformed`] frame before dropping the connection.
+//! Versioning is strict: a peer speaking a different `version` byte is
+//! rejected at the envelope, before any payload is interpreted.
+
+use std::io::{self, Read, Write};
+
+/// Frame envelope magic.
+pub const MAGIC: [u8; 4] = *b"CPIM";
+
+/// Wire-protocol version this build speaks. Strict equality is
+/// required; there is no negotiation below it.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on the payload length field. The largest legitimate frame
+/// is a `Submit` of two degree-65536 operand vectors (1 MiB of
+/// coefficients); 4 MiB leaves headroom without letting a hostile
+/// length prefix reserve unbounded memory.
+pub const MAX_PAYLOAD: u32 = 4 << 20;
+
+/// Bytes before the payload: magic + version + type + length.
+pub const HEADER_LEN: usize = 10;
+
+/// In-band protocol/serving error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// A verb other than `Hello` arrived before authentication.
+    AuthRequired = 0,
+    /// The `Hello` token matched no configured tenant.
+    BadToken = 1,
+    /// The tenant's outstanding-job quota is exhausted; collect results
+    /// (or wait) and resubmit. This is admission control, not failure.
+    QuotaExceeded = 2,
+    /// The service's bounded admission queue is full (fleet-wide
+    /// backpressure) or the fleet is fully quarantined.
+    Overloaded = 3,
+    /// The job's `(n, q)` pair has no accelerator configuration, or the
+    /// operands are mutually inconsistent.
+    Unsupported = 4,
+    /// The job's product was detected corrupt on every execution
+    /// attempt and discarded — never served wrong.
+    FaultUnrecovered = 5,
+    /// The `Wait` deadline expired; the job is still in flight and a
+    /// later `Wait` can still collect it.
+    WaitTimeout = 6,
+    /// `Wait`/`Status` named a job id this connection never submitted
+    /// (or already collected).
+    UnknownJob = 7,
+    /// The peer's bytes did not decode as a protocol frame; the server
+    /// closes the connection after sending this.
+    Malformed = 8,
+    /// The authenticated tenant may not issue this verb (e.g.
+    /// `Shutdown` without the shutdown capability).
+    NotPermitted = 9,
+    /// The server is draining and admits no new work.
+    ShuttingDown = 10,
+    /// An internal serving failure that is none of the above.
+    Internal = 11,
+    /// The bounded acceptor is at its connection limit; retry later.
+    TooManyConnections = 12,
+    /// `Submit` reused a job id that is still outstanding on this
+    /// connection.
+    DuplicateJob = 13,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            0 => AuthRequired,
+            1 => BadToken,
+            2 => QuotaExceeded,
+            3 => Overloaded,
+            4 => Unsupported,
+            5 => FaultUnrecovered,
+            6 => WaitTimeout,
+            7 => UnknownJob,
+            8 => Malformed,
+            9 => NotPermitted,
+            10 => ShuttingDown,
+            11 => Internal,
+            12 => TooManyConnections,
+            13 => DuplicateJob,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Where a job sits, as reported by the `Status` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobState {
+    /// Submitted on this connection, result not yet available.
+    Pending = 0,
+    /// Result available; a `Wait` will return immediately.
+    Done = 1,
+    /// Not outstanding on this connection (never submitted, already
+    /// collected, or released).
+    Unknown = 2,
+}
+
+impl JobState {
+    fn from_u8(v: u8) -> Option<JobState> {
+        Some(match v {
+            0 => JobState::Pending,
+            1 => JobState::Done,
+            2 => JobState::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol frame. Client→server verbs are `Hello`, `Submit`,
+/// `Wait`, `Status`, `Stats`, `Shutdown`; everything else is a server
+/// reply. Every request receives exactly one reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Authenticate the connection with a tenant token. Must be the
+    /// first frame; everything else is refused with `AuthRequired`.
+    Hello {
+        /// The tenant's auth token.
+        token: String,
+    },
+    /// Successful authentication.
+    HelloOk {
+        /// The tenant name the token resolved to.
+        tenant: String,
+        /// The tenant's outstanding-job quota.
+        quota: u32,
+    },
+    /// Submit one multiplication job. `a`/`b` are canonical
+    /// coefficients of equal length under modulus `q`; the reply is
+    /// `Submitted` or a typed `Error`.
+    Submit {
+        /// Connection-scoped job id, chosen by the client.
+        job_id: u64,
+        /// Modulus both operands live under.
+        q: u64,
+        /// Left operand coefficients (length = degree).
+        a: Vec<u64>,
+        /// Right operand coefficients (same length as `a`).
+        b: Vec<u64>,
+    },
+    /// The job was admitted; collect it with `Wait`.
+    Submitted {
+        /// Echo of the submitted job id.
+        job_id: u64,
+    },
+    /// Collect a submitted job, blocking server-side up to
+    /// `timeout_ms` (further capped by the server's own limit).
+    Wait {
+        /// Job to collect.
+        job_id: u64,
+        /// Client-requested maximum block, milliseconds.
+        timeout_ms: u32,
+    },
+    /// A completed job's product and latency breakdown.
+    Done {
+        /// Echo of the job id.
+        job_id: u64,
+        /// Modulus of the product.
+        q: u64,
+        /// Product coefficients, canonical, bit-identical to a direct
+        /// engine multiply of the submitted pair.
+        product: Vec<u64>,
+        /// Queueing time (submit → dispatch), microseconds.
+        queue_us: u64,
+        /// Batch execution wall-clock, microseconds.
+        service_us: u64,
+        /// Execution attempts the job took (>1 = recovered fault).
+        attempts: u32,
+    },
+    /// Ask where a job sits without blocking.
+    Status {
+        /// Job to probe.
+        job_id: u64,
+    },
+    /// Non-blocking job state reply.
+    StatusOk {
+        /// Echo of the job id.
+        job_id: u64,
+        /// Where the job sits.
+        state: JobState,
+    },
+    /// Request the server's statistics snapshot.
+    Stats,
+    /// Statistics reply: one JSON document with `"net"` counters and
+    /// the scheduler's `"service"` object
+    /// (parseable by `ServiceStats::from_json`).
+    StatsJson {
+        /// The JSON document.
+        json: String,
+    },
+    /// Ask the server to stop accepting and drain (requires the
+    /// tenant's shutdown capability).
+    Shutdown,
+    /// Shutdown acknowledged; the server is draining.
+    ShutdownOk,
+    /// Typed in-band failure. `job_id` is 0 for connection-scoped
+    /// errors (auth, malformed bytes, shutdown refusals).
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Job the error is about, or 0 when connection-scoped.
+        job_id: u64,
+        /// Human-readable detail (bounded; informational only).
+        detail: String,
+    },
+}
+
+impl Frame {
+    fn type_tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::HelloOk { .. } => 2,
+            Frame::Submit { .. } => 3,
+            Frame::Submitted { .. } => 4,
+            Frame::Wait { .. } => 5,
+            Frame::Done { .. } => 6,
+            Frame::Status { .. } => 7,
+            Frame::StatusOk { .. } => 8,
+            Frame::Stats => 9,
+            Frame::StatsJson { .. } => 10,
+            Frame::Shutdown => 11,
+            Frame::ShutdownOk => 12,
+            Frame::Error { .. } => 13,
+        }
+    }
+
+    /// The variant's name, for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::HelloOk { .. } => "HelloOk",
+            Frame::Submit { .. } => "Submit",
+            Frame::Submitted { .. } => "Submitted",
+            Frame::Wait { .. } => "Wait",
+            Frame::Done { .. } => "Done",
+            Frame::Status { .. } => "Status",
+            Frame::StatusOk { .. } => "StatusOk",
+            Frame::Stats => "Stats",
+            Frame::StatsJson { .. } => "StatsJson",
+            Frame::Shutdown => "Shutdown",
+            Frame::ShutdownOk => "ShutdownOk",
+            Frame::Error { .. } => "Error",
+        }
+    }
+}
+
+/// Typed decode/transport failures. `Io` covers transport-level
+/// problems (including mid-frame disconnects); everything else is a
+/// protocol violation by the peer.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying read/write failed (includes mid-frame EOF).
+    Io(io::Error),
+    /// The envelope did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The checksum did not match the payload.
+    BadChecksum,
+    /// The type byte names no known frame.
+    UnknownFrameType(u8),
+    /// The payload did not decode as its frame type.
+    Malformed(&'static str),
+}
+
+impl WireError {
+    /// True for the clean end-of-stream cases a server treats as "the
+    /// client hung up" rather than a protocol violation.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            )
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (want {MAGIC:02x?})"),
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (this build speaks {VERSION})")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "payload length {len} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over the type byte followed by the payload — cheap,
+/// dependency-free integrity for a trusted-transport protocol (this
+/// guards against truncation and stream desync, not adversaries).
+fn checksum(type_tag: u8, payload: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ u64::from(type_tag);
+    h = h.wrapping_mul(PRIME);
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec(out: &mut Vec<u8>, v: &[u64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut p = Vec::new();
+    match frame {
+        Frame::Hello { token } => put_str(&mut p, token),
+        Frame::HelloOk { tenant, quota } => {
+            put_str(&mut p, tenant);
+            put_u32(&mut p, *quota);
+        }
+        Frame::Submit { job_id, q, a, b } => {
+            put_u64(&mut p, *job_id);
+            put_u64(&mut p, *q);
+            put_vec(&mut p, a);
+            put_vec(&mut p, b);
+        }
+        Frame::Submitted { job_id } => put_u64(&mut p, *job_id),
+        Frame::Wait { job_id, timeout_ms } => {
+            put_u64(&mut p, *job_id);
+            put_u32(&mut p, *timeout_ms);
+        }
+        Frame::Done {
+            job_id,
+            q,
+            product,
+            queue_us,
+            service_us,
+            attempts,
+        } => {
+            put_u64(&mut p, *job_id);
+            put_u64(&mut p, *q);
+            put_vec(&mut p, product);
+            put_u64(&mut p, *queue_us);
+            put_u64(&mut p, *service_us);
+            put_u32(&mut p, *attempts);
+        }
+        Frame::Status { job_id } => put_u64(&mut p, *job_id),
+        Frame::StatusOk { job_id, state } => {
+            put_u64(&mut p, *job_id);
+            p.push(*state as u8);
+        }
+        Frame::Stats | Frame::Shutdown | Frame::ShutdownOk => {}
+        Frame::StatsJson { json } => put_str(&mut p, json),
+        Frame::Error {
+            code,
+            job_id,
+            detail,
+        } => {
+            p.push(*code as u8);
+            put_u64(&mut p, *job_id);
+            put_str(&mut p, detail);
+        }
+    }
+    p
+}
+
+/// Encodes one frame into its full wire envelope.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let tag = frame.type_tag();
+    let payload = encode_payload(frame);
+    assert!(
+        payload.len() as u64 <= u64::from(MAX_PAYLOAD),
+        "frame exceeds MAX_PAYLOAD; reject oversized jobs before encoding"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let sum = checksum(tag, &payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Writes one frame (single `write_all`; callers flush their writer).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Bounds-checked payload cursor: every read validates the remaining
+/// byte budget before touching (or allocating for) the data.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WireError::Malformed("truncated payload"))?;
+        let s = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn vec_u64(&mut self) -> Result<Vec<u64>, WireError> {
+        let count = self.u32()? as usize;
+        // The 8·count byte check happens before the allocation: a
+        // hostile count can at most claim what the (already capped)
+        // payload physically contains.
+        let bytes = self.take(
+            count
+                .checked_mul(8)
+                .ok_or(WireError::Malformed("vector count overflow"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.off == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor {
+        bytes: payload,
+        off: 0,
+    };
+    let frame = match tag {
+        1 => Frame::Hello { token: c.string()? },
+        2 => Frame::HelloOk {
+            tenant: c.string()?,
+            quota: c.u32()?,
+        },
+        3 => Frame::Submit {
+            job_id: c.u64()?,
+            q: c.u64()?,
+            a: c.vec_u64()?,
+            b: c.vec_u64()?,
+        },
+        4 => Frame::Submitted { job_id: c.u64()? },
+        5 => Frame::Wait {
+            job_id: c.u64()?,
+            timeout_ms: c.u32()?,
+        },
+        6 => Frame::Done {
+            job_id: c.u64()?,
+            q: c.u64()?,
+            product: c.vec_u64()?,
+            queue_us: c.u64()?,
+            service_us: c.u64()?,
+            attempts: c.u32()?,
+        },
+        7 => Frame::Status { job_id: c.u64()? },
+        8 => Frame::StatusOk {
+            job_id: c.u64()?,
+            state: JobState::from_u8(c.u8()?).ok_or(WireError::Malformed("unknown job state"))?,
+        },
+        9 => Frame::Stats,
+        10 => Frame::StatsJson { json: c.string()? },
+        11 => Frame::Shutdown,
+        12 => Frame::ShutdownOk,
+        13 => Frame::Error {
+            code: ErrorCode::from_u8(c.u8()?).ok_or(WireError::Malformed("unknown error code"))?,
+            job_id: c.u64()?,
+            detail: c.string()?,
+        },
+        other => return Err(WireError::UnknownFrameType(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Reads and validates one frame. Envelope checks run in order —
+/// magic, version, length cap — *before* the payload is read or any
+/// buffer sized from peer input is allocated; the checksum is verified
+/// before the payload is interpreted.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(WireError::BadMagic(header[..4].try_into().unwrap()));
+    }
+    if header[4] != VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    let tag = header[5];
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    if u64::from_le_bytes(sum) != checksum(tag, &payload) {
+        return Err(WireError::BadChecksum);
+    }
+    decode_payload(tag, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let back = read_frame(&mut bytes.as_slice()).expect("own encoding decodes");
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        round_trip(Frame::Hello {
+            token: "tenant-token".into(),
+        });
+        round_trip(Frame::HelloOk {
+            tenant: "alice".into(),
+            quota: 64,
+        });
+        round_trip(Frame::Submit {
+            job_id: 42,
+            q: 12289,
+            a: vec![1, 2, 3, 4],
+            b: vec![5, 6, 7, 8],
+        });
+        round_trip(Frame::Submitted { job_id: 42 });
+        round_trip(Frame::Wait {
+            job_id: 42,
+            timeout_ms: 1000,
+        });
+        round_trip(Frame::Done {
+            job_id: 42,
+            q: 12289,
+            product: vec![9, 8, 7],
+            queue_us: 120,
+            service_us: 340,
+            attempts: 2,
+        });
+        round_trip(Frame::Status { job_id: 7 });
+        round_trip(Frame::StatusOk {
+            job_id: 7,
+            state: JobState::Pending,
+        });
+        round_trip(Frame::Stats);
+        round_trip(Frame::StatsJson {
+            json: "{\"queue_depth\": 0}".into(),
+        });
+        round_trip(Frame::Shutdown);
+        round_trip(Frame::ShutdownOk);
+        round_trip(Frame::Error {
+            code: ErrorCode::QuotaExceeded,
+            job_id: 42,
+            detail: "outstanding quota exhausted".into(),
+        });
+    }
+
+    // One proptest per frame family: randomized fields must survive
+    // encode → decode bit-exactly. (The shim draws each argument from
+    // its range strategy; vectors come from `collection::vec`.)
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_hello_round_trips(len in 0usize..64, seed in any::<u64>()) {
+            let token: String = (0..len)
+                .map(|i| char::from(b'a' + ((seed >> (i % 8)) % 26) as u8))
+                .collect();
+            round_trip(Frame::Hello { token: token.clone() });
+            round_trip(Frame::HelloOk { tenant: token, quota: (seed >> 32) as u32 });
+        }
+
+        #[test]
+        fn prop_submit_round_trips(
+            job_id in any::<u64>(),
+            q in 1u64..u64::MAX,
+            a in collection::vec(any::<u64>(), 0..64),
+            b in collection::vec(any::<u64>(), 0..64),
+        ) {
+            round_trip(Frame::Submit { job_id, q, a, b });
+            round_trip(Frame::Submitted { job_id });
+        }
+
+        #[test]
+        fn prop_wait_done_round_trips(
+            job_id in any::<u64>(),
+            timeout_ms in any::<u32>(),
+            q in 1u64..u64::MAX,
+            product in collection::vec(any::<u64>(), 0..64),
+            queue_us in any::<u64>(),
+            service_us in any::<u64>(),
+            attempts in any::<u32>(),
+        ) {
+            round_trip(Frame::Wait { job_id, timeout_ms });
+            round_trip(Frame::Done { job_id, q, product, queue_us, service_us, attempts });
+        }
+
+        #[test]
+        fn prop_status_stats_round_trips(job_id in any::<u64>(), state in 0u8..3) {
+            round_trip(Frame::Status { job_id });
+            round_trip(Frame::StatusOk {
+                job_id,
+                state: JobState::from_u8(state).unwrap(),
+            });
+            round_trip(Frame::Stats);
+            round_trip(Frame::Shutdown);
+            round_trip(Frame::ShutdownOk);
+        }
+
+        #[test]
+        fn prop_error_round_trips(code in 0u8..14, job_id in any::<u64>(), len in 0usize..128) {
+            round_trip(Frame::Error {
+                code: ErrorCode::from_u8(code).unwrap(),
+                job_id,
+                detail: "x".repeat(len),
+            });
+        }
+
+        #[test]
+        fn prop_stats_json_round_trips(len in 0usize..512) {
+            round_trip(Frame::StatsJson { json: "{\"k\": 1}".repeat(len / 8) });
+        }
+
+        /// Decoding arbitrary bytes never panics: it returns a typed
+        /// error or (rarely) a valid frame.
+        #[test]
+        fn prop_decode_never_panics(bytes in collection::vec(any::<u8>(), 0..256)) {
+            let _ = read_frame(&mut bytes.as_slice());
+        }
+
+        /// Any single corrupted byte in a valid frame yields a typed
+        /// error, never a panic (and never a silently different frame
+        /// unless the flip hits a same-length re-encoding, which the
+        /// checksum makes effectively impossible).
+        #[test]
+        fn prop_bit_flips_are_detected(pos_seed in any::<u64>(), bit in 0u8..8) {
+            let frame = Frame::Submit {
+                job_id: 7,
+                q: 12289,
+                a: vec![1, 2, 3],
+                b: vec![4, 5, 6],
+            };
+            let mut bytes = encode_frame(&frame);
+            let pos = (pos_seed % bytes.len() as u64) as usize;
+            bytes[pos] ^= 1 << bit;
+            // A typed rejection is the expected outcome; decoding may
+            // only succeed if the bytes still mean the same frame.
+            if let Ok(decoded) = read_frame(&mut bytes.as_slice()) {
+                prop_assert_eq!(decoded, frame, "undetected corruption");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = encode_frame(&Frame::Stats);
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_typed() {
+        let mut bytes = encode_frame(&Frame::Stats);
+        bytes[4] = VERSION + 1;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::BadVersion(v)) if v == VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // Claim a u32::MAX payload: the decoder must refuse from the
+        // header alone instead of trying to allocate 4 GiB.
+        let mut bytes = encode_frame(&Frame::Stats);
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::Oversized { len: u32::MAX })
+        ));
+    }
+
+    #[test]
+    fn hostile_vector_count_is_rejected_before_allocation() {
+        // A Submit whose vector count claims 500M elements inside a
+        // 30-byte payload: the cursor's budget check fires before any
+        // allocation is sized from the count.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // job_id
+        put_u64(&mut payload, 12289); // q
+        put_u32(&mut payload, 500_000_000); // hostile element count
+        let tag = 3u8;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(tag);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let sum = checksum(tag, &payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::Malformed("truncated payload"))
+        ));
+    }
+
+    #[test]
+    fn corrupt_checksum_is_typed() {
+        let mut bytes = encode_frame(&Frame::Submitted { job_id: 3 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn unknown_frame_type_is_typed() {
+        let tag = 200u8;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(tag);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&checksum(tag, &[]).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::UnknownFrameType(200))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_and_mid_frame_disconnect_are_io() {
+        // Cut the stream inside the header, then inside the payload:
+        // both surface as Io(UnexpectedEof) — a disconnect, not a
+        // protocol violation (is_disconnect distinguishes them).
+        let bytes = encode_frame(&Frame::Hello {
+            token: "abcdef".into(),
+        });
+        for cut in [3, HEADER_LEN + 2] {
+            let err = read_frame(&mut &bytes[..cut]).expect_err("truncated");
+            assert!(matches!(&err, WireError::Io(_)), "{err:?}");
+            assert!(err.is_disconnect());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        // A Submitted payload with 4 smuggled extra bytes, checksummed
+        // correctly: still refused.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 9);
+        payload.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        let tag = 4u8;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(tag);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let sum = checksum(tag, &payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::Malformed("trailing bytes after payload"))
+        ));
+    }
+
+    #[test]
+    fn error_code_and_job_state_cover_their_tags() {
+        for v in 0..14 {
+            assert!(ErrorCode::from_u8(v).is_some(), "code {v}");
+        }
+        assert!(ErrorCode::from_u8(14).is_none());
+        for v in 0..3 {
+            assert!(JobState::from_u8(v).is_some(), "state {v}");
+        }
+        assert!(JobState::from_u8(3).is_none());
+    }
+}

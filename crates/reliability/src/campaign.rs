@@ -40,7 +40,7 @@ use modmath::params::ParamSet;
 use ntt::negacyclic::PolyMultiplier;
 use pim::fault::{layout, splitmix64, Injector};
 use service::loadgen::{generate_hot_jobs, generate_jobs};
-use service::{Backpressure, Service, ServiceConfig, ServiceError};
+use service::{Backpressure, Service, ServiceConfig, ServiceError, ServiceStats};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -163,6 +163,11 @@ pub struct CellResult {
     /// Hot-operand cache hits during the serving pass (0 when
     /// [`CampaignConfig::hot_keys`] is 0).
     pub hot_hits: u64,
+    /// Full scheduler statistics at the cell's shutdown. The headline
+    /// counters above are copies of its fields; consumers wanting the
+    /// whole picture (occupancy, latency quantiles, batch shapes)
+    /// serialize this via [`ServiceStats::to_json`].
+    pub stats: ServiceStats,
 }
 
 impl CellResult {
@@ -356,6 +361,7 @@ fn run_cell(config: &CampaignConfig, kind: CampaignKind, degree: usize, rate: f6
         screen_corrupted,
         screen_detected,
         hot_hits: stats.hot_hits,
+        stats,
     }
 }
 

@@ -40,6 +40,15 @@ pub enum ServiceError {
     },
     /// An accelerator-level failure while executing the formed batch.
     Pim(PimError),
+    /// [`crate::JobTicket::wait_timeout`] gave up before the job
+    /// completed. The job is still queued or executing — the ticket
+    /// stays valid and a later wait can still collect the result. This
+    /// is what lets a network front end bound how long one job may
+    /// occupy a connection-handler thread.
+    WaitTimeout {
+        /// The timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
     /// Residue checking flagged the job's product as corrupt on every
     /// one of its execution attempts
     /// ([`crate::ServiceConfig::max_attempts`]). The corrupt products
@@ -71,6 +80,12 @@ impl fmt::Display for ServiceError {
                 write!(f, "pair operand degrees differ: {left} vs {right}")
             }
             ServiceError::Pim(e) => write!(f, "accelerator failure: {e}"),
+            ServiceError::WaitTimeout { timeout_ms } => {
+                write!(
+                    f,
+                    "job not complete within {timeout_ms} ms; ticket still valid"
+                )
+            }
             ServiceError::FaultUnrecovered { bank, attempts } => {
                 write!(
                     f,
@@ -115,6 +130,9 @@ mod tests {
         assert!(ServiceError::Pim(PimError::EmptyBatch)
             .to_string()
             .contains("zero jobs"));
+        assert!(ServiceError::WaitTimeout { timeout_ms: 250 }
+            .to_string()
+            .contains("250 ms"));
         assert!(ServiceError::FaultUnrecovered {
             bank: 3,
             attempts: 2

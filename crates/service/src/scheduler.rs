@@ -179,6 +179,38 @@ impl JobTicket {
         }
     }
 
+    /// Blocks for at most `timeout`, returning the completed job if it
+    /// resolved in time or [`ServiceError::WaitTimeout`] otherwise.
+    ///
+    /// Unlike [`wait`](JobTicket::wait) this borrows the ticket, so a
+    /// timed-out wait can be retried later — the job keeps executing
+    /// and its eventual result stays claimable. This is the primitive
+    /// the TCP front end builds on: a remote client's `Wait` verb can
+    /// never wedge a connection-handler thread forever. A successful
+    /// call *takes* the result; a second wait on the same ticket then
+    /// behaves as if the job never completed (it times out).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<CompletedJob, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServiceError::WaitTimeout {
+                    timeout_ms: timeout.as_millis() as u64,
+                });
+            }
+            slot = self
+                .state
+                .done
+                .wait_timeout(slot, remaining)
+                .expect("ticket poisoned")
+                .0;
+        }
+    }
+
     /// Whether the job has completed (non-blocking).
     pub fn is_done(&self) -> bool {
         self.state.slot.lock().expect("ticket poisoned").is_some()
@@ -1036,6 +1068,46 @@ mod tests {
             std::thread::yield_now();
         }
         tickets
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_collects() {
+        // A job stuck behind a saturated single worker times out on a
+        // short wait with a typed error, stays claimable, and resolves
+        // to the correct product on a later (patient) wait.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            linger: Duration::from_nanos(1),
+            ..ServiceConfig::default()
+        });
+        let blockers = saturate_one_worker(&svc, 2);
+        let p = ParamSet::for_degree(256).unwrap();
+        use ntt::negacyclic::PolyMultiplier;
+        let direct = CryptoPim::new(&p)
+            .unwrap()
+            .multiply(&poly(256, p.q, 1), &poly(256, p.q, 2))
+            .unwrap();
+        let ticket = svc
+            .submit(poly(256, p.q, 1), poly(256, p.q, 2))
+            .expect("admitted");
+        let err = ticket
+            .wait_timeout(Duration::from_millis(1))
+            .expect_err("worker still busy with 32k blockers");
+        assert_eq!(err, ServiceError::WaitTimeout { timeout_ms: 1 });
+        let done = ticket
+            .wait_timeout(Duration::from_secs(300))
+            .expect("eventually served");
+        assert_eq!(done.product, direct);
+        // The successful wait took the result: the ticket now reads as
+        // never-completed and a further short wait times out again.
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(1)).err(),
+            Some(ServiceError::WaitTimeout { timeout_ms: 1 })
+        );
+        for b in blockers {
+            b.wait().expect("executed");
+        }
+        svc.shutdown();
     }
 
     #[test]

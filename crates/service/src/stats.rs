@@ -64,7 +64,7 @@ impl LatencyHistogram {
 
 /// A point-in-time snapshot of the service's health, returned by
 /// [`crate::Service::stats`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
     /// Jobs admitted but not yet handed to a superbank worker
     /// (pending in the batch former plus formed-but-unclaimed).
@@ -120,6 +120,106 @@ pub struct ServiceStats {
     /// 99th-percentile end-to-end job latency, µs. 0.0 when
     /// [`ServiceStats::latency_samples`] is 0.
     pub p99_us: f64,
+}
+
+/// Scans `text` for `"key": <number>` and returns the raw number
+/// token. Shared by [`ServiceStats::from_json`]; first occurrence
+/// wins, so embedders must not reuse these field names earlier in the
+/// same document (the net layer's `Stats` verb keeps its own counters
+/// under distinct keys for exactly this reason).
+fn json_number<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+impl ServiceStats {
+    /// Serializes the snapshot as one flat JSON object — the single
+    /// source of truth for every emitter (`serve-loadgen --json`,
+    /// `fault-campaign --json`, the net layer's `Stats` verb) instead
+    /// of three hand-formatted copies. Dependency-free: the workspace
+    /// vendors no JSON crate. Integers print exactly and floats use
+    /// Rust's shortest-round-trip `Display`, so
+    /// [`ServiceStats::from_json`] reconstructs a bit-identical value.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queue_depth\": {}, \"in_flight\": {}, \"admitted\": {}, ",
+                "\"rejected\": {}, \"completed\": {}, \"batches\": {}, ",
+                "\"full_batches\": {}, \"lingered_batches\": {}, \"eager_batches\": {}, ",
+                "\"mean_occupancy\": {}, \"faults_detected\": {}, \"retries\": {}, ",
+                "\"recovered\": {}, \"quarantined_banks\": {}, \"active_workers\": {}, ",
+                "\"hot_hits\": {}, \"hot_misses\": {}, \"latency_samples\": {}, ",
+                "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}"
+            ),
+            self.queue_depth,
+            self.in_flight,
+            self.admitted,
+            self.rejected,
+            self.completed,
+            self.batches,
+            self.full_batches,
+            self.lingered_batches,
+            self.eager_batches,
+            self.mean_occupancy,
+            self.faults_detected,
+            self.retries,
+            self.recovered,
+            self.quarantined_banks,
+            self.active_workers,
+            self.hot_hits,
+            self.hot_misses,
+            self.latency_samples,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+        )
+    }
+
+    /// Parses a snapshot out of a [`to_json`](ServiceStats::to_json)
+    /// document (or any JSON text embedding one, provided no earlier
+    /// sibling reuses these field names). Returns `None` when any field
+    /// is missing or unparsable — a truncated or foreign document never
+    /// yields a half-filled snapshot.
+    pub fn from_json(text: &str) -> Option<ServiceStats> {
+        fn u64_field(text: &str, key: &str) -> Option<u64> {
+            json_number(text, key)?.parse().ok()
+        }
+        fn usize_field(text: &str, key: &str) -> Option<usize> {
+            json_number(text, key)?.parse().ok()
+        }
+        fn f64_field(text: &str, key: &str) -> Option<f64> {
+            json_number(text, key)?.parse().ok()
+        }
+        Some(ServiceStats {
+            queue_depth: usize_field(text, "queue_depth")?,
+            in_flight: usize_field(text, "in_flight")?,
+            admitted: u64_field(text, "admitted")?,
+            rejected: u64_field(text, "rejected")?,
+            completed: u64_field(text, "completed")?,
+            batches: u64_field(text, "batches")?,
+            full_batches: u64_field(text, "full_batches")?,
+            lingered_batches: u64_field(text, "lingered_batches")?,
+            eager_batches: u64_field(text, "eager_batches")?,
+            mean_occupancy: f64_field(text, "mean_occupancy")?,
+            faults_detected: u64_field(text, "faults_detected")?,
+            retries: u64_field(text, "retries")?,
+            recovered: u64_field(text, "recovered")?,
+            quarantined_banks: usize_field(text, "quarantined_banks")?,
+            active_workers: usize_field(text, "active_workers")?,
+            hot_hits: u64_field(text, "hot_hits")?,
+            hot_misses: u64_field(text, "hot_misses")?,
+            latency_samples: u64_field(text, "latency_samples")?,
+            p50_us: f64_field(text, "p50_us")?,
+            p95_us: f64_field(text, "p95_us")?,
+            p99_us: f64_field(text, "p99_us")?,
+        })
+    }
 }
 
 impl std::fmt::Display for ServiceStats {
@@ -201,6 +301,56 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile_us(0.0), Some(2.0));
         assert_eq!(h.quantile_us(1.0), Some((1u64 << 32) as f64));
+    }
+
+    fn fixture_stats() -> ServiceStats {
+        ServiceStats {
+            queue_depth: 3,
+            in_flight: 2,
+            admitted: 1000,
+            rejected: 17,
+            completed: 995,
+            batches: 120,
+            full_batches: 80,
+            lingered_batches: 10,
+            eager_batches: 30,
+            mean_occupancy: 1.0 / 3.0, // not exactly representable in decimal
+            faults_detected: 5,
+            retries: 4,
+            recovered: 3,
+            quarantined_banks: 1,
+            active_workers: 7,
+            hot_hits: 640,
+            hot_misses: 16,
+            latency_samples: 995,
+            p50_us: 512.0,
+            p95_us: 2048.0,
+            p99_us: 8192.0,
+        }
+    }
+
+    #[test]
+    fn stats_json_round_trips_bit_exact() {
+        let stats = fixture_stats();
+        let json = stats.to_json();
+        let back = ServiceStats::from_json(&json).expect("own output parses");
+        assert_eq!(back, stats, "shortest-round-trip floats must survive");
+        // Embedded in a larger document (the Stats verb shape) it still
+        // parses, as long as no earlier sibling reuses the field names.
+        let wrapped = format!("{{\"proto\": 1, \"service\": {json}}}");
+        assert_eq!(ServiceStats::from_json(&wrapped), Some(stats));
+    }
+
+    #[test]
+    fn stats_from_json_rejects_truncation_and_noise() {
+        let json = fixture_stats().to_json();
+        // Any truncation that loses a field must yield None, never a
+        // half-filled snapshot.
+        assert_eq!(ServiceStats::from_json(&json[..json.len() / 2]), None);
+        assert_eq!(ServiceStats::from_json("{}"), None);
+        assert_eq!(ServiceStats::from_json("not json at all"), None);
+        let mangled = json.replace("\"admitted\": 1000", "\"admitted\": oops");
+        assert_eq!(ServiceStats::from_json(&mangled), None);
     }
 
     #[test]

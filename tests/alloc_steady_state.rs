@@ -136,7 +136,10 @@ fn engine_batch_fused_multiply_is_allocation_free() {
 
     assert_eq!(out, reference, "products must stay correct");
     assert_eq!(allocs, 0, "batch-fused engine multiply must not allocate");
-    assert_eq!(deallocs, 0, "batch-fused engine multiply must not deallocate");
+    assert_eq!(
+        deallocs, 0,
+        "batch-fused engine multiply must not deallocate"
+    );
 }
 
 #[test]
