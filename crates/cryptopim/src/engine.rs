@@ -828,8 +828,9 @@ fn stage_rows(red: &Reducer, q: u64, src: &[u64], dst: &mut [u64], stage: u32, t
     // subtraction of a `< 2q` sum, and REDC with `q' = −q⁻¹ mod R` —
     // the mul-based form is integer-identical to the shift-add
     // sequences of Algorithm 3, which expand the same constants), so
-    // results are bit-identical; only unspecialized moduli (none today
-    // — `Reducer::new` rejects them) would take the dynamic path.
+    // results are bit-identical. Unspecialized moduli — the RNS residue
+    // primes — take the dynamic path, which runs the same branch-free
+    // butterfly with the reducer's precomputed runtime constants.
     match q {
         7681 => stage_rows_const::<7681, 7679, 18>(src, dst, stage, twiddle),
         12289 => stage_rows_const::<12289, 12287, 18>(src, dst, stage, twiddle),
@@ -907,6 +908,13 @@ fn redc_map(red: &Reducer, q: u64, dst: &mut [u64], f: impl Fn(usize) -> u64) {
     }
 }
 
+/// [`stage_rows_const`] with runtime REDC constants: the same
+/// branch-free butterfly, with `q`, `q' = −q⁻¹ mod R`, and `k` read
+/// from the reducer instead of folded as immediates. Value-identical
+/// to `Reducer::{barrett, montgomery}` for the same inputs, so a
+/// residue prime's transform matches the host oracle bit for bit.
+/// Overflow-safe for any `q < 2^31` with `R = 2^32`:
+/// `x + m·q < 2q² + 2^32·q < 2^64`.
 fn stage_rows_dyn(
     red: &Reducer,
     q: u64,
@@ -915,6 +923,9 @@ fn stage_rows_dyn(
     stage: u32,
     twiddle: &[u64],
 ) {
+    let k = red.r_exponent();
+    let qprime = red.q_prime();
+    let mask = (1u64 << k) - 1;
     let dist = 1usize << stage;
     for ((s, d), &w) in src
         .chunks_exact(2 * dist)
@@ -924,8 +935,12 @@ fn stage_rows_dyn(
         let (s_lo, s_hi) = s.split_at(dist);
         let (d_lo, d_hi) = d.split_at_mut(dist);
         for ((&t, &u), (dl, dh)) in s_lo.iter().zip(s_hi).zip(d_lo.iter_mut().zip(d_hi)) {
-            *dl = red.barrett(t + u);
-            *dh = red.montgomery((t + q - u) * w);
+            let sum = t + u;
+            *dl = sum - q * u64::from(sum >= q);
+            let x = (t + q - u) * w;
+            let m = (x & mask).wrapping_mul(qprime) & mask;
+            let r = (x + m * q) >> k;
+            *dh = r - q * u64::from(r >= q);
         }
     }
 }

@@ -221,7 +221,18 @@ mod tests {
 
     #[test]
     fn unsupported_modulus_fails() {
-        let p = ParamSet::custom(64, 257, 16).unwrap();
+        // Any NTT-friendly prime below 2^31 maps since the generalized
+        // reducers landed, so the rejection path needs a prime past the
+        // 31-bit ceiling (2147483777 = 2^31 + 129 ≡ 1 mod 128).
+        let p = ParamSet::custom(64, 2_147_483_777, 32).unwrap();
         assert!(NttMapping::new(&p, ReductionStyle::CryptoPim).is_err());
+    }
+
+    #[test]
+    fn off_table_ntt_friendly_prime_maps() {
+        // The flip side: a small odd NTT-friendly prime outside the
+        // paper table (257 at n = 64) is now a valid configuration.
+        let p = ParamSet::custom(64, 257, 16).unwrap();
+        assert!(NttMapping::new(&p, ReductionStyle::CryptoPim).is_ok());
     }
 }

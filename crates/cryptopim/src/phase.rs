@@ -21,10 +21,17 @@ static ENGINE_NS: AtomicU64 = AtomicU64::new(0);
 static CHECK_TRANSFORM_NS: AtomicU64 = AtomicU64::new(0);
 static CHECK_POINTWISE_NS: AtomicU64 = AtomicU64::new(0);
 static CHECK_COMPARE_NS: AtomicU64 = AtomicU64::new(0);
+static RECOMBINE_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds one engine (simulated datapath) execution to the tally.
 pub fn record_engine(elapsed: Duration) {
     ENGINE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Adds one host-side CRT recombination (the join step of a wide
+/// RNS-decomposed job) to the tally.
+pub fn record_recombine(elapsed: Duration) {
+    RECOMBINE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// Adds one referee pass to the tally, split into its NTT phases.
@@ -45,6 +52,8 @@ pub struct PhaseSnapshot {
     pub check_pointwise_ns: u64,
     /// Bit-for-bit (or residue-point) compare time.
     pub check_compare_ns: u64,
+    /// Host-side CRT recombination time for wide (RNS-decomposed) jobs.
+    pub recombine_ns: u64,
 }
 
 impl PhaseSnapshot {
@@ -61,6 +70,7 @@ impl PhaseSnapshot {
             check_compare_ns: self
                 .check_compare_ns
                 .saturating_sub(earlier.check_compare_ns),
+            recombine_ns: self.recombine_ns.saturating_sub(earlier.recombine_ns),
         }
     }
 
@@ -77,6 +87,7 @@ impl PhaseSnapshot {
         self.check_transform_ns += other.check_transform_ns;
         self.check_pointwise_ns += other.check_pointwise_ns;
         self.check_compare_ns += other.check_compare_ns;
+        self.recombine_ns += other.recombine_ns;
     }
 }
 
@@ -87,6 +98,7 @@ pub fn snapshot() -> PhaseSnapshot {
         check_transform_ns: CHECK_TRANSFORM_NS.load(Ordering::Relaxed),
         check_pointwise_ns: CHECK_POINTWISE_NS.load(Ordering::Relaxed),
         check_compare_ns: CHECK_COMPARE_NS.load(Ordering::Relaxed),
+        recombine_ns: RECOMBINE_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -99,11 +111,13 @@ mod tests {
         let before = snapshot();
         record_engine(Duration::from_nanos(1_000));
         record_check(500, 200, 100);
+        record_recombine(Duration::from_nanos(250));
         let delta = snapshot().since(&before);
         assert!(delta.engine_ns >= 1_000);
         assert!(delta.check_transform_ns >= 500);
         assert!(delta.check_pointwise_ns >= 200);
         assert!(delta.check_compare_ns >= 100);
+        assert!(delta.recombine_ns >= 250);
         assert_eq!(
             delta.check_total_ns(),
             delta.check_transform_ns + delta.check_pointwise_ns + delta.check_compare_ns

@@ -12,7 +12,10 @@
 //!   modulus, used by the software NTT baselines.
 //! * [`shift_add_reduce`] — the exact shift-add sequences of Algorithm 3,
 //!   plus [`ShiftAddBarrett`] which records the primitive-operation trace
-//!   the PIM simulator uses for cycle accounting.
+//!   the PIM simulator uses for cycle accounting. Moduli beyond the
+//!   paper's three (RNS residue primes in particular) get a trace derived
+//!   from the modulus' non-adjacent form, so any NTT-friendly prime below
+//!   `2^31` can run on the engine with faithful cycle accounting.
 //!
 //! # Paper fidelity notes
 //!
@@ -28,6 +31,29 @@ use crate::Error;
 
 /// The three moduli with specialized shift-add sequences in Algorithm 3.
 pub const SPECIALIZED_MODULI: [u64; 3] = [7681, 12289, 786433];
+
+/// Number of nonzero digits in the non-adjacent form (NAF) of `v`.
+///
+/// The NAF is the sparsest signed-digit representation, so it counts
+/// exactly the add/subtract operations a shift-add multiplier needs to
+/// form `u·v` from shifted copies of `u` — the same bookkeeping the
+/// paper does by hand for its three moduli.
+pub(crate) fn naf_nonzero_count(mut v: u64) -> u32 {
+    let mut count = 0;
+    while v != 0 {
+        if v & 1 == 1 {
+            // Digit is ±1: choose the sign that clears the next bit too.
+            if v & 3 == 3 {
+                v = v.wrapping_add(1);
+            } else {
+                v = v.wrapping_sub(1);
+            }
+            count += 1;
+        }
+        v >>= 1;
+    }
+    count
+}
 
 /// A primitive operation in a shift-add reduction sequence, as the PIM
 /// hardware would execute it. Shifts are free (column selection); adds and
@@ -153,10 +179,16 @@ pub fn mul_lazy_mu(a: u64, b: u64, mu: u64, q: u64) -> u64 {
 /// The sequences are specified for post-addition inputs, `a < 2q`; for that
 /// range the result is congruent to `a (mod q)` and `< 2q`.
 ///
+/// Moduli other than the three specialized ones take the generic
+/// single-step arm: with `qbits = ⌈log2 q⌉` and input `a < 2q`, the
+/// quotient estimate `u = a >> qbits` is 0 or 1, so `a − u·q` is one
+/// shift-add multiply away — the same structure the paper's sequences
+/// have, derived at runtime instead of by hand.
+///
 /// # Errors
 ///
-/// Returns [`Error::UnsupportedModulus`] for moduli other than
-/// 7681, 12289, 786433.
+/// Returns [`Error::ModulusTooLarge`] when `q < 2` or `q ≥ 2^31` (the
+/// shift-add datapath is specified for sub-word moduli).
 #[inline]
 pub fn shift_add_reduce_partial(a: u64, q: u64) -> Result<u64, Error> {
     let r = match q {
@@ -182,17 +214,27 @@ pub fn shift_add_reduce_partial(a: u64, q: u64) -> Result<u64, Error> {
             let uq = (u << 19) + (u << 18) + u; // u · 786433
             a - uq
         }
-        _ => return Err(Error::UnsupportedModulus { q }),
+        _ => {
+            if !(2..1 << 31).contains(&q) {
+                return Err(Error::ModulusTooLarge { q });
+            }
+            // u ← a >> qbits is 0 or 1 for a < 2q (2^qbits > q), and
+            // u·q ≤ q < a whenever u = 1, so the subtraction never wraps.
+            let qbits = 64 - q.leading_zeros();
+            let u = a >> qbits;
+            a - u * q
+        }
     };
     Ok(r)
 }
 
-/// Full shift-add Barrett reduction: the paper's sequence followed by
+/// Full shift-add Barrett reduction: the paper's sequence (or the
+/// generic single-step arm for unspecialized moduli) followed by
 /// conditional subtractions down to the canonical range.
 ///
 /// # Errors
 ///
-/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+/// Returns [`Error::ModulusTooLarge`] when `q < 2` or `q ≥ 2^31`.
 ///
 /// # Example
 ///
@@ -229,9 +271,17 @@ pub struct ShiftAddBarrett {
 impl ShiftAddBarrett {
     /// Builds the reducer and its operation trace for modulus `q`.
     ///
+    /// The three paper moduli use the hand-derived traces of Algorithm 3.
+    /// Any other modulus `2 ≤ q < 2^31` gets a trace derived from the
+    /// non-adjacent form of `q`: forming `u·q` takes `nnz(q) − 1`
+    /// add/subtract steps over shifted copies of `u`, then one subtract
+    /// for `a − u·q` and one conditional canonical subtract — exactly the
+    /// structure of the specialized sequences (for `q = 786433` the
+    /// derived trace matches the printed one operation for operation).
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+    /// Returns [`Error::ModulusTooLarge`] when `q < 2` or `q ≥ 2^31`.
     pub fn new(q: u64) -> Result<Self, Error> {
         let trace = match q {
             12289 => vec![
@@ -267,7 +317,24 @@ impl ShiftAddBarrett {
                 // conditional canonical subtraction
                 ShiftAddOp::Sub { width: 20 },
             ],
-            _ => return Err(Error::UnsupportedModulus { q }),
+            _ => {
+                if !(2..1 << 31).contains(&q) {
+                    return Err(Error::ModulusTooLarge { q });
+                }
+                let qbits = 64 - q.leading_zeros();
+                let mut trace = Vec::new();
+                // Form u·q from shifted copies of u: one add/sub per
+                // nonzero NAF digit beyond the first. The datapath is
+                // provisioned for the worst case u·q ≤ 2q (qbits + 1).
+                for _ in 1..naf_nonzero_count(q) {
+                    trace.push(ShiftAddOp::Add { width: qbits + 1 });
+                }
+                // a − u·q
+                trace.push(ShiftAddOp::Sub { width: qbits + 1 });
+                // conditional canonical subtraction
+                trace.push(ShiftAddOp::Sub { width: qbits });
+                trace
+            }
         };
         Ok(ShiftAddBarrett { q, trace })
     }
@@ -387,11 +454,60 @@ mod tests {
     }
 
     #[test]
-    fn shift_add_unsupported_modulus() {
+    fn shift_add_rejects_out_of_range_moduli() {
         assert!(matches!(
-            shift_add_reduce(5, 17),
-            Err(Error::UnsupportedModulus { q: 17 })
+            shift_add_reduce(5, 1),
+            Err(Error::ModulusTooLarge { q: 1 })
         ));
+        assert!(shift_add_reduce(5, 1 << 31).is_err());
+        assert!(ShiftAddBarrett::new(0).is_err());
+        assert!(ShiftAddBarrett::new(1 << 31).is_err());
+    }
+
+    #[test]
+    fn shift_add_generic_arm_exhaustive() {
+        // Unspecialized moduli (RNS residue primes among them) take the
+        // generic single-step arm; check it over the full input contract.
+        for q in [17u64, 40961, 65537, 786433 + 12 * 8192, 1073479681] {
+            let step = (2 * q / 65536).max(1);
+            let mut a = 0u64;
+            while a < 2 * q {
+                let r = shift_add_reduce(a, q).unwrap();
+                assert_eq!(r, a % q, "q = {q}, a = {a}");
+                let partial = shift_add_reduce_partial(a, q).unwrap();
+                assert_eq!(partial % q, a % q, "partial congruence q = {q} a = {a}");
+                assert!(partial < 2 * q, "partial bound q = {q} a = {a}");
+                a += step;
+            }
+            assert_eq!(shift_add_reduce(2 * q - 1, q).unwrap(), q - 1);
+        }
+    }
+
+    #[test]
+    fn naf_count_matches_hand_derivations() {
+        // 786433 = 2^20 − 2^18 + 1, 7681 = 2^13 − 2^9 + 1, 12289 = 2^13 + 2^12 + 1.
+        assert_eq!(naf_nonzero_count(786433), 3);
+        assert_eq!(naf_nonzero_count(7681), 3);
+        assert_eq!(naf_nonzero_count(12289), 3);
+        assert_eq!(naf_nonzero_count(0), 0);
+        assert_eq!(naf_nonzero_count(1), 1);
+        assert_eq!(naf_nonzero_count(7), 2); // 8 − 1
+    }
+
+    #[test]
+    fn generic_trace_matches_specialized_structure_for_786433() {
+        // The derived trace for 786433 must equal the printed one, so the
+        // cycle model is identical whichever arm produced it.
+        let specialized = ShiftAddBarrett::new(786433).unwrap();
+        let qbits = 20u32;
+        let derived: Vec<ShiftAddOp> = (1..naf_nonzero_count(786433))
+            .map(|_| ShiftAddOp::Add { width: qbits + 1 })
+            .chain([
+                ShiftAddOp::Sub { width: qbits + 1 },
+                ShiftAddOp::Sub { width: qbits },
+            ])
+            .collect();
+        assert_eq!(specialized.trace(), &derived[..]);
     }
 
     #[test]

@@ -41,6 +41,23 @@ pub enum Error {
         /// The oversized modulus.
         q: u64,
     },
+    /// An RNS basis needs between 2 and 4 residue channels.
+    BasisSize {
+        /// The rejected channel count.
+        k: usize,
+    },
+    /// Two RNS basis moduli share a common factor, so the Chinese
+    /// remainder map is not a bijection (for prime moduli this means a
+    /// duplicate).
+    NotCoprime {
+        /// One offending modulus.
+        a: u64,
+        /// The other offending modulus.
+        b: u64,
+    },
+    /// The product of the RNS basis moduli overflows `u128`, the widest
+    /// composite modulus the combine arithmetic supports.
+    BasisOverflow,
 }
 
 impl fmt::Display for Error {
@@ -61,6 +78,15 @@ impl fmt::Display for Error {
             }
             Error::ModulusTooLarge { q } => {
                 write!(f, "modulus {q} exceeds the supported word size")
+            }
+            Error::BasisSize { k } => {
+                write!(f, "RNS basis needs 2..=4 residue channels, got {k}")
+            }
+            Error::NotCoprime { a, b } => {
+                write!(f, "RNS basis moduli {a} and {b} are not coprime")
+            }
+            Error::BasisOverflow => {
+                write!(f, "product of RNS basis moduli overflows u128")
             }
         }
     }

@@ -25,8 +25,23 @@
 //! the corrected order above; a regression test
 //! (`printed_7681_sequence_is_incongruent`) demonstrates the erratum.
 
-use crate::barrett::ShiftAddOp;
+use crate::barrett::{naf_nonzero_count, ShiftAddOp};
 use crate::{zq, Error};
+
+/// Computes `−q⁻¹ mod 2^k` for odd `q` by Hensel lifting (Newton
+/// iteration on the 2-adic inverse: each step doubles the valid bits).
+#[inline]
+pub(crate) fn neg_inv_pow2(q: u64, k: u32) -> u64 {
+    debug_assert!(q & 1 == 1 && (1..64).contains(&k));
+    let mask = (1u64 << k) - 1;
+    let mut inv: u64 = 1;
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+    }
+    let q_inv = inv & mask;
+    debug_assert_eq!(q.wrapping_mul(q_inv) & mask, 1);
+    ((1u64 << k) - q_inv) & mask
+}
 
 /// Generic word-level Montgomery reducer for an odd modulus `q < 2^31`.
 ///
@@ -88,14 +103,7 @@ impl MontgomeryReducer {
             });
         }
         let r = 1u64 << k;
-        // q⁻¹ mod 2^k by Newton / Hensel lifting.
-        let mut inv: u64 = 1;
-        for _ in 0..6 {
-            inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
-        }
-        let q_inv = inv & (r - 1);
-        debug_assert_eq!((q.wrapping_mul(q_inv)) & (r - 1), 1);
-        let q_prime = (r - q_inv) & (r - 1);
+        let q_prime = neg_inv_pow2(q, k);
         let r_mod_q = r % q;
         let r2 = zq::mul(r_mod_q, r_mod_q, q);
         Ok(MontgomeryReducer { q, k, q_prime, r2 })
@@ -151,10 +159,14 @@ impl MontgomeryReducer {
 /// The shift-add REDC sequences of Algorithm 3 (corrected; see module
 /// docs). Computes `a · R⁻¹ mod q` — possibly plus one `q` — for
 /// `a < q · R`, where `R = 2^18` (7681, 12289) or `R = 2^32` (786433).
+/// Other odd moduli below `2^31` take a generic `R = 2^32` REDC arm
+/// (the constants are recomputed per call; hot paths should go through
+/// [`ShiftAddMontgomery`], which precomputes them).
 ///
 /// # Errors
 ///
-/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+/// Returns [`Error::ModulusTooLarge`] / [`Error::NotInvertible`] for
+/// moduli outside the supported range or even.
 #[inline]
 pub fn shift_add_redc_partial(a: u64, q: u64) -> Result<u64, Error> {
     let t = match q {
@@ -179,7 +191,21 @@ pub fn shift_add_redc_partial(a: u64, q: u64) -> Result<u64, Error> {
             let mq = (m << 19) + (m << 18) + m;
             (mq + a) >> 32
         }
-        _ => return Err(Error::UnsupportedModulus { q }),
+        _ => {
+            if !(2..1 << 31).contains(&q) {
+                return Err(Error::ModulusTooLarge { q });
+            }
+            if q & 1 == 0 {
+                return Err(Error::NotInvertible {
+                    value: q,
+                    q: 1 << 32,
+                });
+            }
+            // Generic R = 2^32 REDC: m ← a·q' mod R ; t ← (a + m·q) >> 32.
+            let mask = (1u64 << 32) - 1;
+            let m = (a & mask).wrapping_mul(neg_inv_pow2(q, 32)) & mask;
+            ((a as u128 + m as u128 * q as u128) >> 32) as u64
+        }
     };
     Ok(t)
 }
@@ -189,7 +215,7 @@ pub fn shift_add_redc_partial(a: u64, q: u64) -> Result<u64, Error> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+/// Same as [`shift_add_redc_partial`].
 #[inline]
 pub fn shift_add_redc(a: u64, q: u64) -> Result<u64, Error> {
     let t = shift_add_redc_partial(a, q)?;
@@ -215,17 +241,42 @@ pub fn paper_r_exponent(q: u64) -> Result<u32, Error> {
 pub struct ShiftAddMontgomery {
     q: u64,
     k: u32,
+    /// −q⁻¹ mod 2^k, precomputed so `reduce` is branch-light in the
+    /// engine's per-butterfly hot path.
+    q_prime: u64,
     trace: Vec<ShiftAddOp>,
 }
 
 impl ShiftAddMontgomery {
     /// Builds the reducer and its operation trace for modulus `q`.
     ///
+    /// The paper's three moduli keep their hand-derived `R` and traces.
+    /// Any other odd modulus `2 < q < 2^31` gets `R = 2^32` and a trace
+    /// derived from the non-adjacent forms of `q'` (k-bit steps) and `q`
+    /// (k+qbits-bit steps), matching the specialized traces' structure
+    /// operation for operation.
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::UnsupportedModulus`] for unspecialized moduli.
+    /// Returns [`Error::ModulusTooLarge`] for out-of-range moduli and
+    /// [`Error::NotInvertible`] for even moduli.
     pub fn new(q: u64) -> Result<Self, Error> {
-        let k = paper_r_exponent(q)?;
+        let k = match q {
+            7681 | 12289 | 786433 => paper_r_exponent(q)?,
+            _ => {
+                if !(2..1 << 31).contains(&q) {
+                    return Err(Error::ModulusTooLarge { q });
+                }
+                if q & 1 == 0 {
+                    return Err(Error::NotInvertible {
+                        value: q,
+                        q: 1 << 32,
+                    });
+                }
+                32
+            }
+        };
+        let q_prime = neg_inv_pow2(q, k);
         // Each line of Algorithm 3 costs one add/sub per `+`/`−`; the
         // widths are the bit-widths the steps actually need: the first
         // multiplier is truncated to k bits, m·q spans k + ceil(log2 q)
@@ -256,9 +307,29 @@ impl ShiftAddMontgomery {
                 ShiftAddOp::Add { width: k + qbits },
                 ShiftAddOp::Sub { width: qbits + 1 },
             ],
-            _ => unreachable!("paper_r_exponent validated the modulus"),
+            _ => {
+                let mut trace = Vec::new();
+                // m ← a·q' mod 2^k: one op per nonzero NAF digit of q'
+                // beyond the first, at the truncated k-bit width.
+                for _ in 1..naf_nonzero_count(q_prime) {
+                    trace.push(ShiftAddOp::Add { width: k });
+                }
+                // m·q, accumulated over shifted copies of m, then + a.
+                for _ in 1..naf_nonzero_count(q) {
+                    trace.push(ShiftAddOp::Add { width: k + qbits });
+                }
+                trace.push(ShiftAddOp::Add { width: k + qbits });
+                // conditional canonical subtraction
+                trace.push(ShiftAddOp::Sub { width: qbits + 1 });
+                trace
+            }
         };
-        Ok(ShiftAddMontgomery { q, k, trace })
+        Ok(ShiftAddMontgomery {
+            q,
+            k,
+            q_prime,
+            trace,
+        })
     }
 
     /// The modulus.
@@ -273,6 +344,12 @@ impl ShiftAddMontgomery {
         self.k
     }
 
+    /// The precomputed `−q⁻¹ mod 2^k` REDC constant.
+    #[inline]
+    pub fn q_prime(&self) -> u64 {
+        self.q_prime
+    }
+
     /// The primitive-operation trace (for PIM cycle accounting).
     #[inline]
     pub fn trace(&self) -> &[ShiftAddOp] {
@@ -280,9 +357,22 @@ impl ShiftAddMontgomery {
     }
 
     /// Reduces `a < q · R`, returning `a · R⁻¹ mod q` in canonical form.
+    ///
+    /// Uses the precomputed REDC constant, so this is the same arithmetic
+    /// as the free [`shift_add_redc`] sequences without the per-call
+    /// modulus dispatch — the form the engine's dynamic butterfly path
+    /// calls once per coefficient.
     #[inline]
     pub fn reduce(&self, a: u64) -> u64 {
-        shift_add_redc(a, self.q).expect("modulus validated at construction")
+        debug_assert!((a as u128) < (self.q as u128) << self.k);
+        let mask = (1u64 << self.k) - 1;
+        let m = (a & mask).wrapping_mul(self.q_prime) & mask;
+        let t = ((a as u128 + m as u128 * self.q as u128) >> self.k) as u64;
+        if t >= self.q {
+            t - self.q
+        } else {
+            t
+        }
     }
 }
 
@@ -405,10 +495,47 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_modulus_errors() {
-        assert!(shift_add_redc(5, 17).is_err());
-        assert!(ShiftAddMontgomery::new(17).is_err());
+    fn out_of_range_moduli_error() {
+        assert!(shift_add_redc(5, 0).is_err());
+        assert!(shift_add_redc(5, 1 << 31).is_err());
+        assert!(shift_add_redc(5, 40962).is_err()); // even
+        assert!(ShiftAddMontgomery::new(0).is_err());
+        assert!(ShiftAddMontgomery::new(1 << 31).is_err());
+        assert!(ShiftAddMontgomery::new(40962).is_err());
         assert!(paper_r_exponent(17).is_err());
+    }
+
+    #[test]
+    fn shift_add_generic_arm_matches_generic_reducer() {
+        // Unspecialized odd moduli (RNS residue primes among them) take
+        // the generic R = 2^32 arm in both the free functions and the
+        // trace-carrying reducer.
+        for q in [17u64, 40961, 65537, 1073479681] {
+            let red = ShiftAddMontgomery::new(q).unwrap();
+            assert_eq!(red.r_exponent(), 32);
+            assert!(!red.trace().is_empty());
+            let generic = MontgomeryReducer::with_r_exponent(q, 32).unwrap();
+            let qr = (q as u128) << 32;
+            let step = (qr / 4096).max(1) as u64;
+            let mut a = 0u64;
+            while (a as u128) < qr {
+                assert_eq!(red.reduce(a), generic.redc(a), "q = {q}, a = {a}");
+                assert_eq!(shift_add_redc(a, q).unwrap(), generic.redc(a));
+                let t = shift_add_redc_partial(a, q).unwrap();
+                assert!(t < 2 * q, "partial bound q = {q} a = {a}");
+                a += step;
+            }
+        }
+    }
+
+    #[test]
+    fn stored_q_prime_matches_hensel_inverse() {
+        for q in [7681u64, 12289, 786433, 40961, 1073479681] {
+            let red = ShiftAddMontgomery::new(q).unwrap();
+            let k = red.r_exponent();
+            let mask = (1u64 << k) - 1;
+            assert_eq!(q.wrapping_mul(red.q_prime()).wrapping_add(1) & mask, 0);
+        }
     }
 
     proptest! {

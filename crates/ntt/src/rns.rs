@@ -1,20 +1,23 @@
 //! RNS (residue-number-system) polynomial multiplication over a
-//! two-prime composite modulus.
+//! composite modulus of 2..=4 machine-friendly primes.
 //!
 //! For coefficient moduli wider than one machine-friendly prime (real
 //! BGV/BFV deployments use 100+-bit `Q`), the ring splits into
-//! independent channels `Z_{q1}` and `Z_{q2}`; each channel runs its own
-//! NTT — on CryptoPIM, in its own softbank, in parallel — and the
-//! results recombine by CRT. This module implements the two-channel
-//! version as the architecture extension DESIGN.md §6 calls out.
+//! independent channels `Z_{q_i}`; each channel runs its own NTT — on
+//! CryptoPIM, in its own superbank, in parallel — and the results
+//! recombine by Garner's mixed-radix CRT. The basis bookkeeping lives
+//! in [`modmath::crt::RnsBasis`]; this module stacks one
+//! [`NttMultiplier`] per residue channel on top of it and adds a
+//! batch-fused path that runs every job's residues for a channel
+//! through one fused transform pass.
 
 use crate::negacyclic::{NttMultiplier, PolyMultiplier};
 use crate::poly::Polynomial;
 use crate::Result;
-use modmath::crt::Crt2;
-use modmath::{primes, Error};
+use modmath::crt::RnsBasis;
+use modmath::Error;
 
-/// A negacyclic multiplier over `Z_{q1·q2}[x]/(x^n + 1)`.
+/// A negacyclic multiplier over `Z_Q[x]/(x^n + 1)` with `Q = Π q_i`.
 ///
 /// # Example
 ///
@@ -22,7 +25,7 @@ use modmath::{primes, Error};
 /// use ntt::rns::RnsMultiplier;
 ///
 /// # fn main() -> Result<(), ntt::Error> {
-/// let mult = RnsMultiplier::new(1024, 12289, 40961)?;
+/// let mult = RnsMultiplier::new(1024, &[12289, 40961])?;
 /// assert_eq!(mult.modulus(), 12289u128 * 40961);
 /// let x = {
 ///     let mut c = vec![0u128; 1024];
@@ -37,39 +40,59 @@ use modmath::{primes, Error};
 #[derive(Debug, Clone)]
 pub struct RnsMultiplier {
     n: usize,
-    crt: Crt2,
-    chan1: NttMultiplier,
-    chan2: NttMultiplier,
+    basis: RnsBasis,
+    channels: Vec<NttMultiplier>,
 }
 
 impl RnsMultiplier {
-    /// Builds a multiplier for degree `n` over `q1·q2`. Both primes must
-    /// support a length-`n` negacyclic NTT.
+    /// Builds a multiplier for degree `n` over `Π moduli`. Every prime
+    /// must support a length-`n` negacyclic NTT.
     ///
     /// # Errors
     ///
-    /// Propagates primality/root-of-unity failures from either channel.
-    pub fn new(n: usize, q1: u64, q2: u64) -> Result<Self> {
-        let crt = Crt2::new(q1, q2)?;
-        Ok(RnsMultiplier {
-            n,
-            crt,
-            chan1: NttMultiplier::for_degree_modulus(n, q1)?,
-            chan2: NttMultiplier::for_degree_modulus(n, q2)?,
-        })
+    /// Propagates basis-validation errors ([`Error::BasisSize`],
+    /// [`Error::NotPrime`], [`Error::NotCoprime`],
+    /// [`Error::BasisOverflow`], [`Error::NoRootOfUnity`]) plus
+    /// channel-construction failures.
+    pub fn new(n: usize, moduli: &[u64]) -> Result<Self> {
+        let basis = RnsBasis::for_degree(n, moduli)?;
+        Self::with_basis(n, basis)
     }
 
-    /// Picks the two smallest NTT-friendly primes above `floor` for
+    /// Builds a multiplier from an already-validated basis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-construction failures (e.g. an unsupported
+    /// degree).
+    pub fn with_basis(n: usize, basis: RnsBasis) -> Result<Self> {
+        let channels = basis
+            .moduli()
+            .iter()
+            .map(|&q| NttMultiplier::for_degree_modulus(n, q))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RnsMultiplier { n, basis, channels })
+    }
+
+    /// Discovers `k` ascending NTT-friendly primes above `floor` for
     /// degree `n` and builds the multiplier.
     ///
     /// # Errors
     ///
-    /// Propagates channel-construction failures; `Error::InvalidDegree`
-    /// if no primes are found (practically unreachable).
+    /// Propagates basis and channel-construction failures.
+    pub fn with_discovered_basis(n: usize, k: usize, floor: u64) -> Result<Self> {
+        let basis = RnsBasis::discover(n, k, floor)?;
+        Self::with_basis(n, basis)
+    }
+
+    /// Two-channel convenience around
+    /// [`RnsMultiplier::with_discovered_basis`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates basis and channel-construction failures.
     pub fn with_discovered_primes(n: usize, floor: u64) -> Result<Self> {
-        let q1 = primes::find_ntt_prime(n, floor).ok_or(Error::InvalidDegree { n })?;
-        let q2 = primes::find_ntt_prime(n, q1).ok_or(Error::InvalidDegree { n })?;
-        Self::new(n, q1, q2)
+        Self::with_discovered_basis(n, 2, floor)
     }
 
     /// The ring degree.
@@ -78,41 +101,105 @@ impl RnsMultiplier {
         self.n
     }
 
-    /// The composite modulus `q1·q2`.
+    /// The composite modulus `Π q_i`.
     #[inline]
     pub fn modulus(&self) -> u128 {
-        self.crt.modulus()
+        self.basis.modulus()
     }
 
-    /// The channel moduli.
-    pub fn channel_moduli(&self) -> (u64, u64) {
-        (self.crt.q1(), self.crt.q2())
+    /// The residue-channel moduli, in construction order.
+    pub fn channel_moduli(&self) -> &[u64] {
+        self.basis.moduli()
     }
 
-    /// Multiplies two polynomials with coefficients below `q1·q2`.
+    /// The underlying residue basis.
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    fn check_len(&self, a: &[u128], b: &[u128]) -> Result<()> {
+        if a.len() != self.n || b.len() != self.n {
+            return Err(Error::InvalidDegree { n: a.len() });
+        }
+        Ok(())
+    }
+
+    fn split_operand(&self, x: &[u128], lane: usize) -> Result<Polynomial> {
+        let mut buf = vec![0u64; self.n];
+        self.basis.split_lane_into(x, lane, &mut buf);
+        Polynomial::from_canonical_coeffs(buf, self.basis.moduli()[lane])
+    }
+
+    /// Multiplies two polynomials with coefficients below `Q`, running
+    /// the residue channels sequentially (the baseline the sharded
+    /// service pipeline is measured against).
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidDegree`] on a length mismatch.
     pub fn multiply(&self, a: &[u128], b: &[u128]) -> Result<Vec<u128>> {
-        if a.len() != self.n || b.len() != self.n {
-            return Err(Error::InvalidDegree { n: a.len() });
-        }
-        let to_channel = |x: &[u128], q: u64| -> Result<Polynomial> {
-            Polynomial::from_coeffs(x.iter().map(|&c| (c % q as u128) as u64).collect(), q)
-        };
-        let a1 = to_channel(a, self.crt.q1())?;
-        let b1 = to_channel(b, self.crt.q1())?;
-        let a2 = to_channel(a, self.crt.q2())?;
-        let b2 = to_channel(b, self.crt.q2())?;
-        let c1 = self.chan1.multiply(&a1, &b1)?;
-        let c2 = self.chan2.multiply(&a2, &b2)?;
-        Ok(c1
-            .coeffs()
+        self.check_len(a, b)?;
+        let lanes = self
+            .channels
             .iter()
-            .zip(c2.coeffs())
-            .map(|(&r1, &r2)| self.crt.combine(r1, r2))
-            .collect())
+            .enumerate()
+            .map(|(i, chan)| {
+                let ai = self.split_operand(a, i)?;
+                let bi = self.split_operand(b, i)?;
+                Ok(chan.multiply(&ai, &bi)?.into_coeffs())
+            })
+            .collect::<Result<Vec<Vec<u64>>>>()?;
+        let lane_refs: Vec<&[u64]> = lanes.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0u128; self.n];
+        self.basis.combine_into(&lane_refs, &mut out);
+        Ok(out)
+    }
+
+    /// Multiplies a batch of wide-coefficient pairs, fusing each
+    /// residue channel's transforms: all jobs' lane-`i` residues flow
+    /// through one [`NttMultiplier::multiply_batch_into`] call, so the
+    /// per-stage twiddle walk is shared across the batch exactly as in
+    /// the single-prime engine batch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDegree`] on an empty batch or any
+    /// operand-length mismatch.
+    pub fn multiply_batch(&self, jobs: &[(Vec<u128>, Vec<u128>)]) -> Result<Vec<Vec<u128>>> {
+        if jobs.is_empty() {
+            return Err(Error::InvalidDegree { n: 0 });
+        }
+        for (a, b) in jobs {
+            self.check_len(a, b)?;
+        }
+        let n = self.n;
+        let total = n * jobs.len();
+        // lane_products[i] holds every job's lane-i product back to back.
+        let mut lane_products: Vec<Vec<u64>> = Vec::with_capacity(self.channels.len());
+        let mut fa = vec![0u64; total];
+        let mut fb = vec![0u64; total];
+        for (lane, chan) in self.channels.iter().enumerate() {
+            for (j, (a, b)) in jobs.iter().enumerate() {
+                self.basis
+                    .split_lane_into(a, lane, &mut fa[j * n..(j + 1) * n]);
+                self.basis
+                    .split_lane_into(b, lane, &mut fb[j * n..(j + 1) * n]);
+            }
+            let mut fo = vec![0u64; total];
+            chan.multiply_batch_into(&mut fa, &mut fb, &mut fo)?;
+            lane_products.push(fo);
+        }
+        let mut out = Vec::with_capacity(jobs.len());
+        for j in 0..jobs.len() {
+            let lane_refs: Vec<&[u64]> = lane_products
+                .iter()
+                .map(|lane| &lane[j * n..(j + 1) * n])
+                .collect();
+            let mut wide = vec![0u128; n];
+            self.basis.combine_into(&lane_refs, &mut wide);
+            out.push(wide);
+        }
+        Ok(out)
     }
 }
 
@@ -123,7 +210,7 @@ pub fn schoolbook_u128(a: &[u128], b: &[u128], modulus: u128) -> Vec<u128> {
     let n = a.len();
     assert_eq!(n, b.len());
     // Guard against overflow: operands must keep a·b + acc within u128.
-    // q1·q2 < 2^63 in all our parameter choices, so products are < 2^126.
+    // Π q_i < 2^63 in all oracle comparisons, so products are < 2^126.
     assert!(modulus < 1 << 63, "oracle limited to moduli below 2^63");
     let mut out = vec![0u128; n];
     for i in 0..n {
@@ -146,6 +233,7 @@ pub fn schoolbook_u128(a: &[u128], b: &[u128], modulus: u128) -> Vec<u128> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use modmath::primes;
 
     fn rand_vec(n: usize, modulus: u128, seed: u64) -> Vec<u128> {
         let mut state = seed;
@@ -160,23 +248,43 @@ mod tests {
     }
 
     #[test]
-    fn matches_schoolbook_oracle() {
-        let mult = RnsMultiplier::new(64, 12289, 40961).unwrap();
+    fn matches_schoolbook_oracle_k2_to_k4() {
+        for k in 2..=4 {
+            let moduli = [7681u64, 12289, 40961, 65537];
+            let mult = RnsMultiplier::new(64, &moduli[..k]).unwrap();
+            let q = mult.modulus();
+            let a = rand_vec(64, q, 1);
+            let b = rand_vec(64, q, 2);
+            assert_eq!(
+                mult.multiply(&a, &b).unwrap(),
+                schoolbook_u128(&a, &b, q),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mult = RnsMultiplier::new(64, &[7681, 12289, 40961]).unwrap();
         let q = mult.modulus();
-        let a = rand_vec(64, q, 1);
-        let b = rand_vec(64, q, 2);
-        assert_eq!(mult.multiply(&a, &b).unwrap(), schoolbook_u128(&a, &b, q));
+        let jobs: Vec<(Vec<u128>, Vec<u128>)> = (0..5)
+            .map(|j| (rand_vec(64, q, 10 + j), rand_vec(64, q, 20 + j)))
+            .collect();
+        let batched = mult.multiply_batch(&jobs).unwrap();
+        for (got, (a, b)) in batched.iter().zip(&jobs) {
+            assert_eq!(got, &mult.multiply(a, b).unwrap());
+        }
     }
 
     #[test]
     fn wide_modulus_actually_used() {
-        // A coefficient above both single primes must survive intact:
+        // A coefficient above every single prime must survive intact:
         // x · 1 = x.
-        let mult = RnsMultiplier::new(64, 12289, 40961).unwrap();
+        let mult = RnsMultiplier::new(64, &[12289, 40961]).unwrap();
         let q = mult.modulus();
         assert!(q > 1 << 28, "composite modulus is wide: {q}");
         let mut a = vec![0u128; 64];
-        a[0] = q - 1; // larger than either prime alone
+        a[0] = q - 1; // larger than any prime alone
         let mut one = vec![0u128; 64];
         one[0] = 1;
         let c = mult.multiply(&a, &one).unwrap();
@@ -184,36 +292,47 @@ mod tests {
     }
 
     #[test]
-    fn discovered_primes_work() {
-        let mult = RnsMultiplier::with_discovered_primes(256, 1 << 14).unwrap();
-        let (q1, q2) = mult.channel_moduli();
-        assert!(q1 > 1 << 14 && q2 > q1);
-        assert!(primes::supports_negacyclic_ntt(q1, 256));
-        assert!(primes::supports_negacyclic_ntt(q2, 256));
+    fn discovered_basis_works() {
+        let mult = RnsMultiplier::with_discovered_basis(256, 3, 1 << 14).unwrap();
+        let m = mult.channel_moduli();
+        assert_eq!(m.len(), 3);
+        assert!(m[0] > 1 << 14 && m.windows(2).all(|w| w[0] < w[1]));
+        for &q in m {
+            assert!(primes::supports_negacyclic_ntt(q, 256));
+        }
         let q = mult.modulus();
         let a = rand_vec(256, q, 5);
-        let b = rand_vec(256, q, 6);
-        // Verify against a spot identity: multiply by x shifts.
+        // Spot identity: multiply by x shifts negacyclically.
         let mut x = vec![0u128; 256];
         x[1] = 1;
         let shifted = mult.multiply(&a, &x).unwrap();
         assert_eq!(shifted[1], a[0]);
         assert_eq!(shifted[0], (q - a[255]) % q);
-        // Full oracle at this size is still fine.
-        assert_eq!(mult.multiply(&a, &b).unwrap(), schoolbook_u128(&a, &b, q));
     }
 
     #[test]
     fn degree_mismatch_errors() {
-        let mult = RnsMultiplier::new(64, 12289, 40961).unwrap();
+        let mult = RnsMultiplier::new(64, &[12289, 40961]).unwrap();
         assert!(mult.multiply(&[0; 32], &[0; 64]).is_err());
+        assert!(mult.multiply_batch(&[]).is_err());
     }
 
     #[test]
     fn channel_requirements_enforced() {
         // 17 is prime but does not support a length-64 negacyclic NTT.
-        assert!(RnsMultiplier::new(64, 12289, 17).is_err());
+        assert!(matches!(
+            RnsMultiplier::new(64, &[12289, 17]),
+            Err(Error::NoRootOfUnity { q: 17, .. })
+        ));
         // Composite channel.
-        assert!(RnsMultiplier::new(64, 12289, 40962).is_err());
+        assert!(matches!(
+            RnsMultiplier::new(64, &[12289, 40962]),
+            Err(Error::NotPrime { q: 40962 })
+        ));
+        // Too few channels.
+        assert!(matches!(
+            RnsMultiplier::new(64, &[12289]),
+            Err(Error::BasisSize { k: 1 })
+        ));
     }
 }

@@ -66,12 +66,17 @@ pub struct Reducer {
 }
 
 impl Reducer {
-    /// Builds a reducer for one of the specialized moduli.
+    /// Builds a reducer for modulus `q`.
+    ///
+    /// The paper's three moduli carry their hand-derived shift-add
+    /// sequences and Table I costs; any other odd modulus `2 < q < 2^31`
+    /// (RNS residue primes in particular) gets NAF-derived traces, with
+    /// cycle costs computed from those traces.
     ///
     /// # Errors
     ///
-    /// Returns [`PimError::UnsupportedModulus`] for moduli other than
-    /// 7681, 12289, 786433.
+    /// Propagates the trace builders' rejection of even or out-of-range
+    /// moduli.
     pub fn new(q: u64, style: ReductionStyle) -> Result<Self> {
         let barrett = ShiftAddBarrett::new(q).map_err(PimError::from)?;
         let montgomery = ShiftAddMontgomery::new(q).map_err(PimError::from)?;
@@ -102,6 +107,14 @@ impl Reducer {
     #[inline]
     pub fn r_exponent(&self) -> u32 {
         self.montgomery.r_exponent()
+    }
+
+    /// The precomputed REDC constant `−q⁻¹ mod R`, for callers that
+    /// inline the mul-based Montgomery form with runtime constants
+    /// (the engine's dynamic butterfly path).
+    #[inline]
+    pub fn q_prime(&self) -> u64 {
+        self.montgomery.q_prime()
     }
 
     /// Post-addition reduction (Barrett position): canonicalizes `a < 2q`.
@@ -137,9 +150,11 @@ impl Reducer {
     /// for a datapath of `bitwidth` bits, under this style.
     pub fn barrett_cycles_for(&self, bitwidth: u32) -> u64 {
         match self.style {
-            ReductionStyle::CryptoPim => {
-                cost::barrett_cycles(self.q).expect("modulus validated at construction")
-            }
+            // Table I covers only the paper's moduli; other moduli fall
+            // back to the cost of their NAF-derived trace (which for the
+            // paper's moduli reproduces Table I's structure anyway).
+            ReductionStyle::CryptoPim => cost::barrett_cycles(self.q)
+                .unwrap_or_else(|_| cost::shift_add_trace_cycles(self.barrett.trace())),
             ReductionStyle::ShiftAdd => cost::shift_add_trace_cycles(self.barrett.trace()),
             ReductionStyle::MulBased { optimized_mul } => {
                 let mul = if optimized_mul {
@@ -165,9 +180,8 @@ impl Reducer {
     /// multiplies.
     pub fn montgomery_cycles_for(&self, bitwidth: u32) -> u64 {
         match self.style {
-            ReductionStyle::CryptoPim => {
-                cost::montgomery_cycles(self.q).expect("modulus validated at construction")
-            }
+            ReductionStyle::CryptoPim => cost::montgomery_cycles(self.q)
+                .unwrap_or_else(|_| cost::shift_add_trace_cycles(self.montgomery.trace())),
             ReductionStyle::ShiftAdd => cost::shift_add_trace_cycles(self.montgomery.trace()),
             ReductionStyle::MulBased { optimized_mul } => {
                 let mul = if optimized_mul {
@@ -185,12 +199,14 @@ impl Reducer {
         self.montgomery_cycles_for(self.native_bitwidth())
     }
 
-    /// The datapath width the paper pairs with this modulus.
+    /// The datapath width the paper pairs with this modulus: 16-bit for
+    /// moduli that fit a halfword (7681, 12289), 32-bit otherwise
+    /// (786433 and the RNS residue primes).
     pub fn native_bitwidth(&self) -> u32 {
-        if self.q == 786433 {
-            32
-        } else {
+        if self.q < 1 << 16 {
             16
+        } else {
+            32
         }
     }
 }
@@ -302,10 +318,32 @@ mod tests {
 
     #[test]
     fn unsupported_modulus() {
-        assert!(matches!(
-            Reducer::new(17, ReductionStyle::CryptoPim),
-            Err(PimError::UnsupportedModulus { q: 17 })
-        ));
+        // Even, zero, and ≥ 2^31 moduli have no shift-add REDC.
+        assert!(Reducer::new(0, ReductionStyle::CryptoPim).is_err());
+        assert!(Reducer::new(40962, ReductionStyle::CryptoPim).is_err());
+        assert!(Reducer::new(1 << 31, ReductionStyle::CryptoPim).is_err());
+    }
+
+    #[test]
+    fn generic_modulus_reducer_works_with_trace_costs() {
+        // An NTT-friendly residue prime outside the paper's table: the
+        // reducer is functional and its CryptoPim-style cost falls back
+        // to the NAF-trace cost (identical to the ShiftAdd style).
+        let q = 1073479681u64; // 2^30-ish prime, 8192 | q − 1
+        let opt = Reducer::new(q, ReductionStyle::CryptoPim).unwrap();
+        let sa = Reducer::new(q, ReductionStyle::ShiftAdd).unwrap();
+        for a in (0..2 * q).step_by(10_000_019) {
+            assert_eq!(opt.barrett(a), a % q);
+        }
+        for a in (0..q * 8).step_by(100_000_007) {
+            assert_eq!(opt.montgomery(a), sa.montgomery(a));
+            assert_eq!(opt.from_mont(opt.to_mont(a % q)), a % q);
+        }
+        assert_eq!(opt.barrett_cycles(), sa.barrett_cycles());
+        assert_eq!(opt.montgomery_cycles(), sa.montgomery_cycles());
+        assert_eq!(opt.native_bitwidth(), 32);
+        assert!(opt.barrett_cycles() > 0);
+        assert!(opt.montgomery_cycles() > 0);
     }
 
     #[test]

@@ -36,8 +36,10 @@
 use crate::plan::{FaultKind, FaultPlan};
 use cryptopim::accelerator::CryptoPim;
 use cryptopim::check::CheckPolicy;
+use modmath::crt::RnsBasis;
 use modmath::params::ParamSet;
 use ntt::negacyclic::PolyMultiplier;
+use ntt::rns::RnsMultiplier;
 use pim::fault::{layout, splitmix64, Injector};
 use service::loadgen::{generate_hot_jobs, generate_jobs};
 use service::{Backpressure, Service, ServiceConfig, ServiceError, ServiceStats};
@@ -407,6 +409,177 @@ pub fn run(config: &CampaignConfig) -> CampaignReport {
     }
 }
 
+/// Configuration of one **wide-modulus** campaign cell: seeded
+/// transient faults injected while RNS-decomposed jobs stream through
+/// the residue-sharded pipeline.
+#[derive(Debug, Clone)]
+pub struct WideCellConfig {
+    /// Master seed for fault sites and the wide job stream.
+    pub seed: u64,
+    /// Polynomial degree served.
+    pub degree: usize,
+    /// Residue channels (`k`) of the discovered basis; 2..=4.
+    pub channels: usize,
+    /// Wide jobs served.
+    pub jobs: usize,
+    /// Per-write transient flip probability. One engine execution makes
+    /// thousands of writes, so useful rates sit well below the narrow
+    /// campaign's: around `1e-5` a fault lands every few lane
+    /// executions and retries recover; at `1e-3` every attempt is
+    /// corrupt and the lane can only exhaust its attempts.
+    pub rate: f64,
+    /// Execution attempts per residue-lane job before
+    /// `FaultUnrecovered`.
+    pub max_attempts: u32,
+    /// Consecutive faulted batches that quarantine the bank.
+    pub quarantine_after: u32,
+}
+
+impl Default for WideCellConfig {
+    fn default() -> Self {
+        WideCellConfig {
+            seed: 0xC0FFEE,
+            degree: 256,
+            channels: 2,
+            jobs: 24,
+            rate: 1e-5,
+            max_attempts: 3,
+            quarantine_after: 10,
+        }
+    }
+}
+
+/// Outcome of one wide-modulus cell.
+#[derive(Debug, Clone)]
+pub struct WideCellResult {
+    /// Residue channels of the basis actually used.
+    pub channels: usize,
+    /// Degree served.
+    pub degree: usize,
+    /// Injection rate.
+    pub rate: f64,
+    /// Wide jobs submitted.
+    pub jobs: usize,
+    /// Wide jobs whose recombined product came back.
+    pub served: usize,
+    /// Recombined products differing from the fault-free sequential
+    /// residue loop — escaped corruptions. Must be 0.
+    pub wrong: usize,
+    /// Wide jobs failed as a lane-level `FaultUnrecovered`.
+    pub unrecovered: usize,
+    /// Wide jobs refused by a quarantine-degraded fleet (a lane came
+    /// back `Overloaded`).
+    pub refused: usize,
+    /// Wide jobs failed with any other error (must be 0).
+    pub failed: usize,
+    /// Served wide jobs where at least one residue lane needed a retry
+    /// — the "corrupt lane fails alone" evidence.
+    pub lane_retry_jobs: usize,
+    /// Referee detections across all residue-lane executions.
+    pub detected: u64,
+    /// Lane jobs that recovered on a retry.
+    pub recovered: u64,
+    /// Full scheduler statistics at shutdown.
+    pub stats: ServiceStats,
+}
+
+/// Runs one wide-modulus cell: RNS-decomposed jobs stream through a
+/// one-bank referee-checked service while a seeded transient process
+/// flips written bits; every recombined product is held against the
+/// fault-free sequential residue loop. A fault lands in exactly one
+/// residue lane's execution, is detected by the per-lane recompute
+/// referee, retried, and recovered — the sibling lanes never rerun and
+/// the recombined answer is never wrong.
+pub fn run_wide_cell(config: &WideCellConfig) -> WideCellResult {
+    let cell_seed = splitmix64(config.seed ^ 0x57_1D_E0_0D ^ (config.degree as u64) << 24);
+    let basis = RnsBasis::discover(config.degree, config.channels, 1 << 20)
+        .expect("discoverable wide basis");
+    let seq = RnsMultiplier::with_basis(config.degree, basis.clone())
+        .expect("basis fits the campaign degree");
+    let q_wide = basis.modulus();
+    let draw_wide = |salt: u64| -> Vec<u128> {
+        (0..config.degree as u64)
+            .map(|i| {
+                let hi = splitmix64(cell_seed ^ (salt << 40) ^ i) as u128;
+                let lo = splitmix64(cell_seed ^ (salt << 40) ^ i ^ 0xABCD) as u128;
+                (hi << 64 | lo) % q_wide
+            })
+            .collect()
+    };
+    let jobs: Vec<(Vec<u128>, Vec<u128>)> = (0..config.jobs as u64)
+        .map(|j| (draw_wide(2 * j + 1), draw_wide(2 * j + 2)))
+        .collect();
+    let reference: Vec<Vec<u128>> = jobs
+        .iter()
+        .map(|(a, b)| seq.multiply(a, b).expect("fault-free sequential loop"))
+        .collect();
+
+    // Bit flips bounded by the narrowest lane's word width stay
+    // meaningful for every residue channel.
+    let bits = basis
+        .moduli()
+        .iter()
+        .map(|q| 64 - q.leading_zeros())
+        .min()
+        .expect("non-empty basis");
+    let plan = Arc::new(FaultPlan::new(cell_seed).with_transient(config.rate, bits));
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        backpressure: Backpressure::Block,
+        linger: Duration::ZERO,
+        check: CheckPolicy::Recompute,
+        max_attempts: config.max_attempts,
+        quarantine_after: config.quarantine_after,
+        injector: Some(plan),
+        ..ServiceConfig::default()
+    });
+
+    let (mut served, mut wrong, mut unrecovered, mut refused, mut failed, mut lane_retry_jobs) =
+        (0, 0, 0, 0, 0, 0);
+    let classify_lane = |error: ServiceError| match error {
+        ServiceError::WideLane { error, .. } => *error,
+        other => other,
+    };
+    for (k, (a, b)) in jobs.iter().enumerate() {
+        let outcome = svc
+            .submit_wide(a, b, &basis)
+            .and_then(|ticket| ticket.wait());
+        match outcome {
+            Ok(done) => {
+                served += 1;
+                if done.product != reference[k] {
+                    wrong += 1;
+                }
+                if done.lanes.iter().any(|l| l.attempts > 1) {
+                    lane_retry_jobs += 1;
+                }
+            }
+            Err(e) => match classify_lane(e) {
+                ServiceError::FaultUnrecovered { .. } => unrecovered += 1,
+                ServiceError::Overloaded { .. } => refused += 1,
+                _ => failed += 1,
+            },
+        }
+    }
+    let stats = svc.shutdown();
+
+    WideCellResult {
+        channels: basis.moduli().len(),
+        degree: config.degree,
+        rate: config.rate,
+        jobs: config.jobs,
+        served,
+        wrong,
+        unrecovered,
+        refused,
+        failed,
+        lane_retry_jobs,
+        detected: stats.faults_detected,
+        recovered: stats.recovered,
+        stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +673,49 @@ mod tests {
         let cell = &report.cells[0];
         assert!(cell.screen_detected <= cell.screen_corrupted);
         assert!(cell.residue_coverage() <= 1.0);
+    }
+
+    #[test]
+    fn wide_cell_recovers_faulted_lanes_without_wrong_recombination() {
+        let config = WideCellConfig {
+            seed: 31,
+            jobs: 24,
+            ..WideCellConfig::default()
+        };
+        let result = run_wide_cell(&config);
+        assert_eq!(result.wrong, 0, "escaped wide corruption: {result:?}");
+        assert_eq!(result.failed, 0, "non-fault failure: {result:?}");
+        assert!(result.detected >= 1, "seeded faults must trip the referee");
+        assert!(result.recovered >= 1, "detected faults must recover");
+        assert!(result.lane_retry_jobs >= 1, "a lane retried alone");
+        assert_eq!(
+            result.served + result.unrecovered + result.refused + result.failed,
+            result.jobs
+        );
+        // Deterministic: the same seed replays the same counts.
+        let again = run_wide_cell(&config);
+        assert_eq!(
+            (
+                result.served,
+                result.wrong,
+                result.detected,
+                result.recovered
+            ),
+            (again.served, again.wrong, again.detected, again.recovered)
+        );
+    }
+
+    #[test]
+    fn clean_wide_cell_detects_nothing() {
+        let result = run_wide_cell(&WideCellConfig {
+            rate: 0.0,
+            jobs: 4,
+            ..WideCellConfig::default()
+        });
+        assert_eq!(result.served, 4);
+        assert_eq!(result.wrong, 0);
+        assert_eq!(result.detected, 0);
+        assert_eq!(result.lane_retry_jobs, 0);
     }
 
     #[test]

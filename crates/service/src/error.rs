@@ -62,6 +62,18 @@ pub enum ServiceError {
         /// Attempts consumed before giving up.
         attempts: u32,
     },
+    /// One residue lane of a wide (RNS-decomposed) job failed; the
+    /// parent ticket fails as a whole but the error names the lane so
+    /// callers can see *which* residue channel broke. Sibling lanes are
+    /// unaffected — a corrupt lane retries or fails alone.
+    WideLane {
+        /// Index of the failed residue lane (basis order).
+        lane: usize,
+        /// The lane's residue modulus.
+        q: u64,
+        /// The lane's underlying failure.
+        error: Box<ServiceError>,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -91,6 +103,9 @@ impl fmt::Display for ServiceError {
                     f,
                     "corrupt product on bank {bank} persisted through {attempts} attempts; result discarded"
                 )
+            }
+            ServiceError::WideLane { lane, q, error } => {
+                write!(f, "wide job residue lane {lane} (q = {q}) failed: {error}")
             }
         }
     }
@@ -139,6 +154,13 @@ mod tests {
         }
         .to_string()
         .contains("bank 3"));
+        let wide = ServiceError::WideLane {
+            lane: 2,
+            q: 40961,
+            error: Box::new(ServiceError::ShuttingDown),
+        };
+        assert!(wide.to_string().contains("lane 2"));
+        assert!(wide.to_string().contains("40961"));
     }
 
     #[test]

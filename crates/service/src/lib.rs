@@ -52,7 +52,9 @@ pub mod scheduler;
 pub mod stats;
 
 pub use error::ServiceError;
-pub use scheduler::{Backpressure, CompletedJob, JobTicket, Service, ServiceConfig};
+pub use scheduler::{
+    Backpressure, CompletedJob, JobTicket, Service, ServiceConfig, WideCompletedJob, WideTicket,
+};
 pub use stats::{LatencyHistogram, ServiceStats};
 
 /// Convenience result alias for service operations.

@@ -15,8 +15,10 @@ use crate::scheduler::{Service, ServiceConfig};
 use crate::stats::ServiceStats;
 use cryptopim::accelerator::CryptoPim;
 use cryptopim::phase::{self, PhaseSnapshot};
+use modmath::crt::RnsBasis;
 use modmath::params::ParamSet;
 use ntt::poly::Polynomial;
+use ntt::rns::RnsMultiplier;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -64,6 +66,15 @@ pub struct LoadgenConfig {
     /// Also run the direct one-at-a-time baseline and bit-compare every
     /// product against it.
     pub verify_direct: bool,
+    /// Fraction of the job stream submitted as **wide** RNS-decomposed
+    /// jobs (`0.0..=1.0`). Wide jobs multiply under the product of
+    /// [`LoadgenConfig::wide_channels`] discovered NTT-friendly primes
+    /// and flow through [`Service::submit_wide`], so their residue
+    /// lanes batch alongside the narrow traffic. `0.0` disables the
+    /// blend and preserves the legacy narrow-only stream byte-for-byte.
+    pub wide: f64,
+    /// Residue channels (`k`) for wide jobs; 2..=4.
+    pub wide_channels: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +87,8 @@ impl Default for LoadgenConfig {
             mode: LoadMode::Closed { clients: 4 },
             service: ServiceConfig::default(),
             verify_direct: true,
+            wide: 0.0,
+            wide_channels: 2,
         }
     }
 }
@@ -85,6 +98,8 @@ impl Default for LoadgenConfig {
 pub struct LoadgenReport {
     /// Jobs generated.
     pub jobs: usize,
+    /// How many of them were wide (RNS-decomposed) jobs.
+    pub wide_jobs: usize,
     /// Tickets that resolved to a product.
     pub ok: usize,
     /// Jobs refused at admission (Reject backpressure).
@@ -175,6 +190,86 @@ pub fn generate_hot_jobs(
         .collect()
 }
 
+/// One job of a mixed narrow/wide stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenJob {
+    /// A single-modulus pair served by [`Service::submit`].
+    Narrow(Polynomial, Polynomial),
+    /// A wide-modulus pair served by [`Service::submit_wide`];
+    /// coefficients are canonical residues modulo the run's
+    /// [`RnsBasis::modulus`].
+    Wide(Vec<u128>, Vec<u128>),
+}
+
+/// A resolved product of either stream half.
+#[derive(Debug, Clone, PartialEq)]
+enum ProductVal {
+    Narrow(Polynomial),
+    Wide(Vec<u128>),
+}
+
+/// Generates a mixed narrow/wide stream: each job first rolls whether
+/// it is wide (probability `wide`, seeded), then draws its degree and
+/// coefficients. Deterministic in every argument; `wide = 0.0` yields
+/// exactly the legacy [`generate_jobs`] / [`generate_hot_jobs`] stream.
+pub fn generate_mixed_jobs(
+    seed: u64,
+    jobs: usize,
+    degrees: &[usize],
+    hot_keys: usize,
+    wide: f64,
+    basis: &RnsBasis,
+) -> Vec<GenJob> {
+    if wide <= 0.0 {
+        let narrow = if hot_keys > 0 {
+            generate_hot_jobs(seed, jobs, degrees, hot_keys)
+        } else {
+            generate_jobs(seed, jobs, degrees)
+        };
+        return narrow
+            .into_iter()
+            .map(|(a, b)| GenJob::Narrow(a, b))
+            .collect();
+    }
+    assert!(!degrees.is_empty(), "need at least one degree");
+    let wide_permille = (wide.clamp(0.0, 1.0) * 1000.0).round() as u64;
+    let q_wide = basis.modulus();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<Polynomial> = (0..hot_keys)
+        .map(|_| {
+            let n = degrees[rng.gen_range(0..degrees.len())];
+            let q = ParamSet::for_degree(n).expect("paper degree").q;
+            let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            Polynomial::from_coeffs(coeffs, q).expect("in-range coeffs")
+        })
+        .collect();
+    (0..jobs)
+        .map(|_| {
+            if rng.gen_range(0..1000u64) < wide_permille {
+                let n = degrees[rng.gen_range(0..degrees.len())];
+                let mut draw = |_: usize| -> Vec<u128> {
+                    (0..n).map(|_| rng.gen::<u128>() % q_wide).collect()
+                };
+                GenJob::Wide(draw(0), draw(1))
+            } else if !pool.is_empty() {
+                let a = pool[rng.gen_range(0..pool.len())].clone();
+                let (n, q) = (a.degree_bound(), a.modulus());
+                let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+                GenJob::Narrow(a, Polynomial::from_coeffs(coeffs, q).expect("in-range"))
+            } else {
+                let n = degrees[rng.gen_range(0..degrees.len())];
+                let q = ParamSet::for_degree(n).expect("paper degree").q;
+                let mut draw = || -> Vec<u64> { (0..n).map(|_| rng.gen_range(0..q)).collect() };
+                let (ca, cb) = (draw(), draw());
+                GenJob::Narrow(
+                    Polynomial::from_coeffs(ca, q).expect("in-range"),
+                    Polynomial::from_coeffs(cb, q).expect("in-range"),
+                )
+            }
+        })
+        .collect()
+}
+
 /// Chunks the stream is split into when racing the direct baseline:
 /// service and direct alternate per chunk so slow host-speed drift
 /// (frequency ramp, neighbour steal) lands evenly on both sides.
@@ -190,38 +285,67 @@ const MEASURE_CHUNKS: usize = 4;
 /// phases, so neither side systematically collects the warmer half of
 /// the run.
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
-    let jobs = if config.hot_keys > 0 {
-        generate_hot_jobs(config.seed, config.jobs, &config.degrees, config.hot_keys)
+    let basis = if config.wide > 0.0 {
+        // One basis serves every degree in the mix: primes found
+        // NTT-friendly at the largest degree satisfy `2n | q - 1` at
+        // every smaller power of two too.
+        let n_max = config.degrees.iter().copied().max().expect("degrees");
+        RnsBasis::discover(n_max, config.wide_channels, 1 << 20).expect("discoverable basis")
     } else {
-        generate_jobs(config.seed, config.jobs, &config.degrees)
+        RnsBasis::new(&[7681, 12289]).expect("static basis")
     };
+    let jobs = generate_mixed_jobs(
+        config.seed,
+        config.jobs,
+        &config.degrees,
+        config.hot_keys,
+        config.wide,
+        &basis,
+    );
+    let wide_jobs = jobs
+        .iter()
+        .filter(|j| matches!(j, GenJob::Wide(..)))
+        .count();
     let service = Service::start(config.service.clone());
-    let results: Mutex<Vec<Option<Result<Polynomial, ()>>>> = Mutex::new(vec![None; jobs.len()]);
+    let results: Mutex<Vec<Option<Result<ProductVal, ()>>>> = Mutex::new(vec![None; jobs.len()]);
     let rejected = Mutex::new(0usize);
+
+    let serve_one = |job: &GenJob| -> Option<Result<ProductVal, ()>> {
+        match job {
+            GenJob::Narrow(a, b) => match service.submit(a.clone(), b.clone()) {
+                Ok(ticket) => Some(match ticket.wait() {
+                    Ok(done) => Ok(ProductVal::Narrow(done.product)),
+                    Err(_) => Err(()),
+                }),
+                Err(_) => None,
+            },
+            GenJob::Wide(a, b) => match service.submit_wide(a, b, &basis) {
+                Ok(ticket) => Some(match ticket.wait() {
+                    Ok(done) => Ok(ProductVal::Wide(done.product)),
+                    Err(_) => Err(()),
+                }),
+                Err(_) => None,
+            },
+        }
+    };
 
     let serve_slice = |lo: usize, hi: usize| match config.mode {
         LoadMode::Closed { clients } => {
             let clients = clients.max(1);
             std::thread::scope(|scope| {
                 for c in 0..clients {
-                    let service = &service;
                     let slice = &jobs[lo..hi];
                     let results = &results;
                     let rejected = &rejected;
+                    let serve_one = &serve_one;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         let mut shed = 0usize;
-                        for (j, (a, b)) in slice.iter().enumerate().skip(c).step_by(clients) {
-                            let outcome = match service.submit(a.clone(), b.clone()) {
-                                Ok(ticket) => match ticket.wait() {
-                                    Ok(done) => Some(Ok(done.product)),
-                                    Err(_) => Some(Err(())),
-                                },
-                                Err(_) => {
-                                    shed += 1;
-                                    None
-                                }
-                            };
+                        for (j, job) in slice.iter().enumerate().skip(c).step_by(clients) {
+                            let outcome = serve_one(job);
+                            if outcome.is_none() {
+                                shed += 1;
+                            }
                             local.push((lo + j, outcome));
                         }
                         // One lock per client per slice keeps result
@@ -238,22 +362,39 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         LoadMode::Open { rate_per_s } => {
             let interval = Duration::from_secs_f64(1.0 / rate_per_s.max(1e-3));
             let slice_start = Instant::now();
+            enum Pending {
+                Narrow(crate::scheduler::JobTicket),
+                Wide(crate::scheduler::WideTicket),
+            }
             let mut tickets = Vec::with_capacity(hi - lo);
-            for (j, (a, b)) in jobs[lo..hi].iter().enumerate() {
+            for (j, job) in jobs[lo..hi].iter().enumerate() {
                 let target = slice_start + interval * j as u32;
                 if let Some(sleep) = target.checked_duration_since(Instant::now()) {
                     std::thread::sleep(sleep);
                 }
-                match service.submit(a.clone(), b.clone()) {
-                    Ok(ticket) => tickets.push((lo + j, ticket)),
-                    Err(_) => *rejected.lock().expect("rejected count") += 1,
+                let admitted = match job {
+                    GenJob::Narrow(a, b) => service
+                        .submit(a.clone(), b.clone())
+                        .map(Pending::Narrow)
+                        .ok(),
+                    GenJob::Wide(a, b) => service.submit_wide(a, b, &basis).map(Pending::Wide).ok(),
+                };
+                match admitted {
+                    Some(t) => tickets.push((lo + j, t)),
+                    None => *rejected.lock().expect("rejected count") += 1,
                 }
             }
             let mut results = results.lock().expect("results");
             for (i, ticket) in tickets {
-                let outcome = match ticket.wait() {
-                    Ok(done) => Ok(done.product),
-                    Err(_) => Err(()),
+                let outcome = match ticket {
+                    Pending::Narrow(t) => match t.wait() {
+                        Ok(done) => Ok(ProductVal::Narrow(done.product)),
+                        Err(_) => Err(()),
+                    },
+                    Pending::Wide(t) => match t.wait() {
+                        Ok(done) => Ok(ProductVal::Wide(done.product)),
+                        Err(_) => Err(()),
+                    },
                 };
                 results[i] = Some(outcome);
             }
@@ -264,13 +405,17 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let (mut direct_wall_s, mut direct_throughput) = (0.0, 0.0);
     let mut service_phase = PhaseSnapshot::default();
     let mut direct_phase = PhaseSnapshot::default();
-    let mut direct: Vec<Polynomial> = Vec::new();
+    let mut direct: Vec<ProductVal> = Vec::new();
     if config.verify_direct {
         // The baseline runs under the *same* check policy as the
         // service, so the speedup compares like with like (a checked
         // service against an unchecked baseline would fold the referee
-        // cost into the scheduling comparison).
+        // cost into the scheduling comparison). Wide jobs baseline
+        // against the sequential residue loop — one lane after another
+        // through the same basis — which is exactly the fleet-sharding
+        // comparison the RNS pipeline exists to win.
         let mut accelerators: HashMap<usize, CryptoPim> = HashMap::new();
+        let mut sequential: HashMap<usize, RnsMultiplier> = HashMap::new();
         for &n in &config.degrees {
             let p = ParamSet::for_degree(n).expect("paper degree");
             accelerators.insert(
@@ -279,6 +424,12 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
                     .expect("paper parameters")
                     .with_check(config.service.check),
             );
+            if wide_jobs > 0 {
+                sequential.insert(
+                    n,
+                    RnsMultiplier::with_basis(n, basis.clone()).expect("basis fits degree"),
+                );
+            }
         }
         let chunk = jobs.len().div_ceil(MEASURE_CHUNKS).max(1);
         let mut lo = 0;
@@ -291,10 +442,19 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             service_phase.add(&phase::snapshot().since(&before));
             let before = phase::snapshot();
             let t = Instant::now();
-            direct.extend(jobs[lo..hi].iter().map(|(a, b)| {
-                accelerators[&a.degree_bound()]
-                    .multiply_product(a, b)
-                    .expect("direct multiply")
+            direct.extend(jobs[lo..hi].iter().map(|job| {
+                match job {
+                    GenJob::Narrow(a, b) => ProductVal::Narrow(
+                        accelerators[&a.degree_bound()]
+                            .multiply_product(a, b)
+                            .expect("direct multiply"),
+                    ),
+                    GenJob::Wide(a, b) => ProductVal::Wide(
+                        sequential[&a.len()]
+                            .multiply(a, b)
+                            .expect("sequential residue loop"),
+                    ),
+                }
             }));
             direct_wall_s += t.elapsed().as_secs_f64();
             direct_phase.add(&phase::snapshot().since(&before));
@@ -330,6 +490,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let throughput = ok as f64 / wall_s;
     LoadgenReport {
         jobs: jobs.len(),
+        wide_jobs,
         ok,
         rejected,
         failed,
@@ -382,6 +543,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
             verify_direct: true,
+            ..LoadgenConfig::default()
         });
         assert_eq!(report.ok, 24);
         assert!(report.is_clean(), "{report:?}");
@@ -395,6 +557,62 @@ mod tests {
         // (No zero-assertions on the referee phases here: the counters
         // are process-wide, and a checked run in a sibling test thread
         // may legitimately bump them inside this window.)
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic_and_blends_wide_jobs() {
+        let basis = RnsBasis::discover(512, 3, 1 << 20).unwrap();
+        let a = generate_mixed_jobs(42, 64, &[256, 512], 0, 0.5, &basis);
+        assert_eq!(a, generate_mixed_jobs(42, 64, &[256, 512], 0, 0.5, &basis));
+        let wide = a.iter().filter(|j| matches!(j, GenJob::Wide(..))).count();
+        assert!(wide > 0 && wide < 64, "a genuine blend, got {wide}/64 wide");
+        for job in &a {
+            if let GenJob::Wide(x, y) = job {
+                assert_eq!(x.len(), y.len());
+                assert!(x.iter().all(|&c| c < basis.modulus()));
+            }
+        }
+        // wide = 0.0 degenerates to the legacy narrow stream exactly.
+        let legacy = generate_jobs(42, 20, &[256, 512]);
+        let mixed = generate_mixed_jobs(42, 20, &[256, 512], 0, 0.0, &basis);
+        for (old, new) in legacy.iter().zip(&mixed) {
+            assert_eq!(GenJob::Narrow(old.0.clone(), old.1.clone()), *new);
+        }
+    }
+
+    #[test]
+    fn wide_blend_run_is_clean_and_bit_exact() {
+        let report = run(&LoadgenConfig {
+            seed: 23,
+            jobs: 24,
+            degrees: vec![256],
+            hot_keys: 0,
+            mode: LoadMode::Closed { clients: 3 },
+            service: ServiceConfig {
+                workers: 2,
+                linger: Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+            verify_direct: true,
+            wide: 0.4,
+            wide_channels: 3,
+        });
+        assert_eq!(report.ok, 24);
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.wide_jobs > 0, "blend produced wide jobs");
+        assert_eq!(report.stats.wide_submitted, report.wide_jobs as u64);
+        assert_eq!(report.stats.wide_completed, report.wide_jobs as u64);
+        assert_eq!(report.stats.wide_failed, 0);
+        assert_eq!(
+            report.stats.wide_latency_samples, report.wide_jobs as u64,
+            "every wide job lands in the wide histogram"
+        );
+        assert!(report.stats.wide_p50_us > 0.0);
+        // Each wide job admits 3 residue-lane jobs; narrow jobs admit 1.
+        assert_eq!(
+            report.stats.admitted as usize,
+            (24 - report.wide_jobs) + 3 * report.wide_jobs
+        );
     }
 
     #[test]
@@ -412,6 +630,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
             verify_direct: true,
+            ..LoadgenConfig::default()
         });
         assert!(report.is_clean(), "{report:?}");
         for (side, split) in [("service", &report.phase), ("direct", &report.direct_phase)] {
@@ -444,6 +663,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
             verify_direct: true,
+            ..LoadgenConfig::default()
         });
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(report.ok, 32);
@@ -473,6 +693,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
             verify_direct: false,
+            ..LoadgenConfig::default()
         });
         assert_eq!(report.ok + report.rejected + report.failed, 60);
         assert_eq!(report.dropped, 0, "admitted jobs never vanish");

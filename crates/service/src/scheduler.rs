@@ -39,7 +39,10 @@ use cryptopim::arch::ArchConfig;
 use cryptopim::batch::multiply_batch_outcomes;
 use cryptopim::check::CheckPolicy;
 use cryptopim::hotcache::HotCache;
+use cryptopim::phase;
+use modmath::crt::RnsBasis;
 use modmath::params::ParamSet;
+use modmath::primes;
 use ntt::poly::Polynomial;
 use pim::fault::{Injector, WritePath};
 use pim::par::Threads;
@@ -217,6 +220,84 @@ impl JobTicket {
     }
 }
 
+/// A fulfilled wide (RNS-decomposed) job, returned by
+/// [`WideTicket::wait`].
+#[derive(Debug, Clone)]
+pub struct WideCompletedJob {
+    /// The recombined product over the composite modulus `Q = Π q_i`,
+    /// bit-identical to a sequential residue-by-residue multiply.
+    pub product: Vec<u128>,
+    /// Per-lane completions in basis order — each lane rode the
+    /// ordinary batch pipeline, so its latency split, batch occupancy,
+    /// and attempt count are all observable.
+    pub lanes: Vec<CompletedJob>,
+    /// Host-side CRT recombination time for this job, µs.
+    pub recombine_us: f64,
+}
+
+/// Handle to one wide job: `k` residue-lane tickets plus the basis that
+/// recombines them. Obtain the product with [`WideTicket::wait`].
+pub struct WideTicket {
+    lanes: Vec<(JobTicket, u64)>,
+    basis: RnsBasis,
+    n: usize,
+    shared: Arc<Shared>,
+    submitted: Instant,
+}
+
+impl WideTicket {
+    /// Blocks until every residue lane completes, then CRT-recombines
+    /// the lane products on the host. The parent resolves only when all
+    /// lanes have landed; a failed lane fails the wide job with
+    /// [`ServiceError::WideLane`] naming the lane (sibling lanes are
+    /// still drained so their results are accounted for).
+    pub fn wait(self) -> Result<WideCompletedJob, ServiceError> {
+        let mut lane_jobs = Vec::with_capacity(self.lanes.len());
+        let mut failure: Option<ServiceError> = None;
+        for (lane, (ticket, q)) in self.lanes.into_iter().enumerate() {
+            match ticket.wait() {
+                Ok(done) => lane_jobs.push(done),
+                Err(error) => {
+                    if failure.is_none() {
+                        failure = Some(ServiceError::WideLane {
+                            lane,
+                            q,
+                            error: Box::new(error),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(error) = failure {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            st.wide_failed += 1;
+            return Err(error);
+        }
+        let t = Instant::now();
+        let lane_refs: Vec<&[u64]> = lane_jobs.iter().map(|j| j.product.coeffs()).collect();
+        let mut product = vec![0u128; self.n];
+        self.basis.combine_into(&lane_refs, &mut product);
+        let recombine = t.elapsed();
+        phase::record_recombine(recombine);
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            st.wide_completed += 1;
+            st.wide_hist
+                .record_us(self.submitted.elapsed().as_micros() as u64);
+        }
+        Ok(WideCompletedJob {
+            product,
+            lanes: lane_jobs,
+            recombine_us: recombine.as_secs_f64() * 1e6,
+        })
+    }
+
+    /// Whether every residue lane has completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.lanes.iter().all(|(t, _)| t.is_done())
+    }
+}
+
 struct Job {
     a: Polynomial,
     b: Polynomial,
@@ -286,6 +367,14 @@ struct State {
     /// refused with `Overloaded`.
     degraded: bool,
     hist: LatencyHistogram,
+    /// Wide (RNS-decomposed) jobs accepted by `submit_wide`.
+    wide_submitted: u64,
+    /// Wide jobs whose every residue lane landed and recombined.
+    wide_completed: u64,
+    /// Wide jobs that failed (any lane refused or failed).
+    wide_failed: u64,
+    /// End-to-end wide-job latency (submit → recombined product).
+    wide_hist: LatencyHistogram,
 }
 
 struct Shared {
@@ -335,14 +424,25 @@ impl Shared {
 }
 
 /// Resolves the parameter set a `(n, q)` job runs under, or `None` when
-/// the pair is unsupported. Paper-table degrees must carry the paper's
-/// modulus assignment; degrees above the native 32k (which segment
-/// across hardware passes, §III-D) are accepted with the paper's
-/// large-degree modulus — the only specialized modulus whose `q − 1`
-/// keeps the `2n | q − 1` NTT divisibility at those sizes.
+/// the pair is unsupported. Paper-table degrees take the paper's
+/// modulus assignment on the specialized fast path, and additionally
+/// accept any NTT-friendly prime below `2^31` — the residue lanes of
+/// wide (RNS-decomposed) jobs run under discovered primes and ride the
+/// engine's generic-modulus datapath. Degrees above the native 32k
+/// (which segment across hardware passes, §III-D) are accepted only
+/// with the paper's large-degree modulus — the only specialized modulus
+/// whose `q − 1` keeps the `2n | q − 1` NTT divisibility at those
+/// sizes.
 fn params_for(n: usize, q: u64) -> Option<ParamSet> {
     if let Ok(p) = ParamSet::for_degree(n) {
-        return (p.q == q).then_some(p);
+        if p.q == q {
+            return Some(p);
+        }
+        if q < 1 << 31 && primes::is_prime(q) && primes::supports_negacyclic_ntt(q, n) {
+            let bitwidth = if q < 1 << 16 { 16 } else { 32 };
+            return ParamSet::custom(n, q, bitwidth).ok();
+        }
+        return None;
     }
     if n > CryptoPim::max_native_degree() && q == SEGMENTED_Q {
         return ParamSet::custom(n, q, 32).ok();
@@ -403,6 +503,10 @@ impl Service {
                 active_workers: config.workers,
                 degraded: false,
                 hist: LatencyHistogram::default(),
+                wide_submitted: 0,
+                wide_completed: 0,
+                wide_failed: 0,
+                wide_hist: LatencyHistogram::default(),
             }),
             cfg: config.clone(),
             hot: (config.hot_capacity > 0).then(|| Arc::new(HotCache::new(config.hot_capacity))),
@@ -543,6 +647,82 @@ impl Service {
         Ok(JobTicket { state: ticket })
     }
 
+    /// Submits one wide-modulus multiplication over `Q = Π q_i`: the
+    /// operands split into one residue sub-job per basis channel, each
+    /// flowing through the ordinary `(n, q_i)` batch former — residues
+    /// of *different* tenants' wide jobs pack into the same batches —
+    /// and the returned ticket CRT-recombines the lane products on the
+    /// host once every lane lands. Each lane is checked, retried, and
+    /// quarantine-accounted independently under the configured
+    /// [`CheckPolicy`], so a corrupt lane fails or recovers alone.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::PairMismatch`] — operand lengths differ.
+    /// * [`ServiceError::UnsupportedJob`] — some lane's `(n, q_i)` has
+    ///   no accelerator configuration (checked for every lane before
+    ///   anything is queued).
+    /// * [`ServiceError::WideLane`] — a lane was refused at admission
+    ///   (e.g. `Overloaded` mid-way); earlier lanes stay queued and
+    ///   execute harmlessly, their tickets discarded.
+    pub fn submit_wide(
+        &self,
+        a: &[u128],
+        b: &[u128],
+        basis: &RnsBasis,
+    ) -> Result<WideTicket, ServiceError> {
+        let n = a.len();
+        if b.len() != n {
+            return Err(ServiceError::PairMismatch {
+                left: n,
+                right: b.len(),
+            });
+        }
+        // Validate every lane up front so an unsupported basis cannot
+        // strand half-submitted sibling lanes.
+        for &q in basis.moduli() {
+            if params_for(n, q).is_none() {
+                return Err(ServiceError::UnsupportedJob { n, q });
+            }
+        }
+        let submitted = Instant::now();
+        let mut lanes = Vec::with_capacity(basis.channels());
+        let mut buf = vec![0u64; n];
+        for (lane, &q) in basis.moduli().iter().enumerate() {
+            basis.split_lane_into(a, lane, &mut buf);
+            let pa = Polynomial::from_canonical_coeffs(buf.clone(), q)
+                .expect("residues are canonical mod q");
+            basis.split_lane_into(b, lane, &mut buf);
+            let pb = Polynomial::from_canonical_coeffs(buf.clone(), q)
+                .expect("residues are canonical mod q");
+            match self.submit(pa, pb) {
+                Ok(ticket) => lanes.push((ticket, q)),
+                Err(error) => {
+                    let mut st = self.shared.state.lock().expect("service state poisoned");
+                    st.wide_submitted += 1;
+                    st.wide_failed += 1;
+                    drop(st);
+                    return Err(ServiceError::WideLane {
+                        lane,
+                        q,
+                        error: Box::new(error),
+                    });
+                }
+            }
+        }
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            st.wide_submitted += 1;
+        }
+        Ok(WideTicket {
+            lanes,
+            basis: basis.clone(),
+            n,
+            shared: Arc::clone(&self.shared),
+            submitted,
+        })
+    }
+
     /// A point-in-time snapshot of queue depth, counters, occupancy,
     /// and latency percentiles.
     pub fn stats(&self) -> ServiceStats {
@@ -614,6 +794,13 @@ fn snapshot(st: &State, hot: Option<&HotCache>) -> ServiceStats {
         p50_us: st.hist.quantile_us(0.50).unwrap_or(0.0),
         p95_us: st.hist.quantile_us(0.95).unwrap_or(0.0),
         p99_us: st.hist.quantile_us(0.99).unwrap_or(0.0),
+        wide_submitted: st.wide_submitted,
+        wide_completed: st.wide_completed,
+        wide_failed: st.wide_failed,
+        wide_latency_samples: st.wide_hist.count(),
+        wide_p50_us: st.wide_hist.quantile_us(0.50).unwrap_or(0.0),
+        wide_p95_us: st.wide_hist.quantile_us(0.95).unwrap_or(0.0),
+        wide_p99_us: st.wide_hist.quantile_us(0.99).unwrap_or(0.0),
     }
 }
 
@@ -1173,14 +1360,127 @@ mod tests {
                 right: 512
             })
         );
-        // Valid ring, wrong modulus for the paper's degree table.
-        let wrong_q = Polynomial::from_coeffs(vec![1; 256], 12289).unwrap();
+        // Valid ring, but 17 − 1 = 16 has no order-512 subgroup: no
+        // negacyclic NTT exists at this degree, so no lane (wide or
+        // narrow) can run it.
+        let wrong_q = Polynomial::from_coeffs(vec![1; 256], 17).unwrap();
         assert_eq!(
             svc.submit(wrong_q.clone(), wrong_q).err(),
-            Some(ServiceError::UnsupportedJob { n: 256, q: 12289 })
+            Some(ServiceError::UnsupportedJob { n: 256, q: 17 })
         );
         let stats = svc.shutdown();
         assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn off_table_ntt_friendly_primes_are_served() {
+        // Residue lanes of wide jobs run under discovered primes, not
+        // the paper-table assignment; the scheduler must serve them
+        // bit-exact through the generic-modulus engine path.
+        let svc = Service::start(ServiceConfig::default());
+        let q = modmath::primes::find_ntt_prime(256, 1 << 20).unwrap();
+        let p = ParamSet::custom(256, q, 32).unwrap();
+        use ntt::negacyclic::PolyMultiplier;
+        let direct = CryptoPim::new(&p)
+            .unwrap()
+            .multiply(&poly(256, q, 1), &poly(256, q, 2))
+            .unwrap();
+        let done = svc
+            .submit(poly(256, q, 1), poly(256, q, 2))
+            .expect("admitted")
+            .wait()
+            .expect("executed");
+        assert_eq!(done.product, direct);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn wide_job_recombines_bit_exact() {
+        let svc = Service::start(ServiceConfig::default());
+        let n = 256;
+        let basis = RnsBasis::discover(n, 3, 1 << 20).unwrap();
+        let seq = ntt::rns::RnsMultiplier::with_basis(n, basis.clone()).unwrap();
+        let q = basis.modulus();
+        let wide_operand = |seed: u128| -> Vec<u128> {
+            (0..n as u128).map(|i| (i * i * 977 + seed) % q).collect()
+        };
+        let (a, b) = (wide_operand(3), wide_operand(11));
+        let want = seq.multiply(&a, &b).unwrap();
+        let done = svc
+            .submit_wide(&a, &b, &basis)
+            .expect("admitted")
+            .wait()
+            .expect("all lanes landed");
+        assert_eq!(done.product, want, "recombined == sequential residue loop");
+        assert_eq!(done.lanes.len(), 3);
+        assert!(done.recombine_us >= 0.0);
+        let stats = svc.shutdown();
+        assert_eq!(stats.wide_submitted, 1);
+        assert_eq!(stats.wide_completed, 1);
+        assert_eq!(stats.wide_failed, 0);
+        assert_eq!(stats.wide_latency_samples, 1);
+        assert_eq!(stats.admitted, 3, "one narrow job per residue lane");
+    }
+
+    #[test]
+    fn wide_job_rejects_unsupported_basis_before_queueing() {
+        let svc = Service::start(ServiceConfig::default());
+        // Valid basis over primes that are not NTT-friendly at n = 256.
+        let basis = RnsBasis::new(&[17, 23]).unwrap();
+        let a = vec![1u128; 256];
+        assert_eq!(
+            svc.submit_wide(&a, &a, &basis).err(),
+            Some(ServiceError::UnsupportedJob { n: 256, q: 17 })
+        );
+        let b = vec![1u128; 128];
+        let basis_ok = RnsBasis::discover(256, 2, 1 << 20).unwrap();
+        assert_eq!(
+            svc.submit_wide(&a, &b, &basis_ok).err(),
+            Some(ServiceError::PairMismatch {
+                left: 256,
+                right: 128
+            })
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.admitted, 0, "nothing queued for a rejected basis");
+        assert_eq!(stats.wide_submitted, 0);
+    }
+
+    #[test]
+    fn wide_lane_fault_recovers_without_wrong_recombination() {
+        // Bank 0 corrupts its first operation: exactly one residue lane
+        // of the wide job is detected, retried, and recovered — and the
+        // recombined product still matches the sequential reference.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            check: CheckPolicy::Recompute,
+            max_attempts: 3,
+            quarantine_after: 10,
+            injector: Some(Arc::new(StuckBitInjector { bad_ops: 1 })),
+            ..ServiceConfig::default()
+        });
+        let n = 256;
+        let basis = RnsBasis::discover(n, 2, 1 << 20).unwrap();
+        let seq = ntt::rns::RnsMultiplier::with_basis(n, basis.clone()).unwrap();
+        let q = basis.modulus();
+        let a: Vec<u128> = (0..n as u128).map(|i| (i * 131 + 7) % q).collect();
+        let b: Vec<u128> = (0..n as u128).map(|i| (i * 13 + 29) % q).collect();
+        let want = seq.multiply(&a, &b).unwrap();
+        let done = svc
+            .submit_wide(&a, &b, &basis)
+            .expect("admitted")
+            .wait()
+            .expect("faulted lane recovered");
+        assert_eq!(done.product, want, "no wrong recombined answer");
+        assert!(
+            done.lanes.iter().any(|l| l.attempts > 1),
+            "exactly the faulted lane retried: {:?}",
+            done.lanes.iter().map(|l| l.attempts).collect::<Vec<_>>()
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.faults_detected, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.wide_completed, 1);
     }
 
     #[test]

@@ -120,6 +120,23 @@ pub struct ServiceStats {
     /// 99th-percentile end-to-end job latency, µs. 0.0 when
     /// [`ServiceStats::latency_samples`] is 0.
     pub p99_us: f64,
+    /// Wide (RNS-decomposed) jobs accepted by `submit_wide`.
+    pub wide_submitted: u64,
+    /// Wide jobs whose every residue lane landed and recombined.
+    pub wide_completed: u64,
+    /// Wide jobs that failed (a lane refused at admission or failed in
+    /// execution).
+    pub wide_failed: u64,
+    /// Samples behind the wide percentiles below (one per recombined
+    /// wide job).
+    pub wide_latency_samples: u64,
+    /// Median wide-job latency (submit → recombined product), µs. 0.0
+    /// when [`ServiceStats::wide_latency_samples`] is 0.
+    pub wide_p50_us: f64,
+    /// 95th-percentile wide-job latency, µs. 0.0 without samples.
+    pub wide_p95_us: f64,
+    /// 99th-percentile wide-job latency, µs. 0.0 without samples.
+    pub wide_p99_us: f64,
 }
 
 /// Scans `text` for `"key": <number>` and returns the raw number
@@ -155,7 +172,10 @@ impl ServiceStats {
                 "\"mean_occupancy\": {}, \"faults_detected\": {}, \"retries\": {}, ",
                 "\"recovered\": {}, \"quarantined_banks\": {}, \"active_workers\": {}, ",
                 "\"hot_hits\": {}, \"hot_misses\": {}, \"latency_samples\": {}, ",
-                "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}"
+                "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, ",
+                "\"wide_submitted\": {}, \"wide_completed\": {}, \"wide_failed\": {}, ",
+                "\"wide_latency_samples\": {}, ",
+                "\"wide_p50_us\": {}, \"wide_p95_us\": {}, \"wide_p99_us\": {}}}"
             ),
             self.queue_depth,
             self.in_flight,
@@ -178,6 +198,13 @@ impl ServiceStats {
             self.p50_us,
             self.p95_us,
             self.p99_us,
+            self.wide_submitted,
+            self.wide_completed,
+            self.wide_failed,
+            self.wide_latency_samples,
+            self.wide_p50_us,
+            self.wide_p95_us,
+            self.wide_p99_us,
         )
     }
 
@@ -218,6 +245,13 @@ impl ServiceStats {
             p50_us: f64_field(text, "p50_us")?,
             p95_us: f64_field(text, "p95_us")?,
             p99_us: f64_field(text, "p99_us")?,
+            wide_submitted: u64_field(text, "wide_submitted")?,
+            wide_completed: u64_field(text, "wide_completed")?,
+            wide_failed: u64_field(text, "wide_failed")?,
+            wide_latency_samples: u64_field(text, "wide_latency_samples")?,
+            wide_p50_us: f64_field(text, "wide_p50_us")?,
+            wide_p95_us: f64_field(text, "wide_p95_us")?,
+            wide_p99_us: f64_field(text, "wide_p99_us")?,
         })
     }
 }
@@ -255,6 +289,20 @@ impl std::fmt::Display for ServiceStats {
                 self.hot_misses,
                 100.0 * self.hot_hits as f64 / (self.hot_hits + self.hot_misses) as f64
             )?;
+        }
+        if self.wide_submitted > 0 {
+            writeln!(
+                f,
+                "wide jobs: {} submitted, {} completed, {} failed",
+                self.wide_submitted, self.wide_completed, self.wide_failed
+            )?;
+            if self.wide_latency_samples > 0 {
+                writeln!(
+                    f,
+                    "wide latency p50 ≤ {:.0} µs, p95 ≤ {:.0} µs, p99 ≤ {:.0} µs ({} samples)",
+                    self.wide_p50_us, self.wide_p95_us, self.wide_p99_us, self.wide_latency_samples
+                )?;
+            }
         }
         if self.latency_samples == 0 {
             write!(f, "latency: no samples")
@@ -326,6 +374,13 @@ mod tests {
             p50_us: 512.0,
             p95_us: 2048.0,
             p99_us: 8192.0,
+            wide_submitted: 40,
+            wide_completed: 38,
+            wide_failed: 2,
+            wide_latency_samples: 38,
+            wide_p50_us: 1024.0,
+            wide_p95_us: 4096.0,
+            wide_p99_us: 16384.0,
         }
     }
 

@@ -12,7 +12,10 @@ use ntt::rns::RnsMultiplier;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two NTT-friendly primes for degree 1024, discovered automatically.
     let mult = RnsMultiplier::with_discovered_primes(1024, 1 << 14)?;
-    let (q1, q2) = mult.channel_moduli();
+    let (q1, q2) = match mult.channel_moduli() {
+        [q1, q2] => (*q1, *q2),
+        other => unreachable!("two-channel basis, got {} channels", other.len()),
+    };
     let q = mult.modulus();
     println!("channels: q1 = {q1}, q2 = {q2}");
     println!(

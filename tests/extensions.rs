@@ -47,7 +47,7 @@ fn rns_channel_consistency_with_single_prime() {
     // An RNS product reduced into one channel equals that channel's own
     // NTT product.
     let n = 256;
-    let mult = rns::RnsMultiplier::new(n, 7681, 12289).expect("channels");
+    let mult = rns::RnsMultiplier::new(n, &[7681, 12289]).expect("channels");
     let q = mult.modulus();
     let a: Vec<u128> = (0..n as u128).map(|i| (i * i * 31 + 5) % q).collect();
     let b: Vec<u128> = (0..n as u128).map(|i| (i * 77 + 1) % q).collect();
