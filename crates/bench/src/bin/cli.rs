@@ -70,9 +70,12 @@ use pim::fault::splitmix64;
 use pim::par::Threads;
 use pim::reduce::ReductionStyle;
 use pim::variation::{run_monte_carlo, MonteCarloConfig};
-use reliability::campaign::{self, CampaignConfig, CampaignKind, WideCellConfig};
+use reliability::campaign::{
+    self, CampaignConfig, CampaignKind, ProtocolCellConfig, WideCellConfig,
+};
 use service::loadgen::{self, LoadMode, LoadgenConfig};
-use service::{Backpressure, ServiceConfig};
+use service::protoload::{self, ProtoLoadgenConfig, ProtocolMix};
+use service::{Backpressure, ProtocolJob, ProtocolKind, ServiceConfig};
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
@@ -100,6 +103,10 @@ fn usage() -> ! {
          \x20             [--wide R] [--wide-channels K]              blend fraction R of wide RNS-decomposed jobs\n\
          \x20             [--min-speedup X] [--json] [--out PATH]     exit 1 on mismatch/drop\n\
          \x20             [--tcp]                                     drive a real loopback socket instead (see below)\n\
+         \x20 serve-loadgen --protocols kem:40,sign:30,she:20,mul:10  drive full protocol ops through the job graph\n\
+         \x20             [--ops N] [--key-churn K]                   fresh keys every K ops (0 = reuse all run)\n\
+         \x20             [--protocol-workers G] [--hot-capacity N]\n\
+         \x20             [--min-occupancy X] [--json] [--out PATH]   exit 1 on mismatch or occupancy below gate\n\
          \x20 serve       --listen ADDR --token T [--quota N]         TCP front end; serves until Shutdown\n\
          \x20             [--op-token T] [--max-conns N] [--max-wait-ms N]\n\
          \x20             [--workers S] [--queue-cap N] [--linger-us U] [--check ...]\n\
@@ -112,6 +119,7 @@ fn usage() -> ! {
          \x20             [--jobs N] [--points P] [--max-attempts N]\n\
          \x20             [--quarantine-after N] [--hot-keys K]\n\
          \x20             [--wide] [--wide-channels K] [--wide-rate R] add the wide-modulus residue-lane cell\n\
+         \x20             [--protocols] [--protocol-rate R]            add the protocol job-graph cell\n\
          \x20             [--json] [--out PATH]\n\
          \x20                                                         seeded fault sweep; exit 1 if a corrupt product was served\n\
          \n\
@@ -547,6 +555,31 @@ fn run_bench(args: &[String]) {
             ));
         }
 
+        // Full protocol ops on the host datapath: one KEM encapsulation
+        // (five negacyclic multiplies behind re-encryption-ready
+        // coins) and one lattice signature (rejection-sampled, so the
+        // attempt count — fixed by the seed — is part of the cost).
+        // Per-op ns; these are the series the protocol job-graph layer
+        // accelerates, so a regression here moves every served op.
+        // KEM needs a 256-bit message, hence the degree floor.
+        if n >= 256 && ParamSet::for_degree(n).is_ok() {
+            let encaps =
+                ProtocolJob::scripted(ProtocolKind::Encaps, n, seed).expect("paper degree");
+            results.push((
+                format!("proto_encaps/{n}"),
+                time_ns(|| {
+                    std::hint::black_box(encaps.run_direct().unwrap());
+                }),
+            ));
+            let sign = ProtocolJob::scripted(ProtocolKind::Sign, n, seed).expect("paper degree");
+            results.push((
+                format!("proto_sign/{n}"),
+                time_ns(|| {
+                    std::hint::black_box(sign.run_direct().unwrap());
+                }),
+            ));
+        }
+
         // The functional engine models hardware provisioned for the
         // paper's degrees; skip the series where no architecture exists
         // (e.g. the 65536 NTT-coverage point).
@@ -835,6 +868,12 @@ fn run_serve_loadgen(args: &[String]) {
         run_tcp_loadgen(args);
         return;
     }
+    if opt(args, "--protocols").is_some() {
+        // Full protocol ops through the job-graph layer, not raw
+        // multiply pairs: its own stream, report, and gates.
+        run_protocol_loadgen(args);
+        return;
+    }
     let parse_num = |name: &str, default: u64| -> u64 {
         match opt(args, name) {
             None => default,
@@ -1081,6 +1120,204 @@ fn run_serve_loadgen(args: &[String]) {
     }
 }
 
+/// `serve-loadgen --protocols`: drives a weighted mix of full protocol
+/// ops (KEM, signatures, SHE, raw multiplies) through the job-graph
+/// layer, bit-verifies every output against the direct host path, and
+/// measures the hot-operand cache under key **reuse** versus key
+/// **churn** by running the same stream twice — once with long-lived
+/// keys and once rotating them every `--key-churn` ops. Exits 1 on any
+/// mismatch/failure or when the reuse run's packed-lane occupancy falls
+/// below `--min-occupancy`.
+fn run_protocol_loadgen(args: &[String]) {
+    let parse_num = |name: &str, default: u64| -> u64 {
+        match opt(args, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let seed = parse_num("--seed", 7);
+    let ops = parse_num("--ops", 192) as usize;
+    let clients = parse_num("--clients", 4).max(1) as usize;
+    let workers = parse_num("--workers", 2).max(1) as usize;
+    let protocol_workers = parse_num("--protocol-workers", 4).max(1) as usize;
+    let linger_us = parse_num("--linger-us", 500);
+    let hot_capacity = parse_num("--hot-capacity", 64) as usize;
+    let key_churn = parse_num("--key-churn", 1).max(1) as usize;
+    let degrees = if opt(args, "--degrees").is_some() {
+        parse_degrees(args)
+    } else {
+        vec![256]
+    };
+    let mix_spec = opt(args, "--protocols").expect("--protocols checked by caller");
+    let mix = ProtocolMix::parse(&mix_spec).unwrap_or_else(|e| {
+        eprintln!("invalid --protocols: {e}");
+        std::process::exit(2);
+    });
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let (check, check_arg) = parse_check_policy(args, seed);
+    let service = ServiceConfig {
+        workers,
+        protocol_workers,
+        linger: Duration::from_micros(linger_us),
+        check,
+        hot_capacity,
+        ..ServiceConfig::default()
+    };
+    println!(
+        "serve-loadgen --protocols: seed {seed}, {ops} ops of [{mix_spec}] over n ∈ {degrees:?}, \
+         {clients} clients, {workers} superbank workers + {protocol_workers} graph executors, \
+         linger {linger_us} µs, check {check_arg}, hot capacity {hot_capacity}"
+    );
+
+    // Reuse leg: one key pool for the whole run (key_churn = 0).
+    // Churn leg: identical shape, keys rotated every --key-churn ops.
+    let run_leg = |key_churn: usize| {
+        protoload::run_protocols(&ProtoLoadgenConfig {
+            seed,
+            ops,
+            degrees: degrees.clone(),
+            mix: mix.clone(),
+            key_churn,
+            clients,
+            service: service.clone(),
+            verify_direct: verify,
+        })
+    };
+    let reuse = run_leg(0);
+    let churn = run_leg(key_churn);
+
+    for (label, report) in [("reuse", &reuse), ("churn", &churn)] {
+        println!(
+            "{label}: {} ok, {} failed, {} mismatches in {:.3} s → {:.0} ops/s; \
+             hot hit rate {:.1} % ({} / {} lookups); occupancy {:.2}",
+            report.ok,
+            report.failed,
+            report.mismatches,
+            report.wall_s,
+            report.throughput,
+            100.0 * report.hot_hit_rate(),
+            report.stats.hot_hits,
+            report.stats.hot_hits + report.stats.hot_misses,
+            report.stats.mean_occupancy,
+        );
+        for lane in &report.stats.protocol {
+            if lane.submitted > 0 {
+                println!(
+                    "  {label}/{:<8} {} ops; p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs",
+                    lane.kind, lane.completed, lane.p50_us, lane.p95_us, lane.p99_us
+                );
+            }
+        }
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        let path = opt(args, "--out")
+            .unwrap_or_else(|| format!("BENCH_protocols_{}.json", utc_timestamp()));
+        let leg_json =
+            |report: &service::ProtoLoadgenReport, key_churn: usize| -> String {
+                let mut out = String::from("{\n");
+                out.push_str(&format!("    \"key_churn\": {key_churn},\n"));
+                out.push_str(&format!("    \"ops\": {},\n", report.ops));
+                out.push_str(&format!("    \"ok\": {},\n", report.ok));
+                out.push_str(&format!("    \"failed\": {},\n", report.failed));
+                out.push_str(&format!("    \"mismatches\": {},\n", report.mismatches));
+                out.push_str(&format!("    \"throughput\": {:.1},\n", report.throughput));
+                out.push_str(&format!(
+                    "    \"hot_hit_rate\": {:.4},\n",
+                    report.hot_hit_rate()
+                ));
+                out.push_str(&format!(
+                    "    \"mean_occupancy\": {:.3},\n",
+                    report.stats.mean_occupancy
+                ));
+                out.push_str("    \"per_kind\": [\n");
+                let lanes: Vec<String> =
+                    report
+                        .per_kind
+                        .iter()
+                        .map(|k| {
+                            let lane = report
+                                .stats
+                                .protocol
+                                .iter()
+                                .find(|l| l.kind == k.kind.as_str())
+                                .expect("served kind has a stats lane");
+                            format!(
+                        "      {{ \"kind\": \"{}\", \"ops\": {}, \"ok\": {}, \"failed\": {}, \
+                         \"mismatches\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+                         \"p99_us\": {:.1} }}",
+                        k.kind, k.ops, k.ok, k.failed, k.mismatches, lane.p50_us, lane.p95_us,
+                        lane.p99_us
+                    )
+                        })
+                        .collect();
+                out.push_str(&lanes.join(",\n"));
+                out.push_str("\n    ],\n");
+                out.push_str(&format!(
+                    "    \"service_stats\": {}\n",
+                    report.stats.to_json()
+                ));
+                out.push_str("  }");
+                out
+            };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
+        out.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"mix\": \"{mix_spec}\",\n"));
+        out.push_str(&format!(
+            "  \"degrees\": [{}],\n",
+            degrees
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"clients\": {clients},\n"));
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!("  \"protocol_workers\": {protocol_workers},\n"));
+        out.push_str(&format!("  \"linger_us\": {linger_us},\n"));
+        out.push_str(&format!("  \"check\": \"{check_arg}\",\n"));
+        out.push_str(&format!("  \"hot_capacity\": {hot_capacity},\n"));
+        out.push_str(&format!("  \"reuse\": {},\n", leg_json(&reuse, 0)));
+        out.push_str(&format!("  \"churn\": {}\n", leg_json(&churn, key_churn)));
+        out.push_str("}\n");
+        std::fs::write(&path, out).expect("write protocol loadgen JSON");
+        println!("wrote {path}");
+    }
+
+    let mut sound = true;
+    for (label, report) in [("reuse", &reuse), ("churn", &churn)] {
+        if !report.is_clean() {
+            eprintln!(
+                "FAILED ({label}): {} mismatches, {} failed of {} ops",
+                report.mismatches, report.failed, report.ops
+            );
+            sound = false;
+        }
+    }
+    if let Some(min) = opt(args, "--min-occupancy") {
+        let min: f64 = min.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --min-occupancy");
+            std::process::exit(2);
+        });
+        if reuse.stats.mean_occupancy < min {
+            eprintln!(
+                "FAILED: mean occupancy {:.2} below required {min:.2} — concurrent \
+                 protocol ops are not sharing batches",
+                reuse.stats.mean_occupancy
+            );
+            sound = false;
+        }
+    }
+    if !sound {
+        std::process::exit(1);
+    }
+}
+
 /// `fault-campaign`: seeded fault-injection sweep over the
 /// recover-or-quarantine serving stack. Prints a per-cell table and the
 /// aggregate coverage/overhead, optionally writes a `BENCH_faults_*`
@@ -1319,6 +1556,57 @@ fn run_fault_campaign(args: &[String]) {
             eprintln!(
                 "FAILED: wide cell proved nothing — {} detected, {} recovered at rate {wide_rate:e}",
                 wide.detected, wide.recovered
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // --protocols: one extra cell streams full protocol ops (KEM,
+    // signing, SHE) through the job-graph layer under seeded transient
+    // faults. The claim gated here is per-node fault isolation: a fault
+    // lands in one graph node, is detected and retried alone, and the
+    // op's typed output is never wrong.
+    if args.iter().any(|a| a == "--protocols") {
+        let proto_rate = match opt(args, "--protocol-rate") {
+            None => 1e-4,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --protocol-rate: {v}");
+                std::process::exit(2);
+            }),
+        };
+        let proto_degree = *degrees.first().expect("non-empty degrees");
+        let proto = campaign::run_protocol_cell(&ProtocolCellConfig {
+            seed,
+            degree: proto_degree,
+            ops: jobs,
+            rate: proto_rate,
+            max_attempts: max_attempts.max(6),
+            quarantine_after,
+        });
+        println!(
+            "protocol cell: n = {}, rate {:.0e}: {} served, {} wrong, {} unrecovered, \
+             {} refused, {} detected, {} recovered, {} ops with a node retry",
+            proto.degree,
+            proto.rate,
+            proto.served,
+            proto.wrong,
+            proto.unrecovered,
+            proto.refused,
+            proto.detected,
+            proto.recovered,
+            proto.node_retry_ops
+        );
+        if proto.wrong > 0 || proto.failed > 0 {
+            eprintln!(
+                "FAILED: protocol cell unsound — {} wrong typed outputs, {} non-fault failures",
+                proto.wrong, proto.failed
+            );
+            std::process::exit(1);
+        }
+        if proto_rate > 0.0 && (proto.detected < 1 || proto.recovered < 1) {
+            eprintln!(
+                "FAILED: protocol cell proved nothing — {} detected, {} recovered at rate {proto_rate:e}",
+                proto.detected, proto.recovered
             );
             std::process::exit(1);
         }

@@ -8,6 +8,7 @@
 //! from overload from a genuinely broken peer.
 
 use crate::wire::{read_frame, write_frame, ErrorCode, Frame, JobState, WireError};
+use service::ProtocolKind;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -83,6 +84,24 @@ pub struct DoneJob {
     pub service_us: u64,
     /// Execution attempts (>1 means transparent fault recovery ran).
     pub attempts: u32,
+}
+
+/// A completed protocol op, as decoded from a `ProtocolDone` frame.
+#[derive(Debug, Clone)]
+pub struct DoneProtocol {
+    /// The op kind the server ran.
+    pub kind: ProtocolKind,
+    /// FNV-1a 64 digest of the typed output — compare against
+    /// `ProtocolJob::scripted(kind, n, seed).run_direct().digest()`.
+    pub digest: u64,
+    /// NTT-multiply nodes the op compiled into.
+    pub nodes: u32,
+    /// Worst per-node execution attempts (>1 = recovered fault).
+    pub attempts: u32,
+    /// Submission → executor pickup, microseconds (server-side).
+    pub queue_us: u64,
+    /// End-to-end op latency, microseconds (server-side).
+    pub service_us: u64,
 }
 
 /// One authenticated connection to a [`crate::server::Server`].
@@ -177,6 +196,59 @@ impl Client {
                 attempts,
             }),
             other => Err(Self::refusal_or(other, "non-Done")),
+        }
+    }
+
+    /// Submits a scripted protocol op `(kind, n, seed)` under a
+    /// caller-chosen job id (same id space as [`Client::submit`]). The
+    /// server materialises the deterministic scenario and serves it
+    /// through the protocol graph; collect with
+    /// [`Client::wait_protocol`].
+    pub fn submit_protocol(
+        &mut self,
+        job_id: u64,
+        kind: ProtocolKind,
+        n: u64,
+        seed: u64,
+    ) -> Result<(), NetError> {
+        match self.call(&Frame::SubmitProtocol {
+            job_id,
+            kind,
+            n,
+            seed,
+        })? {
+            Frame::Submitted { job_id: echoed } if echoed == job_id => Ok(()),
+            other => Err(Self::refusal_or(other, "non-Submitted")),
+        }
+    }
+
+    /// Blocks (server-side, capped by the server's `max_wait`) for a
+    /// protocol op's digest and accounting. A
+    /// [`ErrorCode::WaitTimeout`] refusal leaves the op claimable by a
+    /// later `wait_protocol`.
+    pub fn wait_protocol(
+        &mut self,
+        job_id: u64,
+        timeout_ms: u32,
+    ) -> Result<DoneProtocol, NetError> {
+        match self.call(&Frame::Wait { job_id, timeout_ms })? {
+            Frame::ProtocolDone {
+                job_id: echoed,
+                kind,
+                digest,
+                nodes,
+                attempts,
+                queue_us,
+                service_us,
+            } if echoed == job_id => Ok(DoneProtocol {
+                kind,
+                digest,
+                nodes,
+                attempts,
+                queue_us,
+                service_us,
+            }),
+            other => Err(Self::refusal_or(other, "non-ProtocolDone")),
         }
     }
 

@@ -33,9 +33,14 @@
 //! when a result is collected, when a job fails, or when the
 //! submitting connection goes away.
 
-use crate::wire::{read_frame, write_frame, ErrorCode, Frame, JobState, WireError};
+use crate::wire::{
+    encode_frame_versioned, read_frame, write_frame, ErrorCode, Frame, JobState, WireError,
+};
 use ntt::poly::Polynomial;
-use service::{Backpressure, JobTicket, Service, ServiceConfig, ServiceError, ServiceStats};
+use service::{
+    Backpressure, JobTicket, ProtocolJob, ProtocolKind, ProtocolTicket, Service, ServiceConfig,
+    ServiceError, ServiceStats,
+};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -376,8 +381,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>, max_connections:
 struct Session {
     /// Index into `shared.tenants` once authenticated.
     tenant: Option<usize>,
-    /// Outstanding tickets submitted on this connection.
+    /// Outstanding multiply tickets submitted on this connection.
     jobs: HashMap<u64, JobTicket>,
+    /// Outstanding protocol-op tickets (same id space as `jobs`; both
+    /// count against the tenant's outstanding quota).
+    proto_jobs: HashMap<u64, (ProtocolKind, ProtocolTicket)>,
 }
 
 /// What the dispatcher wants done after replying.
@@ -390,6 +398,7 @@ fn handle_connection(shared: &Arc<NetShared>, _conn_id: u64, stream: TcpStream) 
     let mut session = Session {
         tenant: None,
         jobs: HashMap::new(),
+        proto_jobs: HashMap::new(),
     };
     let reader = stream.try_clone();
     let run = |session: &mut Session| -> io::Result<()> {
@@ -403,6 +412,25 @@ fn handle_connection(shared: &Arc<NetShared>, _conn_id: u64, stream: TcpStream) 
                 Ok(f) => f,
                 Err(e) if e.is_disconnect() => return Ok(()),
                 Err(WireError::Io(e)) => return Err(e),
+                Err(WireError::BadVersion(peer_version)) => {
+                    // A peer speaking another protocol revision gets a
+                    // typed refusal, not a silent close — and the reply
+                    // envelope carries the *peer's* version byte so an
+                    // older client's strict envelope check still lets
+                    // it decode why it was turned away.
+                    shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    let reply = Frame::Error {
+                        code: ErrorCode::UnsupportedVersion,
+                        job_id: 0,
+                        detail: format!(
+                            "peer speaks protocol version {peer_version}; this server speaks {}",
+                            crate::wire::VERSION
+                        ),
+                    };
+                    let _ = writer.write_all(&encode_frame_versioned(&reply, peer_version));
+                    let _ = writer.flush();
+                    return Ok(());
+                }
                 Err(e) => {
                     // Protocol violation: answer one typed error frame,
                     // then drop the connection. Never a panic.
@@ -434,9 +462,10 @@ fn handle_connection(shared: &Arc<NetShared>, _conn_id: u64, stream: TcpStream) 
     // the jobs themselves keep executing and their tickets resolve
     // unobserved, but the quota must not leak.
     if let Some(t) = session.tenant {
-        shared.tenants[t]
-            .outstanding
-            .fetch_sub(session.jobs.len(), Ordering::SeqCst);
+        shared.tenants[t].outstanding.fetch_sub(
+            session.jobs.len() + session.proto_jobs.len(),
+            Ordering::SeqCst,
+        );
     }
 }
 
@@ -478,14 +507,25 @@ fn dispatch(shared: &Arc<NetShared>, session: &mut Session, frame: Frame) -> (Fr
         Frame::Submit { job_id, q, a, b } => {
             (submit(shared, session, job_id, q, a, b), After::Keep)
         }
+        Frame::SubmitProtocol {
+            job_id,
+            kind,
+            n,
+            seed,
+        } => (
+            submit_protocol(shared, session, job_id, kind, n, seed),
+            After::Keep,
+        ),
         Frame::Wait { job_id, timeout_ms } => {
             (wait(shared, session, job_id, timeout_ms), After::Keep)
         }
         Frame::Status { job_id } => {
-            let state = match session.jobs.get(&job_id) {
-                None => JobState::Unknown,
-                Some(t) if t.is_done() => JobState::Done,
-                Some(_) => JobState::Pending,
+            let state = match (session.jobs.get(&job_id), session.proto_jobs.get(&job_id)) {
+                (Some(t), _) if t.is_done() => JobState::Done,
+                (Some(_), _) => JobState::Pending,
+                (None, Some((_, t))) if t.is_done() => JobState::Done,
+                (None, Some(_)) => JobState::Pending,
+                (None, None) => JobState::Unknown,
             };
             (Frame::StatusOk { job_id, state }, After::Keep)
         }
@@ -609,8 +649,147 @@ fn submit(
     }
 }
 
+/// `SubmitProtocol`: materialise the scripted scenario server-side and
+/// route it through the protocol graph executor. Shares the tenant's
+/// outstanding quota and the connection's job-id space with `Submit`.
+fn submit_protocol(
+    shared: &Arc<NetShared>,
+    session: &mut Session,
+    job_id: u64,
+    kind: ProtocolKind,
+    n: u64,
+    seed: u64,
+) -> Frame {
+    let tenant = &shared.tenants[session.tenant.expect("authenticated")];
+    if shared.stop.load(Ordering::SeqCst) {
+        return error(ErrorCode::ShuttingDown, job_id, "server is draining");
+    }
+    if session.jobs.contains_key(&job_id) || session.proto_jobs.contains_key(&job_id) {
+        return error(
+            ErrorCode::DuplicateJob,
+            job_id,
+            "job id already outstanding on this connection",
+        );
+    }
+    let quota = tenant.cfg.quota;
+    if tenant
+        .outstanding
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            (cur < quota).then_some(cur + 1)
+        })
+        .is_err()
+    {
+        tenant.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        return error(
+            ErrorCode::QuotaExceeded,
+            job_id,
+            format!("outstanding quota {quota} exhausted; collect results first"),
+        );
+    }
+    let release = || {
+        tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
+    };
+    // A hostile degree must become a typed frame before any scenario
+    // materialisation: cap it at the largest ring any parameter set
+    // covers so usize conversion and key generation stay bounded.
+    if n == 0 || n > (1 << 20) {
+        release();
+        return error(
+            ErrorCode::Unsupported,
+            job_id,
+            format!("protocol ring degree {n} out of range"),
+        );
+    }
+    let job = match ProtocolJob::scripted(kind, n as usize, seed) {
+        Ok(job) => job,
+        Err(e) => {
+            release();
+            return error(ErrorCode::Unsupported, job_id, e.to_string());
+        }
+    };
+    match shared.service.submit_protocol(job) {
+        Ok(ticket) => {
+            tenant.submitted.fetch_add(1, Ordering::Relaxed);
+            session.proto_jobs.insert(job_id, (kind, ticket));
+            Frame::Submitted { job_id }
+        }
+        Err(e) => {
+            release();
+            match e {
+                ServiceError::ShuttingDown => {
+                    error(ErrorCode::ShuttingDown, job_id, "service draining")
+                }
+                ServiceError::UnsupportedJob { .. }
+                | ServiceError::PairMismatch { .. }
+                | ServiceError::ProtocolHost { .. } => {
+                    error(ErrorCode::Unsupported, job_id, e.to_string())
+                }
+                other => error(ErrorCode::Internal, job_id, other.to_string()),
+            }
+        }
+    }
+}
+
+/// `Wait` on a protocol-op job id: block up to the capped timeout, then
+/// answer `ProtocolDone` (digest + accounting) or a typed error that
+/// names the failed graph node.
+fn wait_protocol(
+    shared: &Arc<NetShared>,
+    session: &mut Session,
+    job_id: u64,
+    timeout_ms: u32,
+) -> Frame {
+    let tenant_idx = session.tenant.expect("authenticated");
+    let (kind, ticket) = session.proto_jobs.get(&job_id).expect("caller checked");
+    let kind = *kind;
+    let timeout = Duration::from_millis(u64::from(timeout_ms)).min(shared.max_wait);
+    match ticket.wait_timeout(timeout) {
+        Ok(done) => {
+            session.proto_jobs.remove(&job_id);
+            let tenant = &shared.tenants[tenant_idx];
+            tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
+            tenant.completed.fetch_add(1, Ordering::Relaxed);
+            Frame::ProtocolDone {
+                job_id,
+                kind,
+                digest: done.output.digest(),
+                nodes: done.nodes,
+                attempts: done.attempts,
+                queue_us: done.queue_us as u64,
+                service_us: done.service_us as u64,
+            }
+        }
+        Err(ServiceError::WaitTimeout { timeout_ms }) => error(
+            ErrorCode::WaitTimeout,
+            job_id,
+            format!("not complete within {timeout_ms} ms; op still in flight"),
+        ),
+        Err(e) => {
+            session.proto_jobs.remove(&job_id);
+            shared.tenants[tenant_idx]
+                .outstanding
+                .fetch_sub(1, Ordering::SeqCst);
+            match &e {
+                ServiceError::ProtocolNode { error, .. }
+                    if matches!(**error, ServiceError::FaultUnrecovered { .. }) =>
+                {
+                    error_frame_fault(job_id, &e)
+                }
+                _ => error(ErrorCode::Internal, job_id, e.to_string()),
+            }
+        }
+    }
+}
+
+fn error_frame_fault(job_id: u64, e: &ServiceError) -> Frame {
+    error(ErrorCode::FaultUnrecovered, job_id, e.to_string())
+}
+
 fn wait(shared: &Arc<NetShared>, session: &mut Session, job_id: u64, timeout_ms: u32) -> Frame {
     let tenant_idx = session.tenant.expect("authenticated");
+    if session.proto_jobs.contains_key(&job_id) {
+        return wait_protocol(shared, session, job_id, timeout_ms);
+    }
     let Some(ticket) = session.jobs.get(&job_id) else {
         return error(
             ErrorCode::UnknownJob,

@@ -60,6 +60,29 @@ pub trait PolyMultiplier {
     /// Implementations return [`Error::InvalidDegree`] when the operands
     /// do not match the configured degree.
     fn multiply(&self, a: &Polynomial, b: &Polynomial) -> Result<Polynomial>;
+
+    /// Multiplies two *independent* products `a0 · b0` and `a1 · b1`.
+    ///
+    /// Protocol ops (PKE encrypt, SHE plaintext multiply, sign/verify)
+    /// contain pairs of products with no data dependency between them;
+    /// routing them through this hook lets batch-forming backends pack
+    /// both into the same hardware batch. The default implementation
+    /// simply multiplies sequentially, so every existing backend keeps
+    /// bit-identical behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PolyMultiplier::multiply`]; the first failing
+    /// product's error is returned.
+    fn multiply_pair(
+        &self,
+        a0: &Polynomial,
+        b0: &Polynomial,
+        a1: &Polynomial,
+        b1: &Polynomial,
+    ) -> Result<(Polynomial, Polynomial)> {
+        Ok((self.multiply(a0, b0)?, self.multiply(a1, b1)?))
+    }
 }
 
 /// The software NTT-based multiplier (Algorithm 1).

@@ -42,7 +42,9 @@ use ntt::negacyclic::PolyMultiplier;
 use ntt::rns::RnsMultiplier;
 use pim::fault::{layout, splitmix64, Injector};
 use service::loadgen::{generate_hot_jobs, generate_jobs};
-use service::{Backpressure, Service, ServiceConfig, ServiceError, ServiceStats};
+use service::{
+    Backpressure, ProtocolJob, ProtocolKind, Service, ServiceConfig, ServiceError, ServiceStats,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -580,6 +582,160 @@ pub fn run_wide_cell(config: &WideCellConfig) -> WideCellResult {
     }
 }
 
+/// Configuration of one **protocol** campaign cell: seeded transient
+/// faults injected while full RLWE protocol ops (KEM encaps/decaps,
+/// signing, homomorphic multiply) stream through the job-graph layer.
+#[derive(Debug, Clone)]
+pub struct ProtocolCellConfig {
+    /// Master seed for fault sites and the scripted op stream.
+    pub seed: u64,
+    /// Ring degree of every op.
+    pub degree: usize,
+    /// Protocol ops served (kinds rotate Encaps → Decaps → Sign →
+    /// SHE-Mul).
+    pub ops: usize,
+    /// Per-write transient flip probability. Protocol ops run several
+    /// engine executions each, so useful rates sit around `1e-4`: a
+    /// fault lands in some node every few ops and that node's retries
+    /// recover it.
+    pub rate: f64,
+    /// Execution attempts per graph node before `FaultUnrecovered`.
+    pub max_attempts: u32,
+    /// Consecutive faulted batches that quarantine the bank.
+    pub quarantine_after: u32,
+}
+
+impl Default for ProtocolCellConfig {
+    fn default() -> Self {
+        ProtocolCellConfig {
+            seed: 0xC0FFEE,
+            degree: 256,
+            ops: 24,
+            rate: 1e-4,
+            max_attempts: 6,
+            quarantine_after: 10,
+        }
+    }
+}
+
+/// Outcome of one protocol cell.
+#[derive(Debug, Clone)]
+pub struct ProtocolCellResult {
+    /// Degree served.
+    pub degree: usize,
+    /// Injection rate.
+    pub rate: f64,
+    /// Protocol ops submitted.
+    pub ops: usize,
+    /// Ops whose typed output came back.
+    pub served: usize,
+    /// Served outputs differing from the fault-free direct host path —
+    /// escaped corruptions. Must be 0.
+    pub wrong: usize,
+    /// Ops failed as a node-level `FaultUnrecovered`.
+    pub unrecovered: usize,
+    /// Ops refused by a quarantine-degraded fleet.
+    pub refused: usize,
+    /// Ops failed with any other error (must be 0).
+    pub failed: usize,
+    /// Served ops where some graph node needed a retry — the "a fault
+    /// retries one node, not the whole op" evidence.
+    pub node_retry_ops: usize,
+    /// Referee detections across all node executions.
+    pub detected: u64,
+    /// Node jobs that recovered on a retry.
+    pub recovered: u64,
+    /// Full scheduler statistics at shutdown.
+    pub stats: ServiceStats,
+}
+
+/// Runs one protocol cell: scripted protocol ops stream through a
+/// one-bank referee-checked service while a seeded transient process
+/// flips written bits; every typed output is held against the
+/// fault-free [`ProtocolJob::run_direct`] path. A fault lands in one
+/// graph node's execution, is detected by the per-node recompute
+/// referee, and retried alone — the op's other nodes never rerun and
+/// the op's output is never wrong.
+pub fn run_protocol_cell(config: &ProtocolCellConfig) -> ProtocolCellResult {
+    let cell_seed = splitmix64(config.seed ^ 0x9A0B_0C0D ^ (config.degree as u64) << 24);
+    const KINDS: [ProtocolKind; 4] = [
+        ProtocolKind::Encaps,
+        ProtocolKind::Decaps,
+        ProtocolKind::Sign,
+        ProtocolKind::SheMul,
+    ];
+    let jobs: Vec<ProtocolJob> = (0..config.ops)
+        .map(|i| {
+            let kind = KINDS[i % KINDS.len()];
+            ProtocolJob::scripted(kind, config.degree, splitmix64(cell_seed ^ i as u64))
+                .expect("scripted scenario at a paper degree")
+        })
+        .collect();
+    let reference: Vec<_> = jobs
+        .iter()
+        .map(|j| j.run_direct().expect("fault-free direct path"))
+        .collect();
+
+    let q = ParamSet::for_degree(config.degree).expect("paper degree").q;
+    let bits = 64 - q.leading_zeros();
+    let plan = Arc::new(FaultPlan::new(cell_seed).with_transient(config.rate, bits));
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        protocol_workers: 1,
+        backpressure: Backpressure::Block,
+        linger: Duration::ZERO,
+        check: CheckPolicy::Recompute,
+        max_attempts: config.max_attempts,
+        quarantine_after: config.quarantine_after,
+        injector: Some(plan),
+        ..ServiceConfig::default()
+    });
+
+    let (mut served, mut wrong, mut unrecovered, mut refused, mut failed, mut node_retry_ops) =
+        (0, 0, 0, 0, 0, 0);
+    let classify_node = |error: ServiceError| match error {
+        ServiceError::ProtocolNode { error, .. } => *error,
+        other => other,
+    };
+    for (k, job) in jobs.iter().enumerate() {
+        let outcome = svc
+            .submit_protocol(job.clone())
+            .and_then(|ticket| ticket.wait());
+        match outcome {
+            Ok(done) => {
+                served += 1;
+                if done.output != reference[k] {
+                    wrong += 1;
+                }
+                if done.attempts > 1 {
+                    node_retry_ops += 1;
+                }
+            }
+            Err(e) => match classify_node(e) {
+                ServiceError::FaultUnrecovered { .. } => unrecovered += 1,
+                ServiceError::Overloaded { .. } => refused += 1,
+                _ => failed += 1,
+            },
+        }
+    }
+    let stats = svc.shutdown();
+
+    ProtocolCellResult {
+        degree: config.degree,
+        rate: config.rate,
+        ops: config.ops,
+        served,
+        wrong,
+        unrecovered,
+        refused,
+        failed,
+        node_retry_ops,
+        detected: stats.faults_detected,
+        recovered: stats.recovered,
+        stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,6 +872,59 @@ mod tests {
         assert_eq!(result.wrong, 0);
         assert_eq!(result.detected, 0);
         assert_eq!(result.lane_retry_jobs, 0);
+    }
+
+    #[test]
+    fn protocol_cell_recovers_node_faults_without_wrong_outputs() {
+        let config = ProtocolCellConfig {
+            seed: 31,
+            ops: 24,
+            ..ProtocolCellConfig::default()
+        };
+        let result = run_protocol_cell(&config);
+        assert_eq!(result.wrong, 0, "escaped protocol corruption: {result:?}");
+        assert_eq!(result.failed, 0, "non-fault failure: {result:?}");
+        assert!(result.detected >= 1, "seeded faults must trip the referee");
+        assert!(result.recovered >= 1, "detected faults must recover");
+        assert!(
+            result.node_retry_ops >= 1,
+            "some op's node retried alone: {result:?}"
+        );
+        assert_eq!(
+            result.served + result.unrecovered + result.refused + result.failed,
+            result.ops
+        );
+        // Deterministic: the same seed replays the same counts.
+        let again = run_protocol_cell(&config);
+        assert_eq!(
+            (
+                result.served,
+                result.wrong,
+                result.detected,
+                result.recovered,
+                result.node_retry_ops
+            ),
+            (
+                again.served,
+                again.wrong,
+                again.detected,
+                again.recovered,
+                again.node_retry_ops
+            )
+        );
+    }
+
+    #[test]
+    fn clean_protocol_cell_detects_nothing() {
+        let result = run_protocol_cell(&ProtocolCellConfig {
+            rate: 0.0,
+            ops: 4,
+            ..ProtocolCellConfig::default()
+        });
+        assert_eq!(result.served, 4);
+        assert_eq!(result.wrong, 0);
+        assert_eq!(result.detected, 0);
+        assert_eq!(result.node_retry_ops, 0);
     }
 
     #[test]

@@ -142,8 +142,11 @@ impl PublicKey {
         let e1 = sampling::centered_binomial(&self.params, ETA, &mut rng);
         let e2 = sampling::centered_binomial(&self.params, ETA, &mut rng);
         let m = encode_bits(bits, &self.params)?;
-        let u = mult.multiply(&self.a, &r)? + e1;
-        let v = mult.multiply(&self.b, &r)? + e2 + m;
+        // `a·r` and `b·r` are independent: route them through the pair
+        // hook so batch-forming backends can pack both into one batch.
+        let (ar, br) = mult.multiply_pair(&self.a, &r, &self.b, &r)?;
+        let u = ar + e1;
+        let v = br + e2 + m;
         Ok(Ciphertext { u, v })
     }
 }

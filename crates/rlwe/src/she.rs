@@ -82,11 +82,11 @@ impl HomCiphertext {
             return Err(RlweError::ParameterMismatch);
         }
         let weight = p.coeffs().iter().filter(|&&c| c != 0).count() as u32;
+        // `u·p` and `v·p` are independent: use the pair hook so
+        // batch-forming backends pack both into one batch.
+        let (up, vp) = mult.multiply_pair(&self.inner.u, p, &self.inner.v, p)?;
         Ok(HomCiphertext {
-            inner: Ciphertext {
-                u: mult.multiply(&self.inner.u, p)?,
-                v: mult.multiply(&self.inner.v, p)?,
-            },
+            inner: Ciphertext { u: up, v: vp },
             additions: self.additions * weight.max(1) + weight,
         })
     }

@@ -66,6 +66,23 @@ pub struct Signature {
     challenge: Digest,
 }
 
+impl Signature {
+    /// The first response polynomial `z₁ = y₁ + s₁·c`.
+    pub fn z1(&self) -> &Polynomial {
+        &self.z1
+    }
+
+    /// The second response polynomial `z₂ = y₂ + s₂·c`.
+    pub fn z2(&self) -> &Polynomial {
+        &self.z2
+    }
+
+    /// The Fiat–Shamir challenge digest.
+    pub fn challenge(&self) -> &Digest {
+        &self.challenge
+    }
+}
+
 impl SigningKey {
     /// Generates a key pair.
     ///
@@ -89,6 +106,11 @@ impl SigningKey {
             s2,
             t,
         })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
     }
 
     /// The public half.
@@ -127,8 +149,11 @@ impl SigningKey {
             let w = mult.multiply(&self.a, &y1)? + y2.clone();
             let challenge = challenge_digest(&w, message);
             let c = challenge_poly(&challenge, &self.params)?;
-            let z1 = y1 + mult.multiply(&self.s1, &c)?;
-            let z2 = y2 + mult.multiply(&self.s2, &c)?;
+            // `s₁·c` and `s₂·c` are independent: the pair hook lets
+            // batch-forming backends pack both into one batch.
+            let (s1c, s2c) = mult.multiply_pair(&self.s1, &c, &self.s2, &c)?;
+            let z1 = y1 + s1c;
+            let z2 = y2 + s2c;
             if infinity_norm(&z1) <= accept && infinity_norm(&z2) <= accept {
                 return Ok((Signature { z1, z2, challenge }, attempt));
             }
@@ -160,8 +185,10 @@ impl VerifyKey {
             return Ok(false);
         }
         let c = challenge_poly(&sig.challenge, &self.params)?;
-        // a·z₁ + z₂ − t·c  =  a·y₁ + y₂
-        let w = mult.multiply(&self.a, &sig.z1)? + sig.z2.clone() - mult.multiply(&self.t, &c)?;
+        // a·z₁ + z₂ − t·c  =  a·y₁ + y₂; the two products are
+        // independent, so the pair hook can batch them together.
+        let (az1, tc) = mult.multiply_pair(&self.a, &sig.z1, &self.t, &c)?;
+        let w = az1 + sig.z2.clone() - tc;
         Ok(challenge_digest(&w, message) == sig.challenge)
     }
 }

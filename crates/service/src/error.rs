@@ -74,6 +74,28 @@ pub enum ServiceError {
         /// The lane's underlying failure.
         error: Box<ServiceError>,
     },
+    /// One NTT-multiply node of a protocol job graph failed; the parent
+    /// [`crate::ProtocolTicket`] fails as a whole but the error names
+    /// the node (in the op's multiply order) so callers can see *which*
+    /// inner product broke. A detected fault in a node retries that
+    /// node alone through the ordinary batch machinery — this variant
+    /// surfaces only when the node itself failed terminally.
+    ProtocolNode {
+        /// Index of the failed multiply node within the protocol op.
+        node: usize,
+        /// The node's coefficient modulus.
+        q: u64,
+        /// The node's underlying failure.
+        error: Box<ServiceError>,
+    },
+    /// A host-side step of a protocol op failed (rejection-sampling
+    /// exhaustion, a ring too small for the KEM message, an operand
+    /// mismatch inside the op) — nothing was wrong with the accelerator
+    /// path.
+    ProtocolHost {
+        /// Human-readable description of the host-op failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -106,6 +128,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::WideLane { lane, q, error } => {
                 write!(f, "wide job residue lane {lane} (q = {q}) failed: {error}")
+            }
+            ServiceError::ProtocolNode { node, q, error } => {
+                write!(f, "protocol graph node {node} (q = {q}) failed: {error}")
+            }
+            ServiceError::ProtocolHost { detail } => {
+                write!(f, "protocol host op failed: {detail}")
             }
         }
     }
@@ -161,6 +189,22 @@ mod tests {
         };
         assert!(wide.to_string().contains("lane 2"));
         assert!(wide.to_string().contains("40961"));
+        let node = ServiceError::ProtocolNode {
+            node: 1,
+            q: 12289,
+            error: Box::new(ServiceError::FaultUnrecovered {
+                bank: 0,
+                attempts: 3,
+            }),
+        };
+        assert!(node.to_string().contains("node 1"));
+        assert!(node.to_string().contains("12289"));
+        assert!(node.to_string().contains("bank 0"));
+        assert!(ServiceError::ProtocolHost {
+            detail: "rejection sampling exhausted".into()
+        }
+        .to_string()
+        .contains("rejection sampling"));
     }
 
     #[test]

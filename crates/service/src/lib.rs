@@ -47,15 +47,21 @@
 //! ```
 
 pub mod error;
+pub mod graph;
 pub mod loadgen;
+pub mod protoload;
 pub mod scheduler;
 pub mod stats;
 
 pub use error::ServiceError;
+pub use graph::{ProtocolCompleted, ProtocolJob, ProtocolKind, ProtocolOutput, ProtocolTicket};
+pub use protoload::{
+    run_protocols, ProtoKindReport, ProtoLoadgenConfig, ProtoLoadgenReport, ProtocolMix,
+};
 pub use scheduler::{
     Backpressure, CompletedJob, JobTicket, Service, ServiceConfig, WideCompletedJob, WideTicket,
 };
-pub use stats::{LatencyHistogram, ServiceStats};
+pub use stats::{LatencyHistogram, ProtocolLaneStats, ServiceStats};
 
 /// Convenience result alias for service operations.
 pub type Result<T> = std::result::Result<T, ServiceError>;

@@ -33,7 +33,7 @@
 //! sweep.
 
 use crate::error::ServiceError;
-use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::stats::{LatencyHistogram, ProtocolLaneStats, ServiceStats};
 use cryptopim::accelerator::CryptoPim;
 use cryptopim::arch::ArchConfig;
 use cryptopim::batch::multiply_batch_outcomes;
@@ -117,6 +117,14 @@ pub struct ServiceConfig {
     /// The cache is shared across workers and invalidated whenever a
     /// bank is quarantined.
     pub hot_capacity: usize,
+    /// Host threads executing protocol job graphs submitted through
+    /// [`Service::submit_protocol`]: each runs the cheap host ops
+    /// (sampling, additions, hashing) of one protocol op at a time and
+    /// routes every NTT multiply through the batch former as an
+    /// ordinary leaf job (min 1). More executors mean more protocol
+    /// ops in flight, and therefore more chances for different
+    /// tenants' inner products to pack into the same batch.
+    pub protocol_workers: usize,
 }
 
 impl Default for ServiceConfig {
@@ -131,12 +139,13 @@ impl Default for ServiceConfig {
             quarantine_after: 3,
             injector: None,
             hot_capacity: 0,
+            protocol_workers: 2,
         }
     }
 }
 
 /// Batch-formation key: jobs are only packed with same-parameter jobs.
-type ParamKey = (usize, u64);
+pub(crate) type ParamKey = (usize, u64);
 
 /// A fulfilled job, returned by [`JobTicket::wait`].
 #[derive(Debug, Clone)]
@@ -330,7 +339,7 @@ enum FlushCause {
     Eager,
 }
 
-struct State {
+pub(crate) struct State {
     pending: HashMap<ParamKey, Group>,
     pending_jobs: usize,
     formed: VecDeque<FormedBatch>,
@@ -375,13 +384,33 @@ struct State {
     wide_failed: u64,
     /// End-to-end wide-job latency (submit → recombined product).
     wide_hist: LatencyHistogram,
+    /// Per-kind protocol lane accumulators, indexed by
+    /// [`crate::graph::ProtocolKind`] discriminant.
+    pub(crate) proto_lanes: Vec<ProtoLane>,
 }
 
-struct Shared {
-    state: Mutex<State>,
+/// Per-kind protocol counters (one per [`crate::graph::ProtocolKind`]).
+#[derive(Debug, Default)]
+pub(crate) struct ProtoLane {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) failed: u64,
+    pub(crate) hist: LatencyHistogram,
+}
+
+/// The protocol-executor queue: typed protocol ops waiting for a free
+/// graph executor. Kept separate from the leaf-job admission queue so a
+/// protocol op never deadlocks against its own leaf multiplies.
+pub(crate) struct ProtoQueue {
+    pub(crate) queue: VecDeque<crate::graph::ProtoTask>,
+    pub(crate) shutdown: bool,
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<State>,
     /// The started configuration (workers/attempts/quarantine already
     /// clamped); workers read their check policy and injector here.
-    cfg: ServiceConfig,
+    pub(crate) cfg: ServiceConfig,
     /// Fleet-wide hot-operand transform cache (`None` when
     /// [`ServiceConfig::hot_capacity`] is 0).
     hot: Option<Arc<HotCache>>,
@@ -392,6 +421,10 @@ struct Shared {
     former: Condvar,
     /// Formed batches for the fleet (workers wait).
     work: Condvar,
+    /// Protocol ops waiting for a graph executor.
+    pub(crate) proto: Mutex<ProtoQueue>,
+    /// New protocol work (graph executors wait).
+    pub(crate) proto_work: Condvar,
 }
 
 impl Shared {
@@ -433,7 +466,7 @@ impl Shared {
 /// with the paper's large-degree modulus — the only specialized modulus
 /// whose `q − 1` keeps the `2n | q − 1` NTT divisibility at those
 /// sizes.
-fn params_for(n: usize, q: u64) -> Option<ParamSet> {
+pub(crate) fn params_for(n: usize, q: u64) -> Option<ParamSet> {
     if let Ok(p) = ParamSet::for_degree(n) {
         if p.q == q {
             return Some(p);
@@ -465,6 +498,7 @@ pub struct Service {
     config: ServiceConfig,
     former: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    proto_workers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
@@ -475,6 +509,7 @@ impl Service {
             queue_capacity: config.queue_capacity.max(1),
             max_attempts: config.max_attempts.max(1),
             quarantine_after: config.quarantine_after.max(1),
+            protocol_workers: config.protocol_workers.max(1),
             ..config
         };
         let shared = Arc::new(Shared {
@@ -507,12 +542,20 @@ impl Service {
                 wide_completed: 0,
                 wide_failed: 0,
                 wide_hist: LatencyHistogram::default(),
+                proto_lanes: (0..crate::graph::ProtocolKind::COUNT)
+                    .map(|_| ProtoLane::default())
+                    .collect(),
             }),
             cfg: config.clone(),
             hot: (config.hot_capacity > 0).then(|| Arc::new(HotCache::new(config.hot_capacity))),
             admit: Condvar::new(),
             former: Condvar::new(),
             work: Condvar::new(),
+            proto: Mutex::new(ProtoQueue {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            proto_work: Condvar::new(),
         });
         let former = {
             let shared = Arc::clone(&shared);
@@ -531,17 +574,32 @@ impl Service {
                     .expect("spawn superbank worker")
             })
             .collect();
+        let proto_workers = (0..config.protocol_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cryptopim-svc-proto-{i}"))
+                    .spawn(move || crate::graph::proto_worker_loop(&shared))
+                    .expect("spawn protocol executor")
+            })
+            .collect();
         Service {
             shared,
             config,
             former: Some(former),
             workers,
+            proto_workers,
         }
     }
 
     /// The configuration the service was started with.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The shared scheduler state (for the protocol graph layer).
+    pub(crate) fn shared_ref(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
     /// Submits one multiplication job; the returned ticket resolves to
@@ -558,93 +616,7 @@ impl Service {
     ///   [`Backpressure::Reject`], or every bank quarantined.
     /// * [`ServiceError::ShuttingDown`] — submitted during drain.
     pub fn submit(&self, a: Polynomial, b: Polynomial) -> Result<JobTicket, ServiceError> {
-        let n = a.degree_bound();
-        if b.degree_bound() != n {
-            return Err(ServiceError::PairMismatch {
-                left: n,
-                right: b.degree_bound(),
-            });
-        }
-        let Some(params) = params_for(n, a.modulus()) else {
-            return Err(ServiceError::UnsupportedJob { n, q: a.modulus() });
-        };
-        if b.modulus() != params.q {
-            return Err(ServiceError::UnsupportedJob { n, q: b.modulus() });
-        }
-        let lanes = ArchConfig::packed_lanes(n).expect("validated degree");
-        let key: ParamKey = (n, params.q);
-
-        let ticket = Arc::new(TicketState {
-            slot: Mutex::new(None),
-            done: Condvar::new(),
-        });
-        let mut st = self.shared.state.lock().expect("service state poisoned");
-        loop {
-            if st.shutdown {
-                return Err(ServiceError::ShuttingDown);
-            }
-            if st.degraded {
-                // Graceful degradation: with the whole fleet
-                // quarantined no admitted job could ever execute, so
-                // even Block-mode submitters are turned away.
-                st.rejected += 1;
-                return Err(ServiceError::Overloaded {
-                    capacity: self.config.queue_capacity,
-                });
-            }
-            if st.pending_jobs + st.formed_jobs < self.config.queue_capacity {
-                break;
-            }
-            match self.config.backpressure {
-                Backpressure::Reject => {
-                    st.rejected += 1;
-                    return Err(ServiceError::Overloaded {
-                        capacity: self.config.queue_capacity,
-                    });
-                }
-                Backpressure::Block => {
-                    st = self.shared.admit.wait(st).expect("service state poisoned");
-                }
-            }
-        }
-        let now = Instant::now();
-        st.admitted += 1;
-        st.pending_jobs += 1;
-        let pending_was_empty = st.pending.is_empty();
-        let group = st.pending.entry(key).or_insert_with(|| Group {
-            jobs: Vec::with_capacity(lanes),
-            oldest: now,
-        });
-        if group.jobs.is_empty() {
-            group.oldest = now;
-        }
-        group.jobs.push(Job {
-            a,
-            b,
-            ticket: Arc::clone(&ticket),
-            submitted: now,
-            attempts: 1,
-        });
-        if group.jobs.len() >= lanes {
-            // Full-occupancy batch: flush immediately, no linger paid.
-            self.shared.flush_locked(&mut st, key, FlushCause::Full);
-            self.shared.work.notify_one();
-        } else if self.shared.idle_capacity(&st) > 0 {
-            // Work-conserving fast path: an idle worker means waiting
-            // cannot buy occupancy, so the partial ships straight from
-            // the submitting thread — no batch-former hop.
-            self.shared.flush_locked(&mut st, key, FlushCause::Eager);
-            self.shared.work.notify_one();
-        } else if pending_was_empty {
-            // Fleet saturated and this is the first pending group: the
-            // former must schedule its linger deadline. Any later job
-            // or group has a strictly later deadline, so the former's
-            // existing timed sleep already covers those — the saturated
-            // steady state submits without a single wakeup.
-            self.shared.former.notify_one();
-        }
-        drop(st);
-        Ok(JobTicket { state: ticket })
+        submit_shared(&self.shared, a, b)
     }
 
     /// Submits one wide-modulus multiplication over `Q = Π q_i`: the
@@ -671,56 +643,7 @@ impl Service {
         b: &[u128],
         basis: &RnsBasis,
     ) -> Result<WideTicket, ServiceError> {
-        let n = a.len();
-        if b.len() != n {
-            return Err(ServiceError::PairMismatch {
-                left: n,
-                right: b.len(),
-            });
-        }
-        // Validate every lane up front so an unsupported basis cannot
-        // strand half-submitted sibling lanes.
-        for &q in basis.moduli() {
-            if params_for(n, q).is_none() {
-                return Err(ServiceError::UnsupportedJob { n, q });
-            }
-        }
-        let submitted = Instant::now();
-        let mut lanes = Vec::with_capacity(basis.channels());
-        let mut buf = vec![0u64; n];
-        for (lane, &q) in basis.moduli().iter().enumerate() {
-            basis.split_lane_into(a, lane, &mut buf);
-            let pa = Polynomial::from_canonical_coeffs(buf.clone(), q)
-                .expect("residues are canonical mod q");
-            basis.split_lane_into(b, lane, &mut buf);
-            let pb = Polynomial::from_canonical_coeffs(buf.clone(), q)
-                .expect("residues are canonical mod q");
-            match self.submit(pa, pb) {
-                Ok(ticket) => lanes.push((ticket, q)),
-                Err(error) => {
-                    let mut st = self.shared.state.lock().expect("service state poisoned");
-                    st.wide_submitted += 1;
-                    st.wide_failed += 1;
-                    drop(st);
-                    return Err(ServiceError::WideLane {
-                        lane,
-                        q,
-                        error: Box::new(error),
-                    });
-                }
-            }
-        }
-        {
-            let mut st = self.shared.state.lock().expect("service state poisoned");
-            st.wide_submitted += 1;
-        }
-        Ok(WideTicket {
-            lanes,
-            basis: basis.clone(),
-            n,
-            shared: Arc::clone(&self.shared),
-            submitted,
-        })
+        submit_wide_shared(&self.shared, a, b, basis)
     }
 
     /// A point-in-time snapshot of queue depth, counters, occupancy,
@@ -741,6 +664,20 @@ impl Service {
     }
 
     fn drain_and_join(&mut self) {
+        // Drain the protocol executors *first*, while the batch fleet is
+        // still accepting leaf submits: every queued protocol op runs to
+        // completion (its leaf multiplies still admit and execute), so a
+        // ProtocolTicket issued before shutdown always resolves.
+        {
+            let mut pq = self.shared.proto.lock().expect("proto queue poisoned");
+            pq.shutdown = true;
+        }
+        self.shared.proto_work.notify_all();
+        for handle in self.proto_workers.drain(..) {
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("protocol executor panicked");
+            }
+        }
         {
             let mut st = self.shared.state.lock().expect("service state poisoned");
             st.shutdown = true;
@@ -765,6 +702,228 @@ impl Drop for Service {
     fn drop(&mut self) {
         self.drain_and_join();
     }
+}
+
+/// Validates one leaf pair, resolving its batch-formation key and the
+/// packed-lane capacity at its degree.
+pub(crate) fn validate_leaf(
+    a: &Polynomial,
+    b: &Polynomial,
+) -> Result<(ParamKey, usize), ServiceError> {
+    let n = a.degree_bound();
+    if b.degree_bound() != n {
+        return Err(ServiceError::PairMismatch {
+            left: n,
+            right: b.degree_bound(),
+        });
+    }
+    let Some(params) = params_for(n, a.modulus()) else {
+        return Err(ServiceError::UnsupportedJob { n, q: a.modulus() });
+    };
+    if b.modulus() != params.q {
+        return Err(ServiceError::UnsupportedJob { n, q: b.modulus() });
+    }
+    let lanes = ArchConfig::packed_lanes(n).expect("validated degree");
+    Ok(((n, params.q), lanes))
+}
+
+/// Leaf-submit core shared by [`Service::submit`], the wide residue
+/// lanes, and the protocol graph executors: admits `pairs` (all
+/// pre-validated to the same `(n, q)` key) under a *single* state-lock
+/// acquisition, so multi-job callers land every job in the same
+/// formation group — a flushed batch carries them together, which is
+/// how a protocol op's independent inner products ride one batch.
+fn submit_group_shared(
+    shared: &Shared,
+    key: ParamKey,
+    lanes: usize,
+    pairs: Vec<(Polynomial, Polynomial)>,
+) -> Result<Vec<JobTicket>, ServiceError> {
+    let count = pairs.len();
+    let tickets: Vec<Arc<TicketState>> = (0..count)
+        .map(|_| {
+            Arc::new(TicketState {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            })
+        })
+        .collect();
+    let mut st = shared.state.lock().expect("service state poisoned");
+    loop {
+        if st.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if st.degraded {
+            // Graceful degradation: with the whole fleet quarantined no
+            // admitted job could ever execute, so even Block-mode
+            // submitters are turned away.
+            st.rejected += count as u64;
+            return Err(ServiceError::Overloaded {
+                capacity: shared.cfg.queue_capacity,
+            });
+        }
+        if st.pending_jobs + st.formed_jobs + count <= shared.cfg.queue_capacity {
+            break;
+        }
+        match shared.cfg.backpressure {
+            Backpressure::Reject => {
+                st.rejected += count as u64;
+                return Err(ServiceError::Overloaded {
+                    capacity: shared.cfg.queue_capacity,
+                });
+            }
+            Backpressure::Block => {
+                st = shared.admit.wait(st).expect("service state poisoned");
+            }
+        }
+    }
+    let now = Instant::now();
+    st.admitted += count as u64;
+    st.pending_jobs += count;
+    let pending_was_empty = st.pending.is_empty();
+    for ((a, b), ticket) in pairs.into_iter().zip(&tickets) {
+        let group = st.pending.entry(key).or_insert_with(|| Group {
+            jobs: Vec::with_capacity(lanes),
+            oldest: now,
+        });
+        if group.jobs.is_empty() {
+            group.oldest = now;
+        }
+        group.jobs.push(Job {
+            a,
+            b,
+            ticket: Arc::clone(ticket),
+            submitted: now,
+            attempts: 1,
+        });
+        if group.jobs.len() >= lanes {
+            // Full-occupancy batch: flush immediately, no linger paid.
+            // (A multi-job call crossing the lane boundary splits here,
+            // never overfilling a batch past the packed-lane capacity.)
+            shared.flush_locked(&mut st, key, FlushCause::Full);
+            shared.work.notify_one();
+        }
+    }
+    if st.pending.contains_key(&key) {
+        if shared.idle_capacity(&st) > 0 {
+            // Work-conserving fast path: an idle worker means waiting
+            // cannot buy occupancy, so the partial ships straight from
+            // the submitting thread — no batch-former hop.
+            shared.flush_locked(&mut st, key, FlushCause::Eager);
+            shared.work.notify_one();
+        } else if pending_was_empty {
+            // Fleet saturated and this is the first pending group: the
+            // former must schedule its linger deadline. Any later job
+            // or group has a strictly later deadline, so the former's
+            // existing timed sleep already covers those — the saturated
+            // steady state submits without a single wakeup.
+            shared.former.notify_one();
+        }
+    }
+    drop(st);
+    Ok(tickets
+        .into_iter()
+        .map(|state| JobTicket { state })
+        .collect())
+}
+
+/// Free-function form of [`Service::submit`], callable from graph
+/// executors that hold only the shared state.
+pub(crate) fn submit_shared(
+    shared: &Shared,
+    a: Polynomial,
+    b: Polynomial,
+) -> Result<JobTicket, ServiceError> {
+    let (key, lanes) = validate_leaf(&a, &b)?;
+    let mut tickets = submit_group_shared(shared, key, lanes, vec![(a, b)])?;
+    Ok(tickets.pop().expect("one ticket per pair"))
+}
+
+/// Submits two *independent* leaf multiplies as one admission: when the
+/// pairs share a `(n, q)` key (the common case inside a protocol op)
+/// both jobs join the same formation group atomically, so they pack
+/// into the same hardware batch instead of racing other tenants for
+/// separate ones. Falls back to two ordinary submissions when the keys
+/// differ or the queue cannot hold two jobs at once.
+pub(crate) fn submit_pair_shared(
+    shared: &Shared,
+    a0: Polynomial,
+    b0: Polynomial,
+    a1: Polynomial,
+    b1: Polynomial,
+) -> Result<(JobTicket, JobTicket), ServiceError> {
+    let (k0, lanes) = validate_leaf(&a0, &b0)?;
+    let (k1, _) = validate_leaf(&a1, &b1)?;
+    if k0 == k1 && shared.cfg.queue_capacity >= 2 {
+        let mut tickets = submit_group_shared(shared, k0, lanes, vec![(a0, b0), (a1, b1)])?;
+        let t1 = tickets.pop().expect("two tickets");
+        let t0 = tickets.pop().expect("two tickets");
+        Ok((t0, t1))
+    } else {
+        let t0 = submit_shared(shared, a0, b0)?;
+        let t1 = submit_shared(shared, a1, b1)?;
+        Ok((t0, t1))
+    }
+}
+
+/// Free-function form of [`Service::submit_wide`], callable from graph
+/// executors that hold only the shared state.
+pub(crate) fn submit_wide_shared(
+    shared: &Arc<Shared>,
+    a: &[u128],
+    b: &[u128],
+    basis: &RnsBasis,
+) -> Result<WideTicket, ServiceError> {
+    let n = a.len();
+    if b.len() != n {
+        return Err(ServiceError::PairMismatch {
+            left: n,
+            right: b.len(),
+        });
+    }
+    // Validate every lane up front so an unsupported basis cannot
+    // strand half-submitted sibling lanes.
+    for &q in basis.moduli() {
+        if params_for(n, q).is_none() {
+            return Err(ServiceError::UnsupportedJob { n, q });
+        }
+    }
+    let submitted = Instant::now();
+    let mut lanes = Vec::with_capacity(basis.channels());
+    let mut buf = vec![0u64; n];
+    for (lane, &q) in basis.moduli().iter().enumerate() {
+        basis.split_lane_into(a, lane, &mut buf);
+        let pa = Polynomial::from_canonical_coeffs(buf.clone(), q)
+            .expect("residues are canonical mod q");
+        basis.split_lane_into(b, lane, &mut buf);
+        let pb = Polynomial::from_canonical_coeffs(buf.clone(), q)
+            .expect("residues are canonical mod q");
+        match submit_shared(shared, pa, pb) {
+            Ok(ticket) => lanes.push((ticket, q)),
+            Err(error) => {
+                let mut st = shared.state.lock().expect("service state poisoned");
+                st.wide_submitted += 1;
+                st.wide_failed += 1;
+                drop(st);
+                return Err(ServiceError::WideLane {
+                    lane,
+                    q,
+                    error: Box::new(error),
+                });
+            }
+        }
+    }
+    {
+        let mut st = shared.state.lock().expect("service state poisoned");
+        st.wide_submitted += 1;
+    }
+    Ok(WideTicket {
+        lanes,
+        basis: basis.clone(),
+        n,
+        shared: Arc::clone(shared),
+        submitted,
+    })
 }
 
 fn snapshot(st: &State, hot: Option<&HotCache>) -> ServiceStats {
@@ -801,6 +960,23 @@ fn snapshot(st: &State, hot: Option<&HotCache>) -> ServiceStats {
         wide_p50_us: st.wide_hist.quantile_us(0.50).unwrap_or(0.0),
         wide_p95_us: st.wide_hist.quantile_us(0.95).unwrap_or(0.0),
         wide_p99_us: st.wide_hist.quantile_us(0.99).unwrap_or(0.0),
+        protocol: st
+            .proto_lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| ProtocolLaneStats {
+                kind: crate::graph::ProtocolKind::from_index(i)
+                    .expect("lane index is a kind")
+                    .as_str(),
+                submitted: lane.submitted,
+                completed: lane.completed,
+                failed: lane.failed,
+                latency_samples: lane.hist.count(),
+                p50_us: lane.hist.quantile_us(0.50).unwrap_or(0.0),
+                p95_us: lane.hist.quantile_us(0.95).unwrap_or(0.0),
+                p99_us: lane.hist.quantile_us(0.99).unwrap_or(0.0),
+            })
+            .collect(),
     }
 }
 

@@ -137,6 +137,50 @@ pub struct ServiceStats {
     pub wide_p95_us: f64,
     /// 99th-percentile wide-job latency, µs. 0.0 without samples.
     pub wide_p99_us: f64,
+    /// Per-kind protocol lane counters and percentiles, one entry per
+    /// [`crate::ProtocolKind`] in declaration order (kinds that never
+    /// saw a submission carry all-zero counters and are omitted from
+    /// the JSON form).
+    pub protocol: Vec<ProtocolLaneStats>,
+}
+
+/// Counters and latency percentiles for one protocol kind served
+/// through [`crate::Service::submit_protocol`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolLaneStats {
+    /// The kind's stable snake_case name (e.g. `"keygen"`, `"encaps"`),
+    /// also the key prefix in the JSON form (`proto_<kind>_*`).
+    pub kind: &'static str,
+    /// Protocol ops of this kind accepted by `submit_protocol`.
+    pub submitted: u64,
+    /// Ops whose ticket resolved successfully.
+    pub completed: u64,
+    /// Ops whose ticket resolved with an error.
+    pub failed: u64,
+    /// Samples behind the percentiles below (one per completed op).
+    pub latency_samples: u64,
+    /// Median end-to-end op latency (submit → ticket fulfilled), µs.
+    pub p50_us: f64,
+    /// 95th-percentile end-to-end op latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile end-to-end op latency, µs.
+    pub p99_us: f64,
+}
+
+impl ProtocolLaneStats {
+    /// An all-zero lane for `kind` (nothing submitted yet).
+    pub fn empty(kind: &'static str) -> ProtocolLaneStats {
+        ProtocolLaneStats {
+            kind,
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            latency_samples: 0,
+            p50_us: 0.0,
+            p95_us: 0.0,
+            p99_us: 0.0,
+        }
+    }
 }
 
 /// Scans `text` for `"key": <number>` and returns the raw number
@@ -163,19 +207,23 @@ impl ServiceStats {
     /// vendors no JSON crate. Integers print exactly and floats use
     /// Rust's shortest-round-trip `Display`, so
     /// [`ServiceStats::from_json`] reconstructs a bit-identical value.
+    ///
+    /// Empty sections are *omitted consistently*: the narrow percentile
+    /// triple disappears when [`ServiceStats::latency_samples`] is 0,
+    /// the whole wide lane when [`ServiceStats::wide_submitted`] is 0
+    /// (its percentiles additionally require wide samples), and a
+    /// protocol kind's `proto_<kind>_*` block when that kind was never
+    /// submitted. [`ServiceStats::from_json`] defaults every omitted
+    /// section to zeros, so the round trip is still bit-exact.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"queue_depth\": {}, \"in_flight\": {}, \"admitted\": {}, ",
                 "\"rejected\": {}, \"completed\": {}, \"batches\": {}, ",
                 "\"full_batches\": {}, \"lingered_batches\": {}, \"eager_batches\": {}, ",
                 "\"mean_occupancy\": {}, \"faults_detected\": {}, \"retries\": {}, ",
                 "\"recovered\": {}, \"quarantined_banks\": {}, \"active_workers\": {}, ",
-                "\"hot_hits\": {}, \"hot_misses\": {}, \"latency_samples\": {}, ",
-                "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, ",
-                "\"wide_submitted\": {}, \"wide_completed\": {}, \"wide_failed\": {}, ",
-                "\"wide_latency_samples\": {}, ",
-                "\"wide_p50_us\": {}, \"wide_p95_us\": {}, \"wide_p99_us\": {}}}"
+                "\"hot_hits\": {}, \"hot_misses\": {}, \"latency_samples\": {}"
             ),
             self.queue_depth,
             self.in_flight,
@@ -195,24 +243,58 @@ impl ServiceStats {
             self.hot_hits,
             self.hot_misses,
             self.latency_samples,
-            self.p50_us,
-            self.p95_us,
-            self.p99_us,
-            self.wide_submitted,
-            self.wide_completed,
-            self.wide_failed,
-            self.wide_latency_samples,
-            self.wide_p50_us,
-            self.wide_p95_us,
-            self.wide_p99_us,
-        )
+        );
+        if self.latency_samples > 0 {
+            out.push_str(&format!(
+                ", \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}",
+                self.p50_us, self.p95_us, self.p99_us
+            ));
+        }
+        if self.wide_submitted > 0 {
+            out.push_str(&format!(
+                concat!(
+                    ", \"wide_submitted\": {}, \"wide_completed\": {}, ",
+                    "\"wide_failed\": {}, \"wide_latency_samples\": {}"
+                ),
+                self.wide_submitted,
+                self.wide_completed,
+                self.wide_failed,
+                self.wide_latency_samples,
+            ));
+            if self.wide_latency_samples > 0 {
+                out.push_str(&format!(
+                    ", \"wide_p50_us\": {}, \"wide_p95_us\": {}, \"wide_p99_us\": {}",
+                    self.wide_p50_us, self.wide_p95_us, self.wide_p99_us
+                ));
+            }
+        }
+        for lane in &self.protocol {
+            if lane.submitted == 0 {
+                continue;
+            }
+            let k = lane.kind;
+            out.push_str(&format!(
+                ", \"proto_{0}_submitted\": {1}, \"proto_{0}_completed\": {2}, \"proto_{0}_failed\": {3}, \"proto_{0}_latency_samples\": {4}",
+                k, lane.submitted, lane.completed, lane.failed, lane.latency_samples
+            ));
+            if lane.latency_samples > 0 {
+                out.push_str(&format!(
+                    ", \"proto_{0}_p50_us\": {1}, \"proto_{0}_p95_us\": {2}, \"proto_{0}_p99_us\": {3}",
+                    k, lane.p50_us, lane.p95_us, lane.p99_us
+                ));
+            }
+        }
+        out.push('}');
+        out
     }
 
     /// Parses a snapshot out of a [`to_json`](ServiceStats::to_json)
     /// document (or any JSON text embedding one, provided no earlier
-    /// sibling reuses these field names). Returns `None` when any field
-    /// is missing or unparsable — a truncated or foreign document never
-    /// yields a half-filled snapshot.
+    /// sibling reuses these field names). The core counters are
+    /// required — a truncated or foreign document never yields a
+    /// half-filled snapshot — while the omit-when-empty sections
+    /// (narrow percentiles, the wide lane, per-kind protocol blocks)
+    /// default to zeros when absent.
     pub fn from_json(text: &str) -> Option<ServiceStats> {
         fn u64_field(text: &str, key: &str) -> Option<u64> {
             json_number(text, key)?.parse().ok()
@@ -223,6 +305,25 @@ impl ServiceStats {
         fn f64_field(text: &str, key: &str) -> Option<f64> {
             json_number(text, key)?.parse().ok()
         }
+        let protocol = crate::graph::ProtocolKind::ALL
+            .iter()
+            .map(|kind| {
+                let k = kind.as_str();
+                let mut lane = ProtocolLaneStats::empty(k);
+                if let Some(submitted) = u64_field(text, &format!("proto_{k}_submitted")) {
+                    lane.submitted = submitted;
+                    lane.completed = u64_field(text, &format!("proto_{k}_completed")).unwrap_or(0);
+                    lane.failed = u64_field(text, &format!("proto_{k}_failed")).unwrap_or(0);
+                    lane.latency_samples =
+                        u64_field(text, &format!("proto_{k}_latency_samples")).unwrap_or(0);
+                    lane.p50_us = f64_field(text, &format!("proto_{k}_p50_us")).unwrap_or(0.0);
+                    lane.p95_us = f64_field(text, &format!("proto_{k}_p95_us")).unwrap_or(0.0);
+                    lane.p99_us = f64_field(text, &format!("proto_{k}_p99_us")).unwrap_or(0.0);
+                }
+                lane
+            })
+            .collect();
+        let latency_samples = u64_field(text, "latency_samples")?;
         Some(ServiceStats {
             queue_depth: usize_field(text, "queue_depth")?,
             in_flight: usize_field(text, "in_flight")?,
@@ -241,17 +342,18 @@ impl ServiceStats {
             active_workers: usize_field(text, "active_workers")?,
             hot_hits: u64_field(text, "hot_hits")?,
             hot_misses: u64_field(text, "hot_misses")?,
-            latency_samples: u64_field(text, "latency_samples")?,
-            p50_us: f64_field(text, "p50_us")?,
-            p95_us: f64_field(text, "p95_us")?,
-            p99_us: f64_field(text, "p99_us")?,
-            wide_submitted: u64_field(text, "wide_submitted")?,
-            wide_completed: u64_field(text, "wide_completed")?,
-            wide_failed: u64_field(text, "wide_failed")?,
-            wide_latency_samples: u64_field(text, "wide_latency_samples")?,
-            wide_p50_us: f64_field(text, "wide_p50_us")?,
-            wide_p95_us: f64_field(text, "wide_p95_us")?,
-            wide_p99_us: f64_field(text, "wide_p99_us")?,
+            latency_samples,
+            p50_us: f64_field(text, "p50_us").unwrap_or(0.0),
+            p95_us: f64_field(text, "p95_us").unwrap_or(0.0),
+            p99_us: f64_field(text, "p99_us").unwrap_or(0.0),
+            wide_submitted: u64_field(text, "wide_submitted").unwrap_or(0),
+            wide_completed: u64_field(text, "wide_completed").unwrap_or(0),
+            wide_failed: u64_field(text, "wide_failed").unwrap_or(0),
+            wide_latency_samples: u64_field(text, "wide_latency_samples").unwrap_or(0),
+            wide_p50_us: f64_field(text, "wide_p50_us").unwrap_or(0.0),
+            wide_p95_us: f64_field(text, "wide_p95_us").unwrap_or(0.0),
+            wide_p99_us: f64_field(text, "wide_p99_us").unwrap_or(0.0),
+            protocol,
         })
     }
 }
@@ -304,6 +406,24 @@ impl std::fmt::Display for ServiceStats {
                 )?;
             }
         }
+        for lane in &self.protocol {
+            if lane.submitted == 0 {
+                continue;
+            }
+            write!(
+                f,
+                "proto {}: {} submitted, {} completed, {} failed",
+                lane.kind, lane.submitted, lane.completed, lane.failed
+            )?;
+            if lane.latency_samples > 0 {
+                write!(
+                    f,
+                    " | p50 ≤ {:.0} µs, p95 ≤ {:.0} µs, p99 ≤ {:.0} µs",
+                    lane.p50_us, lane.p95_us, lane.p99_us
+                )?;
+            }
+            writeln!(f)?;
+        }
         if self.latency_samples == 0 {
             write!(f, "latency: no samples")
         } else {
@@ -351,7 +471,25 @@ mod tests {
         assert_eq!(h.quantile_us(1.0), Some((1u64 << 32) as f64));
     }
 
+    fn empty_protocol() -> Vec<ProtocolLaneStats> {
+        crate::graph::ProtocolKind::ALL
+            .iter()
+            .map(|k| ProtocolLaneStats::empty(k.as_str()))
+            .collect()
+    }
+
     fn fixture_stats() -> ServiceStats {
+        let mut protocol = empty_protocol();
+        protocol[2] = ProtocolLaneStats {
+            kind: protocol[2].kind,
+            submitted: 12,
+            completed: 11,
+            failed: 1,
+            latency_samples: 11,
+            p50_us: 2048.0,
+            p95_us: 8192.0,
+            p99_us: 32768.0,
+        };
         ServiceStats {
             queue_depth: 3,
             in_flight: 2,
@@ -381,6 +519,7 @@ mod tests {
             wide_p50_us: 1024.0,
             wide_p95_us: 4096.0,
             wide_p99_us: 16384.0,
+            protocol,
         }
     }
 
@@ -397,11 +536,53 @@ mod tests {
     }
 
     #[test]
+    fn stats_json_omits_empty_sections_consistently() {
+        // Nothing submitted on any lane: the narrow percentile triple,
+        // the wide lane, and every protocol block must all be absent —
+        // and the document must still round-trip bit-exactly.
+        let mut stats = fixture_stats();
+        stats.latency_samples = 0;
+        stats.p50_us = 0.0;
+        stats.p95_us = 0.0;
+        stats.p99_us = 0.0;
+        stats.wide_submitted = 0;
+        stats.wide_completed = 0;
+        stats.wide_failed = 0;
+        stats.wide_latency_samples = 0;
+        stats.wide_p50_us = 0.0;
+        stats.wide_p95_us = 0.0;
+        stats.wide_p99_us = 0.0;
+        stats.protocol = empty_protocol();
+        let json = stats.to_json();
+        assert!(
+            !json.contains("p50_us"),
+            "empty narrow lane must be omitted"
+        );
+        assert!(!json.contains("wide_"), "empty wide lane must be omitted");
+        assert!(
+            !json.contains("proto_"),
+            "empty protocol lanes must be omitted"
+        );
+        assert_eq!(ServiceStats::from_json(&json), Some(stats));
+        // A populated wide lane without samples keeps its counters but
+        // omits its percentile triple.
+        let mut partial = fixture_stats();
+        partial.wide_latency_samples = 0;
+        partial.wide_p50_us = 0.0;
+        partial.wide_p95_us = 0.0;
+        partial.wide_p99_us = 0.0;
+        let json = partial.to_json();
+        assert!(json.contains("wide_submitted"));
+        assert!(!json.contains("wide_p50_us"));
+        assert_eq!(ServiceStats::from_json(&json), Some(partial));
+    }
+
+    #[test]
     fn stats_from_json_rejects_truncation_and_noise() {
         let json = fixture_stats().to_json();
-        // Any truncation that loses a field must yield None, never a
+        // Truncation that loses a core counter must yield None, never a
         // half-filled snapshot.
-        assert_eq!(ServiceStats::from_json(&json[..json.len() / 2]), None);
+        assert_eq!(ServiceStats::from_json(&json[..json.len() / 4]), None);
         assert_eq!(ServiceStats::from_json("{}"), None);
         assert_eq!(ServiceStats::from_json("not json at all"), None);
         let mangled = json.replace("\"admitted\": 1000", "\"admitted\": oops");

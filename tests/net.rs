@@ -449,3 +449,95 @@ fn refusals_render_usefully() {
     assert!(msg.contains("quota"), "{msg}");
     assert!(msg.contains('9'), "{msg}");
 }
+
+/// Protocol ops over TCP (wire v2): `SubmitProtocol` serves a scripted
+/// scenario through the graph layer, and the returned digest matches a
+/// local direct execution of the same `(kind, n, seed)` — a remote
+/// bit-identity check without shipping the output.
+#[test]
+fn protocol_ops_over_tcp_match_direct_digests() {
+    use service::{ProtocolJob, ProtocolKind};
+    let server = start_server(one_tenant(16), ServiceConfig::default());
+    let addr = server.local_addr();
+    let (mut client, _, _) = Client::connect(addr, "alpha-token").expect("hello");
+    for (i, kind) in [
+        ProtocolKind::KeyGen,
+        ProtocolKind::Encaps,
+        ProtocolKind::Decaps,
+        ProtocolKind::Sign,
+        ProtocolKind::SheMul,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let id = 100 + i as u64;
+        let seed = 4000 + i as u64;
+        client
+            .submit_protocol(id, kind, 256, seed)
+            .expect("protocol submit");
+        let done = client.wait_protocol(id, 30_000).expect("protocol done");
+        assert_eq!(done.kind, kind);
+        let want = ProtocolJob::scripted(kind, 256, seed)
+            .expect("scripted")
+            .run_direct()
+            .expect("direct")
+            .digest();
+        assert_eq!(done.digest, want, "digest mismatch for {kind}");
+        assert!(done.nodes >= 1);
+    }
+    // Protocol jobs share the id space: a duplicate is refused.
+    client
+        .submit_protocol(200, service::ProtocolKind::KeyGen, 256, 1)
+        .expect("submit");
+    let err = client
+        .submit_protocol(200, service::ProtocolKind::Sign, 256, 2)
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::DuplicateJob));
+    let _ = client.wait_protocol(200, 30_000).expect("collect");
+    // A hostile degree is a typed refusal, not a server-side panic.
+    let err = client
+        .submit_protocol(201, service::ProtocolKind::Encaps, 64, 3)
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Unsupported));
+    server.shutdown();
+}
+
+/// A peer speaking wire v1 gets one typed `UnsupportedVersion` error —
+/// encoded in the v1 envelope so the old client can decode it — instead
+/// of a silent close.
+#[test]
+fn legacy_version_peer_gets_typed_refusal_in_its_own_envelope() {
+    let server = start_server(one_tenant(4), ServiceConfig::default());
+    let addr = server.local_addr();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    // Speak v1: a Hello frame with the legacy version byte.
+    let hello = wire::encode_frame_versioned(
+        &Frame::Hello {
+            token: "alpha-token".into(),
+        },
+        wire::LEGACY_VERSION,
+    );
+    raw.write_all(&hello).unwrap();
+    // The reply envelope must carry the peer's version byte...
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap();
+    assert!(
+        reply.len() > wire::HEADER_LEN,
+        "typed reply, not a bare close"
+    );
+    assert_eq!(&reply[..4], &wire::MAGIC);
+    assert_eq!(
+        reply[4],
+        wire::LEGACY_VERSION,
+        "reply speaks the peer's version"
+    );
+    // ...and decode (after re-stamping to the current version, which is
+    // exactly the strict-envelope check a v1 reader would have passed)
+    // as an UnsupportedVersion error.
+    reply[4] = wire::VERSION;
+    match wire::read_frame(&mut reply.as_slice()).expect("decodable reply") {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected Error frame, got {}", other.name()),
+    }
+    server.shutdown();
+}
